@@ -1,0 +1,320 @@
+//! A plain flat-sequence BERT-style encoder — the BioBERT baseline stand-in.
+//!
+//! Differences from TabBiN (all deliberate, mirroring what the paper's
+//! BioBERT rows measure): the table is linearized to one token sequence
+//! (caption + metadata labels + cells, row-major); position embeddings are
+//! plain sequence offsets; there is **no** visibility matrix, **no**
+//! bi-dimensional coordinates, **no** numeric-feature embedding, **no** type
+//! or unit/nesting features. Numbers still surface as `[VAL]` through the
+//! shared tokenizer, so numeric content is largely opaque to this model —
+//! exactly the weakness the paper exploits on numeric CC.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tabbin_table::{CellValue, Table};
+use tabbin_tensor::nn::{AttentionConfig, Embedding, EncoderBlock, LayerNorm, Linear};
+use tabbin_tensor::optim::Adam;
+use tabbin_tensor::{Graph, NodeId, ParamStore};
+use tabbin_tokenizer::{Piece, SpecialToken, Tokenizer};
+
+/// Geometry of the baseline encoder.
+#[derive(Clone, Copy, Debug)]
+pub struct BertConfig {
+    /// Hidden size.
+    pub hidden: usize,
+    /// Encoder blocks.
+    pub layers: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Feed-forward width.
+    pub ff: usize,
+    /// Maximum sequence length.
+    pub max_seq: usize,
+}
+
+impl Default for BertConfig {
+    fn default() -> Self {
+        Self { hidden: 48, layers: 2, heads: 4, ff: 96, max_seq: 96 }
+    }
+}
+
+/// MLM pre-training options.
+#[derive(Clone, Copy, Debug)]
+pub struct BertPretrainOptions {
+    /// Optimization steps.
+    pub steps: usize,
+    /// Sequences per step.
+    pub batch: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Masking probability.
+    pub mask_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BertPretrainOptions {
+    fn default() -> Self {
+        Self { steps: 200, batch: 4, lr: 1e-3, mask_prob: 0.15, seed: 29 }
+    }
+}
+
+/// The flat BERT-style model.
+#[derive(Debug)]
+pub struct BertSim {
+    cfg: BertConfig,
+    store: ParamStore,
+    tok_emb: Embedding,
+    pos_emb: Embedding,
+    ln: LayerNorm,
+    blocks: Vec<EncoderBlock>,
+    mlm: Linear,
+    vocab: usize,
+}
+
+impl BertSim {
+    /// Fresh model over a vocabulary.
+    pub fn new(cfg: BertConfig, vocab: usize, seed: u64) -> Self {
+        assert_eq!(cfg.hidden % cfg.heads, 0, "hidden must divide into heads");
+        let mut store = ParamStore::new();
+        let tok_emb = Embedding::new(&mut store, "bert.tok", vocab, cfg.hidden, seed ^ 0x11);
+        let pos_emb = Embedding::new(&mut store, "bert.pos", cfg.max_seq, cfg.hidden, seed ^ 0x12);
+        let ln = LayerNorm::new(&mut store, "bert.ln", cfg.hidden);
+        let attn = AttentionConfig { d_model: cfg.hidden, heads: cfg.heads };
+        let blocks = (0..cfg.layers)
+            .map(|l| EncoderBlock::new(&mut store, &format!("bert{l}"), attn, cfg.ff, seed ^ (l as u64 + 3)))
+            .collect();
+        let mlm = Linear::new(&mut store, "bert.mlm", cfg.hidden, vocab, seed ^ 0x13);
+        Self { cfg, store, tok_emb, pos_emb, ln, blocks, mlm, vocab }
+    }
+
+    /// Linearizes a table: caption, HMD labels, VMD labels, then cells
+    /// row-major (nested tables flattened as text).
+    pub fn linearize(table: &Table, tok: &Tokenizer, max_seq: usize) -> Vec<u32> {
+        let mut ids = vec![SpecialToken::Cls.id()];
+        let push_text = |ids: &mut Vec<u32>, text: &str| {
+            for p in tok.encode(text) {
+                if ids.len() >= max_seq {
+                    return;
+                }
+                ids.push(match p {
+                    Piece::Word(w) => w,
+                    Piece::Value(_) => SpecialToken::Val.id(),
+                });
+            }
+        };
+        push_text(&mut ids, &table.caption);
+        for (l, _) in table.hmd.all_labels() {
+            push_text(&mut ids, l);
+        }
+        for (l, _) in table.vmd.all_labels() {
+            push_text(&mut ids, l);
+        }
+        for (_, _, c) in table.data.iter_indexed() {
+            match c {
+                CellValue::Nested(inner) => {
+                    for (l, _) in inner.hmd.all_labels() {
+                        push_text(&mut ids, l);
+                    }
+                    for (_, _, v) in inner.data.iter_indexed() {
+                        push_text(&mut ids, &v.render());
+                    }
+                }
+                other => push_text(&mut ids, &other.render()),
+            }
+            if ids.len() < max_seq {
+                ids.push(SpecialToken::Sep.id());
+            }
+        }
+        ids.truncate(max_seq);
+        ids
+    }
+
+    fn forward(&self, g: &mut Graph, ids: &[u32]) -> NodeId {
+        let tok_ids: Vec<usize> = ids.iter().map(|&i| i as usize).collect();
+        let pos_ids: Vec<usize> = (0..ids.len()).map(|i| i.min(self.cfg.max_seq - 1)).collect();
+        let te = self.tok_emb.forward(g, &self.store, &tok_ids);
+        let pe = self.pos_emb.forward(g, &self.store, &pos_ids);
+        let sum = g.add(te, pe);
+        let mut x = self.ln.forward(g, &self.store, sum);
+        for b in &self.blocks {
+            x = b.forward(g, &self.store, x, None);
+        }
+        x
+    }
+
+    /// MLM pre-training over raw id sequences; returns the loss curve.
+    pub fn pretrain(&mut self, sequences: &[Vec<u32>], opts: &BertPretrainOptions) -> Vec<f32> {
+        let usable: Vec<&Vec<u32>> = sequences.iter().filter(|s| s.len() >= 4).collect();
+        if usable.is_empty() {
+            return Vec::new();
+        }
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let mut opt = Adam::new(opts.lr);
+        let mut curve = Vec::with_capacity(opts.steps);
+        for _ in 0..opts.steps {
+            let mut step_loss = 0.0f32;
+            let mut counted = 0usize;
+            for _ in 0..opts.batch {
+                let seq = usable[rng.random_range(0..usable.len())];
+                let mut ids = seq.clone();
+                let mut targets = vec![-1i64; ids.len()];
+                let mut any = false;
+                for i in 1..ids.len() {
+                    if ids[i] == SpecialToken::Sep.id() {
+                        continue;
+                    }
+                    if rng.random::<f64>() < opts.mask_prob {
+                        targets[i] = ids[i] as i64;
+                        ids[i] = SpecialToken::Mask.id();
+                        any = true;
+                    }
+                }
+                if !any {
+                    let i = rng.random_range(1..ids.len());
+                    targets[i] = ids[i] as i64;
+                    ids[i] = SpecialToken::Mask.id();
+                }
+                let mut g = Graph::new();
+                let hidden = self.forward(&mut g, &ids);
+                let rows: Vec<usize> =
+                    (0..ids.len()).filter(|&i| targets[i] >= 0).collect();
+                let sel = g.row_select(hidden, &rows);
+                let logits = self.mlm.forward(&mut g, &self.store, sel);
+                let t: Vec<i64> = rows.iter().map(|&i| targets[i]).collect();
+                let loss = g.cross_entropy_rows(logits, &t);
+                step_loss += g.value(loss).data()[0];
+                counted += 1;
+                g.backward(loss);
+                g.accumulate_grads(&mut self.store);
+            }
+            self.store.clip_grad_norm(5.0);
+            opt.step(&mut self.store);
+            self.store.zero_grads();
+            curve.push(step_loss / counted.max(1) as f32);
+        }
+        curve
+    }
+
+    /// Mean-pooled embedding of an id sequence.
+    pub fn embed_ids(&self, ids: &[u32]) -> Vec<f32> {
+        if ids.is_empty() {
+            return vec![0.0; self.cfg.hidden];
+        }
+        let mut g = Graph::new();
+        let hidden = self.forward(&mut g, ids);
+        let pooled = g.mean_rows(hidden);
+        g.value(pooled).data().to_vec()
+    }
+
+    /// Embedding of free text.
+    pub fn embed_text(&self, tok: &Tokenizer, text: &str) -> Vec<f32> {
+        let mut ids = vec![SpecialToken::Cls.id()];
+        for p in tok.encode(text) {
+            if ids.len() >= self.cfg.max_seq {
+                break;
+            }
+            ids.push(p.vocab_id());
+        }
+        self.embed_ids(&ids)
+    }
+
+    /// Embedding of a whole table (linearized).
+    pub fn embed_table(&self, tok: &Tokenizer, table: &Table) -> Vec<f32> {
+        self.embed_ids(&Self::linearize(table, tok, self.cfg.max_seq))
+    }
+
+    /// Embedding of one column: header label plus rendered cells.
+    pub fn embed_column(&self, tok: &Tokenizer, table: &Table, j: usize) -> Vec<f32> {
+        let mut text = table
+            .hmd
+            .leaf_labels()
+            .get(j)
+            .map(|s| s.to_string())
+            .unwrap_or_default();
+        for cell in table.column_text(j) {
+            text.push(' ');
+            text.push_str(&cell);
+        }
+        self.embed_text(tok, &text)
+    }
+
+    /// Hidden width (embedding length).
+    pub fn hidden(&self) -> usize {
+        self.cfg.hidden
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabbin_table::samples::{figure1_table, table2_relational};
+
+    fn tok() -> Tokenizer {
+        Tokenizer::train(
+            ["name age job sam ava kim engineer lawyer scientist overall survival months cohort"]
+                .into_iter(),
+            500,
+            1,
+        )
+    }
+
+    #[test]
+    fn linearize_starts_with_cls_and_bounds_length() {
+        let t = tok();
+        let ids = BertSim::linearize(&figure1_table(), &t, 32);
+        assert_eq!(ids[0], SpecialToken::Cls.id());
+        assert!(ids.len() <= 32);
+    }
+
+    #[test]
+    fn pretrain_reduces_loss() {
+        let t = tok();
+        let tables = [table2_relational(), figure1_table()];
+        let seqs: Vec<Vec<u32>> =
+            tables.iter().map(|tb| BertSim::linearize(tb, &t, 48)).collect();
+        let cfg = BertConfig { hidden: 24, layers: 1, heads: 2, ff: 32, max_seq: 48 };
+        let mut model = BertSim::new(cfg, t.vocab_size(), 7);
+        let curve = model.pretrain(
+            &seqs,
+            &BertPretrainOptions { steps: 30, batch: 2, lr: 2e-3, ..Default::default() },
+        );
+        let first: f32 = curve[..5].iter().sum::<f32>() / 5.0;
+        let last: f32 = curve[25..].iter().sum::<f32>() / 5.0;
+        assert!(last < first, "BERT baseline failed to train: {first} -> {last}");
+    }
+
+    #[test]
+    fn embeddings_have_hidden_width() {
+        let t = tok();
+        let cfg = BertConfig { hidden: 24, layers: 1, heads: 2, ff: 32, max_seq: 48 };
+        let model = BertSim::new(cfg, t.vocab_size(), 7);
+        assert_eq!(model.embed_table(&t, &table2_relational()).len(), 24);
+        assert_eq!(model.embed_column(&t, &table2_relational(), 1).len(), 24);
+        assert_eq!(model.embed_text(&t, "sam").len(), 24);
+    }
+
+    #[test]
+    fn numbers_collapse_to_val_making_numeric_columns_opaque() {
+        // Two numeric columns with different values but no text content
+        // linearize to the same id sequence modulo [VAL] — demonstrating the
+        // baseline's numeric blindness.
+        let t = tok();
+        let a = Table::builder("x")
+            .hmd_flat(&["q"])
+            .row(vec![CellValue::number(5.0, None)])
+            .build();
+        let b = Table::builder("x")
+            .hmd_flat(&["q"])
+            .row(vec![CellValue::number(900.0, None)])
+            .build();
+        let ia = BertSim::linearize(&a, &t, 32);
+        let ib = BertSim::linearize(&b, &t, 32);
+        assert_eq!(ia, ib);
+    }
+}

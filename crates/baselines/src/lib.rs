@@ -1,0 +1,31 @@
+//! Baselines for the TabBiN reproduction (§4).
+//!
+//! * [`word2vec`] — skip-gram with negative sampling, trained on table
+//!   tuples (the paper's Word2Vec rows, Table 3 dimensionality sweep).
+//! * [`bert`] — a plain flat-sequence transformer standing in for the
+//!   fine-tuned BioBERT baseline: same tokenizer, **no** structural
+//!   embeddings, **no** visibility matrix, **no** numeric/unit/type
+//!   features.
+//! * [`tuta`] — a TUTA-style tree-positional transformer: whole-table
+//!   (metadata + data mixed) sequences with coordinate and numeric
+//!   embeddings, but no unit/nesting treatment, no type inference, and no
+//!   segment separation — exactly the deltas the paper probes.
+//! * [`ditto`] — a DITTO-style sequence-pair entity matcher over
+//!   `COL … VAL …` serializations.
+//! * [`llm_rag`] — a calibrated simulator of the LLM ± RAG baselines
+//!   (GPT-2, Llama2, GPT-3.5+RAG, GPT-4+RAG); proprietary LLMs cannot run
+//!   offline, so this reproduces their *reported behavioral signature*
+//!   (near-perfect first ranks with weaker tail ranking) with documented
+//!   constants.
+
+pub mod bert;
+pub mod ditto;
+pub mod llm_rag;
+pub mod tuta;
+pub mod word2vec;
+
+pub use bert::BertSim;
+pub use ditto::DittoSim;
+pub use llm_rag::{LlmRagSim, LlmTier};
+pub use tuta::TutaSim;
+pub use word2vec::{Word2Vec, Word2VecConfig};

@@ -1,0 +1,268 @@
+//! LLM ± RAG baseline simulator (Table 14).
+//!
+//! The paper evaluates GPT-2, Llama2, and RAG-augmented GPT-3.5/GPT-4 on
+//! column and table clustering. Proprietary LLMs cannot run in this offline
+//! reproduction, so — per the substitution rule — this module simulates the
+//! *behavioral signature* the paper reports:
+//!
+//! * weak base models (GPT-2, Llama2) rank poorly end-to-end;
+//! * RAG substantially lifts quality (the paper: Llama2+RAG gains +0.30 MAP
+//!   on textual CC);
+//! * RAG+GPT-4 is nearly perfect at putting a relevant item *first*
+//!   (MRR ≈ 1.0, beating TabBiN by ~0.1) while remaining weaker than TabBiN
+//!   at ranking the *full* relevant list (MAP lower by up to 0.42).
+//!
+//! The simulator draws a noisy ranking whose head accuracy and tail quality
+//! are fixed per tier. The constants below are design inputs (documented in
+//! DESIGN.md), not values fitted to this repository's outputs.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Simulated model tiers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LlmTier {
+    /// GPT-2 (small open model, no retrieval).
+    Gpt2,
+    /// Llama-2-7b-chat.
+    Llama2,
+    /// GPT-3.5.
+    Gpt35,
+    /// GPT-4.
+    Gpt4,
+}
+
+impl LlmTier {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LlmTier::Gpt2 => "GPT-2",
+            LlmTier::Llama2 => "Llama2",
+            LlmTier::Gpt35 => "GPT-3.5",
+            LlmTier::Gpt4 => "GPT-4",
+        }
+    }
+
+    /// `(head_accuracy, tail_quality)` without RAG.
+    fn base_params(self) -> (f64, f64) {
+        match self {
+            LlmTier::Gpt2 => (0.30, 0.10),
+            LlmTier::Llama2 => (0.40, 0.15),
+            LlmTier::Gpt35 => (0.60, 0.30),
+            LlmTier::Gpt4 => (0.75, 0.40),
+        }
+    }
+}
+
+/// A configured LLM ± RAG simulator.
+#[derive(Clone, Copy, Debug)]
+pub struct LlmRagSim {
+    /// Model tier.
+    pub tier: LlmTier,
+    /// Whether retrieval augmentation is enabled.
+    pub rag: bool,
+    /// Probability the top-ranked item is relevant.
+    pub head_accuracy: f64,
+    /// Tail ranking quality in `[0, 1]`: 1 = ground-truth ordering,
+    /// 0 = random ordering.
+    pub tail_quality: f64,
+}
+
+impl LlmRagSim {
+    /// Builds a simulator for a tier.
+    pub fn new(tier: LlmTier, rag: bool) -> Self {
+        let (mut head, mut tail) = tier.base_params();
+        if rag {
+            // RAG narrows the candidate set to retrieved neighbours; the
+            // paper reports large head gains and moderate tail gains.
+            head = (head + 0.35).min(1.0);
+            tail = (tail + 0.20).min(0.60);
+        }
+        if tier == LlmTier::Gpt4 && rag {
+            // "RAG+GPT-4 achieves perfect MRR score".
+            head = 1.0;
+        }
+        Self { tier, rag, head_accuracy: head, tail_quality: tail }
+    }
+
+    /// Label used in experiment tables.
+    pub fn label(&self) -> String {
+        if self.rag {
+            format!("RAG+{}", self.tier.name())
+        } else {
+            self.tier.name().to_string()
+        }
+    }
+
+    /// Produces a ranking (permutation of `0..relevant.len()`) over a
+    /// candidate list with known ground-truth relevance.
+    pub fn rank(&self, relevant: &[bool], rng: &mut StdRng) -> Vec<usize> {
+        let n = relevant.len();
+        // Relevant items get a `tail_quality` score boost over uniform noise;
+        // the overlap between the two score distributions shrinks with
+        // quality but never vanishes below 1.0, so tail ranking stays
+        // imperfect (the paper's RAG+GPT-4 signature).
+        let mut scored: Vec<(usize, f64)> = (0..n)
+            .map(|i| {
+                let truth = if relevant[i] { 1.0 } else { 0.0 };
+                let noise: f64 = rng.random();
+                (i, self.tail_quality * truth + noise)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let mut order: Vec<usize> = scored.into_iter().map(|(i, _)| i).collect();
+        // Head correction: with probability head_accuracy ensure a relevant
+        // item leads the ranking.
+        if rng.random::<f64>() < self.head_accuracy {
+            if let Some(pos) = order.iter().position(|&i| relevant[i]) {
+                if pos > 0 {
+                    let item = order.remove(pos);
+                    order.insert(0, item);
+                }
+            }
+        } else if let Some(pos) = order.iter().position(|&i| !relevant[i]) {
+            // Otherwise force an irrelevant head (the model "answers wrong").
+            if pos > 0 {
+                let item = order.remove(pos);
+                order.insert(0, item);
+            }
+        }
+        order
+    }
+
+    /// Runs the full clustering protocol over labeled items: each query
+    /// ranks the rest; returns `(map@k, mrr@k)`.
+    pub fn evaluate<L: PartialEq>(
+        &self,
+        labels: &[L],
+        query_indices: &[usize],
+        k: usize,
+        seed: u64,
+    ) -> (f64, f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut queries = Vec::with_capacity(query_indices.len());
+        for &q in query_indices {
+            let candidates: Vec<usize> =
+                (0..labels.len()).filter(|&i| i != q).collect();
+            let relevant: Vec<bool> =
+                candidates.iter().map(|&i| labels[i] == labels[q]).collect();
+            let order = self.rank(&relevant, &mut rng);
+            let ranked: Vec<bool> = order.iter().map(|&i| relevant[i]).collect();
+            let total = relevant.iter().filter(|&&r| r).count();
+            queries.push((ranked, total));
+        }
+        (tabbin_eval_map(&queries, k), tabbin_eval_mrr(&queries, k))
+    }
+}
+
+// Local copies of the MAP/MRR math to keep this crate free of a dev-only
+// circular dependency; tested for agreement with `tabbin-eval` below.
+fn tabbin_eval_map(queries: &[(Vec<bool>, usize)], k: usize) -> f64 {
+    if queries.is_empty() {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    for (ranked, total) in queries {
+        if *total == 0 {
+            continue;
+        }
+        let mut hits = 0usize;
+        let mut ap = 0.0;
+        for (i, &rel) in ranked.iter().take(k).enumerate() {
+            if rel {
+                hits += 1;
+                ap += hits as f64 / (i + 1) as f64;
+            }
+        }
+        sum += ap / (*total).min(k) as f64;
+    }
+    sum / queries.len() as f64
+}
+
+fn tabbin_eval_mrr(queries: &[(Vec<bool>, usize)], k: usize) -> f64 {
+    if queries.is_empty() {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    for (ranked, _) in queries {
+        for (i, &rel) in ranked.iter().take(k).enumerate() {
+            if rel {
+                sum += 1.0 / (i + 1) as f64;
+                break;
+            }
+        }
+    }
+    sum / queries.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(n_labels: usize, per: usize) -> Vec<usize> {
+        (0..n_labels * per).map(|i| i % n_labels).collect()
+    }
+
+    #[test]
+    fn gpt4_rag_has_perfect_head() {
+        let sim = LlmRagSim::new(LlmTier::Gpt4, true);
+        assert_eq!(sim.head_accuracy, 1.0);
+        let l = labels(5, 10);
+        let queries: Vec<usize> = (0..l.len()).collect();
+        let (_, mrr) = sim.evaluate(&l, &queries, 20, 7);
+        assert!(mrr > 0.999, "RAG+GPT-4 MRR must be ~1.0, got {mrr}");
+    }
+
+    #[test]
+    fn rag_improves_both_metrics() {
+        let l = labels(5, 10);
+        let queries: Vec<usize> = (0..l.len()).collect();
+        let base = LlmRagSim::new(LlmTier::Llama2, false);
+        let ragged = LlmRagSim::new(LlmTier::Llama2, true);
+        let (m0, r0) = base.evaluate(&l, &queries, 20, 11);
+        let (m1, r1) = ragged.evaluate(&l, &queries, 20, 11);
+        assert!(m1 > m0, "RAG should raise MAP: {m0} -> {m1}");
+        assert!(r1 > r0, "RAG should raise MRR: {r0} -> {r1}");
+    }
+
+    #[test]
+    fn tiers_are_ordered() {
+        let l = labels(5, 10);
+        let queries: Vec<usize> = (0..l.len()).collect();
+        let (gpt2, _) = LlmRagSim::new(LlmTier::Gpt2, false).evaluate(&l, &queries, 20, 13);
+        let (gpt4, _) = LlmRagSim::new(LlmTier::Gpt4, false).evaluate(&l, &queries, 20, 13);
+        assert!(gpt4 > gpt2, "GPT-4 should beat GPT-2: {gpt4} vs {gpt2}");
+    }
+
+    #[test]
+    fn gpt4_rag_map_stays_imperfect() {
+        // The paper's key observation: perfect MRR but imperfect MAP.
+        let sim = LlmRagSim::new(LlmTier::Gpt4, true);
+        let l = labels(5, 12);
+        let queries: Vec<usize> = (0..l.len()).collect();
+        let (map, mrr) = sim.evaluate(&l, &queries, 20, 17);
+        assert!(mrr > 0.999);
+        assert!(map < 0.98, "tail ranking must remain imperfect: {map}");
+    }
+
+    #[test]
+    fn metric_helpers_agree_with_eval_crate() {
+        use tabbin_eval::{map_at_k, mrr_at_k};
+        let queries = vec![
+            (vec![true, false, true, false], 2usize),
+            (vec![false, true, false, false], 1usize),
+        ];
+        assert!((tabbin_eval_map(&queries, 20) - map_at_k(&queries, 20)).abs() < 1e-12);
+        assert!((tabbin_eval_mrr(&queries, 20) - mrr_at_k(&queries, 20)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_is_a_permutation() {
+        let sim = LlmRagSim::new(LlmTier::Gpt35, true);
+        let mut rng = StdRng::seed_from_u64(3);
+        let rel = vec![true, false, true, false, false, true];
+        let mut order = sim.rank(&rel, &mut rng);
+        order.sort_unstable();
+        assert_eq!(order, vec![0, 1, 2, 3, 4, 5]);
+    }
+}

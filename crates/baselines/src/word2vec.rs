@@ -1,0 +1,284 @@
+//! Skip-gram Word2Vec with negative sampling (SGNS), trained on table
+//! tuples as in the paper (§4, "Word2vec").
+//!
+//! Gradients are hand-derived (the classic formulation), so training is fast
+//! enough to sweep embedding dimensionalities for the Table 3 reproduction.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Word2Vec hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Word2VecConfig {
+    /// Embedding dimensionality (the paper settles on 300 at full scale).
+    pub dim: usize,
+    /// Context window on each side (paper: 3).
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negative: usize,
+    /// Passes over the corpus.
+    pub epochs: usize,
+    /// Initial learning rate (linearly decayed).
+    pub lr: f32,
+    /// Minimum word count for vocabulary inclusion (paper: 1).
+    pub min_count: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Word2VecConfig {
+    fn default() -> Self {
+        Self { dim: 32, window: 3, negative: 5, epochs: 10, lr: 0.05, min_count: 1, seed: 13 }
+    }
+}
+
+/// A trained SGNS model.
+#[derive(Clone, Debug)]
+pub struct Word2Vec {
+    vocab: HashMap<String, usize>,
+    input_vecs: Vec<Vec<f32>>,
+    dim: usize,
+}
+
+impl Word2Vec {
+    /// Trains on tokenized sentences; returns the model and the wall-clock
+    /// training time (reported by the Table 3 sweep).
+    pub fn train(sentences: &[Vec<String>], cfg: &Word2VecConfig) -> (Self, Duration) {
+        let start = Instant::now();
+        // Vocabulary.
+        let mut counts: HashMap<&str, u64> = HashMap::new();
+        for s in sentences {
+            for w in s {
+                *counts.entry(w.as_str()).or_insert(0) += 1;
+            }
+        }
+        let mut vocab_words: Vec<(&str, u64)> =
+            counts.into_iter().filter(|(_, n)| *n >= cfg.min_count).collect();
+        vocab_words.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        let vocab: HashMap<String, usize> =
+            vocab_words.iter().enumerate().map(|(i, (w, _))| (w.to_string(), i)).collect();
+        let v = vocab.len();
+        if v == 0 {
+            return (Self { vocab, input_vecs: Vec::new(), dim: cfg.dim }, start.elapsed());
+        }
+
+        // Unigram^0.75 negative-sampling table.
+        let mut neg_table = Vec::with_capacity(v * 8);
+        for (i, (_, n)) in vocab_words.iter().enumerate() {
+            let reps = ((*n as f64).powf(0.75).ceil() as usize).max(1);
+            for _ in 0..reps.min(64) {
+                neg_table.push(i);
+            }
+        }
+
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut input: Vec<Vec<f32>> = (0..v)
+            .map(|_| (0..cfg.dim).map(|_| rng.random_range(-0.5f32..0.5) / cfg.dim as f32).collect())
+            .collect();
+        let mut output: Vec<Vec<f32>> = vec![vec![0.0; cfg.dim]; v];
+
+        // Pre-encode sentences.
+        let encoded: Vec<Vec<usize>> = sentences
+            .iter()
+            .map(|s| s.iter().filter_map(|w| vocab.get(w).copied()).collect())
+            .collect();
+        let total_steps = (cfg.epochs * encoded.iter().map(Vec::len).sum::<usize>()).max(1);
+        let mut step = 0usize;
+        for _ in 0..cfg.epochs {
+            for sent in &encoded {
+                for (i, &center) in sent.iter().enumerate() {
+                    step += 1;
+                    let lr = cfg.lr * (1.0 - step as f32 / total_steps as f32).max(0.05);
+                    let lo = i.saturating_sub(cfg.window);
+                    let hi = (i + cfg.window + 1).min(sent.len());
+                    for (j, &ctx) in sent.iter().enumerate().take(hi).skip(lo) {
+                        if i == j {
+                            continue;
+                        }
+                        sgns_update(
+                            &mut input,
+                            &mut output,
+                            center,
+                            ctx,
+                            &neg_table,
+                            cfg.negative,
+                            lr,
+                            &mut rng,
+                        );
+                    }
+                }
+            }
+        }
+        (Self { vocab, input_vecs: input, dim: cfg.dim }, start.elapsed())
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// The vector of a word, if known.
+    pub fn embed_word(&self, word: &str) -> Option<&[f32]> {
+        self.vocab.get(word).map(|&i| self.input_vecs[i].as_slice())
+    }
+
+    /// Mean vector of the known words in a text (zero vector if none known).
+    pub fn embed_text(&self, text: &str) -> Vec<f32> {
+        let mut acc = vec![0.0f32; self.dim];
+        let mut n = 0usize;
+        for w in tokenize(text) {
+            if let Some(v) = self.embed_word(&w) {
+                for (a, x) in acc.iter_mut().zip(v) {
+                    *a += x;
+                }
+                n += 1;
+            }
+        }
+        if n > 0 {
+            let inv = 1.0 / n as f32;
+            for a in &mut acc {
+                *a *= inv;
+            }
+        }
+        acc
+    }
+}
+
+/// Whitespace/punctuation word splitting matched to the training input.
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric() && c != '.')
+        .filter(|w| !w.is_empty())
+        .map(|w| w.to_lowercase())
+        .collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sgns_update(
+    input: &mut [Vec<f32>],
+    output: &mut [Vec<f32>],
+    center: usize,
+    ctx: usize,
+    neg_table: &[usize],
+    negative: usize,
+    lr: f32,
+    rng: &mut StdRng,
+) {
+    let dim = input[center].len();
+    let mut grad_center = vec![0.0f32; dim];
+    // Positive + negative samples: (target word, label).
+    for k in 0..=negative {
+        let (target, label) = if k == 0 {
+            (ctx, 1.0f32)
+        } else {
+            (neg_table[rng.random_range(0..neg_table.len())], 0.0)
+        };
+        if k > 0 && target == ctx {
+            continue;
+        }
+        let dot: f32 =
+            input[center].iter().zip(&output[target]).map(|(a, b)| a * b).sum();
+        let pred = 1.0 / (1.0 + (-dot).exp());
+        let g = (pred - label) * lr;
+        for d in 0..dim {
+            grad_center[d] += g * output[target][d];
+            output[target][d] -= g * input[center][d];
+        }
+    }
+    for d in 0..dim {
+        input[center][d] -= grad_center[d];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A corpus where "cat"/"dog" share contexts and "bond"/"stock" share
+    /// different contexts.
+    fn corpus() -> Vec<Vec<String>> {
+        let mut out = Vec::new();
+        for _ in 0..80 {
+            out.push(tokenize("the cat sat on the mat near the house"));
+            out.push(tokenize("the dog sat on the rug near the house"));
+            out.push(tokenize("the bond yield rose in the market today"));
+            out.push(tokenize("the stock price rose in the market today"));
+        }
+        out
+    }
+
+    fn cos(a: &[f32], b: &[f32]) -> f32 {
+        let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+        dot / (na * nb)
+    }
+
+    #[test]
+    fn similar_contexts_give_similar_vectors() {
+        let (model, _) = Word2Vec::train(&corpus(), &Word2VecConfig::default());
+        let cat = model.embed_word("cat").unwrap();
+        let dog = model.embed_word("dog").unwrap();
+        let bond = model.embed_word("bond").unwrap();
+        let cat_dog = cos(cat, dog);
+        let cat_bond = cos(cat, bond);
+        assert!(
+            cat_dog > cat_bond,
+            "cat/dog {cat_dog} should exceed cat/bond {cat_bond}"
+        );
+    }
+
+    #[test]
+    fn embed_text_averages_known_words() {
+        let (model, _) = Word2Vec::train(&corpus(), &Word2VecConfig::default());
+        let t = model.embed_text("cat dog");
+        let c = model.embed_word("cat").unwrap();
+        let d = model.embed_word("dog").unwrap();
+        for i in 0..t.len() {
+            assert!((t[i] - 0.5 * (c[i] + d[i])).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn unknown_text_is_zero() {
+        let (model, _) = Word2Vec::train(&corpus(), &Word2VecConfig::default());
+        assert!(model.embed_text("zzz qqq").iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn training_time_grows_with_dim() {
+        let small = Word2VecConfig { dim: 8, epochs: 5, ..Default::default() };
+        let big = Word2VecConfig { dim: 128, epochs: 5, ..Default::default() };
+        let c = corpus();
+        let (_, t_small) = Word2Vec::train(&c, &small);
+        let (_, t_big) = Word2Vec::train(&c, &big);
+        // Wall-clock comparisons are noisy; require only a loose ordering.
+        assert!(
+            t_big.as_secs_f64() > t_small.as_secs_f64() * 0.8,
+            "expected larger dim to take comparable or more time: {t_small:?} vs {t_big:?}"
+        );
+    }
+
+    #[test]
+    fn min_count_prunes_rare_words() {
+        let cfg = Word2VecConfig { min_count: 5, ..Default::default() };
+        let mut c = corpus();
+        c.push(tokenize("rareword appears once"));
+        let (model, _) = Word2Vec::train(&c, &cfg);
+        assert!(model.embed_word("rareword").is_none());
+        assert!(model.embed_word("cat").is_some());
+    }
+
+    #[test]
+    fn empty_corpus_is_safe() {
+        let (model, _) = Word2Vec::train(&[], &Word2VecConfig::default());
+        assert_eq!(model.vocab_size(), 0);
+        assert!(model.embed_text("anything").iter().all(|&v| v == 0.0));
+    }
+}

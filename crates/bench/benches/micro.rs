@@ -1,0 +1,94 @@
+//! Criterion micro-benchmarks for the TabBiN substrate: the costs that
+//! dominate pre-training and inference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tabbin_core::config::{ModelConfig, SegmentKind};
+use tabbin_core::encoding::encode_segment;
+use tabbin_core::model::TabBiNModel;
+use tabbin_core::variants::train_tokenizer;
+use tabbin_corpus::{generate, Dataset, GenOptions};
+use tabbin_eval::LshIndex;
+use tabbin_table::coords::assign_coordinates;
+use tabbin_table::visibility::{visibility_matrix, SeqItem};
+use tabbin_tensor::Tensor;
+use tabbin_typeinfer::TypeTagger;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tensor_matmul");
+    for n in [32usize, 64, 128] {
+        let a = Tensor::randn(&[n, n], 1.0, 1);
+        let b = Tensor::randn(&[n, n], 1.0, 2);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| black_box(a.matmul(&b)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_visibility(c: &mut Criterion) {
+    let mut g = c.benchmark_group("visibility_matrix");
+    for n in [32usize, 96, 192] {
+        let items: Vec<SeqItem> =
+            (0..n).map(|i| SeqItem::cell((i / 8) as u32, (i % 8) as u32)).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| black_box(visibility_matrix(&items)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_encoding_and_forward(c: &mut Criterion) {
+    let corpus = generate(Dataset::CancerKg, &GenOptions { n_tables: Some(10), seed: 1 });
+    let tables = corpus.plain_tables();
+    let tok = train_tokenizer(&tables);
+    let tagger = TypeTagger::new();
+    let cfg = ModelConfig::default();
+    let model = TabBiNModel::new(cfg, tok.vocab_size(), 1);
+    let seq = encode_segment(&tables[0], SegmentKind::DataRow, &tok, &tagger, &cfg);
+
+    c.bench_function("encode_segment_data_row", |b| {
+        b.iter(|| {
+            black_box(encode_segment(&tables[0], SegmentKind::DataRow, &tok, &tagger, &cfg))
+        });
+    });
+    c.bench_function("tabbin_forward_embed", |b| {
+        b.iter(|| black_box(model.embed(&seq)));
+    });
+}
+
+fn bench_coordinates(c: &mut Criterion) {
+    let corpus = generate(Dataset::CancerKg, &GenOptions { n_tables: Some(30), seed: 2 });
+    let bin_table = corpus
+        .tables
+        .iter()
+        .find(|t| t.table.has_vmd())
+        .map(|t| t.table.clone())
+        .expect("a BiN table");
+    c.bench_function("assign_coordinates_bin_table", |b| {
+        b.iter(|| black_box(assign_coordinates(&bin_table)));
+    });
+}
+
+fn bench_lsh(c: &mut Criterion) {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(3);
+    let items: Vec<Vec<f32>> = (0..512)
+        .map(|_| (0..64).map(|_| rng.random_range(-1.0f32..1.0)).collect())
+        .collect();
+    c.bench_function("lsh_build_512x64", |b| {
+        b.iter(|| black_box(LshIndex::build(&items, 8, 4, 7)));
+    });
+    let index = LshIndex::build(&items, 8, 4, 7);
+    c.bench_function("lsh_candidates", |b| {
+        b.iter(|| black_box(index.candidates(0)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_matmul, bench_visibility, bench_encoding_and_forward, bench_coordinates, bench_lsh
+}
+criterion_main!(benches);

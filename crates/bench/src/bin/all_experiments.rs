@@ -1,0 +1,25 @@
+//! Runs every experiment in sequence, printing each paper table/figure.
+//! Scale with TABBIN_TABLES / TABBIN_STEPS environment variables.
+fn main() {
+    use tabbin_bench::experiments as e;
+    let cfg = tabbin_bench::ExpConfig::from_env();
+    let t0 = std::time::Instant::now();
+    println!("{}", e::figures::figure1(&cfg));
+    println!("{}", e::figures::figure2(&cfg));
+    println!("{}", e::figures::figure3(&cfg));
+    println!("{}", e::figures::figure4(&cfg));
+    println!("{}", e::figures::figure5(&cfg));
+    println!("{}", e::table03::run(&cfg));
+    println!("{}", e::table04::run(&cfg));
+    println!("{}", e::table05::run(&cfg));
+    println!("{}", e::table06::run(&cfg));
+    println!("{}", e::table07::run(&cfg));
+    println!("{}", e::table08::run(&cfg));
+    println!("{}", e::table09::run(&cfg));
+    println!("{}", e::table10::run(&cfg));
+    println!("{}", e::table11::run(&cfg));
+    println!("{}", e::table12::run(&cfg));
+    println!("{}", e::table13::run(&cfg));
+    println!("{}", e::table14::run(&cfg));
+    println!("total wall time: {:.1}s", t0.elapsed().as_secs_f64());
+}

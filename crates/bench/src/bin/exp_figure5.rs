@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure5 (see DESIGN.md for the experiment index).
+fn main() {
+    let cfg = tabbin_bench::ExpConfig::from_env();
+    println!("{}", tabbin_bench::experiments::figures::figure5(&cfg));
+}

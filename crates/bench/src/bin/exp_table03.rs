@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table 03 (see DESIGN.md for the experiment index).
+fn main() {
+    let cfg = tabbin_bench::ExpConfig::from_env();
+    println!("{}", tabbin_bench::experiments::table03::run(&cfg));
+}

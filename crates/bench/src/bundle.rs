@@ -1,0 +1,136 @@
+//! A trained model bundle for one dataset: TabBiN family plus all baselines,
+//! sharing the corpus-trained tokenizer as the paper's models share the
+//! BioBERT vocabulary.
+
+use tabbin_baselines::bert::{BertConfig, BertPretrainOptions, BertSim};
+use tabbin_baselines::tuta::TutaSim;
+use tabbin_baselines::word2vec::{Word2Vec, Word2VecConfig};
+use tabbin_core::config::ModelConfig;
+use tabbin_core::pretrain::PretrainOptions;
+use tabbin_core::variants::TabBiNFamily;
+use tabbin_corpus::{generate, Corpus, Dataset, GenOptions};
+use tabbin_table::Table;
+
+/// Experiment-scale knobs, overridable from the environment:
+/// `TABBIN_TABLES` (tables per corpus), `TABBIN_STEPS` (pre-train steps per
+/// model), `TABBIN_SEED`.
+#[derive(Clone, Copy, Debug)]
+pub struct ExpConfig {
+    /// Tables per generated corpus.
+    pub n_tables: usize,
+    /// Pre-training steps per model.
+    pub steps: usize,
+    /// Base seed.
+    pub seed: u64,
+    /// Retrieval cutoff (the paper uses 20).
+    pub k: usize,
+    /// Maximum queries sampled per evaluation.
+    pub max_queries: usize,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        Self { n_tables: 60, steps: 60, seed: 42, k: 20, max_queries: 40 }
+    }
+}
+
+impl ExpConfig {
+    /// Reads overrides from the environment.
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if let Ok(v) = std::env::var("TABBIN_TABLES") {
+            if let Ok(n) = v.parse() {
+                cfg.n_tables = n;
+            }
+        }
+        if let Ok(v) = std::env::var("TABBIN_STEPS") {
+            if let Ok(n) = v.parse() {
+                cfg.steps = n;
+            }
+        }
+        if let Ok(v) = std::env::var("TABBIN_SEED") {
+            if let Ok(n) = v.parse() {
+                cfg.seed = n;
+            }
+        }
+        cfg
+    }
+
+    /// A fast configuration for tests.
+    pub fn quick() -> Self {
+        Self { n_tables: 24, steps: 8, seed: 7, k: 20, max_queries: 12 }
+    }
+}
+
+/// Everything trained for one dataset.
+pub struct Bundle {
+    /// The generated corpus with ground truth.
+    pub corpus: Corpus,
+    /// Plain tables (cached clone of the corpus tables).
+    pub tables: Vec<Table>,
+    /// The TabBiN four-model family.
+    pub family: TabBiNFamily,
+    /// TUTA-style baseline.
+    pub tuta: TutaSim,
+    /// BioBERT-style flat baseline.
+    pub bert: BertSim,
+    /// Word2Vec baseline.
+    pub w2v: Word2Vec,
+}
+
+impl Bundle {
+    /// Generates the corpus and trains every model.
+    pub fn train(ds: Dataset, cfg: &ExpConfig) -> Self {
+        Self::train_with_model(ds, cfg, ModelConfig::default())
+    }
+
+    /// As [`Bundle::train`] with an explicit TabBiN geometry (used by the
+    /// ablation experiments).
+    pub fn train_with_model(ds: Dataset, cfg: &ExpConfig, model_cfg: ModelConfig) -> Self {
+        let corpus = generate(ds, &GenOptions { n_tables: Some(cfg.n_tables), seed: cfg.seed });
+        let tables = corpus.plain_tables();
+
+        let mut family = TabBiNFamily::new(&tables, model_cfg, cfg.seed);
+        let opts = PretrainOptions { steps: cfg.steps, seed: cfg.seed, ..Default::default() };
+        family.pretrain(&tables, &opts);
+
+        let vocab = family.tokenizer.vocab_size();
+        let mut tuta = TutaSim::new(model_cfg, vocab, cfg.seed ^ 0xaaaa);
+        tuta.pretrain(&tables, &family.tokenizer, &opts);
+
+        let bert_cfg = BertConfig {
+            hidden: model_cfg.hidden,
+            layers: model_cfg.layers,
+            heads: model_cfg.heads,
+            ff: model_cfg.ff,
+            max_seq: model_cfg.max_seq,
+        };
+        let mut bert = BertSim::new(bert_cfg, vocab, cfg.seed ^ 0xbbbb);
+        let seqs: Vec<Vec<u32>> = tables
+            .iter()
+            .map(|t| BertSim::linearize(t, &family.tokenizer, model_cfg.max_seq))
+            .collect();
+        bert.pretrain(
+            &seqs,
+            &BertPretrainOptions { steps: cfg.steps, seed: cfg.seed ^ 0xcccc, ..Default::default() },
+        );
+
+        let sentences: Vec<Vec<String>> = tables
+            .iter()
+            .flat_map(|t| {
+                (0..t.n_rows()).map(move |i| {
+                    t.row_text(i)
+                        .iter()
+                        .flat_map(|c| tabbin_baselines::word2vec::tokenize(c))
+                        .collect()
+                })
+            })
+            .collect();
+        let (w2v, _) = Word2Vec::train(
+            &sentences,
+            &Word2VecConfig { dim: 32, epochs: 6, seed: cfg.seed ^ 0xdddd, ..Default::default() },
+        );
+
+        Self { corpus, tables, family, tuta, bert, w2v }
+    }
+}

@@ -1,0 +1,188 @@
+//! Figures 1–5: structural illustrations regenerated as text.
+
+use crate::bundle::ExpConfig;
+use crate::harness::format_table;
+use tabbin_core::config::{ModelConfig, SegmentKind};
+use tabbin_core::encoding::encode_segment;
+use tabbin_core::model::TabBiNModel;
+use tabbin_core::variants::{train_tokenizer, TabBiNFamily};
+use tabbin_table::coords::assign_coordinates;
+use tabbin_table::samples::{figure1_table, table1_sample};
+use tabbin_tokenizer::SpecialToken;
+use tabbin_typeinfer::TypeTagger;
+
+/// Figure 1: bi-dimensional coordinates of the colorectal-cancer table.
+pub fn figure1(_cfg: &ExpConfig) -> String {
+    let t = figure1_table();
+    let coords = assign_coordinates(&t);
+    let mut rows = Vec::new();
+    let hmd_paths = t.hmd.leaf_label_paths();
+    let vmd_paths = t.vmd.leaf_label_paths();
+    for a in &coords.data {
+        let cell = t.data.get(a.row, a.col);
+        rows.push(vec![
+            vmd_paths[a.row].join(" -> "),
+            hmd_paths[a.col].join(" -> "),
+            cell.render(),
+            a.coord.render(),
+        ]);
+    }
+    // Nested-table coordinates for the cell hosting a nested table.
+    let mut out = format_table(
+        &format!("Figure 1 — Bi-dimensional coordinates for: {}", t.caption),
+        &["vertical path", "horizontal path", "cell", "coordinate"],
+        &rows,
+    );
+    for (host, inner) in tabbin_table::coords::nested_tables_with_coords(&t, &coords) {
+        let nested = tabbin_table::coords::nested_coordinates(&host, inner);
+        let nrows: Vec<Vec<String>> = nested
+            .iter()
+            .map(|a| {
+                vec![
+                    inner.data.get(a.row, a.col).render(),
+                    format!("({};{}) nested ({}, {})", a.coord.vertical.render(),
+                        a.coord.horizontal.render(), a.coord.nested.0, a.coord.nested.1),
+                ]
+            })
+            .collect();
+        out.push('\n');
+        out.push_str(&format_table(
+            &format!("Nested table at host {}:", host.render()),
+            &["nested cell", "coordinate"],
+            &nrows,
+        ));
+    }
+    out
+}
+
+/// Figure 2: architecture summary with per-component parameter counts.
+pub fn figure2(_cfg: &ExpConfig) -> String {
+    let tables = vec![figure1_table(), table1_sample()];
+    let tok = train_tokenizer(&tables);
+    let cfg = ModelConfig::default();
+    let model = TabBiNModel::new(cfg, tok.vocab_size(), 1);
+    let mut per_prefix: std::collections::BTreeMap<String, usize> =
+        std::collections::BTreeMap::new();
+    for (id, name) in model.store.iter_ids() {
+        let prefix = name.split('.').take(2).collect::<Vec<_>>().join(".");
+        *per_prefix.entry(prefix).or_insert(0) += model.store.value(id).len();
+    }
+    let rows: Vec<Vec<String>> =
+        per_prefix.into_iter().map(|(k, v)| vec![k, v.to_string()]).collect();
+    let mut out = format_table(
+        &format!(
+            "Figure 2 — TabBiN architecture (H={}, layers={}, heads={}, total {} parameters)",
+            cfg.hidden,
+            cfg.layers,
+            cfg.heads,
+            model.parameter_count()
+        ),
+        &["component", "parameters"],
+        &rows,
+    );
+    out.push_str(
+        "\nEmbedding layer (read bottom-to-top as in the paper): E_tok + E_num + E_cpos \
+         + E_tpos + E_type + E_fmt -> LayerNorm -> N x [visibility-masked MHA -> FFN] \
+         -> MLM / CLC heads\n",
+    );
+    out
+}
+
+/// Figure 3: the encoded representation of Table 1 in the embedding layer.
+pub fn figure3(_cfg: &ExpConfig) -> String {
+    let t = table1_sample();
+    let tables = vec![t.clone()];
+    let tok = train_tokenizer(&tables);
+    let tagger = TypeTagger::new();
+    let cfg = ModelConfig::default();
+    let seq = encode_segment(&t, SegmentKind::DataRow, &tok, &tagger, &cfg);
+    let mut rows = Vec::new();
+    for et in seq.tokens.iter().take(40) {
+        let token_text = if et.vocab_id == SpecialToken::Val.id() {
+            "[VAL]".to_string()
+        } else {
+            tok.vocab().token_of(et.vocab_id).unwrap_or("?").to_string()
+        };
+        let number = match et.value {
+            Some(v) => {
+                let f = tabbin_table::NumericFeatures::of(v);
+                format!("({},{},{},{})", f.magnitude, f.precision, f.first_digit, f.last_digit)
+            }
+            None => "-".to_string(),
+        };
+        let bits: String =
+            et.feat_bits.iter().map(|&b| if b { '1' } else { '0' }).collect();
+        rows.push(vec![
+            token_text,
+            et.cell_pos.to_string(),
+            format!("{:?}", et.tpos),
+            number,
+            tabbin_typeinfer::SemType::ALL[et.sem_type].name().to_string(),
+            bits,
+        ]);
+    }
+    format_table(
+        "Figure 3 — Encoded representation of Table 1 (first 40 tokens)",
+        &["Token", "In Pos", "Out Pos (vr,vc,hr,hc,nr,nc)", "Number (m,p,f,l)", "Type", "Unit+Nesting"],
+        &rows,
+    )
+}
+
+/// Figure 4: composite-embedding structure for numeric attributes and ranges.
+pub fn figure4(_cfg: &ExpConfig) -> String {
+    let tables = vec![table1_sample()];
+    let fam = TabBiNFamily::new(&tables, ModelConfig::tiny(), 3);
+    let h = fam.cfg.hidden;
+    let ce_num = tabbin_core::composite::ce_numeric(&fam, "OS", 20.3, Some(tabbin_table::Unit::Time));
+    let ce_rng =
+        tabbin_core::composite::ce_range(&fam, "Age", 20.0, 30.0, Some(tabbin_table::Unit::Time));
+    let rows = vec![
+        vec![
+            "(a) numeric: OS = 20.3 months".to_string(),
+            format!("E(attr) ⊕ E(value) ⊕ E(unit) = {h} + {h} + {h}"),
+            ce_num.len().to_string(),
+        ],
+        vec![
+            "(b) range: Age = 20-30 year".to_string(),
+            format!("E(attr) ⊕ E(unit) ⊕ E(start) ⊕ E(end) = {h} + {h} + {h} + {h}"),
+            ce_rng.len().to_string(),
+        ],
+    ];
+    format_table(
+        "Figure 4 — Composite Embedding structure for numeric attributes and ranges",
+        &["value", "structure", "total dim"],
+        &rows,
+    )
+}
+
+/// Figure 5: composite-embedding structure for TC and CC.
+pub fn figure5(_cfg: &ExpConfig) -> String {
+    let tables = vec![figure1_table(), table1_sample()];
+    let fam = TabBiNFamily::new(&tables, ModelConfig::tiny(), 3);
+    let h = fam.cfg.hidden;
+    let col = fam.embed_colcomp(&tables[1], 0);
+    let tbl1 = fam.embed_tblcomp1(&tables[0]);
+    let tbl2 = fam.embed_table(&tables[0]);
+    let rows = vec![
+        vec![
+            "(b) CC: colcomp".to_string(),
+            format!("E_cj (HMD model) ⊕ mean E_d (column model) = {h} + {h}"),
+            col.len().to_string(),
+        ],
+        vec![
+            "(a) TC: tblcomp1".to_string(),
+            format!("mean E_d (row) ⊕ mean E_c (HMD) ⊕ mean E_r (VMD) = 3 x {h}"),
+            tbl1.len().to_string(),
+        ],
+        vec![
+            "(a) TC: tblcomp2".to_string(),
+            format!("tblcomp1 ⊕ E(caption) = 3 x {h} + {h}"),
+            tbl2.len().to_string(),
+        ],
+    ];
+    format_table(
+        "Figure 5 — Composite Embeddings for Table Clustering and Column Clustering",
+        &["composite", "structure", "total dim"],
+        &rows,
+    )
+}

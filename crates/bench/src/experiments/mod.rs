@@ -1,0 +1,87 @@
+//! One module per paper table/figure. Every module exposes
+//! `run(&ExpConfig) -> String` returning the formatted result block.
+
+pub mod figures;
+pub mod table03;
+pub mod table04;
+pub mod table05;
+pub mod table06;
+pub mod table07;
+pub mod table08;
+pub mod table09;
+pub mod table10;
+pub mod table11;
+pub mod table12;
+pub mod table13;
+pub mod table14;
+
+use crate::bundle::Bundle;
+use crate::harness::{eval_cc, eval_tc};
+use tabbin_eval::clustering::RetrievalEval;
+
+/// The standard model lineup evaluated on column clustering.
+pub fn cc_lineup(bundle: &Bundle, numeric: bool, k: usize, max_q: usize) -> Vec<(String, RetrievalEval)> {
+    let tok = &bundle.family.tokenizer;
+    vec![
+        (
+            "TabBiN".to_string(),
+            eval_cc(&bundle.corpus, numeric, k, max_q, |t, j| bundle.family.embed_colcomp(t, j)),
+        ),
+        (
+            "TUTA".to_string(),
+            eval_cc(&bundle.corpus, numeric, k, max_q, |t, j| bundle.tuta.embed_column(t, j, tok)),
+        ),
+        (
+            "BioBERT".to_string(),
+            eval_cc(&bundle.corpus, numeric, k, max_q, |t, j| bundle.bert.embed_column(tok, t, j)),
+        ),
+        (
+            "Word2Vec".to_string(),
+            eval_cc(&bundle.corpus, numeric, k, max_q, |t, j| {
+                let mut text = t.hmd.leaf_labels().get(j).map(|s| s.to_string()).unwrap_or_default();
+                for c in t.column_text(j) {
+                    text.push(' ');
+                    text.push_str(&c);
+                }
+                bundle.w2v.embed_text(&text)
+            }),
+        ),
+    ]
+}
+
+/// The standard model lineup evaluated on table clustering over a subset.
+pub fn tc_lineup(
+    bundle: &Bundle,
+    k: usize,
+    subset: impl Fn(&tabbin_corpus::LabeledTable) -> bool + Copy,
+) -> Vec<(String, RetrievalEval)> {
+    let tok = &bundle.family.tokenizer;
+    vec![
+        (
+            "TabBiN".to_string(),
+            eval_tc(&bundle.corpus, k, subset, |t| bundle.family.embed_table(t)),
+        ),
+        ("TUTA".to_string(), eval_tc(&bundle.corpus, k, subset, |t| bundle.tuta.embed_table(t, tok))),
+        (
+            "BioBERT".to_string(),
+            eval_tc(&bundle.corpus, k, subset, |t| bundle.bert.embed_table(tok, t)),
+        ),
+        (
+            "Word2Vec".to_string(),
+            eval_tc(&bundle.corpus, k, subset, |t| {
+                let mut text = t.caption.clone();
+                for (l, _) in t.hmd.all_labels() {
+                    text.push(' ');
+                    text.push_str(l);
+                }
+                for i in 0..t.n_rows() {
+                    for c in t.row_text(i) {
+                        text.push(' ');
+                        text.push_str(&c);
+                    }
+                }
+                bundle.w2v.embed_text(&text)
+            }),
+        ),
+    ]
+}

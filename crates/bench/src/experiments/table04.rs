@@ -1,0 +1,29 @@
+//! Table 4: MAP/MRR for Column Clustering — textual and numerical columns,
+//! all five datasets, TabBiN vs TUTA vs BioBERT vs Word2Vec.
+
+use crate::bundle::{Bundle, ExpConfig};
+use crate::experiments::cc_lineup;
+use crate::harness::format_table;
+use tabbin_corpus::Dataset;
+
+/// Runs the CC comparison.
+pub fn run(cfg: &ExpConfig) -> String {
+    let mut rows = Vec::new();
+    for ds in Dataset::ALL {
+        let bundle = Bundle::train(ds, cfg);
+        for (content, numeric) in [("textual", false), ("numerical", true)] {
+            let lineup = cc_lineup(&bundle, numeric, cfg.k, cfg.max_queries);
+            if lineup[0].1.queries == 0 {
+                continue;
+            }
+            let mut row = vec![ds.name().to_string(), content.to_string()];
+            row.extend(lineup.iter().map(|(_, e)| e.render()));
+            rows.push(row);
+        }
+    }
+    format_table(
+        "Table 4 — MAP/MRR for Column Clustering (textual and numerical)",
+        &["dataset", "content", "TabBiN", "TUTA", "BioBERT", "Word2Vec"],
+        &rows,
+    )
+}

@@ -1,0 +1,76 @@
+//! Table 7: entity catalogs — per-dataset catalog sizes with an average
+//! precision estimate.
+//!
+//! The paper samples 40 entities per catalog and has two annotators label
+//! them; here the generator's labels are the annotators, and the measured AP
+//! is the agreement of the rule-based type tagger with the ground truth —
+//! i.e. the quality of a catalog extracted without ground-truth access.
+
+use crate::bundle::ExpConfig;
+use crate::harness::format_table;
+use tabbin_corpus::{generate, Dataset, EType, GenOptions};
+use tabbin_typeinfer::{SemType, TypeTagger};
+
+/// Whether a tagger output is compatible with a catalog type.
+fn compatible(ety: EType, sem: SemType) -> bool {
+    matches!(
+        (ety, sem),
+        (EType::Drug, SemType::Drug)
+            | (EType::Disease, SemType::Disease)
+            | (EType::Vaccine, SemType::Vaccine)
+            | (EType::Symptom, SemType::Disease)
+            | (EType::Symptom, SemType::Text)
+            | (EType::Treatment, SemType::Treatment)
+            | (EType::Treatment, SemType::Therapy)
+            | (EType::State, SemType::Place)
+            | (EType::City, SemType::Place)
+            | (EType::University, SemType::Organization)
+            | (EType::Hospital, SemType::Organization)
+            | (EType::Variant, SemType::Disease)
+            | (EType::Variant, SemType::Text)
+            | (EType::Occupation, SemType::PersonName)
+            | (EType::Occupation, SemType::Text)
+            | (
+                EType::SoccerClub
+                    | EType::Magazine
+                    | EType::BaseballPlayer
+                    | EType::MusicGenre
+                    | EType::Crime
+                    | EType::Crop
+                    | EType::Industry,
+                SemType::Text | SemType::Organization | SemType::PersonName
+            )
+    )
+}
+
+/// Runs the catalog report.
+pub fn run(cfg: &ExpConfig) -> String {
+    let tagger = TypeTagger::new();
+    let mut rows = Vec::new();
+    for ds in Dataset::ALL {
+        let corpus = generate(ds, &GenOptions { n_tables: Some(cfg.n_tables), seed: cfg.seed });
+        for ety in EType::ALL {
+            let ents = corpus.entities_of(ety);
+            if ents.is_empty() {
+                continue;
+            }
+            let sample: Vec<_> = ents.iter().take(40).collect();
+            let hits = sample
+                .iter()
+                .filter(|e| compatible(ety, tagger.tag(&e.text)))
+                .count();
+            let ap = hits as f64 / sample.len() as f64;
+            rows.push(vec![
+                ds.name().to_string(),
+                ety.name().to_string(),
+                ents.len().to_string(),
+                format!("{ap:.2}"),
+            ]);
+        }
+    }
+    format_table(
+        "Table 7 — Entity catalogs (size and extraction AP against ground truth)",
+        &["dataset", "catalog", "entities", "AP"],
+        &rows,
+    )
+}

@@ -1,0 +1,40 @@
+//! Table 10: CC performance without and with composite embeddings —
+//! TabBiN-column only, TabBiN-HMD only, and the colcomp composite (§4.5).
+
+use crate::bundle::{Bundle, ExpConfig};
+use crate::harness::{eval_cc, format_table};
+use tabbin_corpus::Dataset;
+
+/// Runs the composite-embedding CC analysis.
+pub fn run(cfg: &ExpConfig) -> String {
+    let mut rows = Vec::new();
+    for ds in Dataset::ALL {
+        let bundle = Bundle::train(ds, cfg);
+        for (content, numeric) in [("textual", false), ("numerical", true)] {
+            let data_only = eval_cc(&bundle.corpus, numeric, cfg.k, cfg.max_queries, |t, j| {
+                bundle.family.embed_column_data(t, j)
+            });
+            if data_only.queries == 0 {
+                continue;
+            }
+            let attr_only = eval_cc(&bundle.corpus, numeric, cfg.k, cfg.max_queries, |t, j| {
+                bundle.family.embed_attribute(t, j)
+            });
+            let colcomp = eval_cc(&bundle.corpus, numeric, cfg.k, cfg.max_queries, |t, j| {
+                bundle.family.embed_colcomp(t, j)
+            });
+            rows.push(vec![
+                ds.name().to_string(),
+                content.to_string(),
+                data_only.render(),
+                attr_only.render(),
+                colcomp.render(),
+            ]);
+        }
+    }
+    format_table(
+        "Table 10 — CC without vs with composite embeddings",
+        &["dataset", "content", "TabBiN-col", "TabBiN-HMD", "TabBiN-colcomp"],
+        &rows,
+    )
+}

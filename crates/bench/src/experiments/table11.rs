@@ -1,0 +1,44 @@
+//! Table 11: TC performance without and with composite embeddings —
+//! row model only, tblcomp1, tblcomp2 (§4.5), across structural subsets.
+
+use crate::bundle::{Bundle, ExpConfig};
+use crate::harness::{eval_tc, format_table};
+use tabbin_corpus::{Dataset, LabeledTable};
+use tabbin_table::TableKind;
+
+/// Runs the composite-embedding TC analysis.
+pub fn run(cfg: &ExpConfig) -> String {
+    let mut rows = Vec::new();
+    type Subset = (&'static str, fn(&LabeledTable) -> bool);
+    let subsets: [Subset; 4] = [
+        ("all", |_| true),
+        ("HMD+VMD", |t| t.table.kind() == TableKind::BiN),
+        ("relational", |t| t.table.kind() == TableKind::Relational),
+        ("nested", |t| t.table.has_nesting()),
+    ];
+    for ds in [Dataset::CancerKg, Dataset::CovidKg] {
+        let bundle = Bundle::train(ds, cfg);
+        for (name, subset) in subsets {
+            let row_only =
+                eval_tc(&bundle.corpus, cfg.k, subset, |t| bundle.family.embed_table_data(t));
+            if row_only.queries == 0 {
+                continue;
+            }
+            let comp1 =
+                eval_tc(&bundle.corpus, cfg.k, subset, |t| bundle.family.embed_tblcomp1(t));
+            let comp2 = eval_tc(&bundle.corpus, cfg.k, subset, |t| bundle.family.embed_table(t));
+            rows.push(vec![
+                ds.name().to_string(),
+                name.to_string(),
+                row_only.render(),
+                comp1.render(),
+                comp2.render(),
+            ]);
+        }
+    }
+    format_table(
+        "Table 11 — TC without vs with composite embeddings",
+        &["dataset", "subset", "TabBiN-row", "tblcomp1", "tblcomp2"],
+        &rows,
+    )
+}

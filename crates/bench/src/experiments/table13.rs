@@ -1,0 +1,61 @@
+//! Table 13: ablation study on Table Clustering (§4.6).
+
+use crate::bundle::ExpConfig;
+use crate::experiments::table12::variants;
+use crate::harness::{eval_tc, format_table};
+use tabbin_core::config::ModelConfig;
+use tabbin_core::pretrain::PretrainOptions;
+use tabbin_core::variants::TabBiNFamily;
+use tabbin_corpus::{generate, Dataset, GenOptions, LabeledTable};
+use tabbin_table::TableKind;
+
+/// Runs the TC ablations on CancerKG and Webtables.
+pub fn run(cfg: &ExpConfig) -> String {
+    let mut rows = Vec::new();
+    type Subset = (&'static str, fn(&LabeledTable) -> bool);
+    let subsets: [Subset; 3] = [
+        ("all", |_| true),
+        ("non-relational", |t| t.table.kind() != TableKind::Relational),
+        ("nested", |t| t.table.has_nesting()),
+    ];
+    for ds in [Dataset::CancerKg, Dataset::Webtables] {
+        for (name, flags) in variants() {
+            let mut sums = [[0.0f64; 2]; 3];
+            let mut counts = [0usize; 3];
+            for s in crate::experiments::table12::SEEDS {
+                let seed = cfg.seed ^ (s * 0x1_0001);
+                let corpus =
+                    generate(ds, &GenOptions { n_tables: Some(cfg.n_tables), seed });
+                let tables = corpus.plain_tables();
+                let model_cfg = ModelConfig::default().with_ablation(flags);
+                let mut family = TabBiNFamily::new(&tables, model_cfg, seed);
+                family.pretrain(
+                    &tables,
+                    &PretrainOptions { steps: cfg.steps, seed, ..Default::default() },
+                );
+                for (si, (_, subset)) in subsets.iter().enumerate() {
+                    let e = eval_tc(&corpus, cfg.k, subset, |t| family.embed_table(t));
+                    if e.queries > 0 {
+                        sums[si][0] += e.map;
+                        sums[si][1] += e.mrr;
+                        counts[si] += 1;
+                    }
+                }
+            }
+            let mut row = vec![ds.name().to_string(), name.to_string()];
+            for (si, sum) in sums.iter().enumerate() {
+                row.push(if counts[si] == 0 {
+                    "n/a".into()
+                } else {
+                    format!("{:.2}/{:.2}", sum[0] / counts[si] as f64, sum[1] / counts[si] as f64)
+                });
+            }
+            rows.push(row);
+        }
+    }
+    format_table(
+        "Table 13 — Ablation study on Table Clustering (mean of 3 seeds)",
+        &["dataset", "variant", "all MAP/MRR", "non-rel MAP/MRR", "nested MAP/MRR"],
+        &rows,
+    )
+}

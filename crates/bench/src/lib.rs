@@ -1,0 +1,15 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (§4).
+//!
+//! Each `exp_*` binary in `src/bin/` is a thin wrapper over a module in
+//! [`experiments`]; the logic lives here so integration tests can exercise
+//! it and `all_experiments` can compose a full run. Absolute numbers differ
+//! from the paper (synthetic corpora, CPU-scaled models — see DESIGN.md);
+//! the reproduction target is the *shape* of each comparison.
+
+pub mod bundle;
+pub mod experiments;
+pub mod harness;
+
+pub use bundle::{Bundle, ExpConfig};
+pub use harness::{eval_cc, eval_ec, eval_tc, format_table, ColumnRef};

@@ -1,0 +1,121 @@
+//! Checkpointing: persist and restore a trained [`TabBiNModel`] or a whole
+//! [`TabBiNFamily`] (parameters + tokenizer + config) so pre-training cost
+//! can be paid once per corpus.
+
+use crate::config::ModelConfig;
+use crate::model::TabBiNModel;
+use crate::variants::TabBiNFamily;
+use serde::{Deserialize, Serialize};
+use tabbin_tensor::serialize::{load_params, save_params, DecodeError};
+use tabbin_tokenizer::Tokenizer;
+use tabbin_typeinfer::TypeTagger;
+
+/// Errors raised while restoring a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The serialized JSON envelope is malformed.
+    Envelope(String),
+    /// A parameter blob failed to decode.
+    Params(DecodeError),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Envelope(e) => write!(f, "bad checkpoint envelope: {e}"),
+            CheckpointError::Params(e) => write!(f, "bad parameter blob: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+#[derive(Serialize, Deserialize)]
+struct FamilyEnvelope {
+    cfg: ModelConfig,
+    vocab: usize,
+    tokenizer: Tokenizer,
+    /// Parameter blobs for row / column / hmd / vmd models.
+    params: [Vec<u8>; 4],
+}
+
+/// Serializes a family (models + tokenizer + config) to bytes.
+pub fn save_family(family: &TabBiNFamily) -> Vec<u8> {
+    let envelope = FamilyEnvelope {
+        cfg: family.cfg,
+        vocab: family.tokenizer.vocab_size(),
+        tokenizer: family.tokenizer.clone(),
+        params: [
+            save_params(&family.row.store),
+            save_params(&family.col.store),
+            save_params(&family.hmd.store),
+            save_params(&family.vmd.store),
+        ],
+    };
+    serde_json::to_vec(&envelope).expect("family serialization cannot fail")
+}
+
+/// Restores a family from bytes produced by [`save_family`].
+pub fn load_family(bytes: &[u8]) -> Result<TabBiNFamily, CheckpointError> {
+    let envelope: FamilyEnvelope =
+        serde_json::from_slice(bytes).map_err(|e| CheckpointError::Envelope(e.to_string()))?;
+    let mk = |blob: &[u8], seed: u64| -> Result<TabBiNModel, CheckpointError> {
+        let mut m = TabBiNModel::new(envelope.cfg, envelope.vocab, seed);
+        m.store = load_params(blob).map_err(CheckpointError::Params)?;
+        Ok(m)
+    };
+    Ok(TabBiNFamily {
+        row: mk(&envelope.params[0], 1)?,
+        col: mk(&envelope.params[1], 2)?,
+        hmd: mk(&envelope.params[2], 3)?,
+        vmd: mk(&envelope.params[3], 4)?,
+        tokenizer: envelope.tokenizer,
+        tagger: TypeTagger::new(),
+        cfg: envelope.cfg,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pretrain::PretrainOptions;
+    use tabbin_table::samples::{figure1_table, table2_relational};
+
+    #[test]
+    fn family_checkpoint_roundtrip_preserves_embeddings() {
+        let tables = vec![figure1_table(), table2_relational()];
+        let mut fam = TabBiNFamily::new(&tables, ModelConfig::tiny(), 7);
+        fam.pretrain(
+            &tables,
+            &PretrainOptions { steps: 5, batch: 2, ..Default::default() },
+        );
+        let before_tbl = fam.embed_table(&tables[0]);
+        let before_col = fam.embed_colcomp(&tables[1], 0);
+
+        let bytes = save_family(&fam);
+        let restored = load_family(&bytes).expect("roundtrip");
+        assert_eq!(restored.embed_table(&tables[0]), before_tbl);
+        assert_eq!(restored.embed_colcomp(&tables[1], 0), before_col);
+    }
+
+    #[test]
+    fn rejects_garbage_envelope() {
+        assert!(matches!(
+            load_family(b"not json at all").unwrap_err(),
+            CheckpointError::Envelope(_)
+        ));
+    }
+
+    #[test]
+    fn checkpoint_is_self_contained() {
+        // The restored family must embed *new* text without access to the
+        // original corpus (tokenizer travels with the checkpoint).
+        let tables = vec![figure1_table()];
+        let fam = TabBiNFamily::new(&tables, ModelConfig::tiny(), 9);
+        let restored = load_family(&save_family(&fam)).unwrap();
+        assert_eq!(
+            fam.embed_entity("overall survival"),
+            restored.embed_entity("overall survival")
+        );
+    }
+}

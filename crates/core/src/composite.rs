@@ -1,0 +1,130 @@
+//! Composite embeddings (§3.4, Figure 4, Figure 5).
+//!
+//! The paper composes downstream vectors by concatenating (⊕) segment-model
+//! embeddings: `colcomp` for column clustering, `tblcomp1`/`tblcomp2` for
+//! table clustering, and attribute⊕value⊕unit structures for numeric values
+//! and ranges. These helpers operate on plain `f32` vectors so they also
+//! serve the baselines.
+
+use crate::variants::TabBiNFamily;
+use tabbin_table::Unit;
+
+/// Concatenates embedding parts (the paper's ⊕ operator).
+pub fn concat(parts: &[Vec<f32>]) -> Vec<f32> {
+    let total: usize = parts.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for p in parts {
+        out.extend_from_slice(p);
+    }
+    out
+}
+
+/// Elementwise mean of equally-sized vectors; panics on ragged input, returns
+/// an empty vector for no input.
+pub fn mean(vectors: &[Vec<f32>]) -> Vec<f32> {
+    let Some(first) = vectors.first() else { return Vec::new() };
+    let d = first.len();
+    let mut out = vec![0.0f32; d];
+    for v in vectors {
+        assert_eq!(v.len(), d, "mean over ragged vectors");
+        for (o, x) in out.iter_mut().zip(v) {
+            *o += x;
+        }
+    }
+    let inv = 1.0 / vectors.len() as f32;
+    for o in &mut out {
+        *o *= inv;
+    }
+    out
+}
+
+/// The Figure 4(a) composite for a numeric attribute value: embeddings of the
+/// attribute name, the value, and the unit, concatenated — "OS" ⊕ "20.3" ⊕
+/// "months" in the paper's example.
+pub fn ce_numeric(family: &TabBiNFamily, attribute: &str, value: f64, unit: Option<Unit>) -> Vec<f32> {
+    let attr = family.embed_entity(attribute);
+    let val = family.embed_entity(&format_value(value));
+    let unit_emb = embed_unit(family, unit);
+    concat(&[attr, val, unit_emb])
+}
+
+/// The Figure 4(b) composite for a range: attribute ⊕ unit ⊕ range-start ⊕
+/// range-end — "Age" ⊕ "year" ⊕ "20" ⊕ "30".
+pub fn ce_range(
+    family: &TabBiNFamily,
+    attribute: &str,
+    lo: f64,
+    hi: f64,
+    unit: Option<Unit>,
+) -> Vec<f32> {
+    let attr = family.embed_entity(attribute);
+    let unit_emb = embed_unit(family, unit);
+    let start = family.embed_entity(&format_value(lo));
+    let end = family.embed_entity(&format_value(hi));
+    concat(&[attr, unit_emb, start, end])
+}
+
+fn embed_unit(family: &TabBiNFamily, unit: Option<Unit>) -> Vec<f32> {
+    match unit {
+        Some(u) => family.embed_entity(u.name()),
+        None => vec![0.0; family.cfg.hidden],
+    }
+}
+
+fn format_value(v: f64) -> String {
+    if v.fract().abs() < 1e-9 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use tabbin_table::samples::table1_sample;
+
+    #[test]
+    fn concat_lengths_add() {
+        let a = vec![1.0, 2.0];
+        let b = vec![3.0];
+        assert_eq!(concat(&[a, b]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn mean_averages() {
+        let m = mean(&[vec![1.0, 3.0], vec![3.0, 5.0]]);
+        assert_eq!(m, vec![2.0, 4.0]);
+        assert!(mean(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn mean_rejects_ragged() {
+        let _ = mean(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn ce_numeric_structure() {
+        let tables = vec![table1_sample()];
+        let fam = TabBiNFamily::new(&tables, ModelConfig::tiny(), 3);
+        let ce = ce_numeric(&fam, "OS", 20.3, Some(Unit::Time));
+        assert_eq!(ce.len(), 3 * fam.cfg.hidden);
+        // Same attribute, different value => different CE.
+        let ce2 = ce_numeric(&fam, "OS", 13.3, Some(Unit::Time));
+        assert_ne!(ce, ce2);
+    }
+
+    #[test]
+    fn ce_range_structure() {
+        let tables = vec![table1_sample()];
+        let fam = TabBiNFamily::new(&tables, ModelConfig::tiny(), 3);
+        let ce = ce_range(&fam, "Age", 20.0, 30.0, Some(Unit::Time));
+        assert_eq!(ce.len(), 4 * fam.cfg.hidden);
+        // Missing unit zeroes that block but keeps the shape.
+        let ce2 = ce_range(&fam, "Age", 20.0, 30.0, None);
+        assert_eq!(ce2.len(), 4 * fam.cfg.hidden);
+        assert_ne!(ce, ce2);
+    }
+}

@@ -1,0 +1,189 @@
+//! Model configuration, segment kinds, and ablation switches.
+
+use serde::{Deserialize, Serialize};
+
+/// Which table segment a model variant encodes. The paper trains four models
+/// — two for data (tuples, columns) and two for metadata (horizontal,
+/// vertical) — "so their context is treated separately" (§3.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SegmentKind {
+    /// Data cells traversed row by row (the "tuple" model).
+    DataRow,
+    /// Data cells traversed column by column.
+    DataColumn,
+    /// Horizontal metadata labels.
+    Hmd,
+    /// Vertical metadata labels.
+    Vmd,
+}
+
+impl SegmentKind {
+    /// All four variants.
+    pub const ALL: [SegmentKind; 4] =
+        [SegmentKind::DataRow, SegmentKind::DataColumn, SegmentKind::Hmd, SegmentKind::Vmd];
+
+    /// Short name used in parameter registration and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            SegmentKind::DataRow => "row",
+            SegmentKind::DataColumn => "column",
+            SegmentKind::Hmd => "hmd",
+            SegmentKind::Vmd => "vmd",
+        }
+    }
+}
+
+/// The four ablations of §4.6. All `true` = full TabBiN; each flag set to
+/// `false` reproduces one of the paper's `TabBiN₁₋₄` rows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AblationFlags {
+    /// `TabBiN₁`: visibility matrix (false ⇒ standard full attention).
+    pub visibility: bool,
+    /// `TabBiN₂`: type-inference embedding `E_type`.
+    pub type_inference: bool,
+    /// `TabBiN₃`: units & nesting cell-feature embedding `E_fmt`.
+    pub units_nesting: bool,
+    /// `TabBiN₄`: bi-dimensional coordinate embedding `E_tpos`.
+    pub coordinates: bool,
+}
+
+impl Default for AblationFlags {
+    fn default() -> Self {
+        Self { visibility: true, type_inference: true, units_nesting: true, coordinates: true }
+    }
+}
+
+impl AblationFlags {
+    /// Full model.
+    pub fn full() -> Self {
+        Self::default()
+    }
+
+    /// `TabBiN₁`: no visibility matrix.
+    pub fn no_visibility() -> Self {
+        Self { visibility: false, ..Self::default() }
+    }
+
+    /// `TabBiN₂`: no type inference.
+    pub fn no_type_inference() -> Self {
+        Self { type_inference: false, ..Self::default() }
+    }
+
+    /// `TabBiN₃`: no units & nesting features.
+    pub fn no_units_nesting() -> Self {
+        Self { units_nesting: false, ..Self::default() }
+    }
+
+    /// `TabBiN₄`: no bi-dimensional coordinates.
+    pub fn no_coordinates() -> Self {
+        Self { coordinates: false, ..Self::default() }
+    }
+}
+
+/// Model geometry. The paper uses BERT_BASE (H = 768, 12 layers); this
+/// reproduction scales widths down so pre-training runs on CPU in seconds
+/// while keeping every architectural mechanism intact. `hidden` must be
+/// divisible by 12 (the numeric embedding concatenates 4 sub-embeddings and
+/// the positional embedding concatenates 6) and by `heads`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Hidden size `H`.
+    pub hidden: usize,
+    /// Number of encoder blocks.
+    pub layers: usize,
+    /// Attention heads per block.
+    pub heads: usize,
+    /// Feed-forward inner width.
+    pub ff: usize,
+    /// Maximum sequence length (paper: 256).
+    pub max_seq: usize,
+    /// Maximum tokens kept per cell (paper `I` = 64).
+    pub max_cell_tokens: usize,
+    /// Maximum coordinate index per axis (paper `G` = 256); larger indices
+    /// clamp to the last bucket.
+    pub max_coord: usize,
+    /// Ablation switches.
+    pub ablation: AblationFlags,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 48,
+            layers: 2,
+            heads: 4,
+            ff: 96,
+            max_seq: 96,
+            max_cell_tokens: 8,
+            max_coord: 64,
+            ablation: AblationFlags::default(),
+        }
+    }
+}
+
+impl ModelConfig {
+    /// The smallest usable configuration, for tests.
+    pub fn tiny() -> Self {
+        Self { hidden: 24, layers: 1, heads: 2, ff: 32, max_seq: 48, ..Self::default() }
+    }
+
+    /// Validates divisibility constraints; panics with a clear message.
+    pub fn validate(&self) {
+        assert!(self.hidden.is_multiple_of(12), "hidden ({}) must be divisible by 12", self.hidden);
+        assert!(
+            self.hidden.is_multiple_of(self.heads),
+            "hidden ({}) must be divisible by heads ({})",
+            self.hidden,
+            self.heads
+        );
+        assert!(self.max_seq >= 8, "max_seq too small");
+        assert!(self.max_cell_tokens >= 1, "max_cell_tokens must be positive");
+        assert!(self.max_coord >= 2, "max_coord too small");
+    }
+
+    /// With the given ablation flags.
+    pub fn with_ablation(mut self, ablation: AblationFlags) -> Self {
+        self.ablation = ablation;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        ModelConfig::default().validate();
+        ModelConfig::tiny().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by 12")]
+    fn rejects_indivisible_hidden() {
+        ModelConfig { hidden: 50, ..ModelConfig::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by heads")]
+    fn rejects_head_mismatch() {
+        ModelConfig { hidden: 36, heads: 8, ..ModelConfig::default() }.validate();
+    }
+
+    #[test]
+    fn ablation_constructors_flip_one_flag() {
+        assert!(!AblationFlags::no_visibility().visibility);
+        assert!(AblationFlags::no_visibility().type_inference);
+        assert!(!AblationFlags::no_type_inference().type_inference);
+        assert!(!AblationFlags::no_units_nesting().units_nesting);
+        assert!(!AblationFlags::no_coordinates().coordinates);
+    }
+
+    #[test]
+    fn segment_names_unique() {
+        let mut names: Vec<&str> = SegmentKind::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+    }
+}

@@ -1,0 +1,274 @@
+//! The four segment models and the embedding API built on them (§3.3, §4).
+//!
+//! The paper trains **four** models — data rows ("tuples"), data columns,
+//! HMD, and VMD — so that the semantically different contexts are learned
+//! independently. [`TabBiNFamily`] owns all four plus the shared tokenizer
+//! and type tagger, and exposes the embedding operations the downstream
+//! tasks need: column embeddings (CC), table embeddings (TC), entity
+//! embeddings (EC), and the composite variants of §4.5.
+
+use crate::composite;
+use crate::config::{ModelConfig, SegmentKind};
+use crate::encoding::{encode_column, encode_segment, encode_text, EncodedSequence};
+use crate::model::TabBiNModel;
+use crate::pretrain::{pretrain, PretrainOptions, StepStats};
+use tabbin_table::Table;
+use tabbin_tokenizer::Tokenizer;
+use tabbin_typeinfer::TypeTagger;
+
+/// The four pre-trained TabBiN models plus shared preprocessing.
+#[derive(Debug)]
+pub struct TabBiNFamily {
+    /// Data-row ("tuple") model.
+    pub row: TabBiNModel,
+    /// Data-column model.
+    pub col: TabBiNModel,
+    /// Horizontal-metadata model.
+    pub hmd: TabBiNModel,
+    /// Vertical-metadata model.
+    pub vmd: TabBiNModel,
+    /// Shared WordPiece tokenizer (trained on the corpus, standing in for the
+    /// BioBERT vocabulary).
+    pub tokenizer: Tokenizer,
+    /// Shared semantic type tagger.
+    pub tagger: TypeTagger,
+    /// Shared geometry.
+    pub cfg: ModelConfig,
+}
+
+impl TabBiNFamily {
+    /// Builds the family, training the tokenizer vocabulary on `tables`.
+    pub fn new(tables: &[Table], cfg: ModelConfig, seed: u64) -> Self {
+        cfg.validate();
+        let tokenizer = train_tokenizer(tables);
+        let vocab = tokenizer.vocab_size();
+        Self {
+            row: TabBiNModel::new(cfg, vocab, seed ^ 0x01),
+            col: TabBiNModel::new(cfg, vocab, seed ^ 0x02),
+            hmd: TabBiNModel::new(cfg, vocab, seed ^ 0x03),
+            vmd: TabBiNModel::new(cfg, vocab, seed ^ 0x04),
+            tokenizer,
+            tagger: TypeTagger::new(),
+            cfg,
+        }
+    }
+
+    /// Pre-trains all four models on their respective segment sequences.
+    /// Returns the loss curves keyed by segment kind order
+    /// (row, column, hmd, vmd).
+    pub fn pretrain(&mut self, tables: &[Table], opts: &PretrainOptions) -> [Vec<StepStats>; 4] {
+        let mut curves: [Vec<StepStats>; 4] = Default::default();
+        for (slot, kind) in SegmentKind::ALL.iter().enumerate() {
+            let seqs: Vec<EncodedSequence> = tables
+                .iter()
+                .map(|t| encode_segment(t, *kind, &self.tokenizer, &self.tagger, &self.cfg))
+                .filter(|s| !s.is_empty())
+                .collect();
+            let model = self.model_mut(*kind);
+            curves[slot] = pretrain(model, &seqs, opts);
+        }
+        curves
+    }
+
+    /// The model for a segment kind.
+    pub fn model(&self, kind: SegmentKind) -> &TabBiNModel {
+        match kind {
+            SegmentKind::DataRow => &self.row,
+            SegmentKind::DataColumn => &self.col,
+            SegmentKind::Hmd => &self.hmd,
+            SegmentKind::Vmd => &self.vmd,
+        }
+    }
+
+    fn model_mut(&mut self, kind: SegmentKind) -> &mut TabBiNModel {
+        match kind {
+            SegmentKind::DataRow => &mut self.row,
+            SegmentKind::DataColumn => &mut self.col,
+            SegmentKind::Hmd => &mut self.hmd,
+            SegmentKind::Vmd => &mut self.vmd,
+        }
+    }
+
+    /// Embedding of column `j`'s *data* via the column model (`Ē_d`).
+    pub fn embed_column_data(&self, table: &Table, j: usize) -> Vec<f32> {
+        let seq = encode_column(table, j, &self.tokenizer, &self.tagger, &self.cfg);
+        self.col.embed(&seq)
+    }
+
+    /// Embedding of column `j`'s *attribute* via the HMD model (`E_cj`): the
+    /// root-to-leaf label path of the column header.
+    pub fn embed_attribute(&self, table: &Table, j: usize) -> Vec<f32> {
+        let paths = table.hmd.leaf_label_paths();
+        let text = match paths.get(j) {
+            Some(p) => p.join(" "),
+            None => format!("column {j}"),
+        };
+        let seq = encode_text(&text, &self.tokenizer, &self.tagger, &self.cfg);
+        self.hmd.embed(&seq)
+    }
+
+    /// The CC composite (`TabBiN-colcomp`, Figure 5b): attribute embedding
+    /// from the HMD model ⊕ mean data embedding from the column model.
+    pub fn embed_colcomp(&self, table: &Table, j: usize) -> Vec<f32> {
+        composite::concat(&[self.embed_attribute(table, j), self.embed_column_data(table, j)])
+    }
+
+    /// Mean data embedding of the whole table via the row model (`Ē_d`).
+    pub fn embed_table_data(&self, table: &Table) -> Vec<f32> {
+        let seq =
+            encode_segment(table, SegmentKind::DataRow, &self.tokenizer, &self.tagger, &self.cfg);
+        self.row.embed(&seq)
+    }
+
+    /// Mean HMD embedding (`Ē_c`).
+    pub fn embed_table_hmd(&self, table: &Table) -> Vec<f32> {
+        let seq = encode_segment(table, SegmentKind::Hmd, &self.tokenizer, &self.tagger, &self.cfg);
+        self.hmd.embed(&seq)
+    }
+
+    /// Mean VMD embedding (`Ē_r`); zero vector for tables without VMD.
+    pub fn embed_table_vmd(&self, table: &Table) -> Vec<f32> {
+        let seq = encode_segment(table, SegmentKind::Vmd, &self.tokenizer, &self.tagger, &self.cfg);
+        self.vmd.embed(&seq)
+    }
+
+    /// The TC composite without captions (`TabBiN-tblcomp1`).
+    pub fn embed_tblcomp1(&self, table: &Table) -> Vec<f32> {
+        composite::concat(&[
+            self.embed_table_data(table),
+            self.embed_table_hmd(table),
+            self.embed_table_vmd(table),
+        ])
+    }
+
+    /// The TC composite with a caption embedding supplied by an external
+    /// caption encoder (`TabBiN-tblcomp2`; the paper uses BioBERT fine-tuned
+    /// on captions).
+    pub fn embed_tblcomp2(&self, table: &Table, caption_emb: &[f32]) -> Vec<f32> {
+        composite::concat(&[self.embed_tblcomp1(table), caption_emb.to_vec()])
+    }
+
+    /// Caption embedding from the row model (used when no external caption
+    /// encoder is supplied).
+    pub fn embed_caption(&self, table: &Table) -> Vec<f32> {
+        let seq = encode_text(&table.caption, &self.tokenizer, &self.tagger, &self.cfg);
+        self.row.embed(&seq)
+    }
+
+    /// Default full table embedding: `tblcomp2` with the internal caption
+    /// encoder.
+    pub fn embed_table(&self, table: &Table) -> Vec<f32> {
+        let cap = self.embed_caption(table);
+        self.embed_tblcomp2(table, &cap)
+    }
+
+    /// Entity embedding via the column model (§4.3 uses the TabBiN-column
+    /// model for entity clustering).
+    pub fn embed_entity(&self, text: &str) -> Vec<f32> {
+        let seq = encode_text(text, &self.tokenizer, &self.tagger, &self.cfg);
+        self.col.embed(&seq)
+    }
+
+    /// Row ("tuple") embedding via the row model, used by entity matching.
+    pub fn embed_row(&self, table: &Table, i: usize) -> Vec<f32> {
+        let seq =
+            crate::encoding::encode_row(table, i, &self.tokenizer, &self.tagger, &self.cfg);
+        self.row.embed(&seq)
+    }
+}
+
+/// Trains the shared WordPiece vocabulary over every text surface of the
+/// corpus: captions, metadata labels (all levels), and rendered cells,
+/// including nested tables.
+pub fn train_tokenizer(tables: &[Table]) -> Tokenizer {
+    let mut texts: Vec<String> = Vec::new();
+    for t in tables {
+        collect_texts(t, &mut texts);
+    }
+    Tokenizer::train(texts.iter().map(String::as_str), 8000, 1)
+}
+
+fn collect_texts(t: &Table, out: &mut Vec<String>) {
+    out.push(t.caption.clone());
+    for (l, _) in t.hmd.all_labels() {
+        out.push(l.to_string());
+    }
+    for (l, _) in t.vmd.all_labels() {
+        out.push(l.to_string());
+    }
+    for (_, _, c) in t.data.iter_indexed() {
+        match c {
+            tabbin_table::CellValue::Nested(inner) => collect_texts(inner, out),
+            other => out.push(other.render()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabbin_table::samples::{figure1_table, table1_sample, table2_relational};
+
+    fn tables() -> Vec<Table> {
+        vec![figure1_table(), table1_sample(), table2_relational()]
+    }
+
+    #[test]
+    fn family_builds_and_embeds() {
+        let ts = tables();
+        let fam = TabBiNFamily::new(&ts, ModelConfig::tiny(), 11);
+        let col = fam.embed_colcomp(&ts[2], 0);
+        assert_eq!(col.len(), 2 * fam.cfg.hidden);
+        let tbl = fam.embed_tblcomp1(&ts[0]);
+        assert_eq!(tbl.len(), 3 * fam.cfg.hidden);
+        let tbl2 = fam.embed_table(&ts[0]);
+        assert_eq!(tbl2.len(), 4 * fam.cfg.hidden);
+    }
+
+    #[test]
+    fn vmd_of_relational_table_is_zero() {
+        let ts = tables();
+        let fam = TabBiNFamily::new(&ts, ModelConfig::tiny(), 11);
+        let v = fam.embed_table_vmd(&ts[2]);
+        // Relational tables have no VMD; encoding yields only the [CLS]
+        // token, so the pooled output is finite and content-free, or all
+        // zeros for the fully empty case. Either way the vector is valid.
+        assert_eq!(v.len(), fam.cfg.hidden);
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn pretrain_runs_for_all_variants() {
+        let ts = tables();
+        let mut fam = TabBiNFamily::new(&ts, ModelConfig::tiny(), 11);
+        let opts = PretrainOptions { steps: 3, batch: 2, ..PretrainOptions::default() };
+        let curves = fam.pretrain(&ts, &opts);
+        // Row/column/HMD always have sequences; VMD exists for the BiN table.
+        assert_eq!(curves[0].len(), 3);
+        assert_eq!(curves[1].len(), 3);
+        assert_eq!(curves[2].len(), 3);
+        assert_eq!(curves[3].len(), 3);
+    }
+
+    #[test]
+    fn entity_embeddings_distinguish_entities() {
+        let ts = tables();
+        let fam = TabBiNFamily::new(&ts, ModelConfig::tiny(), 11);
+        let a = fam.embed_entity("ramucirumab");
+        let b = fam.embed_entity("colon cancer");
+        assert_ne!(a, b);
+        assert_eq!(a, fam.embed_entity("ramucirumab"));
+    }
+
+    #[test]
+    fn attribute_embedding_uses_label_path() {
+        let ts = tables();
+        let fam = TabBiNFamily::new(&ts, ModelConfig::tiny(), 11);
+        // Column 0 of Figure 1 is "Efficacy End Point -> Overall Survival";
+        // column 2 is "Other Efficacy -> Details". Their attribute embeddings
+        // must differ.
+        let a = fam.embed_attribute(&ts[0], 0);
+        let b = fam.embed_attribute(&ts[0], 2);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests on the encoding layer: any table the corpus can produce
+//! must encode within bounds and with consistent labels.
+
+use proptest::prelude::*;
+use tabbin_core::config::{ModelConfig, SegmentKind};
+use tabbin_core::encoding::{encode_column, encode_row, encode_segment, encode_text, NO_CELL};
+use tabbin_table::{CellValue, Table, Unit};
+use tabbin_tokenizer::Tokenizer;
+use tabbin_typeinfer::TypeTagger;
+
+fn tok() -> Tokenizer {
+    Tokenizer::train(
+        [
+            "alpha beta gamma delta epsilon zeta eta theta months years percent",
+            "overall survival hazard ratio cohort treatment outcome value",
+        ]
+        .into_iter(),
+        2000,
+        1,
+    )
+}
+
+fn cell_value() -> impl Strategy<Value = CellValue> {
+    prop_oneof![
+        "[a-z ]{0,20}".prop_map(CellValue::text),
+        (-1e6f64..1e6).prop_map(|v| CellValue::number(v, Some(Unit::Time))),
+        (0f64..50.0).prop_map(|v| CellValue::range(v, v + 1.0, None)),
+        Just(CellValue::Empty),
+    ]
+}
+
+fn arb_table() -> impl Strategy<Value = Table> {
+    (1..4usize, 1..4usize).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(proptest::collection::vec(cell_value(), cols), rows).prop_map(
+            move |grid| {
+                let labels: Vec<String> = (0..cols).map(|i| format!("attr{i}")).collect();
+                let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+                let mut b = Table::builder("prop").hmd_flat(&refs);
+                for row in grid {
+                    b = b.row(row);
+                }
+                b.build()
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_segments_encode_within_bounds(t in arb_table()) {
+        let tok = tok();
+        let tagger = TypeTagger::new();
+        let cfg = ModelConfig::tiny();
+        for kind in SegmentKind::ALL {
+            let seq = encode_segment(&t, kind, &tok, &tagger, &cfg);
+            prop_assert!(seq.len() <= cfg.max_seq);
+            for et in &seq.tokens {
+                prop_assert!((et.vocab_id as usize) < tok.vocab_size());
+                prop_assert!(et.cell_pos < cfg.max_cell_tokens);
+                prop_assert!(et.sem_type < tabbin_typeinfer::SemType::COUNT);
+                if et.special {
+                    prop_assert_eq!(et.cell_id, NO_CELL);
+                } else {
+                    prop_assert!(et.cell_id < seq.n_cells);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn visibility_matrix_is_square(t in arb_table()) {
+        let tok = tok();
+        let tagger = TypeTagger::new();
+        let cfg = ModelConfig::tiny();
+        let seq = encode_segment(&t, SegmentKind::DataRow, &tok, &tagger, &cfg);
+        let vis = seq.visibility();
+        prop_assert_eq!(vis.len(), seq.len());
+        for row in &vis {
+            prop_assert_eq!(row.len(), seq.len());
+        }
+    }
+
+    #[test]
+    fn row_and_column_encodings_address_correctly(t in arb_table()) {
+        let tok = tok();
+        let tagger = TypeTagger::new();
+        let cfg = ModelConfig::tiny();
+        for j in 0..t.n_cols() {
+            let seq = encode_column(&t, j, &tok, &tagger, &cfg);
+            for et in seq.tokens.iter().filter(|e| !e.special) {
+                prop_assert_eq!(et.col, j as u32);
+            }
+        }
+        for i in 0..t.n_rows() {
+            let seq = encode_row(&t, i, &tok, &tagger, &cfg);
+            for et in seq.tokens.iter().filter(|e| !e.special) {
+                prop_assert_eq!(et.row, i as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn text_encoding_never_panics(s in ".{0,60}") {
+        let tok = tok();
+        let tagger = TypeTagger::new();
+        let cfg = ModelConfig::tiny();
+        let seq = encode_text(&s, &tok, &tagger, &cfg);
+        prop_assert!(seq.len() >= 1, "at least [CLS]");
+        prop_assert!(seq.len() <= cfg.max_seq);
+    }
+
+    #[test]
+    fn cell_token_indices_are_disjoint(t in arb_table()) {
+        let tok = tok();
+        let tagger = TypeTagger::new();
+        let cfg = ModelConfig::tiny();
+        let seq = encode_segment(&t, SegmentKind::DataRow, &tok, &tagger, &cfg);
+        let cells = seq.cell_token_indices();
+        let mut seen = std::collections::HashSet::new();
+        for cell in &cells {
+            for &i in cell {
+                prop_assert!(seen.insert(i), "token {i} owned by two cells");
+            }
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Entity types and value pools.
+//!
+//! The paper's entity-clustering evaluation works with "18 entity types ...
+//! in each dataset (e.g., drugs)" (§4.3); these pools are the synthetic
+//! equivalents, spanning the biomedical (CovidKG/CancerKG), government
+//! (SAUS/CIUS) and web (Webtables) domains.
+
+use serde::{Deserialize, Serialize};
+
+/// The 18 entity types of the reproduction corpora.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EType {
+    /// Oncology / general drugs.
+    Drug,
+    /// Diseases and conditions.
+    Disease,
+    /// Vaccines.
+    Vaccine,
+    /// Symptoms and adverse events.
+    Symptom,
+    /// Treatments and procedures.
+    Treatment,
+    /// US states.
+    State,
+    /// Cities.
+    City,
+    /// Universities.
+    University,
+    /// Soccer clubs.
+    SoccerClub,
+    /// Magazines.
+    Magazine,
+    /// Baseball players.
+    BaseballPlayer,
+    /// Music genres.
+    MusicGenre,
+    /// Crime/offense categories.
+    Crime,
+    /// Agricultural crops.
+    Crop,
+    /// Industry sectors.
+    Industry,
+    /// Hospitals and medical centers.
+    Hospital,
+    /// SARS-CoV-2 variants.
+    Variant,
+    /// Occupations.
+    Occupation,
+}
+
+impl EType {
+    /// All entity types.
+    pub const ALL: [EType; 18] = [
+        EType::Drug,
+        EType::Disease,
+        EType::Vaccine,
+        EType::Symptom,
+        EType::Treatment,
+        EType::State,
+        EType::City,
+        EType::University,
+        EType::SoccerClub,
+        EType::Magazine,
+        EType::BaseballPlayer,
+        EType::MusicGenre,
+        EType::Crime,
+        EType::Crop,
+        EType::Industry,
+        EType::Hospital,
+        EType::Variant,
+        EType::Occupation,
+    ];
+
+    /// Catalog label as the experiments print it.
+    pub fn name(self) -> &'static str {
+        match self {
+            EType::Drug => "drugs",
+            EType::Disease => "diseases",
+            EType::Vaccine => "vaccines",
+            EType::Symptom => "symptoms",
+            EType::Treatment => "treatments",
+            EType::State => "states",
+            EType::City => "cities",
+            EType::University => "universities",
+            EType::SoccerClub => "soccer clubs",
+            EType::Magazine => "magazines",
+            EType::BaseballPlayer => "baseball players",
+            EType::MusicGenre => "music genres",
+            EType::Crime => "crimes",
+            EType::Crop => "crops",
+            EType::Industry => "industries",
+            EType::Hospital => "hospitals",
+            EType::Variant => "variants",
+            EType::Occupation => "occupations",
+        }
+    }
+}
+
+/// One catalog entry with its ground-truth type.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LabeledEntity {
+    /// Surface form.
+    pub text: String,
+    /// Ground-truth entity type.
+    pub etype: EType,
+}
+
+/// The value pool for an entity type.
+pub fn entity_pool(ety: EType) -> &'static [&'static str] {
+    match ety {
+        EType::Drug => &[
+            "ramucirumab", "bevacizumab", "cetuximab", "panitumumab", "regorafenib",
+            "aflibercept", "fluorouracil", "capecitabine", "oxaliplatin", "irinotecan",
+            "leucovorin", "trifluridine", "pembrolizumab", "nivolumab", "ipilimumab",
+            "remdesivir", "dexamethasone", "metformin", "aspirin", "heparin",
+        ],
+        EType::Disease => &[
+            "colorectal cancer", "colon cancer", "rectal cancer", "breast cancer",
+            "lung cancer", "melanoma", "lymphoma", "leukemia", "covid-19", "influenza",
+            "pneumonia", "sepsis", "diabetes", "hypertension", "asthma", "hepatitis",
+            "arthritis", "anemia", "colitis", "metastasis",
+        ],
+        EType::Vaccine => &[
+            "moderna", "covaxin", "pfizer biontech", "astrazeneca", "sputnik v",
+            "sinovac", "janssen", "novavax", "mrna-1273", "bnt162b2", "covishield",
+            "sinopharm", "ad26cov2", "zf2001",
+        ],
+        EType::Symptom => &[
+            "fatigue", "nausea", "diarrhea", "neutropenia", "mucositis", "fever",
+            "cough", "headache", "dyspnea", "anorexia", "vomiting", "rash",
+            "neuropathy", "anosmia", "myalgia", "chills",
+        ],
+        EType::Treatment => &[
+            "chemotherapy", "surgery", "resection", "colectomy", "colonoscopy",
+            "screening", "radiotherapy", "immunotherapy", "transplant", "dialysis",
+            "intubation", "ventilation", "infusion", "maintenance", "monotherapy",
+        ],
+        EType::State => &[
+            "florida", "texas", "california", "georgia", "ohio", "alabama", "nevada",
+            "oregon", "michigan", "virginia", "colorado", "arizona", "illinois",
+            "washington", "montana", "kansas", "utah", "iowa",
+        ],
+        EType::City => &[
+            "tallahassee", "tampa", "miami", "orlando", "atlanta", "boston", "chicago",
+            "seattle", "houston", "denver", "portland", "austin", "phoenix",
+            "detroit", "memphis", "omaha", "tucson", "raleigh",
+        ],
+        EType::University => &[
+            "florida state university", "university of south florida", "auburn university",
+            "ohio state university", "georgia tech", "rice university", "baylor university",
+            "duke university", "emory university", "tulane university", "clemson university",
+            "purdue university", "vanderbilt university", "rutgers university",
+        ],
+        EType::SoccerClub => &[
+            "river city fc", "northport united", "lakeside rovers", "harbor athletic",
+            "summit rangers", "ironwood town", "eastvale wanderers", "redstone city",
+            "bayview albion", "stonebridge fc", "westfield county", "oakhurst villa",
+        ],
+        EType::Magazine => &[
+            "weekly digest", "science frontier", "modern gardener", "city review",
+            "tech horizon", "outdoor life monthly", "culinary quarterly", "design today",
+            "health letter", "travel compass", "film gazette", "sport panorama",
+        ],
+        EType::BaseballPlayer => &[
+            "joe maddox", "hank riviera", "carl whitfield", "eddie nakamura",
+            "sam delgado", "tony burkhart", "lou fentress", "mike okafor",
+            "ray castellano", "walt jennings", "bob tyndall", "gus marini",
+        ],
+        EType::MusicGenre => &[
+            "delta blues", "bebop jazz", "synthwave", "bluegrass", "trip hop",
+            "post rock", "dixieland", "ambient techno", "chamber pop", "ska punk",
+            "afrobeat", "folk rock", "drum and bass", "surf rock",
+        ],
+        EType::Crime => &[
+            "burglary", "larceny", "robbery", "aggravated assault", "motor vehicle theft",
+            "arson", "fraud", "vandalism", "forgery", "embezzlement", "homicide",
+            "kidnapping", "stalking", "trespassing",
+        ],
+        EType::Crop => &[
+            "corn", "soybeans", "wheat", "cotton", "rice", "sorghum", "barley",
+            "oats", "peanuts", "sugarcane", "tobacco", "potatoes", "tomatoes",
+            "oranges", "strawberries",
+        ],
+        EType::Industry => &[
+            "manufacturing", "construction", "retail trade", "wholesale trade",
+            "transportation", "utilities", "information", "finance", "real estate",
+            "education services", "health services", "hospitality", "mining",
+            "agriculture",
+        ],
+        EType::Hospital => &[
+            "memorial general hospital", "st lucia medical center", "riverbend clinic",
+            "lakeshore regional hospital", "summit care center", "bayfront hospital",
+            "northside medical center", "grace valley hospital", "pine ridge clinic",
+            "harbor view medical",
+        ],
+        EType::Variant => &[
+            "alpha variant", "beta variant", "gamma variant", "delta variant",
+            "omicron variant", "lambda variant", "mu variant", "epsilon variant",
+            "kappa variant", "eta variant",
+        ],
+        EType::Occupation => &[
+            "engineer", "lawyer", "scientist", "teacher", "nurse", "accountant",
+            "electrician", "plumber", "architect", "pharmacist", "journalist",
+            "librarian", "pilot", "chef",
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eighteen_types_as_in_the_paper() {
+        assert_eq!(EType::ALL.len(), 18);
+    }
+
+    #[test]
+    fn pools_are_nonempty_and_reasonably_sized() {
+        for ety in EType::ALL {
+            let pool = entity_pool(ety);
+            assert!(pool.len() >= 10, "{:?} pool too small", ety);
+        }
+    }
+
+    #[test]
+    fn pools_have_no_duplicates() {
+        for ety in EType::ALL {
+            let mut pool: Vec<&str> = entity_pool(ety).to_vec();
+            let n = pool.len();
+            pool.sort_unstable();
+            pool.dedup();
+            assert_eq!(pool.len(), n, "{:?} pool has duplicates", ety);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = EType::ALL.iter().map(|e| e.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 18);
+    }
+}

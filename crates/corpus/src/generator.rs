@@ -1,0 +1,437 @@
+//! Table synthesis.
+
+use crate::entities::{entity_pool, EType, LabeledEntity};
+use crate::profiles::{profile, Dataset};
+use crate::spec::{AttrKind, AttrSpec, DatasetProfile, TopicSpec};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tabbin_table::{CellValue, MetaNode, MetaTree, Table, Unit};
+
+/// Filler vocabulary shared across topics and datasets — lexical noise that
+/// keeps pure content matching from being trivial.
+const FILLER: &[&str] = &[
+    "summary", "overview", "total", "report", "data", "annual", "selected", "notes",
+    "estimated", "detailed",
+];
+
+/// Sem-id assigned to noise columns; excluded from CC ground truth.
+pub const FILLER_SEM_ID: u32 = u32::MAX;
+
+/// Generation options.
+#[derive(Clone, Copy, Debug)]
+pub struct GenOptions {
+    /// Number of tables; `None` uses the profile default.
+    pub n_tables: Option<usize>,
+    /// RNG seed — corpora are fully deterministic per seed.
+    pub seed: u64,
+}
+
+impl Default for GenOptions {
+    fn default() -> Self {
+        Self { n_tables: None, seed: 42 }
+    }
+}
+
+/// A generated table with its ground-truth labels.
+#[derive(Clone, Debug)]
+pub struct LabeledTable {
+    /// The table itself.
+    pub table: Table,
+    /// Topic label (TC ground truth).
+    pub topic: String,
+    /// Per-data-column semantic ids (CC ground truth);
+    /// [`FILLER_SEM_ID`] marks noise columns.
+    pub column_sem: Vec<u32>,
+    /// Per-data-column numeric flags (the paper's textual/numerical split).
+    pub column_numeric: Vec<bool>,
+}
+
+/// A full generated corpus.
+#[derive(Clone, Debug)]
+pub struct Corpus {
+    /// Which dataset profile was generated.
+    pub dataset: Dataset,
+    /// The profile used.
+    pub profile: DatasetProfile,
+    /// Labeled tables.
+    pub tables: Vec<LabeledTable>,
+    /// Entity catalog accumulated during generation (deduplicated).
+    pub entities: Vec<LabeledEntity>,
+}
+
+impl Corpus {
+    /// All tables as plain [`Table`] references (for tokenizer training and
+    /// pre-training).
+    pub fn plain_tables(&self) -> Vec<Table> {
+        self.tables.iter().map(|t| t.table.clone()).collect()
+    }
+
+    /// Topic names present in this corpus.
+    pub fn topics(&self) -> Vec<String> {
+        let mut t: Vec<String> = self.tables.iter().map(|t| t.topic.clone()).collect();
+        t.sort();
+        t.dedup();
+        t
+    }
+
+    /// Entities of one type.
+    pub fn entities_of(&self, ety: EType) -> Vec<&LabeledEntity> {
+        self.entities.iter().filter(|e| e.etype == ety).collect()
+    }
+}
+
+/// Generates a corpus for `ds`.
+pub fn generate(ds: Dataset, opts: &GenOptions) -> Corpus {
+    let prof = profile(ds);
+    let n = opts.n_tables.unwrap_or(prof.gen_tables);
+    let mut rng = StdRng::seed_from_u64(opts.seed ^ (ds as u64).wrapping_mul(0x9e37_79b9));
+    let mut tables = Vec::with_capacity(n);
+    let mut entities: Vec<LabeledEntity> = Vec::new();
+    for i in 0..n {
+        let topic = &prof.topics[i % prof.topics.len()];
+        let lt = generate_table(topic, &prof, &mut rng, &mut entities);
+        tables.push(lt);
+    }
+    entities.sort_by(|a, b| (a.etype as u8, &a.text).cmp(&(b.etype as u8, &b.text)));
+    entities.dedup();
+    Corpus { dataset: ds, profile: prof, tables, entities }
+}
+
+fn generate_table(
+    topic: &TopicSpec,
+    prof: &DatasetProfile,
+    rng: &mut StdRng,
+    entities: &mut Vec<LabeledEntity>,
+) -> LabeledTable {
+    // --- choose attributes ---
+    let mut attrs: Vec<&AttrSpec> = vec![&topic.attrs[0]];
+    let mut rest: Vec<&AttrSpec> = topic.attrs[1..].iter().collect();
+    shuffle(&mut rest, rng);
+    let want = prof.gen_cols.max(2) + rng.random_range(0..2);
+    let nest_here = topic.can_nest && rng.random::<f64>() < prof.frac_nested;
+    for a in rest {
+        if attrs.len() >= want {
+            break;
+        }
+        // Nested slots only when this table nests.
+        if matches!(a.kind, AttrKind::NestedEfficacy) && !nest_here {
+            continue;
+        }
+        attrs.push(a);
+    }
+    if nest_here && !attrs.iter().any(|a| matches!(a.kind, AttrKind::NestedEfficacy)) {
+        if let Some(a) = topic.attrs.iter().find(|a| matches!(a.kind, AttrKind::NestedEfficacy)) {
+            attrs.push(a);
+        }
+    }
+
+    let n_rows = jitter(prof.gen_rows, rng).max(2);
+    let caption = make_caption(topic, rng);
+
+    // --- choose structural form ---
+    let vmd_form = topic.vmd_capable && rng.random::<f64>() < prof.frac_non_relational;
+    
+    if vmd_form {
+        generate_vmd_table(topic, &attrs, n_rows, caption, rng, entities)
+    } else {
+        generate_relational_table(topic, &attrs, n_rows, caption, prof, rng, entities)
+    }
+}
+
+/// Relational / HMD-hierarchical form: attributes across the top.
+fn generate_relational_table(
+    topic: &TopicSpec,
+    attrs: &[&AttrSpec],
+    n_rows: usize,
+    caption: String,
+    prof: &DatasetProfile,
+    rng: &mut StdRng,
+    entities: &mut Vec<LabeledEntity>,
+) -> LabeledTable {
+    // Occasionally add a filler noise column.
+    let mut names: Vec<String> = attrs.iter().map(|a| pick(&a.names, rng).clone()).collect();
+    let mut sem: Vec<u32> = attrs.iter().map(|a| a.sem_id).collect();
+    let mut numeric: Vec<bool> = attrs.iter().map(|a| a.kind.is_numeric()).collect();
+    let mut kinds: Vec<&AttrKind> = attrs.iter().map(|a| &a.kind).collect();
+    let filler_kind = AttrKind::TextPool(FILLER.iter().map(|s| s.to_string()).collect());
+    if rng.random::<f64>() < 0.25 {
+        names.push(pick_str(FILLER, rng));
+        sem.push(FILLER_SEM_ID);
+        numeric.push(false);
+        kinds.push(&filler_kind);
+    }
+
+    // Hierarchical HMD with some probability for structurally rich datasets.
+    let hierarchical = prof.frac_non_relational > 0.2 && names.len() >= 4 && rng.random::<f64>() < 0.4;
+    let hmd = if hierarchical {
+        // Group all but the first column under a branch.
+        let head = MetaNode::leaf(names[0].clone());
+        let branch_label =
+            pick_str(&["outcomes", "measures", "statistics", "details", "results"], rng);
+        let children: Vec<MetaNode> =
+            names[1..].iter().map(|n| MetaNode::leaf(n.clone())).collect();
+        MetaTree::from_roots(vec![head, MetaNode::branch(branch_label, children)])
+    } else {
+        MetaTree::from_roots(names.iter().map(|n| MetaNode::leaf(n.clone())).collect())
+    };
+
+    let mut builder = Table::builder(caption).hmd_tree(hmd);
+    for r in 0..n_rows {
+        let mut row = Vec::with_capacity(kinds.len());
+        for k in &kinds {
+            row.push(make_value(k, r, rng, entities));
+        }
+        builder = builder.row(row);
+    }
+    LabeledTable {
+        table: builder.build(),
+        topic: topic.name.clone(),
+        column_sem: sem,
+        column_numeric: numeric,
+    }
+}
+
+/// Bi-dimensional (VMD) form: the key attribute's values become hierarchical
+/// vertical metadata; the measures stay horizontal.
+fn generate_vmd_table(
+    topic: &TopicSpec,
+    attrs: &[&AttrSpec],
+    n_rows: usize,
+    caption: String,
+    rng: &mut StdRng,
+    entities: &mut Vec<LabeledEntity>,
+) -> LabeledTable {
+    let key = attrs[0];
+    let measures: Vec<&&AttrSpec> = attrs[1..].iter().collect();
+    // Row labels from the key attribute's values.
+    let row_labels: Vec<String> = (0..n_rows)
+        .map(|r| make_value(&key.kind, r, rng, entities).render())
+        .collect();
+    let group = pick(&key.names, rng).clone();
+    let vmd = MetaTree::from_roots(vec![MetaNode::branch(
+        group,
+        row_labels.iter().map(|l| MetaNode::leaf(l.clone())).collect(),
+    )]);
+
+    let measure_names: Vec<String> =
+        measures.iter().map(|a| pick(&a.names, rng).clone()).collect();
+    // Hierarchical HMD for half of the VMD tables: measures grouped under a
+    // branch (mirrors Figure 1's "Efficacy End Point -> ...").
+    let hmd = if measures.len() >= 2 && rng.random::<f64>() < 0.5 {
+        let split = measure_names.len() / 2;
+        let left_label = pick_str(&["efficacy end point", "primary measures", "main statistics"], rng);
+        let right_label = pick_str(&["other efficacy", "secondary measures", "additional"], rng);
+        let left: Vec<MetaNode> =
+            measure_names[..split.max(1)].iter().map(|n| MetaNode::leaf(n.clone())).collect();
+        let right: Vec<MetaNode> =
+            measure_names[split.max(1)..].iter().map(|n| MetaNode::leaf(n.clone())).collect();
+        if right.is_empty() {
+            MetaTree::from_roots(vec![MetaNode::branch(left_label, left)])
+        } else {
+            MetaTree::from_roots(vec![
+                MetaNode::branch(left_label, left),
+                MetaNode::branch(right_label, right),
+            ])
+        }
+    } else {
+        MetaTree::from_roots(measure_names.iter().map(|n| MetaNode::leaf(n.clone())).collect())
+    };
+
+    let mut builder = Table::builder(caption).hmd_tree(hmd).vmd_tree(vmd);
+    for r in 0..n_rows {
+        let mut row = Vec::with_capacity(measures.len());
+        for m in &measures {
+            row.push(make_value(&m.kind, r, rng, entities));
+        }
+        builder = builder.row(row);
+    }
+    LabeledTable {
+        table: builder.build(),
+        topic: topic.name.clone(),
+        column_sem: measures.iter().map(|a| a.sem_id).collect(),
+        column_numeric: measures.iter().map(|a| a.kind.is_numeric()).collect(),
+    }
+}
+
+fn make_value(
+    kind: &AttrKind,
+    row: usize,
+    rng: &mut StdRng,
+    entities: &mut Vec<LabeledEntity>,
+) -> CellValue {
+    match kind {
+        AttrKind::TextPool(pool) => CellValue::text(pick(pool, rng).clone()),
+        AttrKind::Entity(ety) => {
+            let pool = entity_pool(*ety);
+            // Walk the pool with a random offset so rows differ but values
+            // repeat across tables (clusterable entities).
+            let val = pool[(row + rng.random_range(0..pool.len())) % pool.len()];
+            entities.push(LabeledEntity { text: val.to_string(), etype: *ety });
+            CellValue::text(val)
+        }
+        AttrKind::Number { lo, hi, decimals, unit } => {
+            let v = round_to(rng.random_range(*lo..*hi), *decimals);
+            CellValue::number(v, *unit)
+        }
+        AttrKind::RangeVal { lo, hi, unit } => {
+            let a = round_to(rng.random_range(*lo..*hi), 1);
+            let b = round_to(rng.random_range(a..=*hi), 1);
+            CellValue::range(a, b.max(a), *unit)
+        }
+        AttrKind::GaussianVal { mean_lo, mean_hi, unit } => {
+            let mean = round_to(rng.random_range(*mean_lo..*mean_hi), 2);
+            let std = round_to(rng.random_range(0.01..(mean_hi - mean_lo) * 0.2), 2);
+            CellValue::gaussian(mean, std, *unit)
+        }
+        AttrKind::NestedEfficacy => CellValue::nested(nested_efficacy(rng)),
+        AttrKind::Year => {
+            CellValue::number(rng.random_range(1950..2024) as f64, None)
+        }
+    }
+}
+
+/// A small nested efficacy table: `n / OS / HR`, as in Figure 1.
+fn nested_efficacy(rng: &mut StdRng) -> Table {
+    let rows = rng.random_range(1..=2);
+    let mut b = Table::builder("subgroup efficacy").hmd_flat(&["n", "os", "hr"]);
+    for _ in 0..rows {
+        b = b.row(vec![
+            CellValue::number(rng.random_range(10..400) as f64, None),
+            CellValue::number(round_to(rng.random_range(3.0..30.0), 1), Some(Unit::Time)),
+            CellValue::gaussian(
+                round_to(rng.random_range(0.4..1.2), 2),
+                round_to(rng.random_range(0.02..0.2), 2),
+                Some(Unit::Stats),
+            ),
+        ]);
+    }
+    b.build()
+}
+
+fn make_caption(topic: &TopicSpec, rng: &mut StdRng) -> String {
+    // Real captions are noisy: few topical words buried in boilerplate. Keep
+    // 1-2 topic words and 1-3 shared filler words so caption matching alone
+    // cannot solve table clustering.
+    let mut words = Vec::new();
+    let n_topic = rng.random_range(1..=2.min(topic.caption_words.len()));
+    let mut pool: Vec<&String> = topic.caption_words.iter().collect();
+    shuffle(&mut pool, rng);
+    for w in pool.into_iter().take(n_topic) {
+        words.push(w.clone());
+    }
+    for _ in 0..rng.random_range(1..=3) {
+        words.push(pick_str(FILLER, rng));
+    }
+    shuffle(&mut words, rng);
+    words.join(" ")
+}
+
+fn jitter(base: usize, rng: &mut StdRng) -> usize {
+    let lo = (base as f64 * 0.6) as usize;
+    let hi = (base as f64 * 1.4) as usize + 1;
+    rng.random_range(lo..hi)
+}
+
+fn round_to(v: f64, decimals: u8) -> f64 {
+    let m = 10f64.powi(decimals as i32);
+    (v * m).round() / m
+}
+
+fn pick<'a, T>(xs: &'a [T], rng: &mut StdRng) -> &'a T {
+    &xs[rng.random_range(0..xs.len())]
+}
+
+fn pick_str(xs: &[&str], rng: &mut StdRng) -> String {
+    xs[rng.random_range(0..xs.len())].to_string()
+}
+
+fn shuffle<T>(xs: &mut [T], rng: &mut StdRng) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.random_range(0..=i);
+        xs.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabbin_table::TableKind;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(Dataset::CancerKg, &GenOptions { n_tables: Some(20), seed: 1 });
+        let b = generate(Dataset::CancerKg, &GenOptions { n_tables: Some(20), seed: 1 });
+        assert_eq!(a.tables.len(), b.tables.len());
+        for (x, y) in a.tables.iter().zip(&b.tables) {
+            assert_eq!(x.table, y.table);
+            assert_eq!(x.topic, y.topic);
+        }
+    }
+
+    #[test]
+    fn seeds_change_content() {
+        let a = generate(Dataset::CancerKg, &GenOptions { n_tables: Some(10), seed: 1 });
+        let b = generate(Dataset::CancerKg, &GenOptions { n_tables: Some(10), seed: 2 });
+        assert!(a.tables.iter().zip(&b.tables).any(|(x, y)| x.table != y.table));
+    }
+
+    #[test]
+    fn labels_align_with_columns() {
+        let c = generate(Dataset::Webtables, &GenOptions { n_tables: Some(30), seed: 3 });
+        for t in &c.tables {
+            assert_eq!(t.column_sem.len(), t.table.n_cols(), "sem labels per column");
+            assert_eq!(t.column_numeric.len(), t.table.n_cols());
+        }
+    }
+
+    #[test]
+    fn medical_corpora_contain_non_relational_and_nested_tables() {
+        let c = generate(Dataset::CancerKg, &GenOptions { n_tables: Some(80), seed: 4 });
+        let bin = c.tables.iter().filter(|t| t.table.kind() == TableKind::BiN).count();
+        let nested = c.tables.iter().filter(|t| t.table.has_nesting()).count();
+        assert!(bin as f64 >= 0.25 * c.tables.len() as f64, "only {bin} BiN tables");
+        assert!(nested >= 2, "only {nested} nested tables");
+    }
+
+    #[test]
+    fn webtables_are_mostly_relational() {
+        let c = generate(Dataset::Webtables, &GenOptions { n_tables: Some(80), seed: 5 });
+        let rel = c.tables.iter().filter(|t| t.table.kind() == TableKind::Relational).count();
+        assert!(rel as f64 >= 0.5 * c.tables.len() as f64);
+    }
+
+    #[test]
+    fn entity_catalog_is_populated_and_typed() {
+        let c = generate(Dataset::CovidKg, &GenOptions { n_tables: Some(60), seed: 6 });
+        assert!(!c.entities.is_empty());
+        let vaccines = c.entities_of(EType::Vaccine);
+        assert!(!vaccines.is_empty(), "vaccine trials must yield vaccine entities");
+        // Deduplicated.
+        let mut texts: Vec<(&EType, &String)> =
+            c.entities.iter().map(|e| (&e.etype, &e.text)).collect();
+        let before = texts.len();
+        texts.dedup();
+        assert_eq!(before, texts.len());
+    }
+
+    #[test]
+    fn every_topic_appears() {
+        let c = generate(Dataset::Cius, &GenOptions { n_tables: Some(40), seed: 7 });
+        assert_eq!(c.topics().len(), c.profile.topics.len());
+    }
+
+    #[test]
+    fn same_sem_id_columns_exist_across_tables() {
+        // The CC task needs multiple columns sharing a sem_id.
+        let c = generate(Dataset::Saus, &GenOptions { n_tables: Some(40), seed: 8 });
+        let mut counts = std::collections::HashMap::new();
+        for t in &c.tables {
+            for &s in &t.column_sem {
+                if s != FILLER_SEM_ID {
+                    *counts.entry(s).or_insert(0usize) += 1;
+                }
+            }
+        }
+        assert!(counts.values().any(|&n| n >= 5), "no repeated columns: {counts:?}");
+    }
+}

@@ -1,0 +1,34 @@
+//! Seeded synthetic corpora reproducing the statistical profiles of the
+//! paper's five datasets.
+//!
+//! The original corpora (Webtables, CovidKG, CancerKG, SAUS, CIUS) are
+//! proprietary or too large to ship; per the reproduction's substitution rule
+//! this crate generates labeled synthetic corpora that preserve the
+//! *properties the models exploit*:
+//!
+//! * topic determines attribute inventory, caption vocabulary, entity pools,
+//!   units, and metadata **structure** (HMD hierarchy, VMD presence,
+//!   nesting), so structure-aware models have signal content-only models
+//!   lack;
+//! * attribute names are drawn from synonym sets and topics share filler
+//!   vocabulary, so name/content matching alone is noisy;
+//! * numeric columns differ mainly in unit and magnitude distribution — the
+//!   regime where the paper reports TabBiN's largest wins;
+//! * every table/column/entity carries ground-truth labels used by the
+//!   retrieval-clustering evaluation.
+//!
+//! Generation is fully deterministic per seed.
+
+mod entities;
+mod generator;
+mod magellan;
+mod profiles;
+mod spec;
+mod stats;
+
+pub use entities::{entity_pool, EType, LabeledEntity};
+pub use generator::{generate, Corpus, GenOptions, LabeledTable, FILLER_SEM_ID};
+pub use magellan::{abt_buy_like, amazon_google_like, em_pairs_from_corpus, EmPair};
+pub use profiles::{profile, Dataset};
+pub use spec::{AttrKind, AttrSpec, DatasetProfile, TopicSpec};
+pub use stats::{corpus_stats, CorpusStats};

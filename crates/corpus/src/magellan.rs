@@ -1,0 +1,253 @@
+//! ER-Magellan-style entity-matching pair datasets (Table 9).
+//!
+//! The paper evaluates against DITTO on the structured Amazon-Google and
+//! Abt-Buy benchmarks plus pair sets built from its own datasets. Those
+//! benchmarks are not redistributable here, so this module generates product
+//! catalogs with the same flavor: positive pairs are the same product under
+//! realistic perturbations (token dropout, abbreviation, typos, price
+//! jitter); negatives mix easy (random product) and hard (same brand,
+//! different model) cases.
+
+use crate::generator::Corpus;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One serialized entity pair with its match label. Entities use DITTO's
+/// `COL <name> VAL <value>` serialization.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EmPair {
+    /// Left entity serialization.
+    pub a: String,
+    /// Right entity serialization.
+    pub b: String,
+    /// Ground truth.
+    pub matched: bool,
+}
+
+struct Product {
+    brand: &'static str,
+    noun: &'static str,
+    model: String,
+    price: f64,
+}
+
+impl Product {
+    fn serialize(&self) -> String {
+        format!(
+            "COL title VAL {} {} {} COL brand VAL {} COL price VAL {:.2}",
+            self.brand, self.noun, self.model, self.brand, self.price
+        )
+    }
+}
+
+const SOFTWARE_BRANDS: &[&str] = &[
+    "microsoft", "adobe", "intuit", "symantec", "corel", "apple", "sage", "mcafee",
+    "autodesk", "roxio",
+];
+const SOFTWARE_NOUNS: &[&str] = &[
+    "office suite", "photo studio", "accounting premier", "antivirus", "draw suite",
+    "video studio", "tax deluxe", "security pro", "design standard", "media creator",
+];
+
+const ELECTRONICS_BRANDS: &[&str] =
+    &["sony", "panasonic", "canon", "jvc", "toshiba", "sharp", "philips", "samsung", "lg", "pioneer"];
+const ELECTRONICS_NOUNS: &[&str] = &[
+    "camcorder", "headphones", "dvd player", "av receiver", "bookshelf speaker",
+    "lcd tv", "monitor", "clock radio", "digital camera", "subwoofer",
+];
+
+/// An Amazon-Google-like software-product pair set with `n_pos` positive and
+/// `n_neg` negative pairs.
+pub fn amazon_google_like(n_pos: usize, n_neg: usize, seed: u64) -> Vec<EmPair> {
+    product_pairs(SOFTWARE_BRANDS, SOFTWARE_NOUNS, n_pos, n_neg, seed)
+}
+
+/// An Abt-Buy-like consumer-electronics pair set.
+pub fn abt_buy_like(n_pos: usize, n_neg: usize, seed: u64) -> Vec<EmPair> {
+    product_pairs(ELECTRONICS_BRANDS, ELECTRONICS_NOUNS, n_pos, n_neg, seed)
+}
+
+fn product_pairs(
+    brands: &'static [&'static str],
+    nouns: &'static [&'static str],
+    n_pos: usize,
+    n_neg: usize,
+    seed: u64,
+) -> Vec<EmPair> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n_pos + n_neg);
+    for _ in 0..n_pos {
+        let p = random_product(brands, nouns, &mut rng);
+        let q = perturb_product(&p, &mut rng);
+        out.push(EmPair { a: p.serialize(), b: q.serialize(), matched: true });
+    }
+    for i in 0..n_neg {
+        let p = random_product(brands, nouns, &mut rng);
+        let q = if i % 2 == 0 {
+            // Hard negative: same brand, different product.
+            let mut q = random_product(brands, nouns, &mut rng);
+            q.brand = p.brand;
+            if q.noun == p.noun && q.model == p.model {
+                q.model.push('x');
+            }
+            q
+        } else {
+            random_product(brands, nouns, &mut rng)
+        };
+        // Guard against accidental identity.
+        let matched = p.noun == q.noun && p.model == q.model && p.brand == q.brand;
+        out.push(EmPair { a: p.serialize(), b: q.serialize(), matched });
+    }
+    out
+}
+
+fn random_product(
+    brands: &'static [&'static str],
+    nouns: &'static [&'static str],
+    rng: &mut StdRng,
+) -> Product {
+    let brand = brands[rng.random_range(0..brands.len())];
+    let noun = nouns[rng.random_range(0..nouns.len())];
+    let model = format!(
+        "{}{}-{}",
+        (b'a' + rng.random_range(0..26u8)) as char,
+        (b'a' + rng.random_range(0..26u8)) as char,
+        rng.random_range(100..9999)
+    );
+    let price = (rng.random_range(15.0..900.0f64) * 100.0).round() / 100.0;
+    Product { brand, noun, model, price }
+}
+
+fn perturb_product(p: &Product, rng: &mut StdRng) -> Product {
+    let mut model = p.model.clone();
+    // Typo: drop one character with some probability.
+    if rng.random::<f64>() < 0.3 && model.len() > 3 {
+        let i = rng.random_range(0..model.len());
+        model.remove(i);
+    }
+    // Price jitter within 5%.
+    let price = (p.price * rng.random_range(0.95..1.05) * 100.0).round() / 100.0;
+    Product { brand: p.brand, noun: p.noun, model, price }
+}
+
+/// Builds entity pairs from a generated corpus, as the paper does for its
+/// own datasets: positives are perturbed duplicates of catalog entities,
+/// negatives pair distinct entities (half of them of the same type — the hard
+/// case).
+pub fn em_pairs_from_corpus(corpus: &Corpus, n_pos: usize, n_neg: usize, seed: u64) -> Vec<EmPair> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ents = &corpus.entities;
+    assert!(ents.len() >= 2, "corpus must contain at least two entities");
+    let mut out = Vec::with_capacity(n_pos + n_neg);
+    for _ in 0..n_pos {
+        let e = &ents[rng.random_range(0..ents.len())];
+        let pert = perturb_text(&e.text, &mut rng);
+        out.push(EmPair {
+            a: format!("COL name VAL {} COL type VAL {}", e.text, e.etype.name()),
+            b: format!("COL name VAL {} COL type VAL {}", pert, e.etype.name()),
+            matched: true,
+        });
+    }
+    for i in 0..n_neg {
+        let e = &ents[rng.random_range(0..ents.len())];
+        let candidates: Vec<usize> = (0..ents.len())
+            .filter(|&j| {
+                ents[j].text != e.text && (i % 2 != 0 || ents[j].etype == e.etype)
+            })
+            .collect();
+        if candidates.is_empty() {
+            continue;
+        }
+        let other = &ents[candidates[rng.random_range(0..candidates.len())]];
+        out.push(EmPair {
+            a: format!("COL name VAL {} COL type VAL {}", e.text, e.etype.name()),
+            b: format!("COL name VAL {} COL type VAL {}", other.text, other.etype.name()),
+            matched: false,
+        });
+    }
+    out
+}
+
+/// Perturbs an entity string: abbreviation, token dropout, or typo.
+fn perturb_text(text: &str, rng: &mut StdRng) -> String {
+    let words: Vec<&str> = text.split_whitespace().collect();
+    match rng.random_range(0..3) {
+        // Abbreviate the first word.
+        0 if words.len() >= 2 => {
+            let mut out = vec![format!("{}.", &words[0][..1])];
+            out.extend(words[1..].iter().map(|w| w.to_string()));
+            out.join(" ")
+        }
+        // Drop one word (if possible).
+        1 if words.len() >= 2 => {
+            let drop = rng.random_range(0..words.len());
+            words
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != drop)
+                .map(|(_, w)| w.to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
+        }
+        // Typo: drop a character from the longest word.
+        _ => {
+            let mut s = text.to_string();
+            if s.len() > 3 {
+                let i = rng.random_range(1..s.len() - 1);
+                if s.is_char_boundary(i) && s.is_char_boundary(i + 1) {
+                    s.remove(i);
+                }
+            }
+            s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, Dataset, GenOptions};
+
+    #[test]
+    fn amazon_google_pairs_have_requested_counts() {
+        let pairs = amazon_google_like(50, 50, 1);
+        assert_eq!(pairs.len(), 100);
+        let pos = pairs.iter().filter(|p| p.matched).count();
+        // Negatives may rarely collide into accidental positives; allow
+        // a tiny margin.
+        assert!((48..=55).contains(&pos), "positives: {pos}");
+    }
+
+    #[test]
+    fn positive_pairs_share_most_tokens() {
+        let pairs = abt_buy_like(30, 0, 2);
+        for p in &pairs {
+            let a: std::collections::HashSet<&str> = p.a.split_whitespace().collect();
+            let b: std::collections::HashSet<&str> = p.b.split_whitespace().collect();
+            let inter = a.intersection(&b).count();
+            assert!(inter as f64 >= 0.5 * a.len() as f64, "{} vs {}", p.a, p.b);
+        }
+    }
+
+    #[test]
+    fn serialization_uses_ditto_format() {
+        let pairs = amazon_google_like(1, 0, 3);
+        assert!(pairs[0].a.starts_with("COL title VAL "));
+        assert!(pairs[0].a.contains("COL price VAL "));
+    }
+
+    #[test]
+    fn corpus_pairs_are_generated() {
+        let c = generate(Dataset::CancerKg, &GenOptions { n_tables: Some(30), seed: 4 });
+        let pairs = em_pairs_from_corpus(&c, 20, 20, 5);
+        assert!(pairs.len() >= 35);
+        assert!(pairs.iter().any(|p| p.matched));
+        assert!(pairs.iter().any(|p| !p.matched));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(amazon_google_like(10, 10, 7), amazon_google_like(10, 10, 7));
+        assert_ne!(amazon_google_like(10, 10, 7), amazon_google_like(10, 10, 8));
+    }
+}

@@ -1,0 +1,809 @@
+//! The five dataset profiles (§2.2).
+
+use crate::entities::EType;
+use crate::spec::{AttrKind, AttrSpec, DatasetProfile, TopicSpec};
+use tabbin_table::Unit;
+
+/// The five evaluation datasets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// 20k English web tables: relational plus complex non-relational.
+    Webtables,
+    /// COVID-19 research tables (CORD-19 subset).
+    CovidKg,
+    /// Colorectal-cancer research tables from PubMed.
+    CancerKg,
+    /// 2010 Statistical Abstract of the United States.
+    Saus,
+    /// Crime In the US database.
+    Cius,
+}
+
+impl Dataset {
+    /// All datasets in the paper's reporting order.
+    pub const ALL: [Dataset; 5] =
+        [Dataset::Webtables, Dataset::CovidKg, Dataset::CancerKg, Dataset::Saus, Dataset::Cius];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::Webtables => "Webtables",
+            Dataset::CovidKg => "CovidKG",
+            Dataset::CancerKg => "CancerKG",
+            Dataset::Saus => "SAUS",
+            Dataset::Cius => "CIUS",
+        }
+    }
+}
+
+/// Sequential sem-id allocator so every attribute in a dataset gets a unique
+/// column-clustering label.
+struct Ids(u32);
+
+impl Ids {
+    fn next(&mut self) -> u32 {
+        self.0 += 1;
+        self.0 - 1
+    }
+}
+
+fn words(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| s.to_string()).collect()
+}
+
+/// Builds the profile of a dataset.
+pub fn profile(ds: Dataset) -> DatasetProfile {
+    match ds {
+        Dataset::Webtables => webtables(),
+        Dataset::CovidKg => covidkg(),
+        Dataset::CancerKg => cancerkg(),
+        Dataset::Saus => saus(),
+        Dataset::Cius => cius(),
+    }
+}
+
+fn webtables() -> DatasetProfile {
+    let mut id = Ids(1000);
+    let topics = vec![
+        TopicSpec {
+            name: "cities".into(),
+            attrs: vec![
+                AttrSpec::new(id.next(), &["city", "city name", "municipality"], AttrKind::Entity(EType::City)),
+                AttrSpec::new(id.next(), &["state", "province"], AttrKind::Entity(EType::State)),
+                AttrSpec::new(
+                    id.next(),
+                    &["population", "residents", "pop"],
+                    AttrKind::Number { lo: 20_000.0, hi: 3_000_000.0, decimals: 0, unit: None },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["area", "land area"],
+                    AttrKind::Number { lo: 20.0, hi: 900.0, decimals: 1, unit: Some(Unit::Length) },
+                ),
+                AttrSpec::new(id.next(), &["founded", "year founded"], AttrKind::Year),
+            ],
+            caption_words: words(&["largest", "cities", "by", "population", "list"]),
+            vmd_capable: false,
+            can_nest: false,
+        },
+        TopicSpec {
+            name: "universities".into(),
+            attrs: vec![
+                AttrSpec::new(id.next(), &["university", "institution", "school"], AttrKind::Entity(EType::University)),
+                AttrSpec::new(id.next(), &["city", "location"], AttrKind::Entity(EType::City)),
+                AttrSpec::new(
+                    id.next(),
+                    &["enrollment", "students", "student body"],
+                    AttrKind::Number { lo: 2_000.0, hi: 70_000.0, decimals: 0, unit: None },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["tuition", "annual tuition"],
+                    AttrKind::Number { lo: 6_000.0, hi: 60_000.0, decimals: 0, unit: None },
+                ),
+                AttrSpec::new(id.next(), &["established", "founded"], AttrKind::Year),
+            ],
+            caption_words: words(&["universities", "ranking", "enrollment", "list", "top"]),
+            vmd_capable: false,
+            can_nest: false,
+        },
+        TopicSpec {
+            name: "soccer clubs".into(),
+            attrs: vec![
+                AttrSpec::new(id.next(), &["club", "team", "club name"], AttrKind::Entity(EType::SoccerClub)),
+                AttrSpec::new(id.next(), &["city", "home city"], AttrKind::Entity(EType::City)),
+                AttrSpec::new(
+                    id.next(),
+                    &["points", "pts"],
+                    AttrKind::Number { lo: 10.0, hi: 95.0, decimals: 0, unit: None },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["wins", "won"],
+                    AttrKind::Number { lo: 2.0, hi: 30.0, decimals: 0, unit: None },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["goal difference", "gd"],
+                    AttrKind::Number { lo: -30.0, hi: 60.0, decimals: 0, unit: None },
+                ),
+            ],
+            caption_words: words(&["league", "season", "standings", "soccer", "table"]),
+            vmd_capable: false,
+            can_nest: false,
+        },
+        TopicSpec {
+            name: "magazines".into(),
+            attrs: vec![
+                AttrSpec::new(id.next(), &["magazine", "title", "publication"], AttrKind::Entity(EType::Magazine)),
+                AttrSpec::new(
+                    id.next(),
+                    &["circulation", "copies"],
+                    AttrKind::Number { lo: 5_000.0, hi: 2_000_000.0, decimals: 0, unit: None },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["frequency", "issues per year"],
+                    AttrKind::Number { lo: 4.0, hi: 52.0, decimals: 0, unit: None },
+                ),
+                AttrSpec::new(id.next(), &["first issue", "launched"], AttrKind::Year),
+            ],
+            caption_words: words(&["magazines", "circulation", "list", "publications"]),
+            vmd_capable: false,
+            can_nest: false,
+        },
+        TopicSpec {
+            name: "baseball players".into(),
+            attrs: vec![
+                AttrSpec::new(id.next(), &["player", "name"], AttrKind::Entity(EType::BaseballPlayer)),
+                AttrSpec::new(
+                    id.next(),
+                    &["batting average", "avg"],
+                    AttrKind::Number { lo: 0.2, hi: 0.38, decimals: 3, unit: None },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["home runs", "hr count"],
+                    AttrKind::Number { lo: 0.0, hi: 55.0, decimals: 0, unit: None },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["games", "games played"],
+                    AttrKind::Number { lo: 40.0, hi: 162.0, decimals: 0, unit: None },
+                ),
+            ],
+            caption_words: words(&["baseball", "season", "statistics", "players", "batting"]),
+            vmd_capable: false,
+            can_nest: false,
+        },
+        TopicSpec {
+            name: "music genres".into(),
+            attrs: vec![
+                AttrSpec::new(id.next(), &["genre", "style"], AttrKind::Entity(EType::MusicGenre)),
+                AttrSpec::new(
+                    id.next(),
+                    &["origin decade", "decade"],
+                    AttrKind::Year,
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["typical tempo", "bpm"],
+                    AttrKind::Number { lo: 60.0, hi: 190.0, decimals: 0, unit: None },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["related artists", "notable acts"],
+                    AttrKind::TextPool(words(&[
+                        "various artists", "regional acts", "studio bands", "touring groups",
+                        "session players", "local scenes",
+                    ])),
+                ),
+            ],
+            caption_words: words(&["music", "genres", "overview", "history", "list"]),
+            vmd_capable: false,
+            can_nest: false,
+        },
+        TopicSpec {
+            name: "regions".into(),
+            attrs: vec![
+                AttrSpec::new(id.next(), &["region", "area name"], AttrKind::Entity(EType::State)),
+                AttrSpec::new(
+                    id.next(),
+                    &["median income", "income"],
+                    AttrKind::Number { lo: 38_000.0, hi: 95_000.0, decimals: 0, unit: None },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["unemployment", "jobless rate"],
+                    AttrKind::Number { lo: 2.0, hi: 12.0, decimals: 1, unit: Some(Unit::Stats) },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["growth", "annual growth"],
+                    AttrKind::Number { lo: -2.0, hi: 6.0, decimals: 1, unit: Some(Unit::Stats) },
+                ),
+            ],
+            caption_words: words(&["regions", "economic", "profile", "comparison"]),
+            vmd_capable: true,
+            can_nest: false,
+        },
+    ];
+    DatasetProfile {
+        name: "Webtables",
+        topics,
+        paper_tables: 20_000,
+        paper_avg_rows: 14.45,
+        paper_avg_cols: 5.2,
+        gen_tables: 120,
+        gen_rows: 8,
+        gen_cols: 4,
+        frac_non_relational: 0.15,
+        frac_nested: 0.0,
+    }
+}
+
+fn covidkg() -> DatasetProfile {
+    let mut id = Ids(2000);
+    let topics = vec![
+        TopicSpec {
+            name: "vaccine trials".into(),
+            attrs: vec![
+                AttrSpec::new(id.next(), &["vaccine", "vaccine name", "product"], AttrKind::Entity(EType::Vaccine)),
+                AttrSpec::new(
+                    id.next(),
+                    &["efficacy", "vaccine efficacy", "ve"],
+                    AttrKind::Number { lo: 50.0, hi: 97.0, decimals: 1, unit: Some(Unit::Stats) },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["participants", "enrolled", "n"],
+                    AttrKind::Number { lo: 500.0, hi: 45_000.0, decimals: 0, unit: None },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["doses", "dose count"],
+                    AttrKind::Number { lo: 1.0, hi: 3.0, decimals: 0, unit: Some(Unit::Capacity) },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["follow up", "follow-up period"],
+                    AttrKind::RangeVal { lo: 1.0, hi: 24.0, unit: Some(Unit::Time) },
+                ),
+                AttrSpec::new(id.next(), &["efficacy details", "subgroup results"], AttrKind::NestedEfficacy),
+            ],
+            caption_words: words(&["vaccine", "efficacy", "trial", "phase", "interim", "analysis"]),
+            vmd_capable: true,
+            can_nest: true,
+        },
+        TopicSpec {
+            name: "variant surveillance".into(),
+            attrs: vec![
+                AttrSpec::new(id.next(), &["variant", "lineage", "strain"], AttrKind::Entity(EType::Variant)),
+                AttrSpec::new(
+                    id.next(),
+                    &["prevalence", "share of cases"],
+                    AttrKind::Number { lo: 0.5, hi: 90.0, decimals: 1, unit: Some(Unit::Stats) },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["transmissibility", "r estimate"],
+                    AttrKind::GaussianVal { mean_lo: 0.8, mean_hi: 3.2, unit: Some(Unit::Stats) },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["first detected", "detection year"],
+                    AttrKind::Year,
+                ),
+            ],
+            caption_words: words(&["variant", "surveillance", "genomic", "prevalence", "report"]),
+            vmd_capable: true,
+            can_nest: false,
+        },
+        TopicSpec {
+            name: "symptom prevalence".into(),
+            attrs: vec![
+                AttrSpec::new(id.next(), &["symptom", "reported symptom"], AttrKind::Entity(EType::Symptom)),
+                AttrSpec::new(
+                    id.next(),
+                    &["prevalence", "frequency"],
+                    AttrKind::Number { lo: 1.0, hi: 85.0, decimals: 1, unit: Some(Unit::Stats) },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["duration", "median duration"],
+                    AttrKind::RangeVal { lo: 1.0, hi: 30.0, unit: Some(Unit::Time) },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["severity score", "severity"],
+                    AttrKind::GaussianVal { mean_lo: 1.0, mean_hi: 8.0, unit: None },
+                ),
+            ],
+            caption_words: words(&["symptoms", "cohort", "prevalence", "clinical", "study"]),
+            vmd_capable: true,
+            can_nest: false,
+        },
+        TopicSpec {
+            name: "testing statistics".into(),
+            attrs: vec![
+                AttrSpec::new(id.next(), &["state", "jurisdiction"], AttrKind::Entity(EType::State)),
+                AttrSpec::new(
+                    id.next(),
+                    &["tests performed", "total tests"],
+                    AttrKind::Number { lo: 10_000.0, hi: 9_000_000.0, decimals: 0, unit: None },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["positivity", "positivity rate"],
+                    AttrKind::Number { lo: 0.5, hi: 30.0, decimals: 1, unit: Some(Unit::Stats) },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["turnaround", "result turnaround"],
+                    AttrKind::Number { lo: 0.5, hi: 7.0, decimals: 1, unit: Some(Unit::Time) },
+                ),
+            ],
+            caption_words: words(&["testing", "statistics", "weekly", "report", "laboratory"]),
+            vmd_capable: true,
+            can_nest: false,
+        },
+    ];
+    DatasetProfile {
+        name: "CovidKG",
+        topics,
+        paper_tables: 20_000,
+        paper_avg_rows: 12.0,
+        paper_avg_cols: 10.0,
+        gen_tables: 120,
+        gen_rows: 7,
+        gen_cols: 5,
+        frac_non_relational: 0.45,
+        frac_nested: 0.45,
+    }
+}
+
+fn cancerkg() -> DatasetProfile {
+    let mut id = Ids(3000);
+    let topics = vec![
+        TopicSpec {
+            name: "drug efficacy".into(),
+            attrs: vec![
+                AttrSpec::new(id.next(), &["drug", "agent", "treatment arm"], AttrKind::Entity(EType::Drug)),
+                AttrSpec::new(
+                    id.next(),
+                    &["overall survival", "os", "median os"],
+                    AttrKind::Number { lo: 4.0, hi: 36.0, decimals: 1, unit: Some(Unit::Time) },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["progression free survival", "pfs"],
+                    AttrKind::RangeVal { lo: 1.0, hi: 15.0, unit: Some(Unit::Time) },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["hazard ratio", "hr"],
+                    AttrKind::GaussianVal { mean_lo: 0.4, mean_hi: 1.2, unit: Some(Unit::Stats) },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["patients", "n", "sample size"],
+                    AttrKind::Number { lo: 20.0, hi: 1_200.0, decimals: 0, unit: None },
+                ),
+                AttrSpec::new(id.next(), &["efficacy end point", "subgroup efficacy"], AttrKind::NestedEfficacy),
+            ],
+            caption_words: words(&["efficacy", "colorectal", "cancer", "trial", "survival", "treatment"]),
+            vmd_capable: true,
+            can_nest: true,
+        },
+        TopicSpec {
+            name: "cohort outcomes".into(),
+            attrs: vec![
+                AttrSpec::new(id.next(), &["cohort", "patient group"], AttrKind::TextPool(words(&[
+                    "previously untreated", "second line", "refractory", "elderly",
+                    "metastatic", "adjuvant", "maintenance", "first line",
+                ]))),
+                AttrSpec::new(
+                    id.next(),
+                    &["age", "median age"],
+                    AttrKind::RangeVal { lo: 30.0, hi: 85.0, unit: Some(Unit::Time) },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["response rate", "orr"],
+                    AttrKind::Number { lo: 5.0, hi: 70.0, decimals: 1, unit: Some(Unit::Stats) },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["weight", "median weight"],
+                    AttrKind::Number { lo: 45.0, hi: 110.0, decimals: 1, unit: Some(Unit::Weight) },
+                ),
+            ],
+            caption_words: words(&["cohort", "outcomes", "patients", "colorectal", "analysis"]),
+            vmd_capable: true,
+            can_nest: false,
+        },
+        TopicSpec {
+            name: "adverse events".into(),
+            attrs: vec![
+                AttrSpec::new(id.next(), &["adverse event", "toxicity", "event"], AttrKind::Entity(EType::Symptom)),
+                AttrSpec::new(
+                    id.next(),
+                    &["grade 3-4 rate", "severe rate"],
+                    AttrKind::Number { lo: 0.5, hi: 45.0, decimals: 1, unit: Some(Unit::Stats) },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["any grade rate", "all grade"],
+                    AttrKind::Number { lo: 5.0, hi: 95.0, decimals: 1, unit: Some(Unit::Stats) },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["onset", "time to onset"],
+                    AttrKind::RangeVal { lo: 1.0, hi: 20.0, unit: Some(Unit::Time) },
+                ),
+            ],
+            caption_words: words(&["adverse", "events", "safety", "toxicity", "profile"]),
+            vmd_capable: true,
+            can_nest: false,
+        },
+        TopicSpec {
+            name: "screening statistics".into(),
+            attrs: vec![
+                AttrSpec::new(id.next(), &["screening method", "modality"], AttrKind::Entity(EType::Treatment)),
+                AttrSpec::new(
+                    id.next(),
+                    &["sensitivity", "sens"],
+                    AttrKind::Number { lo: 40.0, hi: 99.0, decimals: 1, unit: Some(Unit::Stats) },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["specificity", "spec"],
+                    AttrKind::Number { lo: 60.0, hi: 99.5, decimals: 1, unit: Some(Unit::Stats) },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["interval", "screening interval"],
+                    AttrKind::Number { lo: 1.0, hi: 10.0, decimals: 0, unit: Some(Unit::Time) },
+                ),
+            ],
+            caption_words: words(&["screening", "detection", "colorectal", "statistics", "program"]),
+            vmd_capable: true,
+            can_nest: false,
+        },
+        TopicSpec {
+            name: "survival analysis".into(),
+            attrs: vec![
+                AttrSpec::new(id.next(), &["hospital", "center", "site"], AttrKind::Entity(EType::Hospital)),
+                AttrSpec::new(
+                    id.next(),
+                    &["five year survival", "5y survival"],
+                    AttrKind::Number { lo: 10.0, hi: 90.0, decimals: 1, unit: Some(Unit::Stats) },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["median follow up", "follow up"],
+                    AttrKind::Number { lo: 6.0, hi: 120.0, decimals: 0, unit: Some(Unit::Time) },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["cases", "case volume"],
+                    AttrKind::Number { lo: 50.0, hi: 5_000.0, decimals: 0, unit: None },
+                ),
+            ],
+            caption_words: words(&["survival", "analysis", "registry", "colorectal", "centers"]),
+            vmd_capable: true,
+            can_nest: false,
+        },
+    ];
+    DatasetProfile {
+        name: "CancerKG",
+        topics,
+        paper_tables: 44_523,
+        paper_avg_rows: 12.0,
+        paper_avg_cols: 10.0,
+        gen_tables: 140,
+        gen_rows: 7,
+        gen_cols: 5,
+        frac_non_relational: 0.45,
+        frac_nested: 0.45,
+    }
+}
+
+fn saus() -> DatasetProfile {
+    let mut id = Ids(4000);
+    let topics = vec![
+        TopicSpec {
+            name: "finance".into(),
+            attrs: vec![
+                AttrSpec::new(id.next(), &["state", "area"], AttrKind::Entity(EType::State)),
+                AttrSpec::new(
+                    id.next(),
+                    &["revenue", "total revenue"],
+                    AttrKind::Number { lo: 1_000.0, hi: 400_000.0, decimals: 0, unit: None },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["expenditure", "total expenditure"],
+                    AttrKind::Number { lo: 1_000.0, hi: 380_000.0, decimals: 0, unit: None },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["debt ratio", "debt to revenue"],
+                    AttrKind::Number { lo: 1.0, hi: 60.0, decimals: 1, unit: Some(Unit::Stats) },
+                ),
+                AttrSpec::new(id.next(), &["fiscal year", "year"], AttrKind::Year),
+            ],
+            caption_words: words(&["state", "government", "finances", "abstract", "statistical"]),
+            vmd_capable: true,
+            can_nest: false,
+        },
+        TopicSpec {
+            name: "business".into(),
+            attrs: vec![
+                AttrSpec::new(id.next(), &["industry", "sector"], AttrKind::Entity(EType::Industry)),
+                AttrSpec::new(
+                    id.next(),
+                    &["establishments", "firms"],
+                    AttrKind::Number { lo: 1_000.0, hi: 800_000.0, decimals: 0, unit: None },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["employees", "paid employees"],
+                    AttrKind::Number { lo: 10_000.0, hi: 18_000_000.0, decimals: 0, unit: None },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["payroll", "annual payroll"],
+                    AttrKind::Number { lo: 500.0, hi: 900_000.0, decimals: 0, unit: None },
+                ),
+            ],
+            caption_words: words(&["business", "establishments", "employees", "industry", "abstract"]),
+            vmd_capable: true,
+            can_nest: false,
+        },
+        TopicSpec {
+            name: "agriculture".into(),
+            attrs: vec![
+                AttrSpec::new(id.next(), &["crop", "commodity"], AttrKind::Entity(EType::Crop)),
+                AttrSpec::new(
+                    id.next(),
+                    &["production", "output"],
+                    AttrKind::Number { lo: 100.0, hi: 400_000.0, decimals: 0, unit: Some(Unit::Weight) },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["acreage", "harvested acres"],
+                    AttrKind::Number { lo: 50.0, hi: 90_000.0, decimals: 0, unit: Some(Unit::Length) },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["price", "unit price"],
+                    AttrKind::Number { lo: 2.0, hi: 600.0, decimals: 2, unit: None },
+                ),
+            ],
+            caption_words: words(&["agriculture", "crops", "production", "farm", "statistics"]),
+            vmd_capable: true,
+            can_nest: false,
+        },
+        TopicSpec {
+            name: "health care".into(),
+            attrs: vec![
+                AttrSpec::new(id.next(), &["state", "region"], AttrKind::Entity(EType::State)),
+                AttrSpec::new(
+                    id.next(),
+                    &["physicians", "active physicians"],
+                    AttrKind::Number { lo: 500.0, hi: 110_000.0, decimals: 0, unit: None },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["hospital beds", "beds"],
+                    AttrKind::Number { lo: 800.0, hi: 75_000.0, decimals: 0, unit: None },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["uninsured", "uninsured rate"],
+                    AttrKind::Number { lo: 3.0, hi: 26.0, decimals: 1, unit: Some(Unit::Stats) },
+                ),
+            ],
+            caption_words: words(&["health", "care", "resources", "state", "abstract"]),
+            vmd_capable: true,
+            can_nest: false,
+        },
+        TopicSpec {
+            name: "crime".into(),
+            attrs: vec![
+                AttrSpec::new(id.next(), &["offense", "crime"], AttrKind::Entity(EType::Crime)),
+                AttrSpec::new(
+                    id.next(),
+                    &["incidents", "reported incidents"],
+                    AttrKind::Number { lo: 100.0, hi: 1_500_000.0, decimals: 0, unit: None },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["rate per 100k", "rate"],
+                    AttrKind::Number { lo: 1.0, hi: 3_500.0, decimals: 1, unit: Some(Unit::Stats) },
+                ),
+                AttrSpec::new(id.next(), &["year", "reporting year"], AttrKind::Year),
+            ],
+            caption_words: words(&["crime", "offenses", "reported", "statistics", "national"]),
+            vmd_capable: true,
+            can_nest: false,
+        },
+    ];
+    DatasetProfile {
+        name: "SAUS",
+        topics,
+        paper_tables: 1_320,
+        paper_avg_rows: 52.5,
+        paper_avg_cols: 17.7,
+        gen_tables: 100,
+        gen_rows: 10,
+        gen_cols: 5,
+        frac_non_relational: 0.50,
+        frac_nested: 0.0,
+    }
+}
+
+fn cius() -> DatasetProfile {
+    let mut id = Ids(5000);
+    let topics = vec![
+        TopicSpec {
+            name: "offenses by state".into(),
+            attrs: vec![
+                AttrSpec::new(id.next(), &["state", "state name"], AttrKind::Entity(EType::State)),
+                AttrSpec::new(
+                    id.next(),
+                    &["violent crime", "violent crime total"],
+                    AttrKind::Number { lo: 200.0, hi: 180_000.0, decimals: 0, unit: None },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["property crime", "property crime total"],
+                    AttrKind::Number { lo: 2_000.0, hi: 1_100_000.0, decimals: 0, unit: None },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["violent rate", "violent crime rate"],
+                    AttrKind::Number { lo: 50.0, hi: 900.0, decimals: 1, unit: Some(Unit::Stats) },
+                ),
+            ],
+            caption_words: words(&["crime", "united", "states", "offenses", "by", "state"]),
+            vmd_capable: true,
+            can_nest: false,
+        },
+        TopicSpec {
+            name: "offenses by year".into(),
+            attrs: vec![
+                AttrSpec::new(id.next(), &["year", "calendar year"], AttrKind::Year),
+                AttrSpec::new(
+                    id.next(),
+                    &["murders", "murder count"],
+                    AttrKind::Number { lo: 100.0, hi: 25_000.0, decimals: 0, unit: None },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["robberies", "robbery count"],
+                    AttrKind::Number { lo: 5_000.0, hi: 700_000.0, decimals: 0, unit: None },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["burglaries", "burglary count"],
+                    AttrKind::Number { lo: 50_000.0, hi: 2_500_000.0, decimals: 0, unit: None },
+                ),
+            ],
+            caption_words: words(&["crime", "trend", "annual", "offenses", "by", "year"]),
+            vmd_capable: true,
+            can_nest: false,
+        },
+        TopicSpec {
+            name: "arrests".into(),
+            attrs: vec![
+                AttrSpec::new(id.next(), &["offense", "offense charged"], AttrKind::Entity(EType::Crime)),
+                AttrSpec::new(
+                    id.next(),
+                    &["arrests", "total arrests"],
+                    AttrKind::Number { lo: 500.0, hi: 1_200_000.0, decimals: 0, unit: None },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["under 18", "juvenile arrests"],
+                    AttrKind::Number { lo: 10.0, hi: 150_000.0, decimals: 0, unit: None },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["arrest rate", "rate"],
+                    AttrKind::Number { lo: 1.0, hi: 2_500.0, decimals: 1, unit: Some(Unit::Stats) },
+                ),
+            ],
+            caption_words: words(&["arrests", "crime", "offense", "estimated", "national"]),
+            vmd_capable: true,
+            can_nest: false,
+        },
+        TopicSpec {
+            name: "clearances".into(),
+            attrs: vec![
+                AttrSpec::new(id.next(), &["offense", "offense type"], AttrKind::Entity(EType::Crime)),
+                AttrSpec::new(
+                    id.next(),
+                    &["clearance rate", "percent cleared"],
+                    AttrKind::Number { lo: 5.0, hi: 70.0, decimals: 1, unit: Some(Unit::Stats) },
+                ),
+                AttrSpec::new(
+                    id.next(),
+                    &["cleared", "offenses cleared"],
+                    AttrKind::Number { lo: 100.0, hi: 500_000.0, decimals: 0, unit: None },
+                ),
+            ],
+            caption_words: words(&["clearances", "offenses", "cleared", "arrest", "crime"]),
+            vmd_capable: true,
+            can_nest: false,
+        },
+    ];
+    DatasetProfile {
+        name: "CIUS",
+        topics,
+        paper_tables: 489,
+        paper_avg_rows: 68.4,
+        paper_avg_cols: 12.7,
+        gen_tables: 90,
+        gen_rows: 10,
+        gen_cols: 4,
+        frac_non_relational: 0.60,
+        frac_nested: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn all_profiles_build() {
+        for ds in Dataset::ALL {
+            let p = profile(ds);
+            assert!(!p.topics.is_empty(), "{} has no topics", p.name);
+            assert!(p.gen_tables >= 50);
+        }
+    }
+
+    #[test]
+    fn sem_ids_are_globally_unique() {
+        let mut seen = HashSet::new();
+        for ds in Dataset::ALL {
+            for topic in profile(ds).topics {
+                for attr in topic.attrs {
+                    assert!(seen.insert(attr.sem_id), "duplicate sem_id {}", attr.sem_id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_topic_has_synonymous_attributes() {
+        for ds in Dataset::ALL {
+            for topic in profile(ds).topics {
+                assert!(topic.attrs.len() >= 3, "{} too few attrs", topic.name);
+                for attr in &topic.attrs {
+                    assert!(!attr.names.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn medical_datasets_are_mostly_non_relational_capable() {
+        for ds in [Dataset::CovidKg, Dataset::CancerKg] {
+            let p = profile(ds);
+            assert!(p.frac_non_relational >= 0.4, "paper: >40% non-relational in {}", p.name);
+            assert!(p.topics.iter().any(|t| t.can_nest) || p.frac_nested == 0.0);
+        }
+    }
+
+    #[test]
+    fn nesting_only_where_declared() {
+        let p = profile(Dataset::Saus);
+        assert_eq!(p.frac_nested, 0.0);
+        assert!(p.topics.iter().all(|t| !t.can_nest));
+    }
+}

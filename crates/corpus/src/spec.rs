@@ -1,0 +1,146 @@
+//! Generation specifications: attribute kinds, topic specs, dataset profiles.
+
+use crate::entities::EType;
+use tabbin_table::Unit;
+
+/// How a column's values are produced.
+#[derive(Clone, Debug)]
+pub enum AttrKind {
+    /// Values drawn from a fixed word pool.
+    TextPool(Vec<String>),
+    /// Values drawn from an entity pool (this column defines the table's key
+    /// entities and feeds the entity catalogs).
+    Entity(EType),
+    /// Numbers from `lo..hi` with `decimals` fractional digits and an
+    /// optional unit.
+    Number {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+        /// Fractional digits.
+        decimals: u8,
+        /// Unit family.
+        unit: Option<Unit>,
+    },
+    /// Ranges `lo..hi` (start < end, same distribution).
+    RangeVal {
+        /// Lower bound of starts.
+        lo: f64,
+        /// Upper bound of ends.
+        hi: f64,
+        /// Unit family.
+        unit: Option<Unit>,
+    },
+    /// Gaussian summaries `mean ± std`.
+    GaussianVal {
+        /// Lower bound of means.
+        mean_lo: f64,
+        /// Upper bound of means.
+        mean_hi: f64,
+        /// Unit family.
+        unit: Option<Unit>,
+    },
+    /// The cell hosts a small nested efficacy table (CancerKG/CovidKG style).
+    NestedEfficacy,
+    /// Calendar years.
+    Year,
+}
+
+impl AttrKind {
+    /// Whether columns of this kind count as numeric for the paper's
+    /// textual-vs-numerical split.
+    pub fn is_numeric(&self) -> bool {
+        matches!(
+            self,
+            AttrKind::Number { .. }
+                | AttrKind::RangeVal { .. }
+                | AttrKind::GaussianVal { .. }
+                | AttrKind::Year
+        )
+    }
+}
+
+/// One attribute template within a topic.
+#[derive(Clone, Debug)]
+pub struct AttrSpec {
+    /// Global semantic id — the ground-truth label for column clustering.
+    pub sem_id: u32,
+    /// Name synonyms; each generated table samples one.
+    pub names: Vec<String>,
+    /// Value generator.
+    pub kind: AttrKind,
+}
+
+impl AttrSpec {
+    /// Convenience constructor.
+    pub fn new(sem_id: u32, names: &[&str], kind: AttrKind) -> Self {
+        Self { sem_id, names: names.iter().map(|s| s.to_string()).collect(), kind }
+    }
+}
+
+/// One table topic — the ground-truth label for table clustering.
+#[derive(Clone, Debug)]
+pub struct TopicSpec {
+    /// Topic name.
+    pub name: String,
+    /// Attribute inventory; generated tables sample a subset (always
+    /// retaining the first attribute, the topic's key).
+    pub attrs: Vec<AttrSpec>,
+    /// Caption vocabulary (mixed with shared filler words).
+    pub caption_words: Vec<String>,
+    /// Whether tables of this topic may take the VMD (bi-dimensional) form.
+    pub vmd_capable: bool,
+    /// Whether tables of this topic may host nested efficacy tables.
+    pub can_nest: bool,
+}
+
+/// A dataset profile: topics plus structural statistics. The `paper_*`
+/// fields document the original corpus for reporting; the `gen_*` fields are
+/// the scaled-down generation parameters.
+#[derive(Clone, Debug)]
+pub struct DatasetProfile {
+    /// Dataset display name.
+    pub name: &'static str,
+    /// Topics.
+    pub topics: Vec<TopicSpec>,
+    /// Original table count reported in the paper (§2.2).
+    pub paper_tables: usize,
+    /// Original average rows.
+    pub paper_avg_rows: f64,
+    /// Original average columns.
+    pub paper_avg_cols: f64,
+    /// Default generated table count (scaled).
+    pub gen_tables: usize,
+    /// Mean generated data rows.
+    pub gen_rows: usize,
+    /// Mean generated data columns.
+    pub gen_cols: usize,
+    /// Probability that a table takes a non-relational (VMD) form.
+    pub frac_non_relational: f64,
+    /// Probability that a table of a nesting-capable topic hosts nesting
+    /// (corpus-level nesting rate = this times the share of capable topics).
+    pub frac_nested: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attr_kind_numeric_split() {
+        assert!(AttrKind::Number { lo: 0.0, hi: 1.0, decimals: 1, unit: None }.is_numeric());
+        assert!(AttrKind::Year.is_numeric());
+        assert!(AttrKind::RangeVal { lo: 0.0, hi: 1.0, unit: None }.is_numeric());
+        assert!(!AttrKind::TextPool(vec![]).is_numeric());
+        assert!(!AttrKind::Entity(EType::Drug).is_numeric());
+        assert!(!AttrKind::NestedEfficacy.is_numeric());
+    }
+
+    #[test]
+    fn attr_spec_constructor_copies_names() {
+        let a = AttrSpec::new(7, &["os", "overall survival"], AttrKind::Year);
+        assert_eq!(a.sem_id, 7);
+        assert_eq!(a.names.len(), 2);
+    }
+}

@@ -1,0 +1,107 @@
+//! Corpus statistics for experiment reporting.
+
+use crate::generator::Corpus;
+use tabbin_table::TableKind;
+
+/// Aggregate statistics of a generated corpus, mirroring the dataset
+/// descriptions of §2.2.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CorpusStats {
+    /// Table count.
+    pub n_tables: usize,
+    /// Plain relational tables.
+    pub n_relational: usize,
+    /// Tables with hierarchical HMD only.
+    pub n_hmd_hierarchical: usize,
+    /// Bi-dimensional (VMD-carrying) tables.
+    pub n_bin: usize,
+    /// Tables hosting at least one nested table.
+    pub n_nested: usize,
+    /// Total data columns.
+    pub n_columns: usize,
+    /// Numeric data columns.
+    pub n_numeric_columns: usize,
+    /// Mean data rows per table.
+    pub avg_rows: f64,
+    /// Mean data columns per table.
+    pub avg_cols: f64,
+}
+
+impl CorpusStats {
+    /// Fraction of non-relational tables.
+    pub fn frac_non_relational(&self) -> f64 {
+        if self.n_tables == 0 {
+            0.0
+        } else {
+            (self.n_tables - self.n_relational) as f64 / self.n_tables as f64
+        }
+    }
+
+    /// Fraction of tables with nesting.
+    pub fn frac_nested(&self) -> f64 {
+        if self.n_tables == 0 {
+            0.0
+        } else {
+            self.n_nested as f64 / self.n_tables as f64
+        }
+    }
+}
+
+/// Computes statistics over a corpus.
+pub fn corpus_stats(corpus: &Corpus) -> CorpusStats {
+    let mut s = CorpusStats { n_tables: corpus.tables.len(), ..Default::default() };
+    let mut rows = 0usize;
+    let mut cols = 0usize;
+    for lt in &corpus.tables {
+        match lt.table.kind() {
+            TableKind::Relational => s.n_relational += 1,
+            TableKind::HmdHierarchical => s.n_hmd_hierarchical += 1,
+            TableKind::BiN => s.n_bin += 1,
+        }
+        if lt.table.has_nesting() {
+            s.n_nested += 1;
+        }
+        rows += lt.table.n_rows();
+        cols += lt.table.n_cols();
+        s.n_columns += lt.table.n_cols();
+        s.n_numeric_columns += lt.column_numeric.iter().filter(|&&b| b).count();
+    }
+    if s.n_tables > 0 {
+        s.avg_rows = rows as f64 / s.n_tables as f64;
+        s.avg_cols = cols as f64 / s.n_tables as f64;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, Dataset, GenOptions};
+
+    #[test]
+    fn stats_add_up() {
+        let c = generate(Dataset::CancerKg, &GenOptions { n_tables: Some(60), seed: 1 });
+        let s = corpus_stats(&c);
+        assert_eq!(s.n_tables, 60);
+        assert_eq!(s.n_relational + s.n_hmd_hierarchical + s.n_bin, 60);
+        assert!(s.avg_rows > 1.0);
+        assert!(s.avg_cols > 1.0);
+        assert!(s.n_numeric_columns <= s.n_columns);
+    }
+
+    #[test]
+    fn fractions_are_probabilities() {
+        let c = generate(Dataset::CovidKg, &GenOptions { n_tables: Some(50), seed: 2 });
+        let s = corpus_stats(&c);
+        assert!((0.0..=1.0).contains(&s.frac_non_relational()));
+        assert!((0.0..=1.0).contains(&s.frac_nested()));
+    }
+
+    #[test]
+    fn empty_corpus_stats() {
+        let c = generate(Dataset::Cius, &GenOptions { n_tables: Some(0), seed: 3 });
+        let s = corpus_stats(&c);
+        assert_eq!(s.n_tables, 0);
+        assert_eq!(s.frac_non_relational(), 0.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! The paper's retrieval-clustering evaluation protocol.
+//!
+//! For each query item, rank the remaining corpus by cosine similarity; the
+//! top-20 form the query's cluster. Relevance is "same ground-truth label".
+//! MAP@20 / MRR@20 are averaged over the sampled queries (§4.1–§4.3).
+//! Topic-centroid variants (table clustering, §4.2) rank against the mean
+//! vector of a topic's members instead of an individual item.
+
+use crate::metrics::{map_at_k, mrr_at_k};
+use crate::similarity::rank_by_cosine;
+
+/// The joint MAP/MRR result of one evaluation.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RetrievalEval {
+    /// Mean average precision at the cutoff.
+    pub map: f64,
+    /// Mean reciprocal rank at the cutoff.
+    pub mrr: f64,
+    /// Number of queries evaluated.
+    pub queries: usize,
+}
+
+impl RetrievalEval {
+    /// Formats as the paper's tables do: `0.87/0.93`.
+    pub fn render(&self) -> String {
+        format!("{:.2}/{:.2}", self.map, self.mrr)
+    }
+}
+
+/// Evaluates item-as-query retrieval: every index in `query_indices` ranks
+/// the rest of `items`; `labels[i] == labels[j]` defines relevance.
+pub fn evaluate_retrieval<L: PartialEq>(
+    items: &[Vec<f32>],
+    labels: &[L],
+    query_indices: &[usize],
+    k: usize,
+) -> RetrievalEval {
+    assert_eq!(items.len(), labels.len(), "item/label length mismatch");
+    let mut queries = Vec::with_capacity(query_indices.len());
+    for &q in query_indices {
+        let ranked = rank_by_cosine(&items[q], items, Some(q));
+        let rels: Vec<bool> = ranked.iter().map(|&i| labels[i] == labels[q]).collect();
+        let total = labels.iter().enumerate().filter(|(i, l)| *i != q && **l == labels[q]).count();
+        queries.push((rels, total));
+    }
+    RetrievalEval {
+        map: map_at_k(&queries, k),
+        mrr: mrr_at_k(&queries, k),
+        queries: query_indices.len(),
+    }
+}
+
+/// Evaluates centroid-as-query retrieval (the paper's TC protocol): for each
+/// distinct label among `centroid_labels`, the centroid of its members ranks
+/// the whole corpus.
+pub fn evaluate_centroid_retrieval<L: PartialEq + Clone>(
+    items: &[Vec<f32>],
+    labels: &[L],
+    centroid_labels: &[L],
+    k: usize,
+) -> RetrievalEval {
+    assert_eq!(items.len(), labels.len(), "item/label length mismatch");
+    let mut queries = Vec::new();
+    for topic in centroid_labels {
+        let members: Vec<&Vec<f32>> = items
+            .iter()
+            .zip(labels)
+            .filter(|(_, l)| *l == topic)
+            .map(|(v, _)| v)
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        let dim = members[0].len();
+        let mut centroid = vec![0.0f32; dim];
+        for m in &members {
+            for (c, x) in centroid.iter_mut().zip(m.iter()) {
+                *c += x;
+            }
+        }
+        for c in &mut centroid {
+            *c /= members.len() as f32;
+        }
+        let ranked = rank_by_cosine(&centroid, items, None);
+        let rels: Vec<bool> = ranked.iter().map(|&i| labels[i] == *topic).collect();
+        let total = labels.iter().filter(|l| **l == *topic).count();
+        queries.push((rels, total));
+    }
+    RetrievalEval { map: map_at_k(&queries, k), mrr: mrr_at_k(&queries, k), queries: queries.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three tight clusters in 2D.
+    fn toy() -> (Vec<Vec<f32>>, Vec<usize>) {
+        let mut items = Vec::new();
+        let mut labels = Vec::new();
+        let dirs = [(1.0f32, 0.0f32), (0.0, 1.0), (-1.0, 0.2)];
+        for (c, (x, y)) in dirs.iter().enumerate() {
+            for j in 0..4 {
+                let eps = j as f32 * 0.01;
+                items.push(vec![x + eps, y + eps]);
+                labels.push(c);
+            }
+        }
+        (items, labels)
+    }
+
+    #[test]
+    fn perfect_clusters_score_one() {
+        let (items, labels) = toy();
+        let queries: Vec<usize> = (0..items.len()).collect();
+        let eval = evaluate_retrieval(&items, &labels, &queries, 20);
+        assert!(eval.map > 0.99, "map {}", eval.map);
+        assert!(eval.mrr > 0.99, "mrr {}", eval.mrr);
+        assert_eq!(eval.queries, 12);
+    }
+
+    #[test]
+    fn random_embeddings_score_low() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let items: Vec<Vec<f32>> = (0..60)
+            .map(|_| (0..8).map(|_| rng.random_range(-1.0f32..1.0)).collect())
+            .collect();
+        // 6 labels, 10 members each.
+        let labels: Vec<usize> = (0..60).map(|i| i % 6).collect();
+        let queries: Vec<usize> = (0..60).collect();
+        let eval = evaluate_retrieval(&items, &labels, &queries, 20);
+        assert!(eval.map < 0.5, "random should not cluster well: {}", eval.map);
+    }
+
+    #[test]
+    fn centroid_retrieval_matches_item_retrieval_on_tight_clusters() {
+        let (items, labels) = toy();
+        let eval = evaluate_centroid_retrieval(&items, &labels, &[0, 1, 2], 20);
+        assert!(eval.map > 0.99);
+        assert_eq!(eval.queries, 3);
+    }
+
+    #[test]
+    fn centroid_of_missing_label_is_skipped() {
+        let (items, labels) = toy();
+        let eval = evaluate_centroid_retrieval(&items, &labels, &[0, 99], 20);
+        assert_eq!(eval.queries, 1);
+    }
+
+    #[test]
+    fn render_formats_two_decimals() {
+        let e = RetrievalEval { map: 0.876, mrr: 0.934, queries: 10 };
+        assert_eq!(e.render(), "0.88/0.93");
+    }
+}

@@ -1,0 +1,20 @@
+//! Evaluation substrate for the TabBiN reproduction.
+//!
+//! * [`metrics`] — AP@K / MAP@K / MRR@K (the paper reports MAP@20 and
+//!   MRR@20), precision/recall/F1.
+//! * [`similarity`] — cosine similarity and ranking.
+//! * [`lsh`] — random-hyperplane LSH with banded blocking, used to avoid the
+//!   quadratic all-pairs comparison in column clustering (§4.1).
+//! * [`clustering`] — the paper's retrieval-style clustering protocol: rank
+//!   the corpus by cosine similarity against a query (or a topic centroid)
+//!   and take the top-20 as the cluster.
+
+pub mod clustering;
+pub mod lsh;
+pub mod metrics;
+pub mod similarity;
+
+pub use clustering::{evaluate_retrieval, RetrievalEval};
+pub use lsh::LshIndex;
+pub use metrics::{ap_at_k, f1_score, map_at_k, mrr_at_k, PrecisionRecall};
+pub use similarity::{center, cosine, normalize, rank_by_cosine};

@@ -1,0 +1,189 @@
+//! Ranking and classification metrics.
+
+/// Average precision at cutoff `k` over a ranked relevance list.
+///
+/// `ranked[i]` is the relevance of the i-th retrieved item. Follows the
+/// standard definition: mean over relevant *retrieved* positions of the
+/// precision at that position, normalized by `min(k, total_relevant)`.
+/// Returns 0.0 when nothing relevant exists.
+pub fn ap_at_k(ranked: &[bool], total_relevant: usize, k: usize) -> f64 {
+    if total_relevant == 0 || k == 0 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0f64;
+    for (i, &rel) in ranked.iter().take(k).enumerate() {
+        if rel {
+            hits += 1;
+            sum += hits as f64 / (i + 1) as f64;
+        }
+    }
+    sum / total_relevant.min(k) as f64
+}
+
+/// Reciprocal rank at cutoff `k`: `1 / rank` of the first relevant item, or
+/// 0.0 if none appears in the top `k`.
+pub fn rr_at_k(ranked: &[bool], k: usize) -> f64 {
+    for (i, &rel) in ranked.iter().take(k).enumerate() {
+        if rel {
+            return 1.0 / (i + 1) as f64;
+        }
+    }
+    0.0
+}
+
+/// Mean average precision at `k` over multiple queries; each query supplies
+/// its ranked relevance list and its total relevant count.
+pub fn map_at_k(queries: &[(Vec<bool>, usize)], k: usize) -> f64 {
+    if queries.is_empty() {
+        return 0.0;
+    }
+    queries.iter().map(|(r, total)| ap_at_k(r, *total, k)).sum::<f64>() / queries.len() as f64
+}
+
+/// Mean reciprocal rank at `k` over multiple queries.
+pub fn mrr_at_k(queries: &[(Vec<bool>, usize)], k: usize) -> f64 {
+    if queries.is_empty() {
+        return 0.0;
+    }
+    queries.iter().map(|(r, _)| rr_at_k(r, k)).sum::<f64>() / queries.len() as f64
+}
+
+/// Precision/recall counts for binary classification.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PrecisionRecall {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+    /// True negatives.
+    pub tn: usize,
+}
+
+impl PrecisionRecall {
+    /// Adds one observation.
+    pub fn observe(&mut self, predicted: bool, actual: bool) {
+        match (predicted, actual) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, true) => self.fn_ += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Precision; 0 when nothing was predicted positive.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall; 0 when nothing is actually positive.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// F1 score in `[0, 1]`.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Convenience F1 from predicted/actual label slices.
+pub fn f1_score(predicted: &[bool], actual: &[bool]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "label length mismatch");
+    let mut pr = PrecisionRecall::default();
+    for (&p, &a) in predicted.iter().zip(actual) {
+        pr.observe(p, a);
+    }
+    pr.f1()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_has_ap_one() {
+        let ranked = vec![true, true, true, false, false];
+        assert!((ap_at_k(&ranked, 3, 20) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_ranking_has_low_ap() {
+        let ranked = vec![false, false, false, false, true];
+        let ap = ap_at_k(&ranked, 1, 20);
+        assert!((ap - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_normalizes_by_min_k_relevant() {
+        // 50 relevant overall, cutoff 20, all top-20 relevant => AP@20 = 1.
+        let ranked = vec![true; 20];
+        assert!((ap_at_k(&ranked, 50, 20) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_of_no_relevant_is_zero() {
+        assert_eq!(ap_at_k(&[false, false], 0, 20), 0.0);
+    }
+
+    #[test]
+    fn rr_is_inverse_rank() {
+        assert_eq!(rr_at_k(&[false, false, true], 20), 1.0 / 3.0);
+        assert_eq!(rr_at_k(&[true], 20), 1.0);
+        assert_eq!(rr_at_k(&[false; 5], 20), 0.0);
+    }
+
+    #[test]
+    fn rr_respects_cutoff() {
+        let ranked = vec![false, false, false, true];
+        assert_eq!(rr_at_k(&ranked, 3), 0.0);
+        assert_eq!(rr_at_k(&ranked, 4), 0.25);
+    }
+
+    #[test]
+    fn map_and_mrr_average_queries() {
+        let queries =
+            vec![(vec![true, false], 1), (vec![false, true], 1)];
+        assert!((map_at_k(&queries, 20) - 0.75).abs() < 1e-12);
+        assert!((mrr_at_k(&queries, 20) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_queries_give_zero() {
+        assert_eq!(map_at_k(&[], 20), 0.0);
+        assert_eq!(mrr_at_k(&[], 20), 0.0);
+    }
+
+    #[test]
+    fn f1_basics() {
+        // 2 TP, 1 FP, 1 FN => P=2/3, R=2/3, F1=2/3.
+        let pred = vec![true, true, true, false];
+        let act = vec![true, true, false, true];
+        assert!((f1_score(&pred, &act) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_degenerate_cases() {
+        assert_eq!(f1_score(&[false, false], &[true, false]), 0.0);
+        let mut pr = PrecisionRecall::default();
+        assert_eq!(pr.f1(), 0.0);
+        pr.observe(true, true);
+        assert_eq!(pr.f1(), 1.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! 1-D convolutional metadata classifier.
+//!
+//! Convolution over the cell sequence is implemented as an `im2col` matrix
+//! multiplication: windows of `KERNEL` consecutive cell-feature vectors are
+//! unrolled into rows (the inputs are fixed features, so only the filter
+//! weights are learned), convolved, activated, mean-pooled, and classified.
+
+use crate::{LabeledRow, TrainOptions, FEAT_DIM};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tabbin_tensor::nn::Linear;
+use tabbin_tensor::optim::Adam;
+use tabbin_tensor::{Graph, NodeId, ParamStore, Tensor};
+
+const KERNEL: usize = 3;
+
+/// CNN classifier over cell-feature sequences.
+#[derive(Debug)]
+pub struct CnnClassifier {
+    store: ParamStore,
+    conv: Linear,
+    head: Linear,
+    channels: usize,
+}
+
+impl CnnClassifier {
+    /// Builds a classifier with `channels` convolution filters.
+    pub fn new(channels: usize, seed: u64) -> Self {
+        let mut store = ParamStore::new();
+        let conv = Linear::new(&mut store, "cnn.conv", KERNEL * FEAT_DIM, channels, seed ^ 0x31);
+        let head = Linear::new(&mut store, "cnn.head", channels, 2, seed ^ 0x32);
+        Self { store, conv, head, channels }
+    }
+
+    /// Unrolls a sequence into convolution windows (`im2col`), padding with
+    /// zero cells so even one-cell rows produce a window.
+    fn im2col(seq: &[Vec<f32>]) -> Tensor {
+        let padded: Vec<&[f32]> = seq.iter().map(Vec::as_slice).collect();
+        let zero = vec![0.0f32; FEAT_DIM];
+        let n_windows = padded.len().max(1);
+        let mut out = Tensor::zeros(&[n_windows, KERNEL * FEAT_DIM]);
+        for w in 0..n_windows {
+            for k in 0..KERNEL {
+                let idx = w + k;
+                let src: &[f32] = if idx < padded.len() { padded[idx] } else { &zero };
+                out.row_mut(w)[k * FEAT_DIM..(k + 1) * FEAT_DIM].copy_from_slice(src);
+            }
+        }
+        out
+    }
+
+    fn logits(&self, g: &mut Graph, seq: &[Vec<f32>]) -> NodeId {
+        for f in seq {
+            assert_eq!(f.len(), FEAT_DIM, "feature width mismatch");
+        }
+        let x = g.input(Self::im2col(seq));
+        let conv = self.conv.forward(g, &self.store, x);
+        let act = g.relu(conv);
+        let pooled = g.mean_rows(act); // [1, channels]
+        self.head.forward(g, &self.store, pooled)
+    }
+
+    /// Trains on labeled rows; returns the per-epoch mean loss.
+    pub fn train(&mut self, rows: &[LabeledRow], opts: &TrainOptions) -> Vec<f32> {
+        assert!(!rows.is_empty(), "no training rows");
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let mut opt = Adam::new(opts.lr);
+        let mut order: Vec<usize> = (0..rows.len()).collect();
+        let mut curve = Vec::with_capacity(opts.epochs);
+        for _ in 0..opts.epochs {
+            for i in (1..order.len()).rev() {
+                let j = rng.random_range(0..=i);
+                order.swap(i, j);
+            }
+            let mut total = 0.0f32;
+            for &i in &order {
+                let (seq, label) = &rows[i];
+                if seq.is_empty() {
+                    continue;
+                }
+                let mut g = Graph::new();
+                let logits = self.logits(&mut g, seq);
+                let loss = g.cross_entropy_rows(logits, &[*label as i64]);
+                total += g.value(loss).data()[0];
+                g.backward(loss);
+                g.accumulate_grads(&mut self.store);
+                opt.step(&mut self.store);
+                self.store.zero_grads();
+            }
+            curve.push(total / rows.len() as f32);
+        }
+        curve
+    }
+
+    /// Classifies a row as metadata.
+    pub fn predict(&self, seq: &[Vec<f32>]) -> bool {
+        let mut g = Graph::new();
+        let logits = self.logits(&mut g, seq);
+        let v = g.value(logits);
+        v.at(0, 1) > v.at(0, 0)
+    }
+
+    /// Accuracy over labeled rows.
+    pub fn accuracy(&self, rows: &[LabeledRow]) -> f64 {
+        if rows.is_empty() {
+            return 0.0;
+        }
+        let hits = rows.iter().filter(|(s, l)| !s.is_empty() && self.predict(s) == *l).count();
+        hits as f64 / rows.len() as f64
+    }
+
+    /// Number of convolution channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell_features;
+
+    fn dataset() -> Vec<LabeledRow> {
+        let headers = [
+            vec!["name", "age", "job"],
+            vec!["drug", "overall survival", "hazard ratio"],
+            vec!["state", "population", "area"],
+            vec!["vaccine", "efficacy", "doses"],
+        ];
+        let data = [
+            vec!["sam", "28", "engineer"],
+            vec!["ramucirumab", "20.3 months", "0.73±0.11"],
+            vec!["florida", "21538187", "53625"],
+            vec!["moderna", "94.1 %", "2"],
+        ];
+        let mut rows: Vec<LabeledRow> = Vec::new();
+        for h in &headers {
+            rows.push((h.iter().map(|c| cell_features(c)).collect(), true));
+        }
+        for d in &data {
+            rows.push((d.iter().map(|c| cell_features(c)).collect(), false));
+        }
+        rows
+    }
+
+    #[test]
+    fn cnn_learns_header_vs_data() {
+        let rows = dataset();
+        let mut clf = CnnClassifier::new(8, 2);
+        let curve = clf.train(&rows, &TrainOptions { epochs: 40, ..Default::default() });
+        assert!(curve.last().unwrap() < &curve[0]);
+        let acc = clf.accuracy(&rows);
+        assert!(acc >= 0.85, "CNN accuracy too low: {acc}");
+    }
+
+    #[test]
+    fn im2col_pads_short_sequences() {
+        let seq = vec![cell_features("only")];
+        let t = CnnClassifier::im2col(&seq);
+        assert_eq!(t.shape(), &[1, KERNEL * FEAT_DIM]);
+    }
+}

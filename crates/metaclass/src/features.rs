@@ -1,0 +1,93 @@
+//! Per-cell surface features for metadata classification.
+
+/// Feature vector width.
+pub const FEAT_DIM: usize = 10;
+
+/// Extracts surface features from one cell string.
+///
+/// Features (all scaled to roughly `[0, 1]`): digit fraction, alphabetic
+/// fraction, is-parseable-number, token count, character length, starts
+/// with a letter (title word), contains a unit word, contains a range dash,
+/// contains ±, is empty.
+pub fn cell_features(text: &str) -> Vec<f32> {
+    let t = text.trim();
+    let chars: Vec<char> = t.chars().collect();
+    let len = chars.len().max(1);
+    let digits = chars.iter().filter(|c| c.is_ascii_digit()).count();
+    let alpha = chars.iter().filter(|c| c.is_alphabetic()).count();
+    let tokens = t.split_whitespace().count();
+    let is_number = t.parse::<f64>().is_ok();
+    let has_unit = t
+        .split_whitespace()
+        .any(|w| tabbin_table::Unit::parse(w).is_some() || w == "%");
+    let has_dash = t.contains('-') && digits > 0;
+    let has_pm = t.contains('±');
+    let starts_alpha = chars.first().map(|c| c.is_alphabetic()) == Some(true) && !is_number;
+    vec![
+        digits as f32 / len as f32,
+        alpha as f32 / len as f32,
+        is_number as u8 as f32,
+        (tokens as f32 / 8.0).min(1.0),
+        (len as f32 / 30.0).min(1.0),
+        starts_alpha as u8 as f32,
+        has_unit as u8 as f32,
+        has_dash as u8 as f32,
+        has_pm as u8 as f32,
+        t.is_empty() as u8 as f32,
+    ]
+}
+
+/// Mean feature vector of a whole row — the summary input for the rule-based
+/// path and tests.
+pub fn row_features(cells: &[String]) -> Vec<f32> {
+    let mut acc = vec![0.0f32; FEAT_DIM];
+    if cells.is_empty() {
+        return acc;
+    }
+    for c in cells {
+        for (a, v) in acc.iter_mut().zip(cell_features(c)) {
+            *a += v;
+        }
+    }
+    let inv = 1.0 / cells.len() as f32;
+    for a in &mut acc {
+        *a *= inv;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_dim_is_stable() {
+        assert_eq!(cell_features("hello").len(), FEAT_DIM);
+        assert_eq!(cell_features("").len(), FEAT_DIM);
+        assert_eq!(cell_features("20.3 months").len(), FEAT_DIM);
+    }
+
+    #[test]
+    fn numbers_and_words_differ() {
+        let num = cell_features("42.5");
+        let word = cell_features("overall survival");
+        assert_eq!(num[2], 1.0, "is_number");
+        assert_eq!(word[2], 0.0);
+        assert!(num[0] > word[0], "digit fraction");
+    }
+
+    #[test]
+    fn unit_and_range_flags() {
+        assert_eq!(cell_features("20.3 months")[6], 1.0);
+        assert_eq!(cell_features("20-30")[7], 1.0);
+        assert_eq!(cell_features("1.5±0.2")[8], 1.0);
+        assert_eq!(cell_features("")[9], 1.0);
+    }
+
+    #[test]
+    fn row_features_average() {
+        let r = row_features(&["5".into(), "word".into()]);
+        assert_eq!(r.len(), FEAT_DIM);
+        assert!((r[2] - 0.5).abs() < 1e-6, "half the cells are numbers");
+    }
+}

@@ -1,0 +1,63 @@
+//! Rule-based metadata labeler — the fallback the paper alludes to with
+//! "one can also use other existing techniques for labeling metadata".
+
+use crate::row_features;
+
+/// Decides whether a row of cell strings is a metadata row.
+///
+/// `numeric_frac_below` is the numeric fraction of the rows *underneath* the
+/// candidate (headers typically sit atop numeric data). The rule: a row is
+/// metadata when it is almost entirely non-numeric while the content below
+/// is substantially numeric, or when it is all short title-like words above
+/// any data at all.
+pub fn heuristic_is_metadata_row(cells: &[String], numeric_frac_below: f64) -> bool {
+    if cells.is_empty() {
+        return false;
+    }
+    let f = row_features(cells);
+    let own_numeric = f[2]; // fraction of parseable-number cells
+    let alpha = f[1];
+    if own_numeric > 0.3 {
+        return false;
+    }
+    if numeric_frac_below >= 0.3 {
+        return true;
+    }
+    // All-word row with title-like cells above textual data: weak signal,
+    // require strongly alphabetic content and no units.
+    alpha > 0.8 && f[6] == 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(cells: &[&str]) -> Vec<String> {
+        cells.iter().map(|c| c.to_string()).collect()
+    }
+
+    #[test]
+    fn header_above_numbers_is_metadata() {
+        assert!(heuristic_is_metadata_row(&row(&["population", "area", "founded"]), 0.9));
+    }
+
+    #[test]
+    fn numeric_row_is_data() {
+        assert!(!heuristic_is_metadata_row(&row(&["123", "456", "789"]), 0.9));
+    }
+
+    #[test]
+    fn value_row_with_units_is_data() {
+        assert!(!heuristic_is_metadata_row(&row(&["20.3 months", "5.6-7.9 months"]), 0.0));
+    }
+
+    #[test]
+    fn wordy_header_over_text_is_metadata() {
+        assert!(heuristic_is_metadata_row(&row(&["name", "job", "city"]), 0.0));
+    }
+
+    #[test]
+    fn empty_row_is_not_metadata() {
+        assert!(!heuristic_is_metadata_row(&[], 1.0));
+    }
+}

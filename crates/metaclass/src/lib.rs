@@ -1,0 +1,80 @@
+//! Metadata classifiers (§2.3).
+//!
+//! Real-world corpora "usually come with unlabeled or noisy metadata"; the
+//! paper's group trained "binary metadata classifiers based on Deep-learning
+//! bi-GRU and CNN architectures ... for highly accurate labeling of
+//! multi-layer metadata — both horizontal and vertical". This crate
+//! reproduces that component: given a raw grid of cell strings, decide for
+//! each row (or column, by transposing) whether it is metadata or data.
+//!
+//! Three labelers are provided:
+//! * [`BiGruClassifier`] — bidirectional GRU over per-cell feature vectors;
+//! * [`CnnClassifier`] — 1-D convolutional classifier over the same
+//!   features;
+//! * [`heuristic_is_metadata_row`] — a rule-based fallback.
+
+mod cnn;
+mod features;
+mod gru;
+mod heuristic;
+
+pub use cnn::CnnClassifier;
+pub use features::{cell_features, row_features, FEAT_DIM};
+pub use gru::BiGruClassifier;
+pub use heuristic::heuristic_is_metadata_row;
+
+use tabbin_table::Table;
+
+/// One labeled training row: per-cell feature sequence + is-metadata label.
+pub type LabeledRow = (Vec<Vec<f32>>, bool);
+
+/// Builds labeled training rows from a table with known structure: metadata
+/// label rows (from the HMD leaf labels) are positives, data rows negatives.
+/// This is how the reproduction manufactures supervision the paper's group
+/// obtained by manual labeling.
+pub fn labeled_rows_from_table(table: &Table) -> Vec<LabeledRow> {
+    let mut out = Vec::new();
+    if !table.hmd.is_empty() {
+        let header: Vec<Vec<f32>> =
+            table.hmd.leaf_labels().iter().map(|l| cell_features(l)).collect();
+        out.push((header, true));
+    }
+    for i in 0..table.n_rows() {
+        let row: Vec<Vec<f32>> =
+            table.row_text(i).iter().map(|c| cell_features(c)).collect();
+        out.push((row, false));
+    }
+    out
+}
+
+/// Training options shared by both classifiers.
+#[derive(Clone, Copy, Debug)]
+pub struct TrainOptions {
+    /// Epochs over the training rows.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        Self { epochs: 20, lr: 5e-3, seed: 41 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabbin_table::samples::table2_relational;
+
+    #[test]
+    fn labeled_rows_cover_header_and_data() {
+        let rows = labeled_rows_from_table(&table2_relational());
+        assert_eq!(rows.len(), 4); // 1 header + 3 data
+        assert!(rows[0].1);
+        assert!(!rows[1].1);
+        assert_eq!(rows[0].0.len(), 3); // 3 columns
+    }
+}

@@ -1,0 +1,130 @@
+//! Fluent construction of [`Table`] values with shape validation.
+
+use crate::{CellValue, Grid, MetaTree, Table};
+
+/// Builder for [`Table`]; validates that data width matches the HMD leaf
+/// count and data height matches the VMD leaf count at [`TableBuilder::build`].
+#[derive(Clone, Debug)]
+pub struct TableBuilder {
+    caption: String,
+    hmd: MetaTree,
+    vmd: MetaTree,
+    rows: Vec<Vec<CellValue>>,
+}
+
+impl TableBuilder {
+    /// Starts building a table with the given caption.
+    pub fn new(caption: impl Into<String>) -> Self {
+        Self {
+            caption: caption.into(),
+            hmd: MetaTree::empty(),
+            vmd: MetaTree::empty(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets a flat (single-level) horizontal header.
+    pub fn hmd_flat(mut self, labels: &[&str]) -> Self {
+        self.hmd = MetaTree::flat(labels);
+        self
+    }
+
+    /// Sets a hierarchical horizontal metadata tree.
+    pub fn hmd_tree(mut self, tree: MetaTree) -> Self {
+        self.hmd = tree;
+        self
+    }
+
+    /// Sets flat vertical metadata (one label per data row).
+    pub fn vmd_flat(mut self, labels: &[&str]) -> Self {
+        self.vmd = MetaTree::flat(labels);
+        self
+    }
+
+    /// Sets a hierarchical vertical metadata tree.
+    pub fn vmd_tree(mut self, tree: MetaTree) -> Self {
+        self.vmd = tree;
+        self
+    }
+
+    /// Appends a data row.
+    pub fn row(mut self, cells: Vec<CellValue>) -> Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Appends a data row of plain text cells.
+    pub fn text_row(mut self, cells: &[&str]) -> Self {
+        self.rows.push(cells.iter().map(|c| CellValue::text(*c)).collect());
+        self
+    }
+
+    /// Finalizes the table.
+    ///
+    /// # Panics
+    /// If the HMD leaf count disagrees with the data width, or the VMD leaf
+    /// count disagrees with the data height.
+    pub fn build(self) -> Table {
+        let data = Grid::from_rows(self.rows);
+        if !self.hmd.is_empty() && !data.is_empty() {
+            assert_eq!(
+                self.hmd.leaf_count(),
+                data.cols(),
+                "HMD leaf count must equal data width"
+            );
+        }
+        if !self.vmd.is_empty() && !data.is_empty() {
+            assert_eq!(
+                self.vmd.leaf_count(),
+                data.rows(),
+                "VMD leaf count must equal data height"
+            );
+        }
+        Table { caption: self.caption, hmd: self.hmd, vmd: self.vmd, data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetaNode;
+
+    #[test]
+    fn builds_valid_table() {
+        let t = TableBuilder::new("t")
+            .hmd_flat(&["a", "b"])
+            .text_row(&["1", "2"])
+            .text_row(&["3", "4"])
+            .build();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.n_cols(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "HMD leaf count")]
+    fn rejects_header_width_mismatch() {
+        let _ = TableBuilder::new("t").hmd_flat(&["a", "b", "c"]).text_row(&["1", "2"]).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "VMD leaf count")]
+    fn rejects_vmd_height_mismatch() {
+        let _ = TableBuilder::new("t")
+            .hmd_flat(&["a"])
+            .vmd_flat(&["r1", "r2"])
+            .text_row(&["1"])
+            .build();
+    }
+
+    #[test]
+    fn hierarchical_leaf_count_governs_width() {
+        let t = TableBuilder::new("t")
+            .hmd_tree(MetaTree::from_roots(vec![
+                MetaNode::branch("g", vec![MetaNode::leaf("x"), MetaNode::leaf("y")]),
+                MetaNode::leaf("z"),
+            ]))
+            .text_row(&["1", "2", "3"])
+            .build();
+        assert_eq!(t.n_cols(), 3);
+    }
+}

@@ -1,0 +1,117 @@
+//! A dense 2-D grid used for data cells.
+
+use serde::{Deserialize, Serialize};
+
+/// Row-major rectangular grid.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Grid<T> {
+    rows: usize,
+    cols: usize,
+    cells: Vec<T>,
+}
+
+impl<T: Clone> Grid<T> {
+    /// A grid filled with clones of `fill`.
+    pub fn filled(rows: usize, cols: usize, fill: T) -> Self {
+        Self { rows, cols, cells: vec![fill; rows * cols] }
+    }
+}
+
+impl<T> Grid<T> {
+    /// Builds a grid from row vectors; all rows must share a length.
+    pub fn from_rows(rows: Vec<Vec<T>>) -> Self {
+        let nrows = rows.len();
+        let ncols = rows.first().map(Vec::len).unwrap_or(0);
+        let mut cells = Vec::with_capacity(nrows * ncols);
+        for (i, row) in rows.into_iter().enumerate() {
+            assert_eq!(row.len(), ncols, "row {i} has ragged width");
+            cells.extend(row);
+        }
+        Self { rows: nrows, cols: ncols, cells }
+    }
+
+    /// An empty 0×0 grid.
+    pub fn empty() -> Self {
+        Self { rows: 0, cols: 0, cells: Vec::new() }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether the grid has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Cell accessor; panics out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> &T {
+        assert!(r < self.rows && c < self.cols, "grid index ({r},{c}) out of bounds");
+        &self.cells[r * self.cols + c]
+    }
+
+    /// Mutable cell accessor; panics out of bounds.
+    pub fn get_mut(&mut self, r: usize, c: usize) -> &mut T {
+        assert!(r < self.rows && c < self.cols, "grid index ({r},{c}) out of bounds");
+        &mut self.cells[r * self.cols + c]
+    }
+
+    /// Iterates a row left-to-right.
+    pub fn row_iter(&self, r: usize) -> impl Iterator<Item = &T> {
+        assert!(r < self.rows, "row {r} out of bounds");
+        self.cells[r * self.cols..(r + 1) * self.cols].iter()
+    }
+
+    /// Iterates a column top-to-bottom.
+    pub fn col_iter(&self, c: usize) -> impl Iterator<Item = &T> + '_ {
+        assert!(c < self.cols, "col {c} out of bounds");
+        (0..self.rows).map(move |r| &self.cells[r * self.cols + c])
+    }
+
+    /// Iterates `(row, col, &cell)` in row-major order.
+    pub fn iter_indexed(&self) -> impl Iterator<Item = (usize, usize, &T)> {
+        self.cells.iter().enumerate().map(move |(i, t)| (i / self.cols, i % self.cols, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_and_access() {
+        let g = Grid::from_rows(vec![vec![1, 2, 3], vec![4, 5, 6]]);
+        assert_eq!(g.rows(), 2);
+        assert_eq!(g.cols(), 3);
+        assert_eq!(*g.get(1, 2), 6);
+        assert_eq!(g.col_iter(1).copied().collect::<Vec<_>>(), vec![2, 5]);
+        assert_eq!(g.row_iter(0).copied().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = Grid::from_rows(vec![vec![1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn iter_indexed_order() {
+        let g = Grid::from_rows(vec![vec![0, 1], vec![2, 3]]);
+        let idx: Vec<(usize, usize, i32)> =
+            g.iter_indexed().map(|(r, c, &v)| (r, c, v)).collect();
+        assert_eq!(idx, vec![(0, 0, 0), (0, 1, 1), (1, 0, 2), (1, 1, 3)]);
+    }
+
+    #[test]
+    fn empty_grid() {
+        let g: Grid<i32> = Grid::empty();
+        assert!(g.is_empty());
+        assert_eq!(g.rows(), 0);
+    }
+}

@@ -1,0 +1,45 @@
+//! The BiN table model.
+//!
+//! The TabBiN paper studies tables that are **not** in 1st Normal Form:
+//! besides plain relational tables they may carry
+//!
+//! * multi-level **horizontal metadata** (HMD) — attribute hierarchies spread
+//!   over several header *rows*,
+//! * multi-level **vertical metadata** (VMD) — attribute hierarchies spread
+//!   over several header *columns*,
+//! * **nested tables** inside data cells, with their own metadata,
+//! * values with **units**, numerical **ranges**, and **Gaussians**.
+//!
+//! This crate models those tables ([`Table`], [`CellValue`], [`MetaTree`]),
+//! assigns the paper's **bi-dimensional hierarchical coordinates**
+//! ([`coords`]), and constructs the **visibility matrix** used as an attention
+//! mask ([`visibility`]).
+//!
+//! ```
+//! use tabbin_table::{Table, CellValue, Unit};
+//!
+//! let t = Table::builder("drug trial outcomes")
+//!     .hmd_flat(&["Drug", "OS (months)"])
+//!     .row(vec![
+//!         CellValue::text("ramucirumab"),
+//!         CellValue::number(20.3, Some(Unit::Time)),
+//!     ])
+//!     .build();
+//! assert!(t.kind().is_relational());
+//! ```
+
+mod builder;
+pub mod coords;
+mod grid;
+mod metadata;
+pub mod samples;
+mod table;
+mod value;
+pub mod visibility;
+
+pub use builder::TableBuilder;
+pub use coords::{BiCoord, CoordPath, TableCoordinates};
+pub use grid::Grid;
+pub use metadata::{MetaNode, MetaTree};
+pub use table::{Table, TableKind};
+pub use value::{CellValue, NumericFeatures, Unit};

@@ -1,0 +1,163 @@
+//! Fixture tables reproducing the paper's running examples.
+//!
+//! * [`figure1_table`] — the colorectal-cancer treatment-efficacy table of
+//!   Figure 1, with hierarchical HMD and VMD and a nested table in a cell.
+//! * [`table1_sample`] — the paper's Table 1, a non-1NF table with nesting.
+//! * [`table2_relational`] — the paper's Table 2, a plain relational table
+//!   used to motivate the visibility matrix ('Sam' relates to 'Engineer', not
+//!   to 'Lawyer').
+
+use crate::{CellValue, MetaNode, MetaTree, Table, Unit};
+
+/// The Figure 1 table: treatment efficacy for colorectal cancer, with
+/// bi-dimensional hierarchical metadata and a nested table whose own header
+/// carries `n / OS / HR`.
+pub fn figure1_table() -> Table {
+    let nested_untreated = Table::builder("ramucirumab outcomes, previously untreated")
+        .hmd_flat(&["n", "OS", "HR"])
+        .row(vec![
+            CellValue::number(24.0, None),
+            CellValue::number(20.3, Some(Unit::Time)),
+            CellValue::gaussian(0.73, 0.11, Some(Unit::Stats)),
+        ])
+        .build();
+    let nested_failing = Table::builder("ramucirumab outcomes, failing prior therapy")
+        .hmd_flat(&["n", "OS", "HR"])
+        .row(vec![
+            CellValue::number(18.0, None),
+            CellValue::number(13.3, Some(Unit::Time)),
+            CellValue::gaussian(0.84, 0.09, Some(Unit::Stats)),
+        ])
+        .build();
+
+    Table::builder("Treatment efficacy from colorectal cancer")
+        .hmd_tree(MetaTree::from_roots(vec![
+            MetaNode::branch(
+                "Efficacy End Point",
+                vec![
+                    MetaNode::leaf("Overall Survival"),
+                    MetaNode::leaf("Progression-Free Survival"),
+                ],
+            ),
+            MetaNode::branch("Other Efficacy", vec![MetaNode::leaf("Details")]),
+        ]))
+        .vmd_tree(MetaTree::from_roots(vec![MetaNode::branch(
+            "Patient Cohort",
+            vec![
+                MetaNode::leaf("Previously Untreated"),
+                MetaNode::leaf("Failing under Fluoropyrimidine and Irinotecan"),
+            ],
+        )]))
+        .row(vec![
+            CellValue::number(20.3, Some(Unit::Time)),
+            CellValue::range(5.6, 7.9, Some(Unit::Time)),
+            CellValue::nested(nested_untreated),
+        ])
+        .row(vec![
+            CellValue::number(13.3, Some(Unit::Time)),
+            CellValue::range(4.5, 5.7, Some(Unit::Time)),
+            CellValue::nested(nested_failing),
+        ])
+        .build()
+}
+
+/// The paper's Table 1: a sample non-1NF table with a nested table in a cell
+/// (an `OS` column measured in months appears inside the nested table; the
+/// worked example "attribute OS has numerical value 20.3 months" comes from
+/// here).
+pub fn table1_sample() -> Table {
+    let nested = Table::builder("efficacy summary")
+        .hmd_flat(&["OS", "HR"])
+        .row(vec![
+            CellValue::number(20.3, Some(Unit::Time)),
+            CellValue::number(0.73, Some(Unit::Stats)),
+        ])
+        .build();
+
+    Table::builder("Sample non-1NF table with nesting")
+        .hmd_flat(&["Treatment", "Cancer Type", "Age", "Outcome"])
+        .row(vec![
+            CellValue::text("ramucirumab"),
+            CellValue::text("colon"),
+            CellValue::range(20.0, 30.0, Some(Unit::Time)),
+            CellValue::nested(nested),
+        ])
+        .row(vec![
+            CellValue::text("bevacizumab"),
+            CellValue::text("rectal"),
+            CellValue::range(45.0, 60.0, Some(Unit::Time)),
+            CellValue::number(62.0, Some(Unit::Stats)),
+        ])
+        .build()
+}
+
+/// The paper's Table 2: a plain relational table.
+pub fn table2_relational() -> Table {
+    Table::builder("A sample relational table")
+        .hmd_flat(&["Name", "Age", "Job"])
+        .row(vec![
+            CellValue::text("Sam"),
+            CellValue::number(28.0, None),
+            CellValue::text("Engineer"),
+        ])
+        .row(vec![
+            CellValue::text("Ava"),
+            CellValue::number(35.0, None),
+            CellValue::text("Lawyer"),
+        ])
+        .row(vec![
+            CellValue::text("Kim"),
+            CellValue::number(41.0, None),
+            CellValue::text("Scientist"),
+        ])
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coords::assign_coordinates;
+    use crate::TableKind;
+
+    #[test]
+    fn figure1_is_bin_with_nesting() {
+        let t = figure1_table();
+        assert_eq!(t.kind(), TableKind::BiN);
+        assert!(t.has_nesting());
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.n_cols(), 3);
+        assert_eq!(t.nested_tables().len(), 2);
+    }
+
+    #[test]
+    fn figure1_coordinates_match_paper_structure() {
+        let t = figure1_table();
+        let coords = assign_coordinates(&t);
+        // The nested table in the upper-right cell has horizontal path
+        // "Other Efficacy -> Details" = <2,1> and vertical path
+        // "Patient Cohort -> Previously Untreated" = <1,1>.
+        let c = coords.data_coord(0, 2).unwrap();
+        assert_eq!(c.horizontal.0, vec![2, 1]);
+        assert_eq!(c.vertical.0, vec![1, 1]);
+    }
+
+    #[test]
+    fn table1_has_range_and_nested() {
+        let t = table1_sample();
+        assert!(t.has_nesting());
+        assert_eq!(t.kind(), TableKind::HmdHierarchical);
+        let ranges = t
+            .data
+            .iter_indexed()
+            .filter(|(_, _, c)| matches!(c, CellValue::Range { .. }))
+            .count();
+        assert_eq!(ranges, 2);
+    }
+
+    #[test]
+    fn table2_is_relational() {
+        let t = table2_relational();
+        assert_eq!(t.kind(), TableKind::Relational);
+        assert_eq!(t.hmd.leaf_labels(), vec!["Name", "Age", "Job"]);
+    }
+}

@@ -1,0 +1,182 @@
+//! The table type itself, with structural classification.
+
+use crate::{CellValue, Grid, MetaTree, TableBuilder};
+use serde::{Deserialize, Serialize};
+
+/// Structural class of a table, as the paper partitions its corpora.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TableKind {
+    /// 1st-Normal-Form shaped: single-level horizontal header, no vertical
+    /// metadata, no nesting.
+    Relational,
+    /// Hierarchical horizontal metadata only (no VMD).
+    HmdHierarchical,
+    /// Bi-dimensional: carries vertical metadata (possibly plus hierarchical
+    /// HMD and nesting) — the paper's "BiN"/non-relational class.
+    BiN,
+}
+
+impl TableKind {
+    /// Whether the table is plain relational.
+    pub fn is_relational(self) -> bool {
+        matches!(self, TableKind::Relational)
+    }
+
+    /// Whether the table is non-relational in the paper's sense.
+    pub fn is_non_relational(self) -> bool {
+        !self.is_relational()
+    }
+}
+
+/// A table `T = [C, H, V, D]`: caption, horizontal metadata, vertical
+/// metadata, and data cells.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Short text description of the table (`C`).
+    pub caption: String,
+    /// Horizontal metadata tree (`H`); leaves align with data columns.
+    pub hmd: MetaTree,
+    /// Vertical metadata tree (`V`); leaves align with data rows. Empty for
+    /// relational tables.
+    pub vmd: MetaTree,
+    /// Data cells (`D`).
+    pub data: Grid<CellValue>,
+}
+
+impl Table {
+    /// Starts a [`TableBuilder`].
+    pub fn builder(caption: impl Into<String>) -> TableBuilder {
+        TableBuilder::new(caption)
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.data.rows()
+    }
+
+    /// Number of data columns.
+    pub fn n_cols(&self) -> usize {
+        self.data.cols()
+    }
+
+    /// Whether any data cell contains a nested table.
+    pub fn has_nesting(&self) -> bool {
+        self.data.iter_indexed().any(|(_, _, c)| c.is_nested())
+    }
+
+    /// Whether the table carries vertical metadata.
+    pub fn has_vmd(&self) -> bool {
+        !self.vmd.is_empty()
+    }
+
+    /// Structural classification.
+    pub fn kind(&self) -> TableKind {
+        if self.has_vmd() {
+            TableKind::BiN
+        } else if self.hmd.is_hierarchical() || self.has_nesting() {
+            TableKind::HmdHierarchical
+        } else {
+            TableKind::Relational
+        }
+    }
+
+    /// Fraction of data cells holding numeric content (numbers, ranges,
+    /// Gaussians), used by experiments to bucket tables as the paper does
+    /// ("> 80% Num").
+    pub fn numeric_fraction(&self) -> f64 {
+        let total = self.data.rows() * self.data.cols();
+        if total == 0 {
+            return 0.0;
+        }
+        let numeric = self.data.iter_indexed().filter(|(_, _, c)| c.is_numeric()).count();
+        numeric as f64 / total as f64
+    }
+
+    /// All nested tables together with their host cell position.
+    pub fn nested_tables(&self) -> Vec<(usize, usize, &Table)> {
+        self.data
+            .iter_indexed()
+            .filter_map(|(r, c, v)| match v {
+                CellValue::Nested(t) => Some((r, c, t.as_ref())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Renders the values of column `j` (data cells only) as text.
+    pub fn column_text(&self, j: usize) -> Vec<String> {
+        self.data.col_iter(j).map(CellValue::render).collect()
+    }
+
+    /// Renders the values of row `i` (data cells only) as text.
+    pub fn row_text(&self, i: usize) -> Vec<String> {
+        self.data.row_iter(i).map(CellValue::render).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MetaNode, Unit};
+
+    #[test]
+    fn relational_classification() {
+        let t = Table::builder("people")
+            .hmd_flat(&["Name", "Age"])
+            .row(vec![CellValue::text("Sam"), CellValue::number(28.0, None)])
+            .build();
+        assert_eq!(t.kind(), TableKind::Relational);
+        assert!(!t.has_nesting());
+        assert!((t.numeric_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hierarchical_hmd_classification() {
+        let t = Table::builder("trial")
+            .hmd_tree(MetaTree::from_roots(vec![MetaNode::branch(
+                "Efficacy",
+                vec![MetaNode::leaf("OS"), MetaNode::leaf("PFS")],
+            )]))
+            .row(vec![CellValue::number(1.0, None), CellValue::number(2.0, None)])
+            .build();
+        assert_eq!(t.kind(), TableKind::HmdHierarchical);
+    }
+
+    #[test]
+    fn vmd_makes_bin() {
+        let t = Table::builder("trial")
+            .hmd_flat(&["OS"])
+            .vmd_flat(&["Cohort A"])
+            .row(vec![CellValue::number(1.0, None)])
+            .build();
+        assert_eq!(t.kind(), TableKind::BiN);
+        assert!(t.kind().is_non_relational());
+    }
+
+    #[test]
+    fn nesting_detection() {
+        let inner = Table::builder("inner")
+            .hmd_flat(&["x"])
+            .row(vec![CellValue::number(1.0, None)])
+            .build();
+        let t = Table::builder("outer")
+            .hmd_flat(&["a", "b"])
+            .row(vec![CellValue::text("q"), CellValue::nested(inner)])
+            .build();
+        assert!(t.has_nesting());
+        assert_eq!(t.nested_tables().len(), 1);
+        assert_eq!(t.nested_tables()[0].0, 0);
+        assert_eq!(t.nested_tables()[0].1, 1);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = Table::builder("people")
+            .hmd_flat(&["Name", "Age"])
+            .row(vec![CellValue::text("Sam"), CellValue::range(20.0, 30.0, Some(Unit::Time))])
+            .build();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Table = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

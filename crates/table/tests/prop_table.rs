@@ -1,0 +1,153 @@
+//! Property-based tests for the BiN table model: coordinate and visibility
+//! invariants over randomly generated tables and metadata trees.
+
+use proptest::prelude::*;
+use tabbin_table::coords::assign_coordinates;
+use tabbin_table::visibility::{density, visibility_matrix, SeqItem};
+use tabbin_table::{CellValue, MetaNode, MetaTree, Table, Unit};
+
+/// Strategy: a metadata tree with the requested number of leaves, randomly
+/// grouped into one or two levels.
+fn meta_tree(leaves: usize) -> impl Strategy<Value = MetaTree> {
+    (0..=1usize).prop_map(move |hier| {
+        if hier == 0 || leaves < 2 {
+            MetaTree::from_roots(
+                (0..leaves).map(|i| MetaNode::leaf(format!("leaf{i}"))).collect(),
+            )
+        } else {
+            let split = leaves / 2;
+            let left: Vec<MetaNode> =
+                (0..split).map(|i| MetaNode::leaf(format!("l{i}"))).collect();
+            let right: Vec<MetaNode> =
+                (split..leaves).map(|i| MetaNode::leaf(format!("r{i}"))).collect();
+            let mut roots = vec![MetaNode::branch("groupA", left)];
+            if !right.is_empty() {
+                roots.push(MetaNode::branch("groupB", right));
+            }
+            MetaTree::from_roots(roots)
+        }
+    })
+}
+
+fn cell_value() -> impl Strategy<Value = CellValue> {
+    prop_oneof![
+        "[a-z]{1,8}".prop_map(CellValue::text),
+        (-1e4f64..1e4).prop_map(|v| CellValue::number(v, None)),
+        (0f64..100.0, 0f64..100.0).prop_map(|(a, b)| {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            CellValue::range(lo, hi, Some(Unit::Time))
+        }),
+        (0f64..10.0, 0f64..2.0).prop_map(|(m, s)| CellValue::gaussian(m, s, Some(Unit::Stats))),
+    ]
+}
+
+fn arb_table() -> impl Strategy<Value = Table> {
+    (1..5usize, 1..5usize).prop_flat_map(|(rows, cols)| {
+        let grid = proptest::collection::vec(
+            proptest::collection::vec(cell_value(), cols),
+            rows,
+        );
+        (grid, meta_tree(cols), prop_oneof![Just(true), Just(false)]).prop_map(
+            move |(grid, hmd, with_vmd)| {
+                let mut b = Table::builder("prop table").hmd_tree(hmd);
+                if with_vmd {
+                    let labels: Vec<String> =
+                        (0..rows).map(|i| format!("row{i}")).collect();
+                    let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+                    b = b.vmd_flat(&refs);
+                }
+                for row in grid {
+                    b = b.row(row);
+                }
+                b.build()
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn coordinates_exist_for_every_cell(t in arb_table()) {
+        let coords = assign_coordinates(&t);
+        prop_assert_eq!(coords.data.len(), t.n_rows() * t.n_cols());
+        for a in &coords.data {
+            prop_assert!(a.coord.vertical.depth() >= 1);
+            prop_assert!(a.coord.horizontal.depth() >= 1);
+            prop_assert_eq!(a.coord.nested, (0, 0));
+        }
+    }
+
+    #[test]
+    fn coordinate_paths_are_unique_per_axis(t in arb_table()) {
+        let coords = assign_coordinates(&t);
+        // Two cells in different columns must have different horizontal paths.
+        for a in &coords.data {
+            for b in &coords.data {
+                if a.col != b.col {
+                    prop_assert_ne!(&a.coord.horizontal, &b.coord.horizontal);
+                }
+                if a.row != b.row {
+                    prop_assert_ne!(&a.coord.vertical, &b.coord.vertical);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_paths_respect_leaf_order(t in arb_table()) {
+        // Leaf paths read left-to-right must be lexicographically increasing.
+        let paths = t.hmd.leaf_paths();
+        for w in paths.windows(2) {
+            prop_assert!(w[0] < w[1], "paths out of order: {:?} then {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn visibility_is_symmetric_and_reflexive(t in arb_table()) {
+        let items: Vec<SeqItem> = (0..t.n_rows())
+            .flat_map(|r| (0..t.n_cols()).map(move |c| SeqItem::cell(r as u32, c as u32)))
+            .collect();
+        let m = visibility_matrix(&items);
+        for i in 0..items.len() {
+            prop_assert!(m[i][i]);
+            for j in 0..items.len() {
+                prop_assert_eq!(m[i][j], m[j][i]);
+            }
+        }
+    }
+
+    #[test]
+    fn visibility_density_matches_formula(rows in 1..6usize, cols in 1..6usize) {
+        // For a full grid, each cell sees its row (cols) + its column (rows)
+        // - itself counted twice once.
+        let items: Vec<SeqItem> = (0..rows)
+            .flat_map(|r| (0..cols).map(move |c| SeqItem::cell(r as u32, c as u32)))
+            .collect();
+        let m = visibility_matrix(&items);
+        let visible_per_cell = (cols + rows - 1) as f64;
+        let expect = visible_per_cell / (rows * cols) as f64;
+        prop_assert!((density(&m) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_roundtrip_any_table(t in arb_table()) {
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Table = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(t, back);
+    }
+
+    #[test]
+    fn numeric_fraction_is_a_probability(t in arb_table()) {
+        let f = t.numeric_fraction();
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    fn render_never_panics(v in cell_value()) {
+        let s = v.render();
+        let has_nul = s.chars().any(|c| c == char::from(0));
+        prop_assert!(!has_nul);
+    }
+}

@@ -1,0 +1,692 @@
+//! Append-only autograd tape.
+//!
+//! Every forward operation appends a node recording its inputs; because nodes
+//! are appended in execution order, the tape is already topologically sorted
+//! and [`Graph::backward`] simply walks it in reverse.
+
+use crate::param::{ParamId, ParamStore};
+use crate::Tensor;
+
+/// Handle to a node on the tape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeId(usize);
+
+#[derive(Debug)]
+enum Op {
+    /// Constant input; gradients stop here.
+    Input,
+    /// Copy of a persistent parameter; gradients are later folded back into
+    /// the originating [`ParamStore`].
+    Param(ParamId),
+    Add(NodeId, NodeId),
+    /// `a [n,d] + b [1,d]` broadcast over rows.
+    AddRow(NodeId, NodeId),
+    Sub(NodeId, NodeId),
+    Mul(NodeId, NodeId),
+    ScalarMul(NodeId, f32),
+    Matmul(NodeId, NodeId),
+    /// `a [m,k] x b[n,k]^T -> [m,n]` without materializing the transpose.
+    MatmulTransB(NodeId, NodeId),
+    Transpose(NodeId),
+    Relu(NodeId),
+    Gelu(NodeId),
+    Tanh(NodeId),
+    Sigmoid(NodeId),
+    /// Row-wise softmax over the last dimension of a rank-2 tensor.
+    SoftmaxRows(NodeId),
+    /// Row-wise layer normalization with learnable `gamma`/`beta` of shape `[1,d]`.
+    LayerNorm { x: NodeId, gamma: NodeId, beta: NodeId, cache: LnCache },
+    /// Gathers rows `rows[i]` of `x`; the building block for embedding lookup.
+    RowSelect { x: NodeId, rows: Vec<usize> },
+    ConcatCols(Vec<NodeId>),
+    ConcatRows(Vec<NodeId>),
+    /// Columns `[start, start+len)` of `x`.
+    ColSlice { x: NodeId, start: usize },
+    MeanRows(NodeId),
+    MeanAll(NodeId),
+    /// Adds a constant tensor (e.g. an additive attention mask).
+    AddConst(NodeId),
+    /// Multiplies by a constant tensor (e.g. an inverted dropout mask).
+    MulConst { x: NodeId, mask: Tensor },
+    /// Mean cross-entropy over rows; `targets[i] < 0` rows are ignored.
+    CrossEntropyRows { logits: NodeId, targets: Vec<i64>, probs: Tensor, counted: usize },
+    /// Repeats a `[1,d]` row into `[n,d]` (the count lives in the output
+    /// shape; backward only needs the parent).
+    RepeatRows { x: NodeId },
+}
+
+#[derive(Debug)]
+struct LnCache {
+    /// Normalized activations `(x - mu) / sigma`, one row per input row.
+    xhat: Tensor,
+    /// Per-row `1 / sigma`.
+    inv_std: Vec<f32>,
+}
+
+struct Node {
+    value: Tensor,
+    op: Op,
+}
+
+/// A single forward/backward tape. Create one per training step.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    /// Gradients retained for [`Op::Param`] nodes after [`Graph::backward`];
+    /// held here rather than on nodes so the backward sweep can borrow nodes
+    /// immutably.
+    param_grads: Vec<Option<Tensor>>,
+}
+
+impl Graph {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Self { nodes: Vec::with_capacity(256), param_grads: Vec::new() }
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, id: NodeId) -> &Tensor {
+        &self.nodes[id.0].value
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> NodeId {
+        self.nodes.push(Node { value, op });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Records a constant input tensor.
+    pub fn input(&mut self, t: Tensor) -> NodeId {
+        self.push(t, Op::Input)
+    }
+
+    /// Records a parameter by copying its current value onto the tape.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> NodeId {
+        self.push(store.value(id).clone(), Op::Param(id))
+    }
+
+    /// Elementwise addition of equally-shaped tensors.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).add(self.value(b));
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Adds a `[1,d]` bias row to every row of an `[n,d]` tensor.
+    pub fn add_row(&mut self, a: NodeId, bias: NodeId) -> NodeId {
+        let (av, bv) = (self.value(a), self.value(bias));
+        assert_eq!(bv.rows(), 1, "add_row bias must have one row");
+        assert_eq!(av.cols(), bv.cols(), "add_row width mismatch");
+        let n = av.rows();
+        let d = av.cols();
+        let mut out = av.clone();
+        for i in 0..n {
+            for j in 0..d {
+                *out.at_mut(i, j) += bv.at(0, j);
+            }
+        }
+        self.push(out, Op::AddRow(a, bias))
+    }
+
+    /// Elementwise subtraction.
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).sub(self.value(b));
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// Elementwise product.
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).mul(self.value(b));
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// Multiplication by a scalar constant.
+    pub fn scalar_mul(&mut self, a: NodeId, c: f32) -> NodeId {
+        let mut v = self.value(a).clone();
+        v.scale(c);
+        self.push(v, Op::ScalarMul(a, c))
+    }
+
+    /// Matrix product of rank-2 nodes.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(v, Op::Matmul(a, b))
+    }
+
+    /// `a x b^T` without materializing the transpose of `b`.
+    pub fn matmul_trans_b(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let bt = self.value(b).transpose();
+        let v = self.value(a).matmul(&bt);
+        self.push(v, Op::MatmulTransB(a, b))
+    }
+
+    /// Transpose of a rank-2 node.
+    pub fn transpose(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).transpose();
+        self.push(v, Op::Transpose(a))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.push(v, Op::Relu(a))
+    }
+
+    /// Gaussian error linear unit (tanh approximation, as in BERT).
+    pub fn gelu(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(gelu_fwd);
+        self.push(v, Op::Gelu(a))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(f32::tanh);
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(v, Op::Sigmoid(a))
+    }
+
+    /// Numerically-stable row-wise softmax.
+    pub fn softmax_rows(&mut self, a: NodeId) -> NodeId {
+        let x = self.value(a);
+        let (n, d) = (x.rows(), x.cols());
+        let mut out = Tensor::zeros(&[n, d]);
+        for i in 0..n {
+            softmax_row(x.row(i), out.row_mut(i));
+        }
+        self.push(out, Op::SoftmaxRows(a))
+    }
+
+    /// Row-wise layer normalization; `gamma`/`beta` must be `[1,d]`.
+    pub fn layer_norm(&mut self, x: NodeId, gamma: NodeId, beta: NodeId, eps: f32) -> NodeId {
+        let xv = self.value(x);
+        let (n, d) = (xv.rows(), xv.cols());
+        assert_eq!(self.value(gamma).cols(), d, "layer_norm gamma width");
+        assert_eq!(self.value(beta).cols(), d, "layer_norm beta width");
+        let mut xhat = Tensor::zeros(&[n, d]);
+        let mut inv_std = Vec::with_capacity(n);
+        for i in 0..n {
+            let row = xv.row(i);
+            let mu = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|v| (v - mu) * (v - mu)).sum::<f32>() / d as f32;
+            let istd = 1.0 / (var + eps).sqrt();
+            inv_std.push(istd);
+            for j in 0..d {
+                *xhat.at_mut(i, j) = (row[j] - mu) * istd;
+            }
+        }
+        let gv = self.value(gamma).clone();
+        let bv = self.value(beta).clone();
+        let mut out = Tensor::zeros(&[n, d]);
+        for i in 0..n {
+            for j in 0..d {
+                *out.at_mut(i, j) = xhat.at(i, j) * gv.at(0, j) + bv.at(0, j);
+            }
+        }
+        self.push(out, Op::LayerNorm { x, gamma, beta, cache: LnCache { xhat, inv_std } })
+    }
+
+    /// Gathers rows of `x` (duplicates allowed). This doubles as embedding
+    /// lookup when `x` is a `[vocab, hidden]` parameter.
+    pub fn row_select(&mut self, x: NodeId, rows: &[usize]) -> NodeId {
+        let xv = self.value(x);
+        let d = xv.cols();
+        let mut out = Tensor::zeros(&[rows.len(), d]);
+        for (i, &r) in rows.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(xv.row(r));
+        }
+        self.push(out, Op::RowSelect { x, rows: rows.to_vec() })
+    }
+
+    /// Concatenates nodes along columns; all must share the row count.
+    pub fn concat_cols(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty(), "concat_cols of nothing");
+        let n = self.value(parts[0]).rows();
+        let total: usize = parts.iter().map(|&p| self.value(p).cols()).sum();
+        let mut out = Tensor::zeros(&[n, total]);
+        let mut off = 0;
+        for &p in parts {
+            let pv = self.value(p);
+            assert_eq!(pv.rows(), n, "concat_cols row mismatch");
+            let w = pv.cols();
+            for i in 0..n {
+                out.row_mut(i)[off..off + w].copy_from_slice(pv.row(i));
+            }
+            off += w;
+        }
+        self.push(out, Op::ConcatCols(parts.to_vec()))
+    }
+
+    /// Concatenates nodes along rows; all must share the column count.
+    pub fn concat_rows(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty(), "concat_rows of nothing");
+        let d = self.value(parts[0]).cols();
+        let total: usize = parts.iter().map(|&p| self.value(p).rows()).sum();
+        let mut out = Tensor::zeros(&[total, d]);
+        let mut off = 0;
+        for &p in parts {
+            let pv = self.value(p);
+            assert_eq!(pv.cols(), d, "concat_rows col mismatch");
+            for i in 0..pv.rows() {
+                out.row_mut(off + i).copy_from_slice(pv.row(i));
+            }
+            off += pv.rows();
+        }
+        self.push(out, Op::ConcatRows(parts.to_vec()))
+    }
+
+    /// Columns `[start, start+len)` of `x`.
+    pub fn col_slice(&mut self, x: NodeId, start: usize, len: usize) -> NodeId {
+        let xv = self.value(x);
+        let n = xv.rows();
+        assert!(start + len <= xv.cols(), "col_slice out of bounds");
+        let mut out = Tensor::zeros(&[n, len]);
+        for i in 0..n {
+            out.row_mut(i).copy_from_slice(&xv.row(i)[start..start + len]);
+        }
+        self.push(out, Op::ColSlice { x, start })
+    }
+
+    /// Mean over rows, producing `[1,d]`.
+    pub fn mean_rows(&mut self, x: NodeId) -> NodeId {
+        let v = self.value(x).mean_rows();
+        self.push(v, Op::MeanRows(x))
+    }
+
+    /// Mean over all elements, producing `[1,1]`.
+    pub fn mean_all(&mut self, x: NodeId) -> NodeId {
+        let xv = self.value(x);
+        let v = Tensor::from_vec(vec![xv.sum() / xv.len() as f32], &[1, 1]);
+        self.push(v, Op::MeanAll(x))
+    }
+
+    /// Adds a constant tensor (gradient flows only to `x`). The canonical use
+    /// is applying an additive attention mask of `0 / -1e9` entries built from
+    /// a visibility matrix.
+    pub fn add_const(&mut self, x: NodeId, c: &Tensor) -> NodeId {
+        let v = self.value(x).add(c);
+        self.push(v, Op::AddConst(x))
+    }
+
+    /// Multiplies by a constant tensor (gradient flows only to `x`), e.g. an
+    /// inverted dropout mask.
+    pub fn mul_const(&mut self, x: NodeId, mask: Tensor) -> NodeId {
+        let v = self.value(x).mul(&mask);
+        self.push(v, Op::MulConst { x, mask })
+    }
+
+    /// Repeats a `[1,d]` row `n` times.
+    pub fn repeat_rows(&mut self, x: NodeId, n: usize) -> NodeId {
+        let xv = self.value(x);
+        assert_eq!(xv.rows(), 1, "repeat_rows input must be [1,d]");
+        let d = xv.cols();
+        let mut out = Tensor::zeros(&[n, d]);
+        for i in 0..n {
+            out.row_mut(i).copy_from_slice(xv.row(0));
+        }
+        self.push(out, Op::RepeatRows { x })
+    }
+
+    /// Mean cross-entropy between `logits` rows and integer `targets`.
+    /// Targets below zero are ignored (no loss, no gradient). Returns a
+    /// `[1,1]` node; panics if every target is ignored.
+    pub fn cross_entropy_rows(&mut self, logits: NodeId, targets: &[i64]) -> NodeId {
+        let lv = self.value(logits);
+        let (n, c) = (lv.rows(), lv.cols());
+        assert_eq!(targets.len(), n, "cross_entropy target count mismatch");
+        let mut probs = Tensor::zeros(&[n, c]);
+        let mut total = 0.0f64;
+        let mut counted = 0usize;
+        for i in 0..n {
+            softmax_row(lv.row(i), probs.row_mut(i));
+            let t = targets[i];
+            if t >= 0 {
+                let t = t as usize;
+                assert!(t < c, "target {t} out of range for {c} classes");
+                let p = probs.at(i, t).max(1e-12);
+                total -= (p as f64).ln();
+                counted += 1;
+            }
+        }
+        assert!(counted > 0, "cross_entropy_rows: all targets ignored");
+        let loss = (total / counted as f64) as f32;
+        self.push(
+            Tensor::from_vec(vec![loss], &[1, 1]),
+            Op::CrossEntropyRows { logits, targets: targets.to_vec(), probs, counted },
+        )
+    }
+
+    /// Backpropagates from `loss` (which must be `[1,1]`) through the tape.
+    ///
+    /// Gradients for parameter nodes are retained on the tape until
+    /// [`Graph::accumulate_grads`] folds them into a [`ParamStore`].
+    pub fn backward(&mut self, loss: NodeId) {
+        assert_eq!(self.value(loss).len(), 1, "backward seed must be scalar");
+        let mut grads: Vec<Option<Tensor>> = (0..self.nodes.len()).map(|_| None).collect();
+        grads[loss.0] = Some(Tensor::full(self.value(loss).shape(), 1.0));
+
+        for idx in (0..self.nodes.len()).rev() {
+            let Some(g) = grads[idx].take() else { continue };
+            // Re-stash for param accumulation later.
+            let keep_for_param = matches!(self.nodes[idx].op, Op::Param(_));
+            match &self.nodes[idx].op {
+                Op::Input | Op::Param(_) => {}
+                Op::Add(a, b) => {
+                    accumulate(&mut grads, a.0, &g);
+                    accumulate(&mut grads, b.0, &g);
+                }
+                Op::AddRow(a, bias) => {
+                    accumulate(&mut grads, a.0, &g);
+                    let mut bg = Tensor::zeros(&[1, g.cols()]);
+                    for i in 0..g.rows() {
+                        for j in 0..g.cols() {
+                            *bg.at_mut(0, j) += g.at(i, j);
+                        }
+                    }
+                    accumulate(&mut grads, bias.0, &bg);
+                }
+                Op::Sub(a, b) => {
+                    accumulate(&mut grads, a.0, &g);
+                    let mut neg = g.clone();
+                    neg.scale(-1.0);
+                    accumulate(&mut grads, b.0, &neg);
+                }
+                Op::Mul(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let ga = g.mul(self.value(b));
+                    let gb = g.mul(self.value(a));
+                    accumulate(&mut grads, a.0, &ga);
+                    accumulate(&mut grads, b.0, &gb);
+                }
+                Op::ScalarMul(a, c) => {
+                    let mut ga = g.clone();
+                    ga.scale(*c);
+                    accumulate(&mut grads, a.0, &ga);
+                }
+                Op::Matmul(a, b) => {
+                    let (a, b) = (*a, *b);
+                    // dA = dC x B^T ; dB = A^T x dC
+                    let ga = g.matmul(&self.value(b).transpose());
+                    let gb = self.value(a).transpose().matmul(&g);
+                    accumulate(&mut grads, a.0, &ga);
+                    accumulate(&mut grads, b.0, &gb);
+                }
+                Op::MatmulTransB(a, b) => {
+                    let (a, b) = (*a, *b);
+                    // C = A x B^T : dA = dC x B ; dB = dC^T x A
+                    let ga = g.matmul(self.value(b));
+                    let gb = g.transpose().matmul(self.value(a));
+                    accumulate(&mut grads, a.0, &ga);
+                    accumulate(&mut grads, b.0, &gb);
+                }
+                Op::Transpose(a) => {
+                    let ga = g.transpose();
+                    accumulate(&mut grads, a.0, &ga);
+                }
+                Op::Relu(a) => {
+                    let a = *a;
+                    let av = self.value(a);
+                    let mut ga = g.clone();
+                    for (gv, xv) in ga.data_mut().iter_mut().zip(av.data()) {
+                        if *xv <= 0.0 {
+                            *gv = 0.0;
+                        }
+                    }
+                    accumulate(&mut grads, a.0, &ga);
+                }
+                Op::Gelu(a) => {
+                    let a = *a;
+                    let av = self.value(a);
+                    let mut ga = g.clone();
+                    for (gv, xv) in ga.data_mut().iter_mut().zip(av.data()) {
+                        *gv *= gelu_bwd(*xv);
+                    }
+                    accumulate(&mut grads, a.0, &ga);
+                }
+                Op::Tanh(a) => {
+                    let a = *a;
+                    let yv = &self.nodes[idx].value;
+                    let mut ga = g.clone();
+                    for (gv, y) in ga.data_mut().iter_mut().zip(yv.data()) {
+                        *gv *= 1.0 - y * y;
+                    }
+                    accumulate(&mut grads, a.0, &ga);
+                }
+                Op::Sigmoid(a) => {
+                    let a = *a;
+                    let yv = &self.nodes[idx].value;
+                    let mut ga = g.clone();
+                    for (gv, y) in ga.data_mut().iter_mut().zip(yv.data()) {
+                        *gv *= y * (1.0 - y);
+                    }
+                    accumulate(&mut grads, a.0, &ga);
+                }
+                Op::SoftmaxRows(a) => {
+                    let a = *a;
+                    let y = &self.nodes[idx].value;
+                    let (n, d) = (y.rows(), y.cols());
+                    let mut ga = Tensor::zeros(&[n, d]);
+                    for i in 0..n {
+                        let yr = y.row(i);
+                        let gr = g.row(i);
+                        let dot: f32 = yr.iter().zip(gr).map(|(y, g)| y * g).sum();
+                        let out = ga.row_mut(i);
+                        for j in 0..d {
+                            out[j] = yr[j] * (gr[j] - dot);
+                        }
+                    }
+                    accumulate(&mut grads, a.0, &ga);
+                }
+                Op::LayerNorm { x, gamma, beta, cache } => {
+                    let (x, gamma, beta) = (*x, *gamma, *beta);
+                    let (n, d) = (g.rows(), g.cols());
+                    let gv = self.value(gamma);
+                    let mut dgamma = Tensor::zeros(&[1, d]);
+                    let mut dbeta = Tensor::zeros(&[1, d]);
+                    let mut dx = Tensor::zeros(&[n, d]);
+                    for i in 0..n {
+                        let gr = g.row(i);
+                        let xh = cache.xhat.row(i);
+                        let istd = cache.inv_std[i];
+                        let mut mean_dxhat = 0.0f32;
+                        let mut mean_dxhat_xhat = 0.0f32;
+                        for j in 0..d {
+                            let dxh = gr[j] * gv.at(0, j);
+                            mean_dxhat += dxh;
+                            mean_dxhat_xhat += dxh * xh[j];
+                        }
+                        mean_dxhat /= d as f32;
+                        mean_dxhat_xhat /= d as f32;
+                        for j in 0..d {
+                            let dxh = gr[j] * gv.at(0, j);
+                            *dx.at_mut(i, j) = istd * (dxh - mean_dxhat - xh[j] * mean_dxhat_xhat);
+                            *dgamma.at_mut(0, j) += gr[j] * xh[j];
+                            *dbeta.at_mut(0, j) += gr[j];
+                        }
+                    }
+                    accumulate(&mut grads, x.0, &dx);
+                    accumulate(&mut grads, gamma.0, &dgamma);
+                    accumulate(&mut grads, beta.0, &dbeta);
+                }
+                Op::RowSelect { x, rows } => {
+                    let x = *x;
+                    let rows = rows.clone();
+                    let xv = self.value(x);
+                    let mut gx = Tensor::zeros(&[xv.rows(), xv.cols()]);
+                    for (i, &r) in rows.iter().enumerate() {
+                        let src = g.row(i);
+                        let dst = gx.row_mut(r);
+                        for (d, s) in dst.iter_mut().zip(src) {
+                            *d += *s;
+                        }
+                    }
+                    accumulate(&mut grads, x.0, &gx);
+                }
+                Op::ConcatCols(parts) => {
+                    let parts = parts.clone();
+                    let mut off = 0;
+                    for p in parts {
+                        let w = self.value(p).cols();
+                        let n = g.rows();
+                        let mut gp = Tensor::zeros(&[n, w]);
+                        for i in 0..n {
+                            gp.row_mut(i).copy_from_slice(&g.row(i)[off..off + w]);
+                        }
+                        accumulate(&mut grads, p.0, &gp);
+                        off += w;
+                    }
+                }
+                Op::ConcatRows(parts) => {
+                    let parts = parts.clone();
+                    let mut off = 0;
+                    for p in parts {
+                        let r = self.value(p).rows();
+                        let d = g.cols();
+                        let mut gp = Tensor::zeros(&[r, d]);
+                        for i in 0..r {
+                            gp.row_mut(i).copy_from_slice(g.row(off + i));
+                        }
+                        accumulate(&mut grads, p.0, &gp);
+                        off += r;
+                    }
+                }
+                Op::ColSlice { x, start } => {
+                    let (x, start) = (*x, *start);
+                    let xv = self.value(x);
+                    let mut gx = Tensor::zeros(&[xv.rows(), xv.cols()]);
+                    let w = g.cols();
+                    for i in 0..g.rows() {
+                        gx.row_mut(i)[start..start + w].copy_from_slice(g.row(i));
+                    }
+                    accumulate(&mut grads, x.0, &gx);
+                }
+                Op::MeanRows(x) => {
+                    let x = *x;
+                    let xv = self.value(x);
+                    let n = xv.rows();
+                    let d = xv.cols();
+                    let mut gx = Tensor::zeros(&[n, d]);
+                    let inv = 1.0 / n as f32;
+                    for i in 0..n {
+                        for j in 0..d {
+                            *gx.at_mut(i, j) = g.at(0, j) * inv;
+                        }
+                    }
+                    accumulate(&mut grads, x.0, &gx);
+                }
+                Op::MeanAll(x) => {
+                    let x = *x;
+                    let xv = self.value(x);
+                    let inv = g.data()[0] / xv.len() as f32;
+                    let gx = Tensor::full(xv.shape(), inv);
+                    accumulate(&mut grads, x.0, &gx);
+                }
+                Op::AddConst(x) => {
+                    accumulate(&mut grads, x.0, &g);
+                }
+                Op::MulConst { x, mask } => {
+                    let x = *x;
+                    let gx = g.mul(mask);
+                    accumulate(&mut grads, x.0, &gx);
+                }
+                Op::RepeatRows { x } => {
+                    let x = *x;
+                    let d = g.cols();
+                    let mut gx = Tensor::zeros(&[1, d]);
+                    for i in 0..g.rows() {
+                        for j in 0..d {
+                            *gx.at_mut(0, j) += g.at(i, j);
+                        }
+                    }
+                    accumulate(&mut grads, x.0, &gx);
+                }
+                Op::CrossEntropyRows { logits, targets, probs, counted } => {
+                    let logits = *logits;
+                    let scale = g.data()[0] / *counted as f32;
+                    let (n, c) = (probs.rows(), probs.cols());
+                    let mut gl = Tensor::zeros(&[n, c]);
+                    for i in 0..n {
+                        let t = targets[i];
+                        if t < 0 {
+                            continue;
+                        }
+                        let pr = probs.row(i);
+                        let out = gl.row_mut(i);
+                        for j in 0..c {
+                            out[j] = pr[j] * scale;
+                        }
+                        out[t as usize] -= scale;
+                    }
+                    accumulate(&mut grads, logits.0, &gl);
+                }
+            }
+            if keep_for_param {
+                grads[idx] = Some(g);
+            }
+        }
+        self.param_grads = grads;
+    }
+
+    /// Folds parameter gradients computed by [`Graph::backward`] into `store`.
+    pub fn accumulate_grads(&mut self, store: &mut ParamStore) {
+        for (idx, g) in self.param_grads.iter().enumerate() {
+            if let (Some(g), Op::Param(pid)) = (g, &self.nodes[idx].op) {
+                store.accumulate(*pid, g);
+            }
+        }
+    }
+}
+
+impl Graph {
+    /// Gradient of `loss` with respect to the given node, if it was reached by
+    /// the last [`Graph::backward`] call (only parameter gradients are kept).
+    pub fn param_grad(&self, id: NodeId) -> Option<&Tensor> {
+        self.param_grads.get(id.0).and_then(|g| g.as_ref())
+    }
+}
+
+fn accumulate(grads: &mut [Option<Tensor>], idx: usize, g: &Tensor) {
+    match &mut grads[idx] {
+        Some(existing) => existing.add_assign(g),
+        slot @ None => *slot = Some(g.clone()),
+    }
+}
+
+fn softmax_row(input: &[f32], out: &mut [f32]) {
+    let max = input.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for (o, &x) in out.iter_mut().zip(input) {
+        let e = (x - max).exp();
+        *o = e;
+        sum += e;
+    }
+    let inv = 1.0 / sum;
+    for o in out.iter_mut() {
+        *o *= inv;
+    }
+}
+
+const GELU_C: f32 = 0.797_884_6; // sqrt(2/pi)
+
+fn gelu_fwd(x: f32) -> f32 {
+    0.5 * x * (1.0 + (GELU_C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+fn gelu_bwd(x: f32) -> f32 {
+    let inner = GELU_C * (x + 0.044715 * x * x * x);
+    let t = inner.tanh();
+    let dinner = GELU_C * (1.0 + 3.0 * 0.044715 * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * dinner
+}

@@ -1,0 +1,46 @@
+//! Weight initialization helpers.
+
+use crate::Tensor;
+
+/// Xavier/Glorot uniform initialization for a `[fan_in, fan_out]` matrix.
+pub fn xavier(fan_in: usize, fan_out: usize, seed: u64) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::rand_uniform(&[fan_in, fan_out], -limit, limit, seed)
+}
+
+/// Truncated-normal-style initialization used for embedding tables
+/// (plain normal with small std; BERT uses std 0.02).
+pub fn embedding(rows: usize, cols: usize, seed: u64) -> Tensor {
+    Tensor::randn(&[rows, cols], 0.02, seed)
+}
+
+/// All-ones `[1,d]` tensor (layer-norm gain).
+pub fn ones_row(d: usize) -> Tensor {
+    Tensor::full(&[1, d], 1.0)
+}
+
+/// All-zeros `[1,d]` tensor (biases, layer-norm shift).
+pub fn zeros_row(d: usize) -> Tensor {
+    Tensor::zeros(&[1, d])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_within_limit() {
+        let t = xavier(64, 64, 1);
+        let limit = (6.0 / 128.0_f32).sqrt();
+        for &v in t.data() {
+            assert!(v.abs() <= limit);
+        }
+    }
+
+    #[test]
+    fn embedding_small_values() {
+        let t = embedding(100, 16, 2);
+        let max = t.data().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        assert!(max < 0.2, "embedding init too large: {max}");
+    }
+}

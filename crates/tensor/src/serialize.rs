@@ -1,0 +1,160 @@
+//! Checkpointing: saving/loading a [`ParamStore`] to a compact binary format.
+//!
+//! The format is a tiny hand-rolled layout built on `bytes`-style framing
+//! implemented with plain `Vec<u8>` (magic, version, then per-parameter
+//! name/shape/data records). It avoids pulling a heavyweight format while
+//! remaining stable across runs, which is all the experiment harness needs.
+
+use crate::param::ParamSlot;
+use crate::{ParamStore, Tensor};
+
+const MAGIC: &[u8; 8] = b"TABBINPS";
+const VERSION: u32 = 1;
+
+/// Errors produced while decoding a checkpoint.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer does not start with the expected magic bytes.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// The buffer ended before a complete record was read.
+    Truncated,
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a TabBiN checkpoint (bad magic)"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            DecodeError::Truncated => write!(f, "checkpoint truncated"),
+            DecodeError::BadUtf8 => write!(f, "parameter name is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Serializes parameter values (not optimizer state) into a byte buffer.
+pub fn save_params(store: &ParamStore) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + store.scalar_count() * 4);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(store.len() as u32).to_le_bytes());
+    for (id, name) in store.iter_ids() {
+        let value = store.value(id);
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(&(value.shape().len() as u32).to_le_bytes());
+        for &d in value.shape() {
+            out.extend_from_slice(&(d as u32).to_le_bytes());
+        }
+        for v in value.data() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Decodes a checkpoint produced by [`save_params`] into a fresh store
+/// (gradients and optimizer state start zeroed).
+pub fn load_params(buf: &[u8]) -> Result<ParamStore, DecodeError> {
+    let mut cur = Cursor { buf, pos: 0 };
+    if cur.take(8)? != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = cur.u32()?;
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let count = cur.u32()? as usize;
+    let mut store = ParamStore::new();
+    for _ in 0..count {
+        let name_len = cur.u32()? as usize;
+        let name =
+            std::str::from_utf8(cur.take(name_len)?).map_err(|_| DecodeError::BadUtf8)?.to_string();
+        let rank = cur.u32()? as usize;
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            shape.push(cur.u32()? as usize);
+        }
+        let n: usize = shape.iter().product();
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            let b = cur.take(4)?;
+            data.push(f32::from_le_bytes([b[0], b[1], b[2], b[3]]));
+        }
+        store.slots.push(ParamSlot {
+            name,
+            grad: Tensor::zeros(&shape),
+            m: Tensor::zeros(&shape),
+            v: Tensor::zeros(&shape),
+            value: Tensor::from_vec(data, &shape),
+        });
+    }
+    Ok(store)
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.buf.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let mut s = ParamStore::new();
+        let a = s.register("layer.w", Tensor::randn(&[3, 4], 1.0, 1));
+        let b = s.register("layer.b", Tensor::randn(&[1, 4], 1.0, 2));
+        let buf = save_params(&s);
+        let s2 = load_params(&buf).unwrap();
+        assert_eq!(s2.len(), 2);
+        assert_eq!(s2.value(a), s.value(a));
+        assert_eq!(s2.value(b), s.value(b));
+        assert_eq!(s2.name(b), "layer.b");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(load_params(b"not a checkpoint").unwrap_err(), DecodeError::BadMagic);
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let mut s = ParamStore::new();
+        s.register("w", Tensor::randn(&[8, 8], 1.0, 3));
+        let buf = save_params(&s);
+        let cut = &buf[..buf.len() - 7];
+        assert_eq!(load_params(cut).unwrap_err(), DecodeError::Truncated);
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut s = ParamStore::new();
+        s.register("w", Tensor::zeros(&[1]));
+        let mut buf = save_params(&s);
+        buf[8] = 99; // clobber the version field
+        assert!(matches!(load_params(&buf).unwrap_err(), DecodeError::BadVersion(_)));
+    }
+}

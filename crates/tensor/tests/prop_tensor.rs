@@ -1,0 +1,112 @@
+//! Property-based tests for the tensor algebra invariants.
+
+use proptest::prelude::*;
+use tabbin_tensor::Tensor;
+
+fn small_matrix(max_dim: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(m, n)| {
+        proptest::collection::vec(-10.0f32..10.0, m * n)
+            .prop_map(move |data| Tensor::from_vec(data, &[m, n]))
+    })
+}
+
+fn paired_matrices(max_dim: usize) -> impl Strategy<Value = (Tensor, Tensor)> {
+    (1..=max_dim, 1..=max_dim, 1..=max_dim).prop_flat_map(|(m, k, n)| {
+        let a = proptest::collection::vec(-5.0f32..5.0, m * k)
+            .prop_map(move |d| Tensor::from_vec(d, &[m, k]));
+        let b = proptest::collection::vec(-5.0f32..5.0, k * n)
+            .prop_map(move |d| Tensor::from_vec(d, &[k, n]));
+        (a, b)
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involutive(a in small_matrix(8)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matmul_transpose_identity((a, b) in paired_matrices(6)) {
+        // (AB)^T == B^T A^T
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert_eq!(lhs.shape(), rhs.shape());
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn add_is_commutative(a in small_matrix(8), scale in -3.0f32..3.0) {
+        let b = a.map(|v| v * scale + 1.0);
+        let ab = a.add(&b);
+        let ba = b.add(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn sub_then_add_roundtrips(a in small_matrix(8)) {
+        let b = a.map(|v| v * 0.5 - 2.0);
+        let back = a.sub(&b).add(&b);
+        for (x, y) in back.data().iter().zip(a.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn cosine_is_bounded(a in small_matrix(6)) {
+        let b = a.map(|v| v * 0.3 + 0.7);
+        let c = a.cosine(&b);
+        prop_assert!((-1.0001..=1.0001).contains(&c), "cosine {}", c);
+    }
+
+    #[test]
+    fn cosine_is_scale_invariant(a in small_matrix(6), s in 0.1f32..10.0) {
+        let b = a.map(|v| v + 1.0);
+        let scaled = b.map(|v| v * s);
+        let c1 = a.cosine(&b);
+        let c2 = a.cosine(&scaled);
+        prop_assert!((c1 - c2).abs() < 1e-3, "{} vs {}", c1, c2);
+    }
+
+    #[test]
+    fn mean_rows_is_within_bounds(a in small_matrix(8)) {
+        let m = a.mean_rows();
+        for j in 0..a.cols() {
+            let col: Vec<f32> = (0..a.rows()).map(|i| a.at(i, j)).collect();
+            let lo = col.iter().copied().fold(f32::INFINITY, f32::min);
+            let hi = col.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(m.at(0, j) >= lo - 1e-4 && m.at(0, j) <= hi + 1e-4);
+        }
+    }
+
+    #[test]
+    fn reshape_preserves_data(a in small_matrix(8)) {
+        let total = a.len();
+        let r = a.clone().reshape(&[total]);
+        prop_assert_eq!(r.data(), a.data());
+    }
+
+    #[test]
+    fn matmul_distributes_over_add((a, b) in paired_matrices(5)) {
+        // A(B + B) == AB + AB
+        let b2 = b.add(&b);
+        let lhs = a.matmul(&b2);
+        let ab = a.matmul(&b);
+        let rhs = ab.add(&ab);
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-2, "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_params(a in small_matrix(6)) {
+        use tabbin_tensor::ParamStore;
+        use tabbin_tensor::serialize::{load_params, save_params};
+        let mut s = ParamStore::new();
+        let id = s.register("p", a.clone());
+        let restored = load_params(&save_params(&s)).unwrap();
+        prop_assert_eq!(restored.value(id), &a);
+    }
+}

@@ -1,0 +1,18 @@
+//! WordPiece-style sub-word tokenizer.
+//!
+//! The paper initializes TabBiN from BioBERT's vocabulary and tokenizes cells
+//! with the standard BERT WordPiece scheme, replacing numbers with the
+//! special `[VAL]` token (their numeric features travel through the separate
+//! `E_num` embedding). No pre-trained vocabulary is available offline, so
+//! this crate *trains* an equivalent vocabulary on the reproduction corpora:
+//! frequent whole words are kept, everything else decomposes into greedy
+//! longest-match sub-word pieces (`##`-prefixed continuations), guaranteeing
+//! total coverage via single-character pieces.
+
+mod split;
+mod vocab;
+mod wordpiece;
+
+pub use split::{basic_split, RawToken};
+pub use vocab::{SpecialToken, Vocab};
+pub use wordpiece::{Piece, Tokenizer};

@@ -1,0 +1,139 @@
+//! Pre-tokenization: lowercasing, punctuation splitting, number detection.
+
+/// A raw token produced by [`basic_split`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum RawToken {
+    /// An alphabetic (or mixed) word, lowercased.
+    Word(String),
+    /// A number literal; the surface digits are replaced by `[VAL]`
+    /// downstream while the value feeds the numeric-feature embedding.
+    Number(f64),
+}
+
+/// Splits text into words and numbers.
+///
+/// Rules: Unicode whitespace separates tokens; ASCII punctuation separates
+/// tokens except `.` between digits (decimal point) and a leading `-` before
+/// a digit (negative number); `%` becomes the word `"%"` (a stats unit cue);
+/// words are lowercased.
+pub fn basic_split(text: &str) -> Vec<RawToken> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '%' {
+            out.push(RawToken::Word("%".to_string()));
+            i += 1;
+            continue;
+        }
+        // Number: optional sign, digits, optional fraction.
+        let minus = c == '-' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit();
+        if c.is_ascii_digit() || minus {
+            let start = i;
+            if minus {
+                i += 1;
+            }
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                i += 1;
+            }
+            if i + 1 < chars.len() && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+                i += 1;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            let lit: String = chars[start..i].iter().collect();
+            match lit.parse::<f64>() {
+                Ok(v) => out.push(RawToken::Number(v)),
+                Err(_) => out.push(RawToken::Word(lit.to_lowercase())),
+            }
+            continue;
+        }
+        if c.is_alphanumeric() {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '\'') {
+                i += 1;
+            }
+            let word: String = chars[start..i].iter().collect::<String>().to_lowercase();
+            out.push(RawToken::Word(word));
+            continue;
+        }
+        // Any other punctuation is a separator and is dropped.
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_words_and_numbers() {
+        let toks = basic_split("Overall Survival: 20.3 months");
+        assert_eq!(
+            toks,
+            vec![
+                RawToken::Word("overall".into()),
+                RawToken::Word("survival".into()),
+                RawToken::Number(20.3),
+                RawToken::Word("months".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn detects_negative_numbers() {
+        assert_eq!(basic_split("-3.5"), vec![RawToken::Number(-3.5)]);
+        // A bare hyphen between words is a separator.
+        assert_eq!(
+            basic_split("progression-free"),
+            vec![RawToken::Word("progression".into()), RawToken::Word("free".into())]
+        );
+    }
+
+    #[test]
+    fn percent_is_a_token() {
+        assert_eq!(
+            basic_split("62%"),
+            vec![RawToken::Number(62.0), RawToken::Word("%".into())]
+        );
+    }
+
+    #[test]
+    fn ranges_split_into_two_numbers() {
+        // "20-30" reads as 20 and -30? No: the '-' follows a digit run, so it
+        // terminates the first number; then '-3...' parses as negative. We
+        // accept either convention as long as both magnitudes survive.
+        let toks = basic_split("20-30");
+        let nums: Vec<f64> = toks
+            .iter()
+            .filter_map(|t| match t {
+                RawToken::Number(v) => Some(v.abs()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec![20.0, 30.0]);
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        assert!(basic_split("").is_empty());
+        assert!(basic_split("--- ,, !!").is_empty());
+    }
+
+    #[test]
+    fn lowercases_words() {
+        assert_eq!(basic_split("RaMuCiRuMaB"), vec![RawToken::Word("ramucirumab".into())]);
+    }
+
+    #[test]
+    fn unicode_words_survive() {
+        assert_eq!(basic_split("naïve"), vec![RawToken::Word("naïve".into())]);
+    }
+}

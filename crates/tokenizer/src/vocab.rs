@@ -1,0 +1,180 @@
+//! Vocabulary with fixed special tokens and corpus-driven construction.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The special tokens, pinned to the first vocabulary ids.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpecialToken {
+    /// Padding.
+    Pad,
+    /// Unknown piece.
+    Unk,
+    /// Sequence-start classifier token.
+    Cls,
+    /// Cell separator.
+    Sep,
+    /// Masked-token placeholder (MLM / CLC objectives).
+    Mask,
+    /// Numeric-value placeholder (paper §3.1 "Token").
+    Val,
+}
+
+impl SpecialToken {
+    /// All special tokens in id order.
+    pub const ALL: [SpecialToken; 6] = [
+        SpecialToken::Pad,
+        SpecialToken::Unk,
+        SpecialToken::Cls,
+        SpecialToken::Sep,
+        SpecialToken::Mask,
+        SpecialToken::Val,
+    ];
+
+    /// The fixed vocabulary id.
+    pub fn id(self) -> u32 {
+        match self {
+            SpecialToken::Pad => 0,
+            SpecialToken::Unk => 1,
+            SpecialToken::Cls => 2,
+            SpecialToken::Sep => 3,
+            SpecialToken::Mask => 4,
+            SpecialToken::Val => 5,
+        }
+    }
+
+    /// The surface form.
+    pub fn text(self) -> &'static str {
+        match self {
+            SpecialToken::Pad => "[PAD]",
+            SpecialToken::Unk => "[UNK]",
+            SpecialToken::Cls => "[CLS]",
+            SpecialToken::Sep => "[SEP]",
+            SpecialToken::Mask => "[MASK]",
+            SpecialToken::Val => "[VAL]",
+        }
+    }
+}
+
+/// A token vocabulary: special tokens, whole words, and `##` sub-word pieces.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Vocab {
+    token_to_id: HashMap<String, u32>,
+    id_to_token: Vec<String>,
+}
+
+impl Vocab {
+    /// Builds a vocabulary from word-frequency counts.
+    ///
+    /// Keeps at most `max_words` words occurring at least `min_count` times,
+    /// then adds single-character pieces (both word-initial and `##`
+    /// continuations) for every character seen, guaranteeing any word can be
+    /// tokenized without `[UNK]` unless it contains unseen characters.
+    pub fn build(counts: &HashMap<String, u64>, max_words: usize, min_count: u64) -> Self {
+        let mut v = Self::specials_only();
+        // Character coverage first so it survives the size cap.
+        let mut chars: Vec<char> = counts.keys().flat_map(|w| w.chars()).collect();
+        chars.sort_unstable();
+        chars.dedup();
+        for c in chars {
+            v.intern(&c.to_string());
+            v.intern(&format!("##{c}"));
+        }
+        // Frequent words, most frequent first for stable prefix ids.
+        let mut words: Vec<(&String, &u64)> =
+            counts.iter().filter(|(_, &n)| n >= min_count).collect();
+        words.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+        for (w, _) in words.into_iter().take(max_words) {
+            v.intern(w);
+            // Also add the continuation form so compounds ending in a known
+            // word tokenize into two pieces instead of characters.
+            v.intern(&format!("##{w}"));
+        }
+        v
+    }
+
+    /// A vocabulary containing only the special tokens.
+    pub fn specials_only() -> Self {
+        let mut v = Vocab { token_to_id: HashMap::new(), id_to_token: Vec::new() };
+        for s in SpecialToken::ALL {
+            let id = v.intern(s.text());
+            debug_assert_eq!(id, s.id());
+        }
+        v
+    }
+
+    fn intern(&mut self, token: &str) -> u32 {
+        if let Some(&id) = self.token_to_id.get(token) {
+            return id;
+        }
+        let id = self.id_to_token.len() as u32;
+        self.token_to_id.insert(token.to_string(), id);
+        self.id_to_token.push(token.to_string());
+        id
+    }
+
+    /// Vocabulary size.
+    pub fn len(&self) -> usize {
+        self.id_to_token.len()
+    }
+
+    /// Whether only the specials are present.
+    pub fn is_empty(&self) -> bool {
+        self.id_to_token.len() <= SpecialToken::ALL.len()
+    }
+
+    /// Looks up a token id.
+    pub fn id_of(&self, token: &str) -> Option<u32> {
+        self.token_to_id.get(token).copied()
+    }
+
+    /// Looks up the surface form of an id.
+    pub fn token_of(&self, id: u32) -> Option<&str> {
+        self.id_to_token.get(id as usize).map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(words: &[(&str, u64)]) -> HashMap<String, u64> {
+        words.iter().map(|(w, n)| (w.to_string(), *n)).collect()
+    }
+
+    #[test]
+    fn specials_have_fixed_ids() {
+        let v = Vocab::specials_only();
+        assert_eq!(v.id_of("[PAD]"), Some(0));
+        assert_eq!(v.id_of("[VAL]"), Some(5));
+        assert_eq!(v.token_of(2), Some("[CLS]"));
+    }
+
+    #[test]
+    fn build_keeps_frequent_words() {
+        let v = Vocab::build(&counts(&[("cancer", 100), ("rare", 1)]), 100, 2);
+        assert!(v.id_of("cancer").is_some());
+        assert!(v.id_of("rare").is_none());
+        // Character fallback pieces exist for the rare word's letters.
+        assert!(v.id_of("r").is_some());
+        assert!(v.id_of("##r").is_some());
+    }
+
+    #[test]
+    fn build_respects_word_cap() {
+        let c = counts(&[("aa", 10), ("bb", 9), ("cc", 8)]);
+        let v = Vocab::build(&c, 2, 1);
+        assert!(v.id_of("aa").is_some());
+        assert!(v.id_of("bb").is_some());
+        assert!(v.id_of("cc").is_none());
+    }
+
+    #[test]
+    fn ids_are_dense_and_reversible() {
+        let v = Vocab::build(&counts(&[("abc", 5)]), 10, 1);
+        for id in 0..v.len() as u32 {
+            let t = v.token_of(id).unwrap();
+            assert_eq!(v.id_of(t), Some(id));
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Property tests: the tokenizer must be total and closed over its vocab.
+
+use proptest::prelude::*;
+use tabbin_tokenizer::{basic_split, Piece, RawToken, Tokenizer};
+
+fn trained() -> Tokenizer {
+    Tokenizer::train(
+        vec![
+            "overall survival progression free months years cancer tumor",
+            "hazard ratio confidence interval cohort patients treatment",
+        ],
+        1000,
+        1,
+    )
+}
+
+proptest! {
+    #[test]
+    fn encode_never_panics_and_ids_are_in_vocab(text in ".{0,120}") {
+        let t = trained();
+        for piece in t.encode(&text) {
+            let id = piece.vocab_id();
+            prop_assert!(t.vocab().token_of(id).is_some(), "id {} out of vocab", id);
+        }
+    }
+
+    #[test]
+    fn encode_is_idempotent_on_ascii(words in proptest::collection::vec("[a-z]{1,12}", 0..8)) {
+        let t = trained();
+        let text = words.join(" ");
+        prop_assert_eq!(t.encode(&text), t.encode(&text));
+    }
+
+    #[test]
+    fn numbers_always_become_values(v in -1e6f64..1e6f64) {
+        let t = trained();
+        let text = format!("{v:.3}");
+        let enc = t.encode(&text);
+        prop_assert!(!enc.is_empty());
+        let total: usize = enc.iter().filter(|p| matches!(p, Piece::Value(_))).count();
+        prop_assert!(total >= 1, "no Value piece for {}", text);
+    }
+
+    #[test]
+    fn basic_split_preserves_word_count_on_simple_text(
+        words in proptest::collection::vec("[a-z]{1,10}", 1..10)
+    ) {
+        let text = words.join(" ");
+        let toks = basic_split(&text);
+        prop_assert_eq!(toks.len(), words.len());
+        for (tok, w) in toks.iter().zip(&words) {
+            prop_assert_eq!(tok, &RawToken::Word(w.clone()));
+        }
+    }
+
+    #[test]
+    fn split_never_emits_empty_words(text in ".{0,200}") {
+        for tok in basic_split(&text) {
+            if let RawToken::Word(w) = tok {
+                prop_assert!(!w.is_empty());
+            }
+        }
+    }
+}

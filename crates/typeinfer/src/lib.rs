@@ -1,0 +1,18 @@
+//! Semantic type inference over cell content (paper §3.1 "Type Inference").
+//!
+//! The paper tags cells with one of **14 semantic types** using scispaCy for
+//! biomedical entities, spaCy's `en_core_web_sm` for generic entities, custom
+//! gazetteers for domain terms (vaccines, treatments, therapies, …), and
+//! regexes for numeric/range/text shapes. Those NLP pipelines are not
+//! available offline, so this crate implements the same *interface* — cell
+//! text in, one of 14 discrete types out — with gazetteers and hand-written
+//! rules. The TabBiN embedding layer only consumes the discrete type id, so
+//! this substitution exercises the identical downstream code path.
+
+mod gazetteer;
+mod rules;
+mod types;
+
+pub use gazetteer::Gazetteer;
+pub use rules::TypeTagger;
+pub use types::SemType;

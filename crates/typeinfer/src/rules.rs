@@ -1,0 +1,188 @@
+//! Rule-based shape tagging layered over the gazetteers.
+//!
+//! Priority mirrors the paper's pipeline: entity hits (gazetteer) win over
+//! numeric shapes, which win over the `text` fallback.
+
+use crate::{Gazetteer, SemType};
+
+/// The full tagger: gazetteer + shape rules.
+#[derive(Clone, Debug)]
+pub struct TypeTagger {
+    gaz: Gazetteer,
+}
+
+impl Default for TypeTagger {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TypeTagger {
+    /// Tagger with the built-in gazetteer.
+    pub fn new() -> Self {
+        Self { gaz: Gazetteer::builtin() }
+    }
+
+    /// Tagger with a custom gazetteer.
+    pub fn with_gazetteer(gaz: Gazetteer) -> Self {
+        Self { gaz }
+    }
+
+    /// Access to the underlying gazetteer (e.g. to extend it per dataset, as
+    /// the paper does with dataset-specific entity lists).
+    pub fn gazetteer_mut(&mut self) -> &mut Gazetteer {
+        &mut self.gaz
+    }
+
+    /// Tags a cell's rendered text with one of the 14 types.
+    pub fn tag(&self, text: &str) -> SemType {
+        let t = text.trim();
+        if t.is_empty() {
+            return SemType::Text;
+        }
+        if let Some(ty) = self.gaz.lookup_in(t) {
+            return ty;
+        }
+        if is_gaussian(t) {
+            return SemType::Gaussian;
+        }
+        if is_range(t) {
+            return SemType::Range;
+        }
+        if let Some(rest) = leading_number(t) {
+            // Number followed by a unit word => measurement; bare => numeric.
+            let rest = rest.trim();
+            if rest.is_empty() {
+                return SemType::Numeric;
+            }
+            if tabbin_table::Unit::parse(rest).is_some() || rest == "%" {
+                return SemType::Measurement;
+            }
+            return SemType::Measurement; // number + any qualifier reads as a measurement
+        }
+        SemType::Text
+    }
+}
+
+/// `mean ± std` with optional unit.
+fn is_gaussian(t: &str) -> bool {
+    let Some((a, b)) = t.split_once('±') else { return false };
+    parse_front_number(a).is_some() && parse_front_number(b).is_some()
+}
+
+/// `lo - hi` (both numeric) with optional unit suffix.
+fn is_range(t: &str) -> bool {
+    // Try each '-' as the separator (skip a leading sign).
+    let bytes: Vec<char> = t.chars().collect();
+    for (i, &c) in bytes.iter().enumerate().skip(1) {
+        if c == '-' || c == '–' {
+            let lhs: String = bytes[..i].iter().collect();
+            let rhs: String = bytes[i + 1..].iter().collect();
+            if full_number(lhs.trim()) && parse_front_number(&rhs).is_some() {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// If `t` starts with a number, returns the remainder after it.
+fn leading_number(t: &str) -> Option<&str> {
+    let mut end = 0;
+    let b = t.as_bytes();
+    if end < b.len() && (b[end] == b'-' || b[end] == b'+') {
+        end += 1;
+    }
+    let digits_start = end;
+    while end < b.len() && b[end].is_ascii_digit() {
+        end += 1;
+    }
+    if end < b.len() && b[end] == b'.' {
+        end += 1;
+        while end < b.len() && b[end].is_ascii_digit() {
+            end += 1;
+        }
+    }
+    if end == digits_start {
+        return None;
+    }
+    t[..end].parse::<f64>().ok()?;
+    Some(&t[end..])
+}
+
+fn full_number(t: &str) -> bool {
+    !t.is_empty() && t.parse::<f64>().is_ok()
+}
+
+fn parse_front_number(t: &str) -> Option<f64> {
+    let t = t.trim();
+    let rest = leading_number(t)?;
+    // The remainder may only contain a unit word or '%'.
+    let rest = rest.trim();
+    if rest.is_empty() || rest == "%" || tabbin_table::Unit::parse(rest).is_some() {
+        t[..t.len() - rest.len()].trim().parse::<f64>().ok()
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_colon_is_disease() {
+        // "tokens corresponding to the cell 'colon' are typed as disease" —
+        // our gazetteer reaches it via "colon cancer"/"cancer" family; plain
+        // "colon cancer" must tag as disease.
+        let tagger = TypeTagger::new();
+        assert_eq!(tagger.tag("colon cancer"), SemType::Disease);
+    }
+
+    #[test]
+    fn measurement_vs_numeric() {
+        let tagger = TypeTagger::new();
+        assert_eq!(tagger.tag("20.3 months"), SemType::Measurement);
+        assert_eq!(tagger.tag("42"), SemType::Numeric);
+        assert_eq!(tagger.tag("62 %"), SemType::Measurement);
+    }
+
+    #[test]
+    fn range_detection() {
+        let tagger = TypeTagger::new();
+        assert_eq!(tagger.tag("20-30"), SemType::Range);
+        assert_eq!(tagger.tag("20-30 year"), SemType::Range);
+        assert_eq!(tagger.tag("4.5-5.7 months"), SemType::Range);
+        // Words with hyphens are not ranges.
+        assert_eq!(tagger.tag("progression-free"), SemType::Text);
+    }
+
+    #[test]
+    fn gaussian_detection() {
+        let tagger = TypeTagger::new();
+        assert_eq!(tagger.tag("0.73±0.11"), SemType::Gaussian);
+        assert_eq!(tagger.tag("1.5±0.2 months"), SemType::Gaussian);
+        assert_eq!(tagger.tag("±3"), SemType::Text);
+    }
+
+    #[test]
+    fn gazetteer_beats_shape() {
+        let tagger = TypeTagger::new();
+        // "ramucirumab 20" contains a drug term; entity wins.
+        assert_eq!(tagger.tag("ramucirumab"), SemType::Drug);
+    }
+
+    #[test]
+    fn fallback_is_text() {
+        let tagger = TypeTagger::new();
+        assert_eq!(tagger.tag("lorem ipsum dolor"), SemType::Text);
+        assert_eq!(tagger.tag(""), SemType::Text);
+    }
+
+    #[test]
+    fn custom_gazetteer_extension() {
+        let mut tagger = TypeTagger::new();
+        tagger.gazetteer_mut().extend(SemType::Vaccine, &["zeta-vax"]);
+        assert_eq!(tagger.tag("zeta-vax"), SemType::Vaccine);
+    }
+}

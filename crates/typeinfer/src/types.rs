@@ -1,0 +1,115 @@
+//! The 14-type inventory.
+
+use serde::{Deserialize, Serialize};
+
+/// The 14 semantic types of the paper's type-inference component
+/// (`T = 14`, embedding of size `(14, H)`); every token in a cell receives
+/// the cell's type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SemType {
+    /// Diseases and conditions ("colon cancer", "covid-19").
+    Disease,
+    /// Drugs and medications ("ramucirumab").
+    Drug,
+    /// Chemicals and compounds.
+    Chemical,
+    /// Vaccines ("moderna", "covaxin").
+    Vaccine,
+    /// Treatments and procedures ("chemotherapy regimen").
+    Treatment,
+    /// Therapies ("immunotherapy").
+    Therapy,
+    /// Person names.
+    PersonName,
+    /// Places: cities, states, countries.
+    Place,
+    /// Organizations: universities, clubs, agencies.
+    Organization,
+    /// Measurements: number + unit ("20.3 months").
+    Measurement,
+    /// Bare numeric content.
+    Numeric,
+    /// Numeric ranges ("20-30").
+    Range,
+    /// Gaussian summaries ("1.5±0.2").
+    Gaussian,
+    /// Anything else.
+    Text,
+}
+
+impl SemType {
+    /// All types in embedding-index order.
+    pub const ALL: [SemType; 14] = [
+        SemType::Disease,
+        SemType::Drug,
+        SemType::Chemical,
+        SemType::Vaccine,
+        SemType::Treatment,
+        SemType::Therapy,
+        SemType::PersonName,
+        SemType::Place,
+        SemType::Organization,
+        SemType::Measurement,
+        SemType::Numeric,
+        SemType::Range,
+        SemType::Gaussian,
+        SemType::Text,
+    ];
+
+    /// Number of types (the paper's `T`).
+    pub const COUNT: usize = 14;
+
+    /// Embedding index of this type.
+    pub fn index(self) -> usize {
+        SemType::ALL.iter().position(|&t| t == self).expect("type in inventory")
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SemType::Disease => "disease",
+            SemType::Drug => "drug",
+            SemType::Chemical => "chemical",
+            SemType::Vaccine => "vaccine",
+            SemType::Treatment => "treatment",
+            SemType::Therapy => "therapy",
+            SemType::PersonName => "name",
+            SemType::Place => "place",
+            SemType::Organization => "organization",
+            SemType::Measurement => "measurement",
+            SemType::Numeric => "numeric",
+            SemType::Range => "range",
+            SemType::Gaussian => "gaussian",
+            SemType::Text => "text",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inventory_has_exactly_fourteen_types() {
+        assert_eq!(SemType::ALL.len(), SemType::COUNT);
+    }
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = [false; SemType::COUNT];
+        for t in SemType::ALL {
+            let i = t.index();
+            assert!(!seen[i], "duplicate index {i}");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = SemType::ALL.iter().map(|t| t.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), SemType::COUNT);
+    }
+}

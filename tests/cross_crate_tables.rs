@@ -1,0 +1,134 @@
+//! Structural invariants across crates: every generated table must encode
+//! cleanly through coordinates, visibility, tokenizer, and type inference.
+
+use tabbin_core::config::{ModelConfig, SegmentKind};
+use tabbin_core::encoding::encode_segment;
+use tabbin_core::variants::train_tokenizer;
+use tabbin_corpus::{generate, Dataset, GenOptions};
+use tabbin_table::coords::assign_coordinates;
+use tabbin_table::visibility::density;
+use tabbin_typeinfer::TypeTagger;
+
+#[test]
+fn every_generated_table_encodes_in_every_segment() {
+    let cfg = ModelConfig::default();
+    let tagger = TypeTagger::new();
+    for ds in Dataset::ALL {
+        let corpus = generate(ds, &GenOptions { n_tables: Some(15), seed: 1 });
+        let tables = corpus.plain_tables();
+        let tok = train_tokenizer(&tables);
+        for t in &tables {
+            for kind in SegmentKind::ALL {
+                let seq = encode_segment(t, kind, &tok, &tagger, &cfg);
+                assert!(seq.len() <= cfg.max_seq, "sequence overflow in {ds:?}");
+                for et in &seq.tokens {
+                    assert!((et.vocab_id as usize) < tok.vocab_size());
+                    assert!(et.sem_type < tabbin_typeinfer::SemType::COUNT);
+                    for &x in &et.tpos {
+                        assert!((x as usize) < cfg.max_coord);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn coordinates_cover_every_data_cell() {
+    for ds in [Dataset::CancerKg, Dataset::Saus] {
+        let corpus = generate(ds, &GenOptions { n_tables: Some(20), seed: 2 });
+        for lt in &corpus.tables {
+            let coords = assign_coordinates(&lt.table);
+            assert_eq!(coords.data.len(), lt.table.n_rows() * lt.table.n_cols());
+            for i in 0..lt.table.n_rows() {
+                for j in 0..lt.table.n_cols() {
+                    assert!(coords.data_coord(i, j).is_some(), "missing ({i},{j})");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn visibility_matrices_are_sparser_than_full_attention() {
+    let cfg = ModelConfig::default();
+    let tagger = TypeTagger::new();
+    let corpus = generate(Dataset::CancerKg, &GenOptions { n_tables: Some(10), seed: 3 });
+    let tables = corpus.plain_tables();
+    let tok = train_tokenizer(&tables);
+    let mut sparser = 0usize;
+    let mut total = 0usize;
+    for t in &tables {
+        let seq = encode_segment(t, SegmentKind::DataRow, &tok, &tagger, &cfg);
+        if seq.len() < 8 {
+            continue;
+        }
+        let d = density(&seq.visibility());
+        total += 1;
+        if d < 0.999 {
+            sparser += 1;
+        }
+        assert!(d > 0.0);
+    }
+    assert!(total > 0);
+    assert_eq!(sparser, total, "every multi-row table should mask something");
+}
+
+#[test]
+fn vmd_tables_produce_vmd_sequences() {
+    let cfg = ModelConfig::default();
+    let tagger = TypeTagger::new();
+    let corpus = generate(Dataset::Cius, &GenOptions { n_tables: Some(30), seed: 4 });
+    let tables = corpus.plain_tables();
+    let tok = train_tokenizer(&tables);
+    let with_vmd: Vec<_> = tables.iter().filter(|t| t.has_vmd()).collect();
+    assert!(!with_vmd.is_empty(), "CIUS profile must generate VMD tables");
+    for t in with_vmd {
+        let seq = encode_segment(t, SegmentKind::Vmd, &tok, &tagger, &cfg);
+        assert!(seq.n_cells > 0, "VMD segment must encode labels");
+    }
+}
+
+#[test]
+fn nested_tables_get_nested_coordinates_in_encoding() {
+    let cfg = ModelConfig::default();
+    let tagger = TypeTagger::new();
+    let corpus = generate(Dataset::CancerKg, &GenOptions { n_tables: Some(40), seed: 5 });
+    let tables = corpus.plain_tables();
+    let tok = train_tokenizer(&tables);
+    let nested_tables: Vec<_> = tables.iter().filter(|t| t.has_nesting()).collect();
+    assert!(!nested_tables.is_empty());
+    for t in nested_tables {
+        let seq = encode_segment(t, SegmentKind::DataRow, &tok, &tagger, &cfg);
+        assert!(
+            seq.tokens.iter().any(|et| et.tpos[4] > 0),
+            "nested cells must carry nested coordinates"
+        );
+        assert!(
+            seq.tokens.iter().any(|et| et.feat_bits[7]),
+            "nesting bit must be set somewhere"
+        );
+    }
+}
+
+#[test]
+fn type_tagger_agrees_with_generated_value_shapes() {
+    let tagger = TypeTagger::new();
+    let corpus = generate(Dataset::CovidKg, &GenOptions { n_tables: Some(15), seed: 6 });
+    let mut range_hits = 0usize;
+    let mut range_total = 0usize;
+    for lt in &corpus.tables {
+        for (_, _, cell) in lt.table.data.iter_indexed() {
+            if let tabbin_table::CellValue::Range { .. } = cell {
+                range_total += 1;
+                if tagger.tag(&cell.render()) == tabbin_typeinfer::SemType::Range {
+                    range_hits += 1;
+                }
+            }
+        }
+    }
+    if range_total > 0 {
+        let acc = range_hits as f64 / range_total as f64;
+        assert!(acc > 0.9, "range tagging accuracy {acc}");
+    }
+}

@@ -1,0 +1,92 @@
+//! Metadata-classifier integration (§2.3): the bi-GRU and CNN classifiers
+//! must learn to separate metadata rows from data rows on generated corpora,
+//! and the heuristic fallback must agree on the easy cases.
+
+use tabbin_corpus::{generate, Dataset, GenOptions};
+use tabbin_metaclass::{
+    cell_features, heuristic_is_metadata_row, labeled_rows_from_table, BiGruClassifier,
+    CnnClassifier, TrainOptions,
+};
+
+fn corpus_rows(ds: Dataset, n: usize, seed: u64) -> Vec<tabbin_metaclass::LabeledRow> {
+    let corpus = generate(ds, &GenOptions { n_tables: Some(n), seed });
+    corpus
+        .tables
+        .iter()
+        .flat_map(|t| labeled_rows_from_table(&t.table))
+        .collect()
+}
+
+#[test]
+fn bigru_learns_metadata_detection_on_generated_tables() {
+    let train = corpus_rows(Dataset::CancerKg, 12, 1);
+    let test = corpus_rows(Dataset::CancerKg, 8, 2);
+    let mut clf = BiGruClassifier::new(8, 3);
+    clf.train(&train, &TrainOptions { epochs: 12, ..Default::default() });
+    let acc = clf.accuracy(&test);
+    assert!(acc > 0.8, "bi-GRU held-out accuracy too low: {acc}");
+}
+
+#[test]
+fn cnn_learns_metadata_detection_on_generated_tables() {
+    let train = corpus_rows(Dataset::Saus, 12, 4);
+    let test = corpus_rows(Dataset::Saus, 8, 5);
+    let mut clf = CnnClassifier::new(8, 6);
+    clf.train(&train, &TrainOptions { epochs: 15, ..Default::default() });
+    let acc = clf.accuracy(&test);
+    assert!(acc > 0.8, "CNN held-out accuracy too low: {acc}");
+}
+
+#[test]
+fn classifiers_generalize_across_datasets() {
+    // Train on the medical profile, test on the government profile: surface
+    // features (numeric fractions, title words) transfer across domains.
+    let train = corpus_rows(Dataset::CovidKg, 14, 7);
+    let test = corpus_rows(Dataset::Cius, 8, 8);
+    let mut clf = BiGruClassifier::new(8, 9);
+    clf.train(&train, &TrainOptions { epochs: 12, ..Default::default() });
+    let acc = clf.accuracy(&test);
+    assert!(acc > 0.7, "cross-domain accuracy too low: {acc}");
+}
+
+#[test]
+fn heuristic_agrees_on_generated_headers() {
+    let corpus = generate(Dataset::Webtables, &GenOptions { n_tables: Some(15), seed: 10 });
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for lt in &corpus.tables {
+        let t = &lt.table;
+        if t.hmd.is_empty() || t.n_rows() == 0 {
+            continue;
+        }
+        let header: Vec<String> =
+            t.hmd.leaf_labels().iter().map(|s| s.to_string()).collect();
+        let below_numeric = t.numeric_fraction();
+        total += 1;
+        if heuristic_is_metadata_row(&header, below_numeric) {
+            correct += 1;
+        }
+        // And the first data row must not look like metadata.
+        total += 1;
+        if !heuristic_is_metadata_row(&t.row_text(0), below_numeric) {
+            correct += 1;
+        }
+    }
+    assert!(total > 0);
+    let acc = correct as f64 / total as f64;
+    assert!(acc > 0.75, "heuristic accuracy too low: {acc}");
+}
+
+#[test]
+fn feature_extraction_is_total_over_corpus_cells() {
+    for ds in Dataset::ALL {
+        let corpus = generate(ds, &GenOptions { n_tables: Some(5), seed: 11 });
+        for lt in &corpus.tables {
+            for (_, _, cell) in lt.table.data.iter_indexed() {
+                let f = cell_features(&cell.render());
+                assert_eq!(f.len(), tabbin_metaclass::FEAT_DIM);
+                assert!(f.iter().all(|v| v.is_finite()));
+            }
+        }
+    }
+}

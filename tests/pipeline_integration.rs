@@ -1,0 +1,101 @@
+//! End-to-end pipeline: corpus generation -> tokenizer -> pre-training ->
+//! composite embeddings -> retrieval-clustering evaluation.
+
+use tabbin_core::config::ModelConfig;
+use tabbin_core::pretrain::PretrainOptions;
+use tabbin_core::variants::TabBiNFamily;
+use tabbin_corpus::{generate, Dataset, GenOptions, FILLER_SEM_ID};
+use tabbin_eval::clustering::evaluate_retrieval;
+
+fn trained_family(ds: Dataset, n: usize, steps: usize, seed: u64) -> (tabbin_corpus::Corpus, TabBiNFamily) {
+    let corpus = generate(ds, &GenOptions { n_tables: Some(n), seed });
+    let tables = corpus.plain_tables();
+    let mut family = TabBiNFamily::new(&tables, ModelConfig::tiny(), seed);
+    family.pretrain(
+        &tables,
+        &PretrainOptions { steps, batch: 4, seed, ..Default::default() },
+    );
+    (corpus, family)
+}
+
+#[test]
+fn column_clustering_beats_random_guessing() {
+    let (corpus, family) = trained_family(Dataset::Webtables, 24, 15, 3);
+    // Collect labeled columns and embed with the colcomp composite.
+    let mut items = Vec::new();
+    let mut labels = Vec::new();
+    for lt in &corpus.tables {
+        for (ci, &sem) in lt.column_sem.iter().enumerate() {
+            if sem != FILLER_SEM_ID {
+                items.push(family.embed_colcomp(&lt.table, ci));
+                labels.push(sem);
+            }
+        }
+    }
+    let queries: Vec<usize> = (0..items.len().min(20)).collect();
+    let eval = evaluate_retrieval(&items, &labels, &queries, 20);
+    // Random guessing over ~30 semantic ids would land near 1/30; demand a
+    // large multiple of that.
+    assert!(eval.map > 0.25, "CC MAP too low for a trained model: {}", eval.map);
+}
+
+#[test]
+fn table_embeddings_separate_topics() {
+    let (corpus, family) = trained_family(Dataset::Cius, 20, 15, 5);
+    let items: Vec<Vec<f32>> =
+        corpus.tables.iter().map(|t| family.embed_table(&t.table)).collect();
+    let labels: Vec<&str> = corpus.tables.iter().map(|t| t.topic.as_str()).collect();
+    let queries: Vec<usize> = (0..items.len()).collect();
+    let eval = evaluate_retrieval(&items, &labels, &queries, 20);
+    // 4 topics => random MAP around 0.25; demand clear separation.
+    assert!(eval.map > 0.4, "TC MAP too low: {}", eval.map);
+}
+
+#[test]
+fn pretraining_improves_column_clustering() {
+    let corpus = generate(Dataset::Saus, &GenOptions { n_tables: Some(20), seed: 9 });
+    let tables = corpus.plain_tables();
+
+    let eval_of = |family: &TabBiNFamily| {
+        let mut items = Vec::new();
+        let mut labels = Vec::new();
+        for lt in &corpus.tables {
+            for (ci, &sem) in lt.column_sem.iter().enumerate() {
+                if sem != FILLER_SEM_ID && lt.column_numeric[ci] {
+                    items.push(family.embed_colcomp(&lt.table, ci));
+                    labels.push(sem);
+                }
+            }
+        }
+        let queries: Vec<usize> = (0..items.len().min(16)).collect();
+        evaluate_retrieval(&items, &labels, &queries, 20).map
+    };
+
+    let untrained = TabBiNFamily::new(&tables, ModelConfig::tiny(), 13);
+    let before = eval_of(&untrained);
+    let mut trained = TabBiNFamily::new(&tables, ModelConfig::tiny(), 13);
+    trained.pretrain(
+        &tables,
+        &PretrainOptions { steps: 30, batch: 4, seed: 13, ..Default::default() },
+    );
+    let after = eval_of(&trained);
+    assert!(
+        after > before - 0.05,
+        "pre-training should not hurt numeric CC: {before} -> {after}"
+    );
+}
+
+#[test]
+fn embeddings_are_deterministic_across_reruns() {
+    let (corpus, family) = trained_family(Dataset::CovidKg, 12, 5, 21);
+    let t = &corpus.tables[0].table;
+    assert_eq!(family.embed_table(t), family.embed_table(t));
+    assert_eq!(family.embed_colcomp(t, 0), family.embed_colcomp(t, 0));
+
+    // A fully re-trained family with the same seed reproduces embeddings.
+    let (corpus2, family2) = trained_family(Dataset::CovidKg, 12, 5, 21);
+    assert_eq!(
+        family.embed_table(&corpus.tables[3].table),
+        family2.embed_table(&corpus2.tables[3].table)
+    );
+}
