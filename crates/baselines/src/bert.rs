@@ -10,7 +10,7 @@
 //! exactly the weakness the paper exploits on numeric CC.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use tabbin_table::{CellValue, Table};
 use tabbin_tensor::nn::{AttentionConfig, Embedding, EncoderBlock, LayerNorm, Linear};
 use tabbin_tensor::optim::Adam;
@@ -82,7 +82,15 @@ impl BertSim {
         let ln = LayerNorm::new(&mut store, "bert.ln", cfg.hidden);
         let attn = AttentionConfig { d_model: cfg.hidden, heads: cfg.heads };
         let blocks = (0..cfg.layers)
-            .map(|l| EncoderBlock::new(&mut store, &format!("bert{l}"), attn, cfg.ff, seed ^ (l as u64 + 3)))
+            .map(|l| {
+                EncoderBlock::new(
+                    &mut store,
+                    &format!("bert{l}"),
+                    attn,
+                    cfg.ff,
+                    seed ^ (l as u64 + 3),
+                )
+            })
             .collect();
         let mlm = Linear::new(&mut store, "bert.mlm", cfg.hidden, vocab, seed ^ 0x13);
         Self { cfg, store, tok_emb, pos_emb, ln, blocks, mlm, vocab }
@@ -177,8 +185,7 @@ impl BertSim {
                 }
                 let mut g = Graph::new();
                 let hidden = self.forward(&mut g, &ids);
-                let rows: Vec<usize> =
-                    (0..ids.len()).filter(|&i| targets[i] >= 0).collect();
+                let rows: Vec<usize> = (0..ids.len()).filter(|&i| targets[i] >= 0).collect();
                 let sel = g.row_select(hidden, &rows);
                 let logits = self.mlm.forward(&mut g, &self.store, sel);
                 let t: Vec<i64> = rows.iter().map(|&i| targets[i]).collect();
@@ -226,12 +233,7 @@ impl BertSim {
 
     /// Embedding of one column: header label plus rendered cells.
     pub fn embed_column(&self, tok: &Tokenizer, table: &Table, j: usize) -> Vec<f32> {
-        let mut text = table
-            .hmd
-            .leaf_labels()
-            .get(j)
-            .map(|s| s.to_string())
-            .unwrap_or_default();
+        let mut text = table.hmd.leaf_labels().get(j).map(|s| s.to_string()).unwrap_or_default();
         for cell in table.column_text(j) {
             text.push(' ');
             text.push_str(&cell);
@@ -257,8 +259,7 @@ mod tests {
 
     fn tok() -> Tokenizer {
         Tokenizer::train(
-            ["name age job sam ava kim engineer lawyer scientist overall survival months cohort"]
-                .into_iter(),
+            ["name age job sam ava kim engineer lawyer scientist overall survival months cohort"],
             500,
             1,
         )
@@ -276,8 +277,7 @@ mod tests {
     fn pretrain_reduces_loss() {
         let t = tok();
         let tables = [table2_relational(), figure1_table()];
-        let seqs: Vec<Vec<u32>> =
-            tables.iter().map(|tb| BertSim::linearize(tb, &t, 48)).collect();
+        let seqs: Vec<Vec<u32>> = tables.iter().map(|tb| BertSim::linearize(tb, &t, 48)).collect();
         let cfg = BertConfig { hidden: 24, layers: 1, heads: 2, ff: 32, max_seq: 48 };
         let mut model = BertSim::new(cfg, t.vocab_size(), 7);
         let curve = model.pretrain(
@@ -305,14 +305,10 @@ mod tests {
         // linearize to the same id sequence modulo [VAL] — demonstrating the
         // baseline's numeric blindness.
         let t = tok();
-        let a = Table::builder("x")
-            .hmd_flat(&["q"])
-            .row(vec![CellValue::number(5.0, None)])
-            .build();
-        let b = Table::builder("x")
-            .hmd_flat(&["q"])
-            .row(vec![CellValue::number(900.0, None)])
-            .build();
+        let a =
+            Table::builder("x").hmd_flat(&["q"]).row(vec![CellValue::number(5.0, None)]).build();
+        let b =
+            Table::builder("x").hmd_flat(&["q"]).row(vec![CellValue::number(900.0, None)]).build();
         let ia = BertSim::linearize(&a, &t, 32);
         let ib = BertSim::linearize(&b, &t, 32);
         assert_eq!(ia, ib);

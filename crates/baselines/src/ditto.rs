@@ -53,10 +53,8 @@ fn hashed_bag(text: &str) -> Vec<f32> {
         if tok == "COL" || tok == "VAL" {
             continue;
         }
-        let padded: Vec<u8> = std::iter::once(b'^')
-            .chain(tok.bytes())
-            .chain(std::iter::once(b'$'))
-            .collect();
+        let padded: Vec<u8> =
+            std::iter::once(b'^').chain(tok.bytes()).chain(std::iter::once(b'$')).collect();
         for w in padded.windows(3.min(padded.len())) {
             let mut h = 0xcbf2_9ce4_8422_2325u64;
             for &b in w {
@@ -90,8 +88,7 @@ impl DittoSim {
     pub fn train(train: &[EmPair], cfg: BertConfig, opts: &DittoOptions) -> Self {
         // Tokenizer from the pair texts themselves (RoBERTa vocabulary
         // stand-in).
-        let texts: Vec<&str> =
-            train.iter().flat_map(|p| [p.a.as_str(), p.b.as_str()]).collect();
+        let texts: Vec<&str> = train.iter().flat_map(|p| [p.a.as_str(), p.b.as_str()]).collect();
         let tokenizer = Tokenizer::train(texts.iter().copied(), 4000, 1);
         let mut encoder = BertSim::new(cfg, tokenizer.vocab_size(), opts.seed);
         let sequences: Vec<Vec<u32>> = texts
@@ -123,7 +120,11 @@ impl DittoSim {
         let mut head = EntityMatcher::new(dim, opts.seed ^ 0x66);
         head.train(
             &embedded,
-            &MatcherOptions { epochs: opts.head_epochs, seed: opts.seed ^ 0x77, ..Default::default() },
+            &MatcherOptions {
+                epochs: opts.head_epochs,
+                seed: opts.seed ^ 0x77,
+                ..Default::default()
+            },
         );
         Self { encoder, tokenizer, head }
     }
@@ -137,11 +138,7 @@ impl DittoSim {
     pub fn f1_percent(&self, test: &[EmPair]) -> f64 {
         let embedded: Vec<EmbeddedPair> = test
             .iter()
-            .map(|p| EmbeddedPair {
-                a: self.embed(&p.a),
-                b: self.embed(&p.b),
-                matched: p.matched,
-            })
+            .map(|p| EmbeddedPair { a: self.embed(&p.a), b: self.embed(&p.b), matched: p.matched })
             .collect();
         self.head.f1_percent(&embedded)
     }

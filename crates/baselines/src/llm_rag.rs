@@ -17,7 +17,7 @@
 //! DESIGN.md), not values fitted to this repository's outputs.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Simulated model tiers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -142,10 +142,8 @@ impl LlmRagSim {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut queries = Vec::with_capacity(query_indices.len());
         for &q in query_indices {
-            let candidates: Vec<usize> =
-                (0..labels.len()).filter(|&i| i != q).collect();
-            let relevant: Vec<bool> =
-                candidates.iter().map(|&i| labels[i] == labels[q]).collect();
+            let candidates: Vec<usize> = (0..labels.len()).filter(|&i| i != q).collect();
+            let relevant: Vec<bool> = candidates.iter().map(|&i| labels[i] == labels[q]).collect();
             let order = self.rank(&relevant, &mut rng);
             let ranked: Vec<bool> = order.iter().map(|&i| relevant[i]).collect();
             let total = relevant.iter().filter(|&&r| r).count();

@@ -54,22 +54,13 @@ impl TutaSim {
         for (i, a) in coords.hmd.iter().enumerate() {
             let (hr, hc) = a.coord.horizontal.pair();
             let label = table.hmd.leaf_labels().get(i).map(|s| s.to_string()).unwrap_or_default();
-            b.cell_text(
-                &label,
-                [0, 0, hr, hc, 0, 0],
-                a.row as u32,
-                vmd_depth + a.col as u32,
-            );
+            b.cell_text(&label, [0, 0, hr, hc, 0, 0], a.row as u32, vmd_depth + a.col as u32);
         }
         // VMD labels live in the left columns.
         for a in &coords.vmd {
             let (vr, vc) = a.coord.vertical.pair();
-            let label = table
-                .vmd
-                .leaf_labels()
-                .get(a.row)
-                .map(|s| s.to_string())
-                .unwrap_or_default();
+            let label =
+                table.vmd.leaf_labels().get(a.row).map(|s| s.to_string()).unwrap_or_default();
             b.cell_text(&label, [vr, vc, 0, 0, 0, 0], hmd_depth + a.row as u32, a.col as u32);
         }
         // Data cells, nested content flattened as text (no nested coords).
@@ -102,8 +93,7 @@ impl TutaSim {
         tok: &Tokenizer,
         opts: &PretrainOptions,
     ) -> Vec<StepStats> {
-        let seqs: Vec<EncodedSequence> =
-            tables.iter().map(|t| self.encode_table(t, tok)).collect();
+        let seqs: Vec<EncodedSequence> = tables.iter().map(|t| self.encode_table(t, tok)).collect();
         pretrain(&mut self.model, &seqs, opts)
     }
 
@@ -184,8 +174,7 @@ impl<'a> TutaSeqBuilder<'a> {
     fn push(&mut self, text: &str, _value: Option<f64>, tpos: [u16; 6], row: u32, col: u32) {
         let cell_id = self.n_cells;
         self.n_cells += 1;
-        let mut pos = 0usize;
-        for p in self.tok.encode(text) {
+        for (pos, p) in self.tok.encode(text).into_iter().enumerate() {
             if self.tokens.len() >= self.max_seq || pos >= self.max_cell {
                 return;
             }
@@ -207,7 +196,6 @@ impl<'a> TutaSeqBuilder<'a> {
                 special: false,
                 cell_id,
             });
-            pos += 1;
         }
     }
 
@@ -222,11 +210,7 @@ mod tests {
     use tabbin_table::samples::{figure1_table, table2_relational};
 
     fn tok() -> Tokenizer {
-        Tokenizer::train(
-            ["name age job overall survival months patient cohort efficacy"].into_iter(),
-            500,
-            1,
-        )
+        Tokenizer::train(["name age job overall survival months patient cohort efficacy"], 500, 1)
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! enough to sweep embedding dimensionalities for the Table 3 reproduction.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -75,7 +75,9 @@ impl Word2Vec {
 
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut input: Vec<Vec<f32>> = (0..v)
-            .map(|_| (0..cfg.dim).map(|_| rng.random_range(-0.5f32..0.5) / cfg.dim as f32).collect())
+            .map(|_| {
+                (0..cfg.dim).map(|_| rng.random_range(-0.5f32..0.5) / cfg.dim as f32).collect()
+            })
             .collect();
         let mut output: Vec<Vec<f32>> = vec![vec![0.0; cfg.dim]; v];
 
@@ -182,8 +184,7 @@ fn sgns_update(
         if k > 0 && target == ctx {
             continue;
         }
-        let dot: f32 =
-            input[center].iter().zip(&output[target]).map(|(a, b)| a * b).sum();
+        let dot: f32 = input[center].iter().zip(&output[target]).map(|(a, b)| a * b).sum();
         let pred = 1.0 / (1.0 + (-dot).exp());
         let g = (pred - label) * lr;
         for d in 0..dim {
@@ -228,10 +229,7 @@ mod tests {
         let bond = model.embed_word("bond").unwrap();
         let cat_dog = cos(cat, dog);
         let cat_bond = cos(cat, bond);
-        assert!(
-            cat_dog > cat_bond,
-            "cat/dog {cat_dog} should exceed cat/bond {cat_bond}"
-        );
+        assert!(cat_dog > cat_bond, "cat/dog {cat_dog} should exceed cat/bond {cat_bond}");
     }
 
     #[test]

@@ -40,11 +40,10 @@ fn bench_forward_ablations(c: &mut Criterion) {
 /// LSH blocking versus exhaustive all-pairs cosine search.
 fn bench_blocking_vs_exhaustive(c: &mut Criterion) {
     use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use rand::{Rng, SeedableRng};
     let mut rng = StdRng::seed_from_u64(5);
-    let items: Vec<Vec<f32>> = (0..256)
-        .map(|_| (0..48).map(|_| rng.random_range(-1.0f32..1.0)).collect())
-        .collect();
+    let items: Vec<Vec<f32>> =
+        (0..256).map(|_| (0..48).map(|_| rng.random_range(-1.0f32..1.0)).collect()).collect();
     let index = LshIndex::build(&items, 8, 4, 9);
     let mut g = c.benchmark_group("column_matching");
     g.bench_function("exhaustive_cosine", |b| {

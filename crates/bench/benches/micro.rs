@@ -3,10 +3,13 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
+use tabbin_core::batch::BatchEncoder;
 use tabbin_core::config::{ModelConfig, SegmentKind};
 use tabbin_core::encoding::encode_segment;
 use tabbin_core::model::TabBiNModel;
 use tabbin_core::variants::train_tokenizer;
+use tabbin_core::variants::TabBiNFamily;
 use tabbin_corpus::{generate, Dataset, GenOptions};
 use tabbin_eval::LshIndex;
 use tabbin_table::coords::assign_coordinates;
@@ -48,9 +51,7 @@ fn bench_encoding_and_forward(c: &mut Criterion) {
     let seq = encode_segment(&tables[0], SegmentKind::DataRow, &tok, &tagger, &cfg);
 
     c.bench_function("encode_segment_data_row", |b| {
-        b.iter(|| {
-            black_box(encode_segment(&tables[0], SegmentKind::DataRow, &tok, &tagger, &cfg))
-        });
+        b.iter(|| black_box(encode_segment(&tables[0], SegmentKind::DataRow, &tok, &tagger, &cfg)));
     });
     c.bench_function("tabbin_forward_embed", |b| {
         b.iter(|| black_box(model.embed(&seq)));
@@ -72,11 +73,10 @@ fn bench_coordinates(c: &mut Criterion) {
 
 fn bench_lsh(c: &mut Criterion) {
     use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use rand::{Rng, SeedableRng};
     let mut rng = StdRng::seed_from_u64(3);
-    let items: Vec<Vec<f32>> = (0..512)
-        .map(|_| (0..64).map(|_| rng.random_range(-1.0f32..1.0)).collect())
-        .collect();
+    let items: Vec<Vec<f32>> =
+        (0..512).map(|_| (0..64).map(|_| rng.random_range(-1.0f32..1.0)).collect()).collect();
     c.bench_function("lsh_build_512x64", |b| {
         b.iter(|| black_box(LshIndex::build(&items, 8, 4, 7)));
     });
@@ -86,9 +86,74 @@ fn bench_lsh(c: &mut Criterion) {
     });
 }
 
+/// Single-table loop vs. the batched pipeline on a 64-table batch at
+/// `ModelConfig::tiny()` — the workspace's headline scaling measurement.
+///
+/// Besides the criterion samples, this writes `BENCH_embed.json` at the
+/// workspace root (tables/sec for both paths plus the speedup) so successive
+/// PRs accumulate a perf trajectory.
+fn bench_embed_batch(c: &mut Criterion) {
+    const BATCH: usize = 64;
+    let corpus = generate(Dataset::CancerKg, &GenOptions { n_tables: Some(BATCH), seed: 5 });
+    let tables = corpus.plain_tables();
+    assert_eq!(tables.len(), BATCH, "corpus generator must honor n_tables");
+    let family = TabBiNFamily::new(&tables, ModelConfig::tiny(), 5);
+
+    // Warm-up + correctness guard: both paths must agree to within the
+    // pinned 1e-5 bound (the fused kernel reassociates float sums slightly).
+    let batched = family.embed_tables(&tables);
+    let single = family.embed_table(&tables[0]);
+    let drift = batched[0].iter().zip(&single).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
+    assert!(drift < 1e-5, "batched path diverged by {drift}");
+
+    let time_it = |f: &dyn Fn() -> Vec<Vec<f32>>| -> f64 {
+        // Median of 5 timed runs, in tables/sec.
+        let mut secs: Vec<f64> = (0..5)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(f());
+                start.elapsed().as_secs_f64()
+            })
+            .collect();
+        secs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        BATCH as f64 / secs[secs.len() / 2]
+    };
+    let single_tps = time_it(&|| tables.iter().map(|t| family.embed_table(t)).collect());
+    let batched_tps = time_it(&|| BatchEncoder::new(&family).embed_tables(&tables));
+    let speedup = batched_tps / single_tps;
+    println!(
+        "embed_batch_{BATCH}: single {single_tps:.1} tables/s, batched {batched_tps:.1} \
+         tables/s ({speedup:.2}x)"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"embed_table\",\n  \"config\": \"ModelConfig::tiny\",\n  \
+         \"batch_size\": {BATCH},\n  \"single_tables_per_sec\": {single_tps:.2},\n  \
+         \"batched_tables_per_sec\": {batched_tps:.2},\n  \"speedup\": {speedup:.3}\n}}\n"
+    );
+    // Prefer the workspace root; fall back to the working directory (and a
+    // warning) so a relocated bench binary still reports instead of dying.
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_embed.json");
+    if let Err(first) = std::fs::write(&out, &json) {
+        if let Err(second) = std::fs::write("BENCH_embed.json", &json) {
+            eprintln!("warning: could not write BENCH_embed.json ({first}; fallback: {second})");
+        }
+    }
+
+    let mut g = c.benchmark_group("embed_64_tables");
+    g.bench_function("single", |b| {
+        b.iter(|| black_box(tables.iter().map(|t| family.embed_table(t)).collect::<Vec<_>>()));
+    });
+    g.bench_function("batched", |b| {
+        b.iter(|| black_box(family.embed_tables(&tables)));
+    });
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_matmul, bench_visibility, bench_encoding_and_forward, bench_coordinates, bench_lsh
+    targets = bench_matmul, bench_visibility, bench_encoding_and_forward, bench_coordinates,
+        bench_lsh, bench_embed_batch
 }
 criterion_main!(benches);

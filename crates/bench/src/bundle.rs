@@ -112,7 +112,11 @@ impl Bundle {
             .collect();
         bert.pretrain(
             &seqs,
-            &BertPretrainOptions { steps: cfg.steps, seed: cfg.seed ^ 0xcccc, ..Default::default() },
+            &BertPretrainOptions {
+                steps: cfg.steps,
+                seed: cfg.seed ^ 0xcccc,
+                ..Default::default()
+            },
         );
 
         let sentences: Vec<Vec<String>> = tables

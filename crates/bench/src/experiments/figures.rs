@@ -40,8 +40,13 @@ pub fn figure1(_cfg: &ExpConfig) -> String {
             .map(|a| {
                 vec![
                     inner.data.get(a.row, a.col).render(),
-                    format!("({};{}) nested ({}, {})", a.coord.vertical.render(),
-                        a.coord.horizontal.render(), a.coord.nested.0, a.coord.nested.1),
+                    format!(
+                        "({};{}) nested ({}, {})",
+                        a.coord.vertical.render(),
+                        a.coord.horizontal.render(),
+                        a.coord.nested.0,
+                        a.coord.nested.1
+                    ),
                 ]
             })
             .collect();
@@ -110,8 +115,7 @@ pub fn figure3(_cfg: &ExpConfig) -> String {
             }
             None => "-".to_string(),
         };
-        let bits: String =
-            et.feat_bits.iter().map(|&b| if b { '1' } else { '0' }).collect();
+        let bits: String = et.feat_bits.iter().map(|&b| if b { '1' } else { '0' }).collect();
         rows.push(vec![
             token_text,
             et.cell_pos.to_string(),
@@ -123,7 +127,14 @@ pub fn figure3(_cfg: &ExpConfig) -> String {
     }
     format_table(
         "Figure 3 — Encoded representation of Table 1 (first 40 tokens)",
-        &["Token", "In Pos", "Out Pos (vr,vc,hr,hc,nr,nc)", "Number (m,p,f,l)", "Type", "Unit+Nesting"],
+        &[
+            "Token",
+            "In Pos",
+            "Out Pos (vr,vc,hr,hc,nr,nc)",
+            "Number (m,p,f,l)",
+            "Type",
+            "Unit+Nesting",
+        ],
         &rows,
     )
 }
@@ -133,7 +144,8 @@ pub fn figure4(_cfg: &ExpConfig) -> String {
     let tables = vec![table1_sample()];
     let fam = TabBiNFamily::new(&tables, ModelConfig::tiny(), 3);
     let h = fam.cfg.hidden;
-    let ce_num = tabbin_core::composite::ce_numeric(&fam, "OS", 20.3, Some(tabbin_table::Unit::Time));
+    let ce_num =
+        tabbin_core::composite::ce_numeric(&fam, "OS", 20.3, Some(tabbin_table::Unit::Time));
     let ce_rng =
         tabbin_core::composite::ce_range(&fam, "Age", 20.0, 30.0, Some(tabbin_table::Unit::Time));
     let rows = vec![

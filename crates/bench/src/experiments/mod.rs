@@ -16,16 +16,24 @@ pub mod table13;
 pub mod table14;
 
 use crate::bundle::Bundle;
-use crate::harness::{eval_cc, eval_tc};
+use crate::harness::{eval_cc, eval_cc_batch, eval_tc, eval_tc_batch};
 use tabbin_eval::clustering::RetrievalEval;
 
 /// The standard model lineup evaluated on column clustering.
-pub fn cc_lineup(bundle: &Bundle, numeric: bool, k: usize, max_q: usize) -> Vec<(String, RetrievalEval)> {
+pub fn cc_lineup(
+    bundle: &Bundle,
+    numeric: bool,
+    k: usize,
+    max_q: usize,
+) -> Vec<(String, RetrievalEval)> {
     let tok = &bundle.family.tokenizer;
     vec![
         (
             "TabBiN".to_string(),
-            eval_cc(&bundle.corpus, numeric, k, max_q, |t, j| bundle.family.embed_colcomp(t, j)),
+            // Batched path: all of a table's columns in one pass.
+            eval_cc_batch(&bundle.corpus, numeric, k, max_q, |t, cols| {
+                bundle.family.embed_columns_subset(t, cols)
+            }),
         ),
         (
             "TUTA".to_string(),
@@ -38,7 +46,8 @@ pub fn cc_lineup(bundle: &Bundle, numeric: bool, k: usize, max_q: usize) -> Vec<
         (
             "Word2Vec".to_string(),
             eval_cc(&bundle.corpus, numeric, k, max_q, |t, j| {
-                let mut text = t.hmd.leaf_labels().get(j).map(|s| s.to_string()).unwrap_or_default();
+                let mut text =
+                    t.hmd.leaf_labels().get(j).map(|s| s.to_string()).unwrap_or_default();
                 for c in t.column_text(j) {
                     text.push(' ');
                     text.push_str(&c);
@@ -59,9 +68,13 @@ pub fn tc_lineup(
     vec![
         (
             "TabBiN".to_string(),
-            eval_tc(&bundle.corpus, k, subset, |t| bundle.family.embed_table(t)),
+            // Batched path: parameters placed once for the whole subset.
+            eval_tc_batch(&bundle.corpus, k, subset, |ts| bundle.family.embed_table_refs(ts)),
         ),
-        ("TUTA".to_string(), eval_tc(&bundle.corpus, k, subset, |t| bundle.tuta.embed_table(t, tok))),
+        (
+            "TUTA".to_string(),
+            eval_tc(&bundle.corpus, k, subset, |t| bundle.tuta.embed_table(t, tok)),
+        ),
         (
             "BioBERT".to_string(),
             eval_tc(&bundle.corpus, k, subset, |t| bundle.bert.embed_table(tok, t)),

@@ -18,11 +18,7 @@ pub fn run(cfg: &ExpConfig) -> String {
         .iter()
         .flat_map(|t| {
             (0..t.table.n_rows()).map(move |i| {
-                t.table
-                    .row_text(i)
-                    .iter()
-                    .flat_map(|c| tokenize(c))
-                    .collect::<Vec<String>>()
+                t.table.row_text(i).iter().flat_map(|c| tokenize(c)).collect::<Vec<String>>()
             })
         })
         .collect();
@@ -34,24 +30,28 @@ pub fn run(cfg: &ExpConfig) -> String {
             &Word2VecConfig { dim, epochs: 6, seed: cfg.seed, ..Default::default() },
         );
         let cc = eval_cc(&corpus, false, cfg.k, cfg.max_queries, |t, j| {
-            let mut text =
-                t.hmd.leaf_labels().get(j).map(|s| s.to_string()).unwrap_or_default();
+            let mut text = t.hmd.leaf_labels().get(j).map(|s| s.to_string()).unwrap_or_default();
             for c in t.column_text(j) {
                 text.push(' ');
                 text.push_str(&c);
             }
             model.embed_text(&text)
         });
-        let tc = eval_tc(&corpus, cfg.k, |_| true, |t| {
-            let mut text = t.caption.clone();
-            for i in 0..t.n_rows() {
-                for c in t.row_text(i) {
-                    text.push(' ');
-                    text.push_str(&c);
+        let tc = eval_tc(
+            &corpus,
+            cfg.k,
+            |_| true,
+            |t| {
+                let mut text = t.caption.clone();
+                for i in 0..t.n_rows() {
+                    for c in t.row_text(i) {
+                        text.push(' ');
+                        text.push_str(&c);
+                    }
                 }
-            }
-            model.embed_text(&text)
-        });
+                model.embed_text(&text)
+            },
+        );
         rows.push(vec![
             dim.to_string(),
             format!("{:.2}s", elapsed.as_secs_f64()),

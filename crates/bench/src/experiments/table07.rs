@@ -55,10 +55,7 @@ pub fn run(cfg: &ExpConfig) -> String {
                 continue;
             }
             let sample: Vec<_> = ents.iter().take(40).collect();
-            let hits = sample
-                .iter()
-                .filter(|e| compatible(ety, tagger.tag(&e.text)))
-                .count();
+            let hits = sample.iter().filter(|e| compatible(ety, tagger.tag(&e.text))).count();
             let ap = hits as f64 / sample.len() as f64;
             rows.push(vec![
                 ds.name().to_string(),

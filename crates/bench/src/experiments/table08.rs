@@ -23,9 +23,8 @@ pub fn run(cfg: &ExpConfig) -> String {
         let bert = eval_ec(&bundle.corpus, cfg.k, per_type, cfg.max_queries, |e| {
             bundle.bert.embed_text(tok, e)
         });
-        let w2v = eval_ec(&bundle.corpus, cfg.k, per_type, cfg.max_queries, |e| {
-            bundle.w2v.embed_text(e)
-        });
+        let w2v =
+            eval_ec(&bundle.corpus, cfg.k, per_type, cfg.max_queries, |e| bundle.w2v.embed_text(e));
         rows.push(vec![
             ds.name().to_string(),
             tabbin.render(),

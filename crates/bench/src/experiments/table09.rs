@@ -44,11 +44,8 @@ fn tabbin_f1(train: &[EmPair], test: &[EmPair], seed: u64) -> f64 {
 
 fn ditto_f1(train: &[EmPair], test: &[EmPair], seed: u64) -> f64 {
     let cfg = BertConfig { hidden: 24, layers: 1, heads: 2, ff: 32, max_seq: 48 };
-    let model = DittoSim::train(
-        train,
-        cfg,
-        &DittoOptions { pretrain_steps: 100, head_epochs: 50, seed },
-    );
+    let model =
+        DittoSim::train(train, cfg, &DittoOptions { pretrain_steps: 100, head_epochs: 50, seed });
     model.f1_percent(test)
 }
 

@@ -2,7 +2,7 @@
 //! TabBiN-column only, TabBiN-HMD only, and the colcomp composite (§4.5).
 
 use crate::bundle::{Bundle, ExpConfig};
-use crate::harness::{eval_cc, format_table};
+use crate::harness::{eval_cc, eval_cc_batch, format_table};
 use tabbin_corpus::Dataset;
 
 /// Runs the composite-embedding CC analysis.
@@ -20,9 +20,10 @@ pub fn run(cfg: &ExpConfig) -> String {
             let attr_only = eval_cc(&bundle.corpus, numeric, cfg.k, cfg.max_queries, |t, j| {
                 bundle.family.embed_attribute(t, j)
             });
-            let colcomp = eval_cc(&bundle.corpus, numeric, cfg.k, cfg.max_queries, |t, j| {
-                bundle.family.embed_colcomp(t, j)
-            });
+            let colcomp =
+                eval_cc_batch(&bundle.corpus, numeric, cfg.k, cfg.max_queries, |t, cols| {
+                    bundle.family.embed_columns_subset(t, cols)
+                });
             rows.push(vec![
                 ds.name().to_string(),
                 content.to_string(),

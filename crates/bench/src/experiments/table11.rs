@@ -2,7 +2,7 @@
 //! row model only, tblcomp1, tblcomp2 (§4.5), across structural subsets.
 
 use crate::bundle::{Bundle, ExpConfig};
-use crate::harness::{eval_tc, format_table};
+use crate::harness::{eval_tc, eval_tc_batch, format_table};
 use tabbin_corpus::{Dataset, LabeledTable};
 use tabbin_table::TableKind;
 
@@ -24,9 +24,10 @@ pub fn run(cfg: &ExpConfig) -> String {
             if row_only.queries == 0 {
                 continue;
             }
-            let comp1 =
-                eval_tc(&bundle.corpus, cfg.k, subset, |t| bundle.family.embed_tblcomp1(t));
-            let comp2 = eval_tc(&bundle.corpus, cfg.k, subset, |t| bundle.family.embed_table(t));
+            let comp1 = eval_tc(&bundle.corpus, cfg.k, subset, |t| bundle.family.embed_tblcomp1(t));
+            let comp2 = eval_tc_batch(&bundle.corpus, cfg.k, subset, |ts| {
+                bundle.family.embed_table_refs(ts)
+            });
             rows.push(vec![
                 ds.name().to_string(),
                 name.to_string(),

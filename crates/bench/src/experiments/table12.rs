@@ -3,7 +3,7 @@
 //! (TabBiN₃), and bi-dimensional coordinates (TabBiN₄).
 
 use crate::bundle::ExpConfig;
-use crate::harness::{eval_cc, format_table};
+use crate::harness::{eval_cc_batch, format_table};
 use tabbin_core::config::{AblationFlags, ModelConfig};
 use tabbin_core::pretrain::PretrainOptions;
 use tabbin_core::variants::TabBiNFamily;
@@ -35,8 +35,7 @@ pub fn run(cfg: &ExpConfig) -> String {
             let mut num_mrr = 0.0;
             for s in SEEDS {
                 let seed = cfg.seed ^ (s * 0x1_0001);
-                let corpus =
-                    generate(ds, &GenOptions { n_tables: Some(cfg.n_tables), seed });
+                let corpus = generate(ds, &GenOptions { n_tables: Some(cfg.n_tables), seed });
                 let tables = corpus.plain_tables();
                 let model_cfg = ModelConfig::default().with_ablation(flags);
                 let mut family = TabBiNFamily::new(&tables, model_cfg, seed);
@@ -44,11 +43,11 @@ pub fn run(cfg: &ExpConfig) -> String {
                     &tables,
                     &PretrainOptions { steps: cfg.steps, seed, ..Default::default() },
                 );
-                let text = eval_cc(&corpus, false, cfg.k, cfg.max_queries, |t, j| {
-                    family.embed_colcomp(t, j)
+                let text = eval_cc_batch(&corpus, false, cfg.k, cfg.max_queries, |t, cols| {
+                    family.embed_columns_subset(t, cols)
                 });
-                let num = eval_cc(&corpus, true, cfg.k, cfg.max_queries, |t, j| {
-                    family.embed_colcomp(t, j)
+                let num = eval_cc_batch(&corpus, true, cfg.k, cfg.max_queries, |t, cols| {
+                    family.embed_columns_subset(t, cols)
                 });
                 text_map += text.map;
                 text_mrr += text.mrr;

@@ -2,7 +2,7 @@
 
 use crate::bundle::ExpConfig;
 use crate::experiments::table12::variants;
-use crate::harness::{eval_tc, format_table};
+use crate::harness::{eval_tc_batch, format_table};
 use tabbin_core::config::ModelConfig;
 use tabbin_core::pretrain::PretrainOptions;
 use tabbin_core::variants::TabBiNFamily;
@@ -24,8 +24,7 @@ pub fn run(cfg: &ExpConfig) -> String {
             let mut counts = [0usize; 3];
             for s in crate::experiments::table12::SEEDS {
                 let seed = cfg.seed ^ (s * 0x1_0001);
-                let corpus =
-                    generate(ds, &GenOptions { n_tables: Some(cfg.n_tables), seed });
+                let corpus = generate(ds, &GenOptions { n_tables: Some(cfg.n_tables), seed });
                 let tables = corpus.plain_tables();
                 let model_cfg = ModelConfig::default().with_ablation(flags);
                 let mut family = TabBiNFamily::new(&tables, model_cfg, seed);
@@ -34,7 +33,7 @@ pub fn run(cfg: &ExpConfig) -> String {
                     &PretrainOptions { steps: cfg.steps, seed, ..Default::default() },
                 );
                 for (si, (_, subset)) in subsets.iter().enumerate() {
-                    let e = eval_tc(&corpus, cfg.k, subset, |t| family.embed_table(t));
+                    let e = eval_tc_batch(&corpus, cfg.k, subset, |ts| family.embed_table_refs(ts));
                     if e.queries > 0 {
                         sums[si][0] += e.map;
                         sums[si][1] += e.mrr;

@@ -8,7 +8,7 @@
 //! keeps the MAP lead.
 
 use crate::bundle::{Bundle, ExpConfig};
-use crate::harness::{collect_columns, eval_cc, eval_tc, format_table, sample_queries};
+use crate::harness::{collect_columns, eval_cc_batch, eval_tc_batch, format_table, sample_queries};
 use tabbin_baselines::llm_rag::{LlmRagSim, LlmTier};
 use tabbin_corpus::Dataset;
 
@@ -32,8 +32,7 @@ pub fn run(cfg: &ExpConfig) -> String {
             .into_iter()
             .filter(|&q| cc_labels.iter().enumerate().any(|(i, &l)| i != q && l == cc_labels[q]))
             .collect();
-        let tc_labels: Vec<String> =
-            bundle.corpus.tables.iter().map(|t| t.topic.clone()).collect();
+        let tc_labels: Vec<String> = bundle.corpus.tables.iter().map(|t| t.topic.clone()).collect();
         let tc_queries: Vec<usize> = sample_queries(tc_labels.len(), cfg.max_queries).to_vec();
 
         for sim in &sims {
@@ -47,16 +46,12 @@ pub fn run(cfg: &ExpConfig) -> String {
             ]);
         }
         // TabBiN reference rows (measured, not simulated).
-        let cc = eval_cc(&bundle.corpus, false, cfg.k, cfg.max_queries, |t, j| {
-            bundle.family.embed_colcomp(t, j)
+        let cc = eval_cc_batch(&bundle.corpus, false, cfg.k, cfg.max_queries, |t, cols| {
+            bundle.family.embed_columns_subset(t, cols)
         });
-        let tc = eval_tc(&bundle.corpus, cfg.k, |_| true, |t| bundle.family.embed_table(t));
-        rows.push(vec![
-            ds.name().to_string(),
-            "TabBiN".to_string(),
-            cc.render(),
-            tc.render(),
-        ]);
+        let tc =
+            eval_tc_batch(&bundle.corpus, cfg.k, |_| true, |ts| bundle.family.embed_table_refs(ts));
+        rows.push(vec![ds.name().to_string(), "TabBiN".to_string(), cc.render(), tc.render()]);
     }
     format_table(
         "Table 14 — MAP/MRR for CC and TC with LLMs ± RAG vs TabBiN",

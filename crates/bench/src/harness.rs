@@ -52,10 +52,49 @@ pub fn eval_cc(
     let cols = collect_columns(corpus, numeric);
     // Only evaluate semantic ids that appear more than once (something to
     // retrieve must exist).
-    let items: Vec<Vec<f32>> = cols
-        .iter()
-        .map(|c| embed(&corpus.tables[c.table].table, c.col))
-        .collect();
+    let items: Vec<Vec<f32>> =
+        cols.iter().map(|c| embed(&corpus.tables[c.table].table, c.col)).collect();
+    eval_cc_over(&cols, items, k, max_queries)
+}
+
+/// [`eval_cc`] with a per-table **batch** embedder: `embed_columns` is called
+/// once per referenced table with exactly the column indices the evaluation
+/// needs (returning one vector per requested column, in order), so batched
+/// pipelines embed a table's evaluated columns in one pass — without
+/// re-placing model parameters per column and without embedding filtered-out
+/// columns at all.
+pub fn eval_cc_batch(
+    corpus: &Corpus,
+    numeric: bool,
+    k: usize,
+    max_queries: usize,
+    mut embed_columns: impl FnMut(&Table, &[usize]) -> Vec<Vec<f32>>,
+) -> RetrievalEval {
+    let cols = collect_columns(corpus, numeric);
+    // Group the needed column indices by table, embed each group in one
+    // batched call, then lay the results back out in `cols` order.
+    let mut wanted: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for c in &cols {
+        wanted.entry(c.table).or_default().push(c.col);
+    }
+    let mut by_table: std::collections::HashMap<(usize, usize), Vec<f32>> = Default::default();
+    for (&ti, col_ids) in &wanted {
+        let embs = embed_columns(&corpus.tables[ti].table, col_ids);
+        assert_eq!(embs.len(), col_ids.len(), "embedder must return one vector per column");
+        for (&ci, e) in col_ids.iter().zip(embs) {
+            by_table.insert((ti, ci), e);
+        }
+    }
+    let items: Vec<Vec<f32>> = cols.iter().map(|c| by_table[&(c.table, c.col)].clone()).collect();
+    eval_cc_over(&cols, items, k, max_queries)
+}
+
+fn eval_cc_over(
+    cols: &[ColumnRef],
+    items: Vec<Vec<f32>>,
+    k: usize,
+    max_queries: usize,
+) -> RetrievalEval {
     let labels: Vec<u32> = cols.iter().map(|c| c.sem).collect();
     let queries: Vec<usize> = sample_queries(cols.len(), max_queries)
         .into_iter()
@@ -71,18 +110,31 @@ pub fn eval_tc(
     subset: impl Fn(&tabbin_corpus::LabeledTable) -> bool,
     mut embed: impl FnMut(&Table) -> Vec<f32>,
 ) -> RetrievalEval {
+    eval_tc_batch(corpus, k, subset, |tables| tables.iter().map(|t| embed(t)).collect())
+}
+
+/// [`eval_tc`] with a **batch** embedder: the whole selected subset is handed
+/// to `embed_all` at once, so batched pipelines (e.g.
+/// `TabBiNFamily::embed_table_refs`) can place model parameters once and fan
+/// out across threads instead of being called table by table.
+pub fn eval_tc_batch(
+    corpus: &Corpus,
+    k: usize,
+    subset: impl Fn(&tabbin_corpus::LabeledTable) -> bool,
+    embed_all: impl FnOnce(&[&Table]) -> Vec<Vec<f32>>,
+) -> RetrievalEval {
     let selected: Vec<&tabbin_corpus::LabeledTable> =
         corpus.tables.iter().filter(|t| subset(t)).collect();
-    let items: Vec<Vec<f32>> = selected.iter().map(|t| embed(&t.table)).collect();
+    let refs: Vec<&Table> = selected.iter().map(|t| &t.table).collect();
+    let items = embed_all(&refs);
+    assert_eq!(items.len(), refs.len(), "batch embedder must return one vector per table");
     let labels: Vec<String> = selected.iter().map(|t| t.topic.clone()).collect();
     let mut topics = labels.clone();
     topics.sort();
     topics.dedup();
     // Keep topics with at least 2 members.
-    let topics: Vec<String> = topics
-        .into_iter()
-        .filter(|t| labels.iter().filter(|l| *l == t).count() >= 2)
-        .collect();
+    let topics: Vec<String> =
+        topics.into_iter().filter(|t| labels.iter().filter(|l| *l == t).count() >= 2).collect();
     evaluate_centroid_retrieval(&items, &labels, &topics, k)
 }
 
@@ -124,8 +176,7 @@ pub fn format_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Stri
     let mut out = String::new();
     out.push_str(title);
     out.push('\n');
-    let sep: String =
-        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+    let sep: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
     out.push_str(&sep);
     out.push('\n');
     let fmt_row = |cells: &[String]| -> String {
@@ -181,12 +232,8 @@ mod tests {
         sems.dedup();
         let lookup: std::collections::HashMap<(usize, usize), u32> =
             cols.iter().map(|c| ((c.table, c.col), c.sem)).collect();
-        let table_index: std::collections::HashMap<*const Table, usize> = c
-            .tables
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (&t.table as *const Table, i))
-            .collect();
+        let table_index: std::collections::HashMap<*const Table, usize> =
+            c.tables.iter().enumerate().map(|(i, t)| (&t.table as *const Table, i)).collect();
         let eval = eval_cc(&c, true, 20, 20, |t, col| {
             let ti = table_index[&(t as *const Table)];
             let sem = lookup[&(ti, col)];
@@ -205,15 +252,18 @@ mod tests {
         let topic_of: std::collections::HashMap<*const Table, usize> = c
             .tables
             .iter()
-            .map(|t| {
-                (&t.table as *const Table, topics.iter().position(|x| *x == t.topic).unwrap())
-            })
+            .map(|t| (&t.table as *const Table, topics.iter().position(|x| *x == t.topic).unwrap()))
             .collect();
-        let eval = eval_tc(&c, 20, |_| true, |t| {
-            let mut v = vec![0.0f32; topics.len()];
-            v[topic_of[&(t as *const Table)]] = 1.0;
-            v
-        });
+        let eval = eval_tc(
+            &c,
+            20,
+            |_| true,
+            |t| {
+                let mut v = vec![0.0f32; topics.len()];
+                v[topic_of[&(t as *const Table)]] = 1.0;
+                v
+            },
+        );
         assert!(eval.map > 0.99, "oracle TC MAP {}", eval.map);
     }
 

@@ -12,4 +12,6 @@ pub mod experiments;
 pub mod harness;
 
 pub use bundle::{Bundle, ExpConfig};
-pub use harness::{eval_cc, eval_ec, eval_tc, format_table, ColumnRef};
+pub use harness::{
+    eval_cc, eval_cc_batch, eval_ec, eval_tc, eval_tc_batch, format_table, ColumnRef,
+};

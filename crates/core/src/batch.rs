@@ -1,0 +1,315 @@
+//! The batched encode→embed pipeline.
+//!
+//! The naive inference path ([`TabBiNFamily::embed_table`]) builds a fresh
+//! autograd tape per table *and per segment model*, copying every parameter
+//! tensor onto each tape. For bulk workloads — clustering 227k CancerKG
+//! columns behind LSH blocking, corpus-scale table search, benchmarking —
+//! that allocation churn dominates. This module provides the batched
+//! alternative:
+//!
+//! * [`EmbedSession`] — a reusable inference arena: the fused no-tape
+//!   kernel's scratch buffers (see [`crate::infer`]) are cleared and reused
+//!   between calls instead of reallocated.
+//! * [`BatchEncoder`] — encodes and embeds **many** tables/columns/entities
+//!   in one pass per segment model, and dispatches batches past
+//!   [`PARALLEL_BATCH_THRESHOLD`] row-parallel across worker threads with
+//!   `crossbeam` (each worker owns its own arena; the model is shared
+//!   read-only).
+//!
+//! Batched outputs agree with the per-table loop elementwise to within 1e-5
+//! (the fused kernel sums floats in a slightly different order than the
+//! tape), so callers can switch paths freely; a property test in
+//! `tests/prop_batch.rs` pins the bound.
+
+use crate::config::SegmentKind;
+use crate::encoding::{encode_column, encode_segment, encode_text, EncodedSequence};
+use crate::infer::{embed_with, InferScratch};
+use crate::model::TabBiNModel;
+use crate::variants::TabBiNFamily;
+use tabbin_table::Table;
+
+/// Batch size at which embedding fans out across worker threads. Mirrors the
+/// spirit of the tensor crate's parallel-matmul FLOP threshold: below this,
+/// thread spawn overhead beats the win.
+pub const PARALLEL_BATCH_THRESHOLD: usize = 8;
+
+/// Upper bound on embedding worker threads.
+const MAX_WORKERS: usize = 8;
+
+fn worker_count(batch: usize) -> usize {
+    if batch < PARALLEL_BATCH_THRESHOLD {
+        return 1;
+    }
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(2).min(MAX_WORKERS).min(batch)
+}
+
+/// Maps `f` over chunks of `items` across scoped worker threads (serially
+/// for small batches), preserving input order in the flattened output.
+fn par_chunk_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> Vec<R> + Sync,
+{
+    let workers = worker_count(items.len());
+    if workers <= 1 {
+        return f(items);
+    }
+    let chunk = items.len().div_ceil(workers);
+    let f = &f;
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> =
+            items.chunks(chunk).map(|part| scope.spawn(move |_| f(part))).collect();
+        let mut out = Vec::with_capacity(items.len());
+        for h in handles {
+            out.extend(h.join().expect("batch worker panicked"));
+        }
+        out
+    })
+    .expect("batch scope failed")
+}
+
+/// A reusable inference arena for repeated embedding calls.
+///
+/// Holds the no-tape kernel's scratch buffers, which are resized — not
+/// reallocated — between calls, so steady-state embedding performs no heap
+/// allocation beyond the returned vectors.
+#[derive(Default)]
+pub struct EmbedSession {
+    scratch: InferScratch,
+}
+
+impl EmbedSession {
+    /// A fresh session.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Embeds one sequence through the fused no-tape kernel, reusing this
+    /// session's buffers. Agrees with `model.embed(seq)` to within 1e-5.
+    pub fn embed(&mut self, model: &TabBiNModel, seq: &EncodedSequence) -> Vec<f32> {
+        embed_with(model, seq, &mut self.scratch)
+    }
+
+    /// Embeds a batch of sequences, reusing this session's buffers.
+    pub fn embed_batch(&mut self, model: &TabBiNModel, seqs: &[&EncodedSequence]) -> Vec<Vec<f32>> {
+        seqs.iter().map(|s| embed_with(model, s, &mut self.scratch)).collect()
+    }
+}
+
+/// Embeds a batch through one model, fanning out across threads for large
+/// batches. Each worker runs the fused no-tape kernel with its own scratch
+/// arena; the model is shared read-only and results preserve input order.
+pub fn embed_batch_parallel(model: &TabBiNModel, seqs: &[&EncodedSequence]) -> Vec<Vec<f32>> {
+    par_chunk_map(seqs, |part| {
+        let mut session = EmbedSession::new();
+        session.embed_batch(model, part)
+    })
+}
+
+/// Per-table encoded segments feeding the composite table embedding.
+struct TableSegments {
+    caption: EncodedSequence,
+    data: EncodedSequence,
+    hmd: EncodedSequence,
+    vmd: EncodedSequence,
+}
+
+/// Batched encoder over a [`TabBiNFamily`]: the bulk-embedding surface of
+/// the workspace.
+pub struct BatchEncoder<'a> {
+    family: &'a TabBiNFamily,
+}
+
+impl<'a> BatchEncoder<'a> {
+    /// Wraps a family for batched embedding.
+    pub fn new(family: &'a TabBiNFamily) -> Self {
+        Self { family }
+    }
+
+    /// Encodes all four segments of every table (parallel across tables for
+    /// large batches — encoding is pure).
+    fn encode_tables(&self, tables: &[&Table]) -> Vec<TableSegments> {
+        let fam = self.family;
+        let encode_one = |t: &&Table| TableSegments {
+            caption: encode_text(&t.caption, &fam.tokenizer, &fam.tagger, &fam.cfg),
+            data: encode_segment(t, SegmentKind::DataRow, &fam.tokenizer, &fam.tagger, &fam.cfg),
+            hmd: encode_segment(t, SegmentKind::Hmd, &fam.tokenizer, &fam.tagger, &fam.cfg),
+            vmd: encode_segment(t, SegmentKind::Vmd, &fam.tokenizer, &fam.tagger, &fam.cfg),
+        };
+        par_chunk_map(tables, |part| part.iter().map(encode_one).collect())
+    }
+
+    /// Composite table embeddings (`tblcomp2` = data ⊕ HMD ⊕ VMD ⊕ caption)
+    /// for a whole batch of tables. Elementwise equal to calling
+    /// [`TabBiNFamily::embed_table`] per table, but each segment model's
+    /// parameters are placed once per worker instead of four times per table.
+    pub fn embed_tables(&self, tables: &[Table]) -> Vec<Vec<f32>> {
+        let refs: Vec<&Table> = tables.iter().collect();
+        self.embed_table_refs(&refs)
+    }
+
+    /// [`BatchEncoder::embed_tables`] over borrowed tables — the shape
+    /// evaluation harnesses naturally hold after filtering a corpus.
+    pub fn embed_table_refs(&self, tables: &[&Table]) -> Vec<Vec<f32>> {
+        let segments = self.encode_tables(tables);
+        let fam = self.family;
+
+        // Row model consumes data rows and captions; batch them together.
+        let mut row_in: Vec<&EncodedSequence> = Vec::with_capacity(2 * segments.len());
+        row_in.extend(segments.iter().map(|s| &s.data));
+        row_in.extend(segments.iter().map(|s| &s.caption));
+        let row_out = embed_batch_parallel(&fam.row, &row_in);
+        let (data_out, caption_out) = row_out.split_at(segments.len());
+
+        let hmd_in: Vec<&EncodedSequence> = segments.iter().map(|s| &s.hmd).collect();
+        let hmd_out = embed_batch_parallel(&fam.hmd, &hmd_in);
+        let vmd_in: Vec<&EncodedSequence> = segments.iter().map(|s| &s.vmd).collect();
+        let vmd_out = embed_batch_parallel(&fam.vmd, &vmd_in);
+
+        (0..segments.len())
+            .map(|i| {
+                crate::composite::concat(&[
+                    data_out[i].clone(),
+                    hmd_out[i].clone(),
+                    vmd_out[i].clone(),
+                    caption_out[i].clone(),
+                ])
+            })
+            .collect()
+    }
+
+    /// `colcomp` embeddings (attribute ⊕ column data) for **every** column of
+    /// `table`, batched per segment model. Elementwise equal to calling
+    /// [`TabBiNFamily::embed_colcomp`] per column.
+    pub fn embed_columns(&self, table: &Table) -> Vec<Vec<f32>> {
+        let all: Vec<usize> = (0..table.n_cols()).collect();
+        self.embed_columns_subset(table, &all)
+    }
+
+    /// [`BatchEncoder::embed_columns`] restricted to the listed column
+    /// indices (output order follows `cols`) — evaluation harnesses often
+    /// need only a filtered subset (e.g. numeric columns), and embedding the
+    /// rest just to discard it is wasted work.
+    pub fn embed_columns_subset(&self, table: &Table, cols: &[usize]) -> Vec<Vec<f32>> {
+        let fam = self.family;
+        let paths = table.hmd.leaf_label_paths();
+        let attr_seqs: Vec<EncodedSequence> = cols
+            .iter()
+            .map(|&j| {
+                let text = match paths.get(j) {
+                    Some(p) => p.join(" "),
+                    None => format!("column {j}"),
+                };
+                encode_text(&text, &fam.tokenizer, &fam.tagger, &fam.cfg)
+            })
+            .collect();
+        let col_seqs: Vec<EncodedSequence> = cols
+            .iter()
+            .map(|&j| encode_column(table, j, &fam.tokenizer, &fam.tagger, &fam.cfg))
+            .collect();
+
+        let attr_refs: Vec<&EncodedSequence> = attr_seqs.iter().collect();
+        let col_refs: Vec<&EncodedSequence> = col_seqs.iter().collect();
+        let attr_out = embed_batch_parallel(&fam.hmd, &attr_refs);
+        let col_out = embed_batch_parallel(&fam.col, &col_refs);
+
+        (0..cols.len())
+            .map(|j| crate::composite::concat(&[attr_out[j].clone(), col_out[j].clone()]))
+            .collect()
+    }
+
+    /// Entity embeddings for a batch of surface forms (column model, as in
+    /// §4.3), batched. Elementwise equal to [`TabBiNFamily::embed_entity`]
+    /// per text.
+    pub fn embed_entities<S: AsRef<str>>(&self, texts: &[S]) -> Vec<Vec<f32>> {
+        let fam = self.family;
+        let seqs: Vec<EncodedSequence> = texts
+            .iter()
+            .map(|t| encode_text(t.as_ref(), &fam.tokenizer, &fam.tagger, &fam.cfg))
+            .collect();
+        let refs: Vec<&EncodedSequence> = seqs.iter().collect();
+        embed_batch_parallel(&fam.col, &refs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use tabbin_table::samples::{figure1_table, table1_sample, table2_relational};
+
+    fn family() -> (Vec<Table>, TabBiNFamily) {
+        let tables = vec![figure1_table(), table1_sample(), table2_relational()];
+        let fam = TabBiNFamily::new(&tables, ModelConfig::tiny(), 23);
+        (tables, fam)
+    }
+
+    /// The batched path runs the fused no-tape kernel, whose float summation
+    /// order differs slightly from the tape; 1e-5 is the pinned bound.
+    fn assert_close(a: &[f32], b: &[f32], what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+        let max = a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0f32, f32::max);
+        assert!(max < 1e-5, "{what}: diverged by {max}");
+    }
+
+    #[test]
+    fn batched_tables_match_per_table_loop() {
+        let (tables, fam) = family();
+        let batched = BatchEncoder::new(&fam).embed_tables(&tables);
+        for (t, b) in tables.iter().zip(&batched) {
+            let single = fam.embed_table(t);
+            assert_close(&single, b, &format!("table '{}'", t.caption));
+        }
+    }
+
+    #[test]
+    fn batched_columns_match_per_column_loop() {
+        let (tables, fam) = family();
+        let cols = BatchEncoder::new(&fam).embed_columns(&tables[2]);
+        assert_eq!(cols.len(), tables[2].n_cols());
+        for (j, c) in cols.iter().enumerate() {
+            assert_close(c, &fam.embed_colcomp(&tables[2], j), &format!("column {j}"));
+        }
+    }
+
+    #[test]
+    fn batched_entities_match_per_entity_loop() {
+        let (_, fam) = family();
+        let texts = ["ramucirumab", "colon cancer", "overall survival"];
+        let batch = BatchEncoder::new(&fam).embed_entities(&texts);
+        for (t, b) in texts.iter().zip(&batch) {
+            assert_close(b, &fam.embed_entity(t), t);
+        }
+    }
+
+    #[test]
+    fn parallel_dispatch_preserves_order() {
+        // Enough tables to cross PARALLEL_BATCH_THRESHOLD.
+        let base = vec![figure1_table(), table1_sample(), table2_relational()];
+        let tables: Vec<Table> =
+            (0..3 * PARALLEL_BATCH_THRESHOLD).map(|i| base[i % base.len()].clone()).collect();
+        let fam = TabBiNFamily::new(&base, ModelConfig::tiny(), 29);
+        let batched = BatchEncoder::new(&fam).embed_tables(&tables);
+        assert_eq!(batched.len(), tables.len());
+        // Identical tables must embed identically regardless of which worker
+        // handled them, and must match the serial path.
+        for (i, t) in tables.iter().enumerate() {
+            assert_eq!(batched[i], batched[i % base.len()]);
+            assert_close(&batched[i], &fam.embed_table(t), &format!("table {i}"));
+        }
+    }
+
+    #[test]
+    fn session_reuse_is_stable() {
+        let (tables, fam) = family();
+        let seq =
+            encode_segment(&tables[0], SegmentKind::DataRow, &fam.tokenizer, &fam.tagger, &fam.cfg);
+        let mut session = EmbedSession::new();
+        let first = session.embed(&fam.row, &seq);
+        for _ in 0..5 {
+            assert_eq!(session.embed(&fam.row, &seq), first);
+        }
+        assert_close(&first, &fam.row.embed(&seq), "session vs tape");
+    }
+}

@@ -85,10 +85,7 @@ mod tests {
     fn family_checkpoint_roundtrip_preserves_embeddings() {
         let tables = vec![figure1_table(), table2_relational()];
         let mut fam = TabBiNFamily::new(&tables, ModelConfig::tiny(), 7);
-        fam.pretrain(
-            &tables,
-            &PretrainOptions { steps: 5, batch: 2, ..Default::default() },
-        );
+        fam.pretrain(&tables, &PretrainOptions { steps: 5, batch: 2, ..Default::default() });
         let before_tbl = fam.embed_table(&tables[0]);
         let before_col = fam.embed_colcomp(&tables[1], 0);
 
@@ -113,9 +110,6 @@ mod tests {
         let tables = vec![figure1_table()];
         let fam = TabBiNFamily::new(&tables, ModelConfig::tiny(), 9);
         let restored = load_family(&save_family(&fam)).unwrap();
-        assert_eq!(
-            fam.embed_entity("overall survival"),
-            restored.embed_entity("overall survival")
-        );
+        assert_eq!(fam.embed_entity("overall survival"), restored.embed_entity("overall survival"));
     }
 }

@@ -22,7 +22,9 @@ pub fn concat(parts: &[Vec<f32>]) -> Vec<f32> {
 /// Elementwise mean of equally-sized vectors; panics on ragged input, returns
 /// an empty vector for no input.
 pub fn mean(vectors: &[Vec<f32>]) -> Vec<f32> {
-    let Some(first) = vectors.first() else { return Vec::new() };
+    let Some(first) = vectors.first() else {
+        return Vec::new();
+    };
     let d = first.len();
     let mut out = vec![0.0f32; d];
     for v in vectors {
@@ -41,7 +43,12 @@ pub fn mean(vectors: &[Vec<f32>]) -> Vec<f32> {
 /// The Figure 4(a) composite for a numeric attribute value: embeddings of the
 /// attribute name, the value, and the unit, concatenated — "OS" ⊕ "20.3" ⊕
 /// "months" in the paper's example.
-pub fn ce_numeric(family: &TabBiNFamily, attribute: &str, value: f64, unit: Option<Unit>) -> Vec<f32> {
+pub fn ce_numeric(
+    family: &TabBiNFamily,
+    attribute: &str,
+    value: f64,
+    unit: Option<Unit>,
+) -> Vec<f32> {
     let attr = family.embed_entity(attribute);
     let val = family.embed_entity(&format_value(value));
     let unit_emb = embed_unit(family, unit);

@@ -71,13 +71,7 @@ impl EncodedSequence {
         let items: Vec<SeqItem> = self
             .tokens
             .iter()
-            .map(|t| {
-                if t.special {
-                    SeqItem::global()
-                } else {
-                    SeqItem::cell(t.row, t.col)
-                }
-            })
+            .map(|t| if t.special { SeqItem::global() } else { SeqItem::cell(t.row, t.col) })
             .collect();
         visibility_matrix(&items)
     }
@@ -105,8 +99,12 @@ pub fn encode_segment(
     match kind {
         SegmentKind::DataRow => encode_data(table, /*row_major=*/ true, tok, tagger, cfg),
         SegmentKind::DataColumn => encode_data(table, /*row_major=*/ false, tok, tagger, cfg),
-        SegmentKind::Hmd => encode_metadata(&table.hmd, /*horizontal=*/ true, tok, tagger, cfg),
-        SegmentKind::Vmd => encode_metadata(&table.vmd, /*horizontal=*/ false, tok, tagger, cfg),
+        SegmentKind::Hmd => {
+            encode_metadata(&table.hmd, /*horizontal=*/ true, tok, tagger, cfg)
+        }
+        SegmentKind::Vmd => {
+            encode_metadata(&table.vmd, /*horizontal=*/ false, tok, tagger, cfg)
+        }
     }
 }
 
@@ -337,7 +335,9 @@ impl<'a> SeqBuilder<'a> {
                     let inner_sem = cell_sem_type(v, self.tagger).index();
                     let mut inner_bits = v.feature_bits();
                     inner_bits[7] = true; // still inside a nested cell
-                    self.push_value_tokens(v, t, row, col, cell_id, inner_sem, inner_bits, &mut pos);
+                    self.push_value_tokens(
+                        v, t, row, col, cell_id, inner_sem, inner_bits, &mut pos,
+                    );
                 }
             }
             other => {
@@ -422,7 +422,11 @@ mod tests {
             "treatment cancer type age outcome overall survival ramucirumab colon rectal",
             "name job engineer lawyer scientist sam ava kim months efficacy",
         ];
-        (Tokenizer::train(texts.iter().copied(), 1000, 1), TypeTagger::new(), ModelConfig::default())
+        (
+            Tokenizer::train(texts.iter().copied(), 1000, 1),
+            TypeTagger::new(),
+            ModelConfig::default(),
+        )
     }
 
     #[test]
@@ -476,8 +480,7 @@ mod tests {
         let (tok, tagger, cfg) = fixtures();
         let t = table1_sample();
         let seq = encode_segment(&t, SegmentKind::DataRow, &tok, &tagger, &cfg);
-        let nested: Vec<&EncodedToken> =
-            seq.tokens.iter().filter(|t| t.tpos[4] > 0).collect();
+        let nested: Vec<&EncodedToken> = seq.tokens.iter().filter(|t| t.tpos[4] > 0).collect();
         assert!(!nested.is_empty(), "nested tokens present");
         // Header labels at nested row 1, data at row >= 2.
         assert!(nested.iter().any(|t| t.tpos[4] == 1));
@@ -495,8 +498,7 @@ mod tests {
         // 5 HMD labels: 2 roots + 3 leaves.
         assert_eq!(seq.n_cells, 5);
         // Horizontal metadata fills the hpos slots, not the vpos slots.
-        let non_special: Vec<&EncodedToken> =
-            seq.tokens.iter().filter(|t| !t.special).collect();
+        let non_special: Vec<&EncodedToken> = seq.tokens.iter().filter(|t| !t.special).collect();
         assert!(non_special.iter().all(|t| t.tpos[0] == 0 && t.tpos[1] == 0));
         assert!(non_special.iter().any(|t| t.tpos[2] > 0));
     }
@@ -507,8 +509,7 @@ mod tests {
         let t = figure1_table();
         let seq = encode_segment(&t, SegmentKind::Vmd, &tok, &tagger, &cfg);
         assert_eq!(seq.n_cells, 3, "1 root + 2 leaves");
-        let non_special: Vec<&EncodedToken> =
-            seq.tokens.iter().filter(|t| !t.special).collect();
+        let non_special: Vec<&EncodedToken> = seq.tokens.iter().filter(|t| !t.special).collect();
         assert!(non_special.iter().any(|t| t.tpos[0] > 0));
         assert!(non_special.iter().all(|t| t.tpos[2] == 0 && t.tpos[3] == 0));
     }

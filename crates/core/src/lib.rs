@@ -39,16 +39,19 @@
 //! assert!(!emb.is_empty());
 //! ```
 
+pub mod batch;
 pub mod checkpoint;
 pub mod composite;
 pub mod config;
 pub mod embedding;
 pub mod encoding;
+pub mod infer;
 pub mod matcher;
 pub mod model;
 pub mod pretrain;
 pub mod variants;
 
+pub use batch::{BatchEncoder, EmbedSession};
 pub use config::{AblationFlags, ModelConfig, SegmentKind};
 pub use model::TabBiNModel;
 pub use variants::TabBiNFamily;

@@ -8,7 +8,7 @@
 //! and the baselines can be evaluated with the same protocol.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use tabbin_tensor::nn::Linear;
 use tabbin_tensor::optim::Adam;
 use tabbin_tensor::{Graph, ParamStore, Tensor};
@@ -165,8 +165,7 @@ mod tests {
         let mut out = Vec::with_capacity(2 * n);
         for _ in 0..n {
             let base: Vec<f32> = (0..dim).map(|_| rng.random_range(-1.0..1.0)).collect();
-            let close: Vec<f32> =
-                base.iter().map(|v| v + rng.random_range(-0.05..0.05)).collect();
+            let close: Vec<f32> = base.iter().map(|v| v + rng.random_range(-0.05..0.05)).collect();
             out.push(EmbeddedPair { a: base.clone(), b: close, matched: true });
             let far: Vec<f32> = (0..dim).map(|_| rng.random_range(-1.0..1.0)).collect();
             out.push(EmbeddedPair { a: base, b: far, matched: false });
@@ -205,11 +204,7 @@ mod tests {
         // where every pair is predicted positive by construction: train
         // quickly on all-positive data.
         let pairs: Vec<EmbeddedPair> = (0..10)
-            .map(|i| EmbeddedPair {
-                a: vec![i as f32; 4],
-                b: vec![i as f32; 4],
-                matched: true,
-            })
+            .map(|i| EmbeddedPair { a: vec![i as f32; 4], b: vec![i as f32; 4], matched: true })
             .collect();
         let mut m = EntityMatcher::new(4, 7);
         m.train(&pairs, &MatcherOptions { epochs: 10, ..Default::default() });

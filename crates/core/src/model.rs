@@ -2,9 +2,9 @@
 //! (Eq. 1) + MLM and Cell-level-Cloze heads.
 
 use crate::config::ModelConfig;
-use crate::embedding::EmbeddingLayer;
+use crate::embedding::{EmbeddingLayer, PlacedEmbeddingLayer};
 use crate::encoding::EncodedSequence;
-use tabbin_tensor::nn::{additive_mask, AttentionConfig, EncoderBlock, Linear};
+use tabbin_tensor::nn::{additive_mask, AttentionConfig, EncoderBlock, Linear, PlacedEncoderBlock};
 use tabbin_tensor::{Graph, NodeId, ParamStore, Tensor};
 
 /// One TabBiN model instance (the paper trains four — one per segment kind —
@@ -35,7 +35,13 @@ impl TabBiNModel {
         let attn_cfg = AttentionConfig { d_model: cfg.hidden, heads: cfg.heads };
         let blocks = (0..cfg.layers)
             .map(|l| {
-                EncoderBlock::new(&mut store, &format!("enc{l}"), attn_cfg, cfg.ff, seed ^ (l as u64 + 1))
+                EncoderBlock::new(
+                    &mut store,
+                    &format!("enc{l}"),
+                    attn_cfg,
+                    cfg.ff,
+                    seed ^ (l as u64 + 1),
+                )
             })
             .collect();
         let mlm_head = Linear::new(&mut store, "mlm", cfg.hidden, vocab, seed ^ 0xee);
@@ -53,17 +59,22 @@ impl TabBiNModel {
         self.store.scalar_count()
     }
 
+    /// Places the whole encoder's parameters onto `g` once, so any number of
+    /// sequences can be forwarded against a single copy of the weights.
+    pub fn place(&self, g: &mut Graph) -> PlacedTabBiN {
+        PlacedTabBiN {
+            emb: self.emb.place(g, &self.store),
+            blocks: self.blocks.iter().map(|b| b.place(g, &self.store)).collect(),
+            cfg: self.cfg,
+        }
+    }
+
     /// Full forward pass over a sequence with (possibly corrupted) `ids`,
     /// returning the `[n, H]` hidden states. The visibility matrix enters as
     /// the additive attention mask unless ablated (`TabBiN₁`).
     pub fn forward_ids(&self, g: &mut Graph, seq: &EncodedSequence, ids: &[u32]) -> NodeId {
-        let mut x = self.emb.forward(g, &self.store, seq, ids);
-        let mask: Option<Tensor> =
-            if self.cfg.ablation.visibility { Some(additive_mask(&seq.visibility())) } else { None };
-        for block in &self.blocks {
-            x = block.forward(g, &self.store, x, mask.as_ref());
-        }
-        x
+        let placed = self.place(g);
+        placed.forward_ids(g, seq, ids)
     }
 
     /// Forward pass with the sequence's own ids.
@@ -75,13 +86,8 @@ impl TabBiNModel {
     /// Mean-pools hidden states over non-special tokens, producing `[1, H]`.
     /// Falls back to pooling everything if the sequence is all specials.
     pub fn pool(&self, g: &mut Graph, hidden: NodeId, seq: &EncodedSequence) -> NodeId {
-        let rows: Vec<usize> = seq
-            .tokens
-            .iter()
-            .enumerate()
-            .filter(|(_, t)| !t.special)
-            .map(|(i, _)| i)
-            .collect();
+        let rows: Vec<usize> =
+            seq.tokens.iter().enumerate().filter(|(_, t)| !t.special).map(|(i, _)| i).collect();
         if rows.is_empty() {
             return g.mean_rows(hidden);
         }
@@ -93,13 +99,55 @@ impl TabBiNModel {
     /// a plain `H`-vector. Returns a zero vector for empty sequences (e.g.
     /// the VMD segment of a relational table).
     pub fn embed(&self, seq: &EncodedSequence) -> Vec<f32> {
+        let mut g = Graph::new();
+        self.embed_into(&mut g, seq)
+    }
+
+    /// [`TabBiNModel::embed`] against a caller-provided tape, which is reset
+    /// first — pair with a long-lived [`Graph`] to reuse the node arena
+    /// across calls. (The bulk-inference pipeline in `tabbin_core::batch`
+    /// uses the faster no-tape kernel instead; this entry point is the
+    /// tape-based reference.)
+    pub fn embed_into(&self, g: &mut Graph, seq: &EncodedSequence) -> Vec<f32> {
         if seq.is_empty() {
             return vec![0.0; self.cfg.hidden];
         }
-        let mut g = Graph::new();
-        let h = self.forward(&mut g, seq);
-        let p = self.pool(&mut g, h, seq);
+        g.reset();
+        let placed = self.place(g);
+        let h = placed.forward(g, seq);
+        let p = placed.pool(g, h, seq);
         g.value(p).data().to_vec()
+    }
+
+    /// Embeds many sequences in **one** tape pass: the model parameters are
+    /// placed once and every sequence is forwarded and pooled against that
+    /// single placement. Output `i` is elementwise identical to
+    /// `self.embed(seqs[i])`; empty sequences yield zero vectors. The tape is
+    /// reset first.
+    pub fn embed_batch_into(&self, g: &mut Graph, seqs: &[&EncodedSequence]) -> Vec<Vec<f32>> {
+        if seqs.is_empty() {
+            return Vec::new();
+        }
+        g.reset();
+        let placed = self.place(g);
+        let pooled: Vec<Option<NodeId>> = seqs
+            .iter()
+            .map(|seq| {
+                if seq.is_empty() {
+                    None
+                } else {
+                    let h = placed.forward(g, seq);
+                    Some(placed.pool(g, h, seq))
+                }
+            })
+            .collect();
+        pooled
+            .into_iter()
+            .map(|p| match p {
+                Some(p) => g.value(p).data().to_vec(),
+                None => vec![0.0; self.cfg.hidden],
+            })
+            .collect()
     }
 
     /// Mean of the raw token embeddings (`E_tok` rows) for a list of vocab
@@ -125,6 +173,50 @@ impl TabBiNModel {
     }
 }
 
+/// Tape-resident placement of a whole [`TabBiNModel`]: the embedding tables
+/// and every encoder block, placed once. This is the unit the batched
+/// pipeline forwards sequences against.
+#[derive(Debug)]
+pub struct PlacedTabBiN {
+    emb: PlacedEmbeddingLayer,
+    blocks: Vec<PlacedEncoderBlock>,
+    cfg: ModelConfig,
+}
+
+impl PlacedTabBiN {
+    /// Forward pass over one sequence with (possibly corrupted) `ids`.
+    pub fn forward_ids(&self, g: &mut Graph, seq: &EncodedSequence, ids: &[u32]) -> NodeId {
+        let mut x = self.emb.forward(g, seq, ids);
+        let mask: Option<Tensor> = if self.cfg.ablation.visibility {
+            Some(additive_mask(&seq.visibility()))
+        } else {
+            None
+        };
+        for block in &self.blocks {
+            x = block.forward(g, x, mask.as_ref());
+        }
+        x
+    }
+
+    /// Forward pass with the sequence's own ids.
+    pub fn forward(&self, g: &mut Graph, seq: &EncodedSequence) -> NodeId {
+        let ids: Vec<u32> = seq.tokens.iter().map(|t| t.vocab_id).collect();
+        self.forward_ids(g, seq, &ids)
+    }
+
+    /// Mean-pools hidden states over non-special tokens, producing `[1, H]`;
+    /// falls back to pooling everything if the sequence is all specials.
+    pub fn pool(&self, g: &mut Graph, hidden: NodeId, seq: &EncodedSequence) -> NodeId {
+        let rows: Vec<usize> =
+            seq.tokens.iter().enumerate().filter(|(_, t)| !t.special).map(|(i, _)| i).collect();
+        if rows.is_empty() {
+            return g.mean_rows(hidden);
+        }
+        let sel = g.row_select(hidden, &rows);
+        g.mean_rows(sel)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,8 +228,7 @@ mod tests {
 
     fn fixtures() -> (Tokenizer, TypeTagger, ModelConfig) {
         let tok = Tokenizer::train(
-            ["name age job sam ava kim engineer lawyer scientist overall survival months"]
-                .into_iter(),
+            ["name age job sam ava kim engineer lawyer scientist overall survival months"],
             500,
             1,
         );
@@ -154,6 +245,27 @@ mod tests {
         assert_eq!(g.value(h).shape(), &[seq.len(), cfg.hidden]);
         let p = model.pool(&mut g, h, &seq);
         assert_eq!(g.value(p).shape(), &[1, cfg.hidden]);
+    }
+
+    #[test]
+    fn embed_batch_into_matches_per_sequence_embed() {
+        // The tape-batched path places parameters once and must reproduce
+        // the per-sequence tape embedding bit for bit (same op order).
+        let (tok, tagger, cfg) = fixtures();
+        let model = TabBiNModel::new(cfg, tok.vocab_size(), 3);
+        let seqs: Vec<_> = [figure1_table(), table2_relational()]
+            .iter()
+            .flat_map(|t| {
+                crate::config::SegmentKind::ALL.map(|k| encode_segment(t, k, &tok, &tagger, &cfg))
+            })
+            .collect();
+        let refs: Vec<&_> = seqs.iter().collect();
+        let mut g = Graph::new();
+        let batched = model.embed_batch_into(&mut g, &refs);
+        assert_eq!(batched.len(), seqs.len());
+        for (s, b) in seqs.iter().zip(&batched) {
+            assert_eq!(&model.embed(s), b);
+        }
     }
 
     #[test]

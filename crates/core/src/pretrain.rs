@@ -12,7 +12,7 @@
 use crate::encoding::EncodedSequence;
 use crate::model::TabBiNModel;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use tabbin_tensor::optim::Adam;
 use tabbin_tensor::{Graph, Tensor};
 use tabbin_tokenizer::SpecialToken;
@@ -68,12 +68,15 @@ pub fn pretrain(
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut opt = Adam::new(opts.lr);
     let mut curve = Vec::with_capacity(opts.steps);
+    // One arena for the whole run: each step clears and reuses the tape
+    // instead of reallocating it (see `Graph::reset`).
+    let mut g = Graph::new();
     for _ in 0..opts.steps {
         let mut stats = StepStats::default();
         let mut contributed = 0usize;
         for _ in 0..opts.batch {
             let seq = usable[rng.random_range(0..usable.len())];
-            if let Some(s) = train_step(model, seq, opts, &mut rng) {
+            if let Some(s) = train_step(model, seq, opts, &mut rng, &mut g) {
                 stats.loss += s.loss;
                 stats.mlm_loss += s.mlm_loss;
                 stats.clc_loss += s.clc_loss;
@@ -95,12 +98,14 @@ pub fn pretrain(
 }
 
 /// One forward/backward on one sequence; gradients accumulate into the
-/// model's store. Returns `None` when nothing could be masked.
+/// model's store. The caller-provided tape is reset and reused. Returns
+/// `None` when nothing could be masked.
 fn train_step(
     model: &mut TabBiNModel,
     seq: &EncodedSequence,
     opts: &PretrainOptions,
     rng: &mut StdRng,
+    g: &mut Graph,
 ) -> Option<StepStats> {
     let n = seq.len();
     let vocab = model.vocab_size() as u32;
@@ -135,8 +140,7 @@ fn train_step(
 
     // --- CLC: mask one whole cell when the sequence has at least 2 cells ---
     let cells = seq.cell_token_indices();
-    let eligible: Vec<usize> =
-        (0..cells.len()).filter(|&c| !cells[c].is_empty()).collect();
+    let eligible: Vec<usize> = (0..cells.len()).filter(|&c| !cells[c].is_empty()).collect();
     let clc_cell = if eligible.len() >= 2 {
         let c = eligible[rng.random_range(0..eligible.len())];
         for &i in &cells[c] {
@@ -148,14 +152,13 @@ fn train_step(
         None
     };
 
-    let mut g = Graph::new();
-    let hidden = model.forward_ids(&mut g, seq, &ids);
+    g.reset();
+    let hidden = model.forward_ids(g, seq, &ids);
 
     // MLM loss on the selected rows only.
-    let masked_rows: Vec<usize> =
-        (0..n).filter(|&i| targets[i] >= 0).collect();
+    let masked_rows: Vec<usize> = (0..n).filter(|&i| targets[i] >= 0).collect();
     let sel = g.row_select(hidden, &masked_rows);
-    let logits = model.mlm_head.forward(&mut g, &model.store, sel);
+    let logits = model.mlm_head.forward(g, &model.store, sel);
     let sel_targets: Vec<i64> = masked_rows.iter().map(|&i| targets[i]).collect();
     let mlm_loss = g.cross_entropy_rows(logits, &sel_targets);
 
@@ -165,7 +168,7 @@ fn train_step(
         Some(c) => {
             let span = g.row_select(hidden, &cells[c]);
             let pooled = g.mean_rows(span);
-            let proj = model.clc_proj.forward(&mut g, &model.store, pooled);
+            let proj = model.clc_proj.forward(g, &model.store, pooled);
             let mut cand = Tensor::zeros(&[eligible.len(), model.cfg.hidden]);
             let mut target_idx = 0i64;
             for (k, &cell) in eligible.iter().enumerate() {
@@ -232,16 +235,12 @@ mod tests {
         let cfg = ModelConfig::tiny();
         let (tok, seqs) = sequences(&cfg);
         let mut model = TabBiNModel::new(cfg, tok.vocab_size(), 5);
-        let opts =
-            PretrainOptions { steps: 40, batch: 2, lr: 2e-3, ..PretrainOptions::default() };
+        let opts = PretrainOptions { steps: 40, batch: 2, lr: 2e-3, ..PretrainOptions::default() };
         let curve = pretrain(&mut model, &seqs, &opts);
         assert_eq!(curve.len(), 40);
         let first: f32 = curve[..5].iter().map(|s| s.loss).sum::<f32>() / 5.0;
         let last: f32 = curve[35..].iter().map(|s| s.loss).sum::<f32>() / 5.0;
-        assert!(
-            last < first,
-            "pre-training loss did not decrease: first {first}, last {last}"
-        );
+        assert!(last < first, "pre-training loss did not decrease: first {first}, last {last}");
     }
 
     #[test]

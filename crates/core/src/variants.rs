@@ -162,6 +162,33 @@ impl TabBiNFamily {
         self.embed_tblcomp2(table, &cap)
     }
 
+    /// Batched [`TabBiNFamily::embed_table`] over many tables: parameters are
+    /// placed once per segment model (not once per table) and large batches
+    /// fan out across threads. Elementwise equal to the per-table loop.
+    pub fn embed_tables(&self, tables: &[Table]) -> Vec<Vec<f32>> {
+        crate::batch::BatchEncoder::new(self).embed_tables(tables)
+    }
+
+    /// [`TabBiNFamily::embed_tables`] over borrowed tables.
+    pub fn embed_table_refs(&self, tables: &[&Table]) -> Vec<Vec<f32>> {
+        crate::batch::BatchEncoder::new(self).embed_table_refs(tables)
+    }
+
+    /// Batched [`TabBiNFamily::embed_colcomp`] over every column of `table`.
+    pub fn embed_columns(&self, table: &Table) -> Vec<Vec<f32>> {
+        crate::batch::BatchEncoder::new(self).embed_columns(table)
+    }
+
+    /// Batched [`TabBiNFamily::embed_colcomp`] over the listed columns only.
+    pub fn embed_columns_subset(&self, table: &Table, cols: &[usize]) -> Vec<Vec<f32>> {
+        crate::batch::BatchEncoder::new(self).embed_columns_subset(table, cols)
+    }
+
+    /// Batched [`TabBiNFamily::embed_entity`] over many surface forms.
+    pub fn embed_entities<S: AsRef<str>>(&self, texts: &[S]) -> Vec<Vec<f32>> {
+        crate::batch::BatchEncoder::new(self).embed_entities(texts)
+    }
+
     /// Entity embedding via the column model (§4.3 uses the TabBiN-column
     /// model for entity clustering).
     pub fn embed_entity(&self, text: &str) -> Vec<f32> {
@@ -171,8 +198,7 @@ impl TabBiNFamily {
 
     /// Row ("tuple") embedding via the row model, used by entity matching.
     pub fn embed_row(&self, table: &Table, i: usize) -> Vec<f32> {
-        let seq =
-            crate::encoding::encode_row(table, i, &self.tokenizer, &self.tagger, &self.cfg);
+        let seq = crate::encoding::encode_row(table, i, &self.tokenizer, &self.tagger, &self.cfg);
         self.row.embed(&seq)
     }
 }

@@ -13,8 +13,7 @@ fn tok() -> Tokenizer {
         [
             "alpha beta gamma delta epsilon zeta eta theta months years percent",
             "overall survival hazard ratio cohort treatment outcome value",
-        ]
-        .into_iter(),
+        ],
         2000,
         1,
     )
@@ -107,7 +106,7 @@ proptest! {
         let tagger = TypeTagger::new();
         let cfg = ModelConfig::tiny();
         let seq = encode_text(&s, &tok, &tagger, &cfg);
-        prop_assert!(seq.len() >= 1, "at least [CLS]");
+        prop_assert!(!seq.is_empty(), "at least [CLS]");
         prop_assert!(seq.len() <= cfg.max_seq);
     }
 

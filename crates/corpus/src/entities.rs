@@ -109,99 +109,302 @@ pub struct LabeledEntity {
 pub fn entity_pool(ety: EType) -> &'static [&'static str] {
     match ety {
         EType::Drug => &[
-            "ramucirumab", "bevacizumab", "cetuximab", "panitumumab", "regorafenib",
-            "aflibercept", "fluorouracil", "capecitabine", "oxaliplatin", "irinotecan",
-            "leucovorin", "trifluridine", "pembrolizumab", "nivolumab", "ipilimumab",
-            "remdesivir", "dexamethasone", "metformin", "aspirin", "heparin",
+            "ramucirumab",
+            "bevacizumab",
+            "cetuximab",
+            "panitumumab",
+            "regorafenib",
+            "aflibercept",
+            "fluorouracil",
+            "capecitabine",
+            "oxaliplatin",
+            "irinotecan",
+            "leucovorin",
+            "trifluridine",
+            "pembrolizumab",
+            "nivolumab",
+            "ipilimumab",
+            "remdesivir",
+            "dexamethasone",
+            "metformin",
+            "aspirin",
+            "heparin",
         ],
         EType::Disease => &[
-            "colorectal cancer", "colon cancer", "rectal cancer", "breast cancer",
-            "lung cancer", "melanoma", "lymphoma", "leukemia", "covid-19", "influenza",
-            "pneumonia", "sepsis", "diabetes", "hypertension", "asthma", "hepatitis",
-            "arthritis", "anemia", "colitis", "metastasis",
+            "colorectal cancer",
+            "colon cancer",
+            "rectal cancer",
+            "breast cancer",
+            "lung cancer",
+            "melanoma",
+            "lymphoma",
+            "leukemia",
+            "covid-19",
+            "influenza",
+            "pneumonia",
+            "sepsis",
+            "diabetes",
+            "hypertension",
+            "asthma",
+            "hepatitis",
+            "arthritis",
+            "anemia",
+            "colitis",
+            "metastasis",
         ],
         EType::Vaccine => &[
-            "moderna", "covaxin", "pfizer biontech", "astrazeneca", "sputnik v",
-            "sinovac", "janssen", "novavax", "mrna-1273", "bnt162b2", "covishield",
-            "sinopharm", "ad26cov2", "zf2001",
+            "moderna",
+            "covaxin",
+            "pfizer biontech",
+            "astrazeneca",
+            "sputnik v",
+            "sinovac",
+            "janssen",
+            "novavax",
+            "mrna-1273",
+            "bnt162b2",
+            "covishield",
+            "sinopharm",
+            "ad26cov2",
+            "zf2001",
         ],
         EType::Symptom => &[
-            "fatigue", "nausea", "diarrhea", "neutropenia", "mucositis", "fever",
-            "cough", "headache", "dyspnea", "anorexia", "vomiting", "rash",
-            "neuropathy", "anosmia", "myalgia", "chills",
+            "fatigue",
+            "nausea",
+            "diarrhea",
+            "neutropenia",
+            "mucositis",
+            "fever",
+            "cough",
+            "headache",
+            "dyspnea",
+            "anorexia",
+            "vomiting",
+            "rash",
+            "neuropathy",
+            "anosmia",
+            "myalgia",
+            "chills",
         ],
         EType::Treatment => &[
-            "chemotherapy", "surgery", "resection", "colectomy", "colonoscopy",
-            "screening", "radiotherapy", "immunotherapy", "transplant", "dialysis",
-            "intubation", "ventilation", "infusion", "maintenance", "monotherapy",
+            "chemotherapy",
+            "surgery",
+            "resection",
+            "colectomy",
+            "colonoscopy",
+            "screening",
+            "radiotherapy",
+            "immunotherapy",
+            "transplant",
+            "dialysis",
+            "intubation",
+            "ventilation",
+            "infusion",
+            "maintenance",
+            "monotherapy",
         ],
         EType::State => &[
-            "florida", "texas", "california", "georgia", "ohio", "alabama", "nevada",
-            "oregon", "michigan", "virginia", "colorado", "arizona", "illinois",
-            "washington", "montana", "kansas", "utah", "iowa",
+            "florida",
+            "texas",
+            "california",
+            "georgia",
+            "ohio",
+            "alabama",
+            "nevada",
+            "oregon",
+            "michigan",
+            "virginia",
+            "colorado",
+            "arizona",
+            "illinois",
+            "washington",
+            "montana",
+            "kansas",
+            "utah",
+            "iowa",
         ],
         EType::City => &[
-            "tallahassee", "tampa", "miami", "orlando", "atlanta", "boston", "chicago",
-            "seattle", "houston", "denver", "portland", "austin", "phoenix",
-            "detroit", "memphis", "omaha", "tucson", "raleigh",
+            "tallahassee",
+            "tampa",
+            "miami",
+            "orlando",
+            "atlanta",
+            "boston",
+            "chicago",
+            "seattle",
+            "houston",
+            "denver",
+            "portland",
+            "austin",
+            "phoenix",
+            "detroit",
+            "memphis",
+            "omaha",
+            "tucson",
+            "raleigh",
         ],
         EType::University => &[
-            "florida state university", "university of south florida", "auburn university",
-            "ohio state university", "georgia tech", "rice university", "baylor university",
-            "duke university", "emory university", "tulane university", "clemson university",
-            "purdue university", "vanderbilt university", "rutgers university",
+            "florida state university",
+            "university of south florida",
+            "auburn university",
+            "ohio state university",
+            "georgia tech",
+            "rice university",
+            "baylor university",
+            "duke university",
+            "emory university",
+            "tulane university",
+            "clemson university",
+            "purdue university",
+            "vanderbilt university",
+            "rutgers university",
         ],
         EType::SoccerClub => &[
-            "river city fc", "northport united", "lakeside rovers", "harbor athletic",
-            "summit rangers", "ironwood town", "eastvale wanderers", "redstone city",
-            "bayview albion", "stonebridge fc", "westfield county", "oakhurst villa",
+            "river city fc",
+            "northport united",
+            "lakeside rovers",
+            "harbor athletic",
+            "summit rangers",
+            "ironwood town",
+            "eastvale wanderers",
+            "redstone city",
+            "bayview albion",
+            "stonebridge fc",
+            "westfield county",
+            "oakhurst villa",
         ],
         EType::Magazine => &[
-            "weekly digest", "science frontier", "modern gardener", "city review",
-            "tech horizon", "outdoor life monthly", "culinary quarterly", "design today",
-            "health letter", "travel compass", "film gazette", "sport panorama",
+            "weekly digest",
+            "science frontier",
+            "modern gardener",
+            "city review",
+            "tech horizon",
+            "outdoor life monthly",
+            "culinary quarterly",
+            "design today",
+            "health letter",
+            "travel compass",
+            "film gazette",
+            "sport panorama",
         ],
         EType::BaseballPlayer => &[
-            "joe maddox", "hank riviera", "carl whitfield", "eddie nakamura",
-            "sam delgado", "tony burkhart", "lou fentress", "mike okafor",
-            "ray castellano", "walt jennings", "bob tyndall", "gus marini",
+            "joe maddox",
+            "hank riviera",
+            "carl whitfield",
+            "eddie nakamura",
+            "sam delgado",
+            "tony burkhart",
+            "lou fentress",
+            "mike okafor",
+            "ray castellano",
+            "walt jennings",
+            "bob tyndall",
+            "gus marini",
         ],
         EType::MusicGenre => &[
-            "delta blues", "bebop jazz", "synthwave", "bluegrass", "trip hop",
-            "post rock", "dixieland", "ambient techno", "chamber pop", "ska punk",
-            "afrobeat", "folk rock", "drum and bass", "surf rock",
+            "delta blues",
+            "bebop jazz",
+            "synthwave",
+            "bluegrass",
+            "trip hop",
+            "post rock",
+            "dixieland",
+            "ambient techno",
+            "chamber pop",
+            "ska punk",
+            "afrobeat",
+            "folk rock",
+            "drum and bass",
+            "surf rock",
         ],
         EType::Crime => &[
-            "burglary", "larceny", "robbery", "aggravated assault", "motor vehicle theft",
-            "arson", "fraud", "vandalism", "forgery", "embezzlement", "homicide",
-            "kidnapping", "stalking", "trespassing",
+            "burglary",
+            "larceny",
+            "robbery",
+            "aggravated assault",
+            "motor vehicle theft",
+            "arson",
+            "fraud",
+            "vandalism",
+            "forgery",
+            "embezzlement",
+            "homicide",
+            "kidnapping",
+            "stalking",
+            "trespassing",
         ],
         EType::Crop => &[
-            "corn", "soybeans", "wheat", "cotton", "rice", "sorghum", "barley",
-            "oats", "peanuts", "sugarcane", "tobacco", "potatoes", "tomatoes",
-            "oranges", "strawberries",
+            "corn",
+            "soybeans",
+            "wheat",
+            "cotton",
+            "rice",
+            "sorghum",
+            "barley",
+            "oats",
+            "peanuts",
+            "sugarcane",
+            "tobacco",
+            "potatoes",
+            "tomatoes",
+            "oranges",
+            "strawberries",
         ],
         EType::Industry => &[
-            "manufacturing", "construction", "retail trade", "wholesale trade",
-            "transportation", "utilities", "information", "finance", "real estate",
-            "education services", "health services", "hospitality", "mining",
+            "manufacturing",
+            "construction",
+            "retail trade",
+            "wholesale trade",
+            "transportation",
+            "utilities",
+            "information",
+            "finance",
+            "real estate",
+            "education services",
+            "health services",
+            "hospitality",
+            "mining",
             "agriculture",
         ],
         EType::Hospital => &[
-            "memorial general hospital", "st lucia medical center", "riverbend clinic",
-            "lakeshore regional hospital", "summit care center", "bayfront hospital",
-            "northside medical center", "grace valley hospital", "pine ridge clinic",
+            "memorial general hospital",
+            "st lucia medical center",
+            "riverbend clinic",
+            "lakeshore regional hospital",
+            "summit care center",
+            "bayfront hospital",
+            "northside medical center",
+            "grace valley hospital",
+            "pine ridge clinic",
             "harbor view medical",
         ],
         EType::Variant => &[
-            "alpha variant", "beta variant", "gamma variant", "delta variant",
-            "omicron variant", "lambda variant", "mu variant", "epsilon variant",
-            "kappa variant", "eta variant",
+            "alpha variant",
+            "beta variant",
+            "gamma variant",
+            "delta variant",
+            "omicron variant",
+            "lambda variant",
+            "mu variant",
+            "epsilon variant",
+            "kappa variant",
+            "eta variant",
         ],
         EType::Occupation => &[
-            "engineer", "lawyer", "scientist", "teacher", "nurse", "accountant",
-            "electrician", "plumber", "architect", "pharmacist", "journalist",
-            "librarian", "pilot", "chef",
+            "engineer",
+            "lawyer",
+            "scientist",
+            "teacher",
+            "nurse",
+            "accountant",
+            "electrician",
+            "plumber",
+            "architect",
+            "pharmacist",
+            "journalist",
+            "librarian",
+            "pilot",
+            "chef",
         ],
     }
 }

@@ -4,14 +4,22 @@ use crate::entities::{entity_pool, EType, LabeledEntity};
 use crate::profiles::{profile, Dataset};
 use crate::spec::{AttrKind, AttrSpec, DatasetProfile, TopicSpec};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use tabbin_table::{CellValue, MetaNode, MetaTree, Table, Unit};
 
 /// Filler vocabulary shared across topics and datasets — lexical noise that
 /// keeps pure content matching from being trivial.
 const FILLER: &[&str] = &[
-    "summary", "overview", "total", "report", "data", "annual", "selected", "notes",
-    "estimated", "detailed",
+    "summary",
+    "overview",
+    "total",
+    "report",
+    "data",
+    "annual",
+    "selected",
+    "notes",
+    "estimated",
+    "detailed",
 ];
 
 /// Sem-id assigned to noise columns; excluded from CC ground truth.
@@ -130,7 +138,7 @@ fn generate_table(
 
     // --- choose structural form ---
     let vmd_form = topic.vmd_capable && rng.random::<f64>() < prof.frac_non_relational;
-    
+
     if vmd_form {
         generate_vmd_table(topic, &attrs, n_rows, caption, rng, entities)
     } else {
@@ -162,7 +170,8 @@ fn generate_relational_table(
     }
 
     // Hierarchical HMD with some probability for structurally rich datasets.
-    let hierarchical = prof.frac_non_relational > 0.2 && names.len() >= 4 && rng.random::<f64>() < 0.4;
+    let hierarchical =
+        prof.frac_non_relational > 0.2 && names.len() >= 4 && rng.random::<f64>() < 0.4;
     let hmd = if hierarchical {
         // Group all but the first column under a branch.
         let head = MetaNode::leaf(names[0].clone());
@@ -204,22 +213,21 @@ fn generate_vmd_table(
     let key = attrs[0];
     let measures: Vec<&&AttrSpec> = attrs[1..].iter().collect();
     // Row labels from the key attribute's values.
-    let row_labels: Vec<String> = (0..n_rows)
-        .map(|r| make_value(&key.kind, r, rng, entities).render())
-        .collect();
+    let row_labels: Vec<String> =
+        (0..n_rows).map(|r| make_value(&key.kind, r, rng, entities).render()).collect();
     let group = pick(&key.names, rng).clone();
     let vmd = MetaTree::from_roots(vec![MetaNode::branch(
         group,
         row_labels.iter().map(|l| MetaNode::leaf(l.clone())).collect(),
     )]);
 
-    let measure_names: Vec<String> =
-        measures.iter().map(|a| pick(&a.names, rng).clone()).collect();
+    let measure_names: Vec<String> = measures.iter().map(|a| pick(&a.names, rng).clone()).collect();
     // Hierarchical HMD for half of the VMD tables: measures grouped under a
     // branch (mirrors Figure 1's "Efficacy End Point -> ...").
     let hmd = if measures.len() >= 2 && rng.random::<f64>() < 0.5 {
         let split = measure_names.len() / 2;
-        let left_label = pick_str(&["efficacy end point", "primary measures", "main statistics"], rng);
+        let left_label =
+            pick_str(&["efficacy end point", "primary measures", "main statistics"], rng);
         let right_label = pick_str(&["other efficacy", "secondary measures", "additional"], rng);
         let left: Vec<MetaNode> =
             measure_names[..split.max(1)].iter().map(|n| MetaNode::leaf(n.clone())).collect();
@@ -284,9 +292,7 @@ fn make_value(
             CellValue::gaussian(mean, std, *unit)
         }
         AttrKind::NestedEfficacy => CellValue::nested(nested_efficacy(rng)),
-        AttrKind::Year => {
-            CellValue::number(rng.random_range(1950..2024) as f64, None)
-        }
+        AttrKind::Year => CellValue::number(rng.random_range(1950..2024) as f64, None),
     }
 }
 

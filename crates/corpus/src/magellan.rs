@@ -10,7 +10,7 @@
 
 use crate::generator::Corpus;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// One serialized entity pair with its match label. Entities use DITTO's
 /// `COL <name> VAL <value>` serialization.
@@ -41,19 +41,53 @@ impl Product {
 }
 
 const SOFTWARE_BRANDS: &[&str] = &[
-    "microsoft", "adobe", "intuit", "symantec", "corel", "apple", "sage", "mcafee",
-    "autodesk", "roxio",
+    "microsoft",
+    "adobe",
+    "intuit",
+    "symantec",
+    "corel",
+    "apple",
+    "sage",
+    "mcafee",
+    "autodesk",
+    "roxio",
 ];
 const SOFTWARE_NOUNS: &[&str] = &[
-    "office suite", "photo studio", "accounting premier", "antivirus", "draw suite",
-    "video studio", "tax deluxe", "security pro", "design standard", "media creator",
+    "office suite",
+    "photo studio",
+    "accounting premier",
+    "antivirus",
+    "draw suite",
+    "video studio",
+    "tax deluxe",
+    "security pro",
+    "design standard",
+    "media creator",
 ];
 
-const ELECTRONICS_BRANDS: &[&str] =
-    &["sony", "panasonic", "canon", "jvc", "toshiba", "sharp", "philips", "samsung", "lg", "pioneer"];
+const ELECTRONICS_BRANDS: &[&str] = &[
+    "sony",
+    "panasonic",
+    "canon",
+    "jvc",
+    "toshiba",
+    "sharp",
+    "philips",
+    "samsung",
+    "lg",
+    "pioneer",
+];
 const ELECTRONICS_NOUNS: &[&str] = &[
-    "camcorder", "headphones", "dvd player", "av receiver", "bookshelf speaker",
-    "lcd tv", "monitor", "clock radio", "digital camera", "subwoofer",
+    "camcorder",
+    "headphones",
+    "dvd player",
+    "av receiver",
+    "bookshelf speaker",
+    "lcd tv",
+    "monitor",
+    "clock radio",
+    "digital camera",
+    "subwoofer",
 ];
 
 /// An Amazon-Google-like software-product pair set with `n_pos` positive and
@@ -151,9 +185,7 @@ pub fn em_pairs_from_corpus(corpus: &Corpus, n_pos: usize, n_neg: usize, seed: u
     for i in 0..n_neg {
         let e = &ents[rng.random_range(0..ents.len())];
         let candidates: Vec<usize> = (0..ents.len())
-            .filter(|&j| {
-                ents[j].text != e.text && (i % 2 != 0 || ents[j].etype == e.etype)
-            })
+            .filter(|&j| ents[j].text != e.text && (i % 2 != 0 || ents[j].etype == e.etype))
             .collect();
         if candidates.is_empty() {
             continue;

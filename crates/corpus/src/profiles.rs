@@ -68,7 +68,11 @@ fn webtables() -> DatasetProfile {
         TopicSpec {
             name: "cities".into(),
             attrs: vec![
-                AttrSpec::new(id.next(), &["city", "city name", "municipality"], AttrKind::Entity(EType::City)),
+                AttrSpec::new(
+                    id.next(),
+                    &["city", "city name", "municipality"],
+                    AttrKind::Entity(EType::City),
+                ),
                 AttrSpec::new(id.next(), &["state", "province"], AttrKind::Entity(EType::State)),
                 AttrSpec::new(
                     id.next(),
@@ -89,7 +93,11 @@ fn webtables() -> DatasetProfile {
         TopicSpec {
             name: "universities".into(),
             attrs: vec![
-                AttrSpec::new(id.next(), &["university", "institution", "school"], AttrKind::Entity(EType::University)),
+                AttrSpec::new(
+                    id.next(),
+                    &["university", "institution", "school"],
+                    AttrKind::Entity(EType::University),
+                ),
                 AttrSpec::new(id.next(), &["city", "location"], AttrKind::Entity(EType::City)),
                 AttrSpec::new(
                     id.next(),
@@ -110,7 +118,11 @@ fn webtables() -> DatasetProfile {
         TopicSpec {
             name: "soccer clubs".into(),
             attrs: vec![
-                AttrSpec::new(id.next(), &["club", "team", "club name"], AttrKind::Entity(EType::SoccerClub)),
+                AttrSpec::new(
+                    id.next(),
+                    &["club", "team", "club name"],
+                    AttrKind::Entity(EType::SoccerClub),
+                ),
                 AttrSpec::new(id.next(), &["city", "home city"], AttrKind::Entity(EType::City)),
                 AttrSpec::new(
                     id.next(),
@@ -135,7 +147,11 @@ fn webtables() -> DatasetProfile {
         TopicSpec {
             name: "magazines".into(),
             attrs: vec![
-                AttrSpec::new(id.next(), &["magazine", "title", "publication"], AttrKind::Entity(EType::Magazine)),
+                AttrSpec::new(
+                    id.next(),
+                    &["magazine", "title", "publication"],
+                    AttrKind::Entity(EType::Magazine),
+                ),
                 AttrSpec::new(
                     id.next(),
                     &["circulation", "copies"],
@@ -155,7 +171,11 @@ fn webtables() -> DatasetProfile {
         TopicSpec {
             name: "baseball players".into(),
             attrs: vec![
-                AttrSpec::new(id.next(), &["player", "name"], AttrKind::Entity(EType::BaseballPlayer)),
+                AttrSpec::new(
+                    id.next(),
+                    &["player", "name"],
+                    AttrKind::Entity(EType::BaseballPlayer),
+                ),
                 AttrSpec::new(
                     id.next(),
                     &["batting average", "avg"],
@@ -180,11 +200,7 @@ fn webtables() -> DatasetProfile {
             name: "music genres".into(),
             attrs: vec![
                 AttrSpec::new(id.next(), &["genre", "style"], AttrKind::Entity(EType::MusicGenre)),
-                AttrSpec::new(
-                    id.next(),
-                    &["origin decade", "decade"],
-                    AttrKind::Year,
-                ),
+                AttrSpec::new(id.next(), &["origin decade", "decade"], AttrKind::Year),
                 AttrSpec::new(
                     id.next(),
                     &["typical tempo", "bpm"],
@@ -194,8 +210,12 @@ fn webtables() -> DatasetProfile {
                     id.next(),
                     &["related artists", "notable acts"],
                     AttrKind::TextPool(words(&[
-                        "various artists", "regional acts", "studio bands", "touring groups",
-                        "session players", "local scenes",
+                        "various artists",
+                        "regional acts",
+                        "studio bands",
+                        "touring groups",
+                        "session players",
+                        "local scenes",
                     ])),
                 ),
             ],
@@ -248,7 +268,11 @@ fn covidkg() -> DatasetProfile {
         TopicSpec {
             name: "vaccine trials".into(),
             attrs: vec![
-                AttrSpec::new(id.next(), &["vaccine", "vaccine name", "product"], AttrKind::Entity(EType::Vaccine)),
+                AttrSpec::new(
+                    id.next(),
+                    &["vaccine", "vaccine name", "product"],
+                    AttrKind::Entity(EType::Vaccine),
+                ),
                 AttrSpec::new(
                     id.next(),
                     &["efficacy", "vaccine efficacy", "ve"],
@@ -269,7 +293,11 @@ fn covidkg() -> DatasetProfile {
                     &["follow up", "follow-up period"],
                     AttrKind::RangeVal { lo: 1.0, hi: 24.0, unit: Some(Unit::Time) },
                 ),
-                AttrSpec::new(id.next(), &["efficacy details", "subgroup results"], AttrKind::NestedEfficacy),
+                AttrSpec::new(
+                    id.next(),
+                    &["efficacy details", "subgroup results"],
+                    AttrKind::NestedEfficacy,
+                ),
             ],
             caption_words: words(&["vaccine", "efficacy", "trial", "phase", "interim", "analysis"]),
             vmd_capable: true,
@@ -278,7 +306,11 @@ fn covidkg() -> DatasetProfile {
         TopicSpec {
             name: "variant surveillance".into(),
             attrs: vec![
-                AttrSpec::new(id.next(), &["variant", "lineage", "strain"], AttrKind::Entity(EType::Variant)),
+                AttrSpec::new(
+                    id.next(),
+                    &["variant", "lineage", "strain"],
+                    AttrKind::Entity(EType::Variant),
+                ),
                 AttrSpec::new(
                     id.next(),
                     &["prevalence", "share of cases"],
@@ -289,11 +321,7 @@ fn covidkg() -> DatasetProfile {
                     &["transmissibility", "r estimate"],
                     AttrKind::GaussianVal { mean_lo: 0.8, mean_hi: 3.2, unit: Some(Unit::Stats) },
                 ),
-                AttrSpec::new(
-                    id.next(),
-                    &["first detected", "detection year"],
-                    AttrKind::Year,
-                ),
+                AttrSpec::new(id.next(), &["first detected", "detection year"], AttrKind::Year),
             ],
             caption_words: words(&["variant", "surveillance", "genomic", "prevalence", "report"]),
             vmd_capable: true,
@@ -302,7 +330,11 @@ fn covidkg() -> DatasetProfile {
         TopicSpec {
             name: "symptom prevalence".into(),
             attrs: vec![
-                AttrSpec::new(id.next(), &["symptom", "reported symptom"], AttrKind::Entity(EType::Symptom)),
+                AttrSpec::new(
+                    id.next(),
+                    &["symptom", "reported symptom"],
+                    AttrKind::Entity(EType::Symptom),
+                ),
                 AttrSpec::new(
                     id.next(),
                     &["prevalence", "frequency"],
@@ -326,7 +358,11 @@ fn covidkg() -> DatasetProfile {
         TopicSpec {
             name: "testing statistics".into(),
             attrs: vec![
-                AttrSpec::new(id.next(), &["state", "jurisdiction"], AttrKind::Entity(EType::State)),
+                AttrSpec::new(
+                    id.next(),
+                    &["state", "jurisdiction"],
+                    AttrKind::Entity(EType::State),
+                ),
                 AttrSpec::new(
                     id.next(),
                     &["tests performed", "total tests"],
@@ -368,7 +404,11 @@ fn cancerkg() -> DatasetProfile {
         TopicSpec {
             name: "drug efficacy".into(),
             attrs: vec![
-                AttrSpec::new(id.next(), &["drug", "agent", "treatment arm"], AttrKind::Entity(EType::Drug)),
+                AttrSpec::new(
+                    id.next(),
+                    &["drug", "agent", "treatment arm"],
+                    AttrKind::Entity(EType::Drug),
+                ),
                 AttrSpec::new(
                     id.next(),
                     &["overall survival", "os", "median os"],
@@ -389,19 +429,40 @@ fn cancerkg() -> DatasetProfile {
                     &["patients", "n", "sample size"],
                     AttrKind::Number { lo: 20.0, hi: 1_200.0, decimals: 0, unit: None },
                 ),
-                AttrSpec::new(id.next(), &["efficacy end point", "subgroup efficacy"], AttrKind::NestedEfficacy),
+                AttrSpec::new(
+                    id.next(),
+                    &["efficacy end point", "subgroup efficacy"],
+                    AttrKind::NestedEfficacy,
+                ),
             ],
-            caption_words: words(&["efficacy", "colorectal", "cancer", "trial", "survival", "treatment"]),
+            caption_words: words(&[
+                "efficacy",
+                "colorectal",
+                "cancer",
+                "trial",
+                "survival",
+                "treatment",
+            ]),
             vmd_capable: true,
             can_nest: true,
         },
         TopicSpec {
             name: "cohort outcomes".into(),
             attrs: vec![
-                AttrSpec::new(id.next(), &["cohort", "patient group"], AttrKind::TextPool(words(&[
-                    "previously untreated", "second line", "refractory", "elderly",
-                    "metastatic", "adjuvant", "maintenance", "first line",
-                ]))),
+                AttrSpec::new(
+                    id.next(),
+                    &["cohort", "patient group"],
+                    AttrKind::TextPool(words(&[
+                        "previously untreated",
+                        "second line",
+                        "refractory",
+                        "elderly",
+                        "metastatic",
+                        "adjuvant",
+                        "maintenance",
+                        "first line",
+                    ])),
+                ),
                 AttrSpec::new(
                     id.next(),
                     &["age", "median age"],
@@ -425,7 +486,11 @@ fn cancerkg() -> DatasetProfile {
         TopicSpec {
             name: "adverse events".into(),
             attrs: vec![
-                AttrSpec::new(id.next(), &["adverse event", "toxicity", "event"], AttrKind::Entity(EType::Symptom)),
+                AttrSpec::new(
+                    id.next(),
+                    &["adverse event", "toxicity", "event"],
+                    AttrKind::Entity(EType::Symptom),
+                ),
                 AttrSpec::new(
                     id.next(),
                     &["grade 3-4 rate", "severe rate"],
@@ -449,7 +514,11 @@ fn cancerkg() -> DatasetProfile {
         TopicSpec {
             name: "screening statistics".into(),
             attrs: vec![
-                AttrSpec::new(id.next(), &["screening method", "modality"], AttrKind::Entity(EType::Treatment)),
+                AttrSpec::new(
+                    id.next(),
+                    &["screening method", "modality"],
+                    AttrKind::Entity(EType::Treatment),
+                ),
                 AttrSpec::new(
                     id.next(),
                     &["sensitivity", "sens"],
@@ -466,14 +535,24 @@ fn cancerkg() -> DatasetProfile {
                     AttrKind::Number { lo: 1.0, hi: 10.0, decimals: 0, unit: Some(Unit::Time) },
                 ),
             ],
-            caption_words: words(&["screening", "detection", "colorectal", "statistics", "program"]),
+            caption_words: words(&[
+                "screening",
+                "detection",
+                "colorectal",
+                "statistics",
+                "program",
+            ]),
             vmd_capable: true,
             can_nest: false,
         },
         TopicSpec {
             name: "survival analysis".into(),
             attrs: vec![
-                AttrSpec::new(id.next(), &["hospital", "center", "site"], AttrKind::Entity(EType::Hospital)),
+                AttrSpec::new(
+                    id.next(),
+                    &["hospital", "center", "site"],
+                    AttrKind::Entity(EType::Hospital),
+                ),
                 AttrSpec::new(
                     id.next(),
                     &["five year survival", "5y survival"],
@@ -540,7 +619,11 @@ fn saus() -> DatasetProfile {
         TopicSpec {
             name: "business".into(),
             attrs: vec![
-                AttrSpec::new(id.next(), &["industry", "sector"], AttrKind::Entity(EType::Industry)),
+                AttrSpec::new(
+                    id.next(),
+                    &["industry", "sector"],
+                    AttrKind::Entity(EType::Industry),
+                ),
                 AttrSpec::new(
                     id.next(),
                     &["establishments", "firms"],
@@ -557,7 +640,13 @@ fn saus() -> DatasetProfile {
                     AttrKind::Number { lo: 500.0, hi: 900_000.0, decimals: 0, unit: None },
                 ),
             ],
-            caption_words: words(&["business", "establishments", "employees", "industry", "abstract"]),
+            caption_words: words(&[
+                "business",
+                "establishments",
+                "employees",
+                "industry",
+                "abstract",
+            ]),
             vmd_capable: true,
             can_nest: false,
         },
@@ -568,12 +657,22 @@ fn saus() -> DatasetProfile {
                 AttrSpec::new(
                     id.next(),
                     &["production", "output"],
-                    AttrKind::Number { lo: 100.0, hi: 400_000.0, decimals: 0, unit: Some(Unit::Weight) },
+                    AttrKind::Number {
+                        lo: 100.0,
+                        hi: 400_000.0,
+                        decimals: 0,
+                        unit: Some(Unit::Weight),
+                    },
                 ),
                 AttrSpec::new(
                     id.next(),
                     &["acreage", "harvested acres"],
-                    AttrKind::Number { lo: 50.0, hi: 90_000.0, decimals: 0, unit: Some(Unit::Length) },
+                    AttrKind::Number {
+                        lo: 50.0,
+                        hi: 90_000.0,
+                        decimals: 0,
+                        unit: Some(Unit::Length),
+                    },
                 ),
                 AttrSpec::new(
                     id.next(),
@@ -698,7 +797,11 @@ fn cius() -> DatasetProfile {
         TopicSpec {
             name: "arrests".into(),
             attrs: vec![
-                AttrSpec::new(id.next(), &["offense", "offense charged"], AttrKind::Entity(EType::Crime)),
+                AttrSpec::new(
+                    id.next(),
+                    &["offense", "offense charged"],
+                    AttrKind::Entity(EType::Crime),
+                ),
                 AttrSpec::new(
                     id.next(),
                     &["arrests", "total arrests"],
@@ -722,7 +825,11 @@ fn cius() -> DatasetProfile {
         TopicSpec {
             name: "clearances".into(),
             attrs: vec![
-                AttrSpec::new(id.next(), &["offense", "offense type"], AttrKind::Entity(EType::Crime)),
+                AttrSpec::new(
+                    id.next(),
+                    &["offense", "offense type"],
+                    AttrKind::Entity(EType::Crime),
+                ),
                 AttrSpec::new(
                     id.next(),
                     &["clearance rate", "percent cleared"],

@@ -62,12 +62,8 @@ pub fn evaluate_centroid_retrieval<L: PartialEq + Clone>(
     assert_eq!(items.len(), labels.len(), "item/label length mismatch");
     let mut queries = Vec::new();
     for topic in centroid_labels {
-        let members: Vec<&Vec<f32>> = items
-            .iter()
-            .zip(labels)
-            .filter(|(_, l)| *l == topic)
-            .map(|(v, _)| v)
-            .collect();
+        let members: Vec<&Vec<f32>> =
+            items.iter().zip(labels).filter(|(_, l)| *l == topic).map(|(v, _)| v).collect();
         if members.is_empty() {
             continue;
         }
@@ -121,11 +117,10 @@ mod tests {
     #[test]
     fn random_embeddings_score_low() {
         use rand::rngs::StdRng;
-        use rand::{RngExt, SeedableRng};
+        use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(5);
-        let items: Vec<Vec<f32>> = (0..60)
-            .map(|_| (0..8).map(|_| rng.random_range(-1.0f32..1.0)).collect())
-            .collect();
+        let items: Vec<Vec<f32>> =
+            (0..60).map(|_| (0..8).map(|_| rng.random_range(-1.0f32..1.0)).collect()).collect();
         // 6 labels, 10 members each.
         let labels: Vec<usize> = (0..60).map(|i| i % 6).collect();
         let queries: Vec<usize> = (0..60).collect();

@@ -7,7 +7,7 @@
 //! band bucket become blocking candidates of each other.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 /// An LSH blocking index over fixed-dimension embeddings.
@@ -22,22 +22,39 @@ pub struct LshIndex {
 }
 
 impl LshIndex {
-    /// Builds an index. `n_planes` = `bands * rows_per_band` total hash bits.
-    pub fn build(
-        items: &[Vec<f32>],
-        bands: usize,
-        rows_per_band: usize,
-        seed: u64,
-    ) -> Self {
+    /// Builds an index from a slice of embeddings. `n_planes` =
+    /// `bands * rows_per_band` total hash bits.
+    pub fn build(items: &[Vec<f32>], bands: usize, rows_per_band: usize, seed: u64) -> Self {
+        Self::from_embeddings(items.iter().map(Vec::as_slice), bands, rows_per_band, seed)
+    }
+
+    /// Builds an index from an **iterator** of embeddings — the natural feed
+    /// from the batched embedding pipeline. Each vector is hashed to its bit
+    /// signature as it arrives and can be dropped immediately; only the
+    /// signatures and band buckets are retained, so indexing a corpus never
+    /// requires holding every embedding in memory at once.
+    ///
+    /// An empty iterator yields an explicit empty index (no hyperplanes, no
+    /// signatures) whose query methods return no candidates — rather than the
+    /// degenerate zero-dimensional planes a naive construction would produce.
+    pub fn from_embeddings<I, V>(items: I, bands: usize, rows_per_band: usize, seed: u64) -> Self
+    where
+        I: IntoIterator<Item = V>,
+        V: AsRef<[f32]>,
+    {
         assert!(bands > 0 && rows_per_band > 0, "bands and rows must be positive");
-        let dim = items.first().map(Vec::len).unwrap_or(0);
+        let mut iter = items.into_iter();
+        let Some(first) = iter.next() else {
+            return Self::empty(bands, rows_per_band);
+        };
+        let dim = first.as_ref().len();
         let n_planes = bands * rows_per_band;
         let mut rng = StdRng::seed_from_u64(seed);
         let planes: Vec<Vec<f32>> = (0..n_planes)
             .map(|_| (0..dim).map(|_| rng.random_range(-1.0f32..1.0)).collect())
             .collect();
-        let signatures: Vec<Vec<bool>> =
-            items.iter().map(|v| Self::signature_of(&planes, v)).collect();
+        let mut signatures = vec![Self::signature_of(&planes, first.as_ref())];
+        signatures.extend(iter.map(|v| Self::signature_of(&planes, v.as_ref())));
         let mut buckets = vec![HashMap::new(); bands];
         for (idx, sig) in signatures.iter().enumerate() {
             for (b, bucket) in buckets.iter_mut().enumerate() {
@@ -46,6 +63,17 @@ impl LshIndex {
             }
         }
         Self { planes, bands, rows_per_band, buckets, signatures }
+    }
+
+    /// The explicit empty index: indexes nothing, matches nothing.
+    fn empty(bands: usize, rows_per_band: usize) -> Self {
+        Self {
+            planes: Vec::new(),
+            bands,
+            rows_per_band,
+            buckets: vec![HashMap::new(); bands],
+            signatures: Vec::new(),
+        }
     }
 
     fn signature_of(planes: &[Vec<f32>], v: &[f32]) -> Vec<bool> {
@@ -84,8 +112,12 @@ impl LshIndex {
         out
     }
 
-    /// Candidates of an *external* query vector (not in the index).
+    /// Candidates of an *external* query vector (not in the index). An empty
+    /// index has no candidates for any query.
     pub fn query_candidates(&self, v: &[f32]) -> Vec<usize> {
+        if self.planes.is_empty() {
+            return Vec::new();
+        }
         let sig = Self::signature_of(&self.planes, v);
         let mut out = Vec::new();
         for (b, bucket) in self.buckets.iter().enumerate() {
@@ -130,11 +162,16 @@ fn band_key(sig: &[bool], band: usize, rows: usize) -> u64 {
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use rand::{Rng, SeedableRng};
 
     /// Clustered vectors: `n_clusters` directions, `per` members each with
     /// small jitter.
-    fn clustered(n_clusters: usize, per: usize, dim: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<usize>) {
+    fn clustered(
+        n_clusters: usize,
+        per: usize,
+        dim: usize,
+        seed: u64,
+    ) -> (Vec<Vec<f32>>, Vec<usize>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let centers: Vec<Vec<f32>> = (0..n_clusters)
             .map(|_| (0..dim).map(|_| rng.random_range(-1.0f32..1.0)).collect())
@@ -212,6 +249,25 @@ mod tests {
     fn empty_index() {
         let idx = LshIndex::build(&[], 4, 4, 1);
         assert!(idx.is_empty());
+        assert_eq!(idx.len(), 0);
         assert_eq!(idx.mean_candidates(), 0.0);
+        // The explicit empty index carries no degenerate zero-dimensional
+        // hyperplanes, and queries against it return no candidates instead
+        // of hashing everything into one silent empty-signature bucket.
+        assert!(idx.query_candidates(&[1.0, 2.0, 3.0]).is_empty());
+        assert!(idx.query_candidates(&[]).is_empty());
+    }
+
+    #[test]
+    fn from_embeddings_streams_and_matches_build() {
+        let (items, _) = clustered(4, 4, 8, 11);
+        let built = LshIndex::build(&items, 4, 4, 13);
+        // Feed the same vectors through the iterator path, consuming them.
+        let streamed = LshIndex::from_embeddings(items.clone(), 4, 4, 13);
+        assert_eq!(streamed.len(), built.len());
+        for i in 0..items.len() {
+            assert_eq!(streamed.candidates(i), built.candidates(i));
+        }
+        assert_eq!(streamed.query_candidates(&items[0]), built.query_candidates(&items[0]));
     }
 }

@@ -158,8 +158,7 @@ mod tests {
 
     #[test]
     fn map_and_mrr_average_queries() {
-        let queries =
-            vec![(vec![true, false], 1), (vec![false, true], 1)];
+        let queries = vec![(vec![true, false], 1), (vec![false, true], 1)];
         assert!((map_at_k(&queries, 20) - 0.75).abs() < 1e-12);
         assert!((mrr_at_k(&queries, 20) - 0.75).abs() < 1e-12);
     }

@@ -66,7 +66,9 @@ pub fn rank_by_cosine(query: &[f32], items: &[Vec<f32>], exclude: Option<usize>)
         .filter(|(i, _)| Some(*i) != exclude)
         .map(|(i, v)| (i, cosine(query, v)))
         .collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+    });
     scored.into_iter().map(|(i, _)| i).collect()
 }
 
@@ -100,9 +102,9 @@ mod tests {
     #[test]
     fn rank_orders_by_similarity() {
         let items = vec![
-            vec![0.0, 1.0],  // orthogonal
-            vec![1.0, 0.0],  // identical direction
-            vec![1.0, 1.0],  // 45 degrees
+            vec![0.0, 1.0], // orthogonal
+            vec![1.0, 0.0], // identical direction
+            vec![1.0, 1.0], // 45 degrees
         ];
         let ranked = rank_by_cosine(&[1.0, 0.0], &items, None);
         assert_eq!(ranked, vec![1, 2, 0]);

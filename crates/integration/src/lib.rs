@@ -1,0 +1,6 @@
+//! Anchor crate for the repository-root `tests/` and `examples/`
+//! directories.
+//!
+//! The workspace root is a virtual manifest, so those directories need a
+//! package to belong to; this crate declares them as explicit `[[test]]` and
+//! `[[example]]` targets and re-exports nothing of its own.

@@ -7,7 +7,7 @@
 
 use crate::{LabeledRow, TrainOptions, FEAT_DIM};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use tabbin_tensor::nn::Linear;
 use tabbin_tensor::optim::Adam;
 use tabbin_tensor::{Graph, NodeId, ParamStore, Tensor};

@@ -17,9 +17,7 @@ pub fn cell_features(text: &str) -> Vec<f32> {
     let alpha = chars.iter().filter(|c| c.is_alphabetic()).count();
     let tokens = t.split_whitespace().count();
     let is_number = t.parse::<f64>().is_ok();
-    let has_unit = t
-        .split_whitespace()
-        .any(|w| tabbin_table::Unit::parse(w).is_some() || w == "%");
+    let has_unit = t.split_whitespace().any(|w| tabbin_table::Unit::parse(w).is_some() || w == "%");
     let has_dash = t.contains('-') && digits > 0;
     let has_pm = t.contains('±');
     let starts_alpha = chars.first().map(|c| c.is_alphabetic()) == Some(true) && !is_number;

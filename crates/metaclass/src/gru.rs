@@ -2,7 +2,7 @@
 
 use crate::{LabeledRow, TrainOptions, FEAT_DIM};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use tabbin_tensor::nn::Linear;
 use tabbin_tensor::optim::Adam;
 use tabbin_tensor::{Graph, NodeId, ParamId, ParamStore, Tensor};
@@ -25,9 +25,18 @@ impl GruCell {
             wz: Linear::new(store, &format!("{name}.wz"), input, hidden, seed ^ 0x21),
             wr: Linear::new(store, &format!("{name}.wr"), input, hidden, seed ^ 0x22),
             wh: Linear::new(store, &format!("{name}.wh"), input, hidden, seed ^ 0x23),
-            uz: store.register(&format!("{name}.uz"), tabbin_tensor::init::xavier(hidden, hidden, seed ^ 0x24)),
-            ur: store.register(&format!("{name}.ur"), tabbin_tensor::init::xavier(hidden, hidden, seed ^ 0x25)),
-            uh: store.register(&format!("{name}.uh"), tabbin_tensor::init::xavier(hidden, hidden, seed ^ 0x26)),
+            uz: store.register(
+                &format!("{name}.uz"),
+                tabbin_tensor::init::xavier(hidden, hidden, seed ^ 0x24),
+            ),
+            ur: store.register(
+                &format!("{name}.ur"),
+                tabbin_tensor::init::xavier(hidden, hidden, seed ^ 0x25),
+            ),
+            uh: store.register(
+                &format!("{name}.uh"),
+                tabbin_tensor::init::xavier(hidden, hidden, seed ^ 0x26),
+            ),
             hidden,
         }
     }

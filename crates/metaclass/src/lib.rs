@@ -40,8 +40,7 @@ pub fn labeled_rows_from_table(table: &Table) -> Vec<LabeledRow> {
         out.push((header, true));
     }
     for i in 0..table.n_rows() {
-        let row: Vec<Vec<f32>> =
-            table.row_text(i).iter().map(|c| cell_features(c)).collect();
+        let row: Vec<Vec<f32>> = table.row_text(i).iter().map(|c| cell_features(c)).collect();
         out.push((row, false));
     }
     out

@@ -67,18 +67,10 @@ impl TableBuilder {
     pub fn build(self) -> Table {
         let data = Grid::from_rows(self.rows);
         if !self.hmd.is_empty() && !data.is_empty() {
-            assert_eq!(
-                self.hmd.leaf_count(),
-                data.cols(),
-                "HMD leaf count must equal data width"
-            );
+            assert_eq!(self.hmd.leaf_count(), data.cols(), "HMD leaf count must equal data width");
         }
         if !self.vmd.is_empty() && !data.is_empty() {
-            assert_eq!(
-                self.vmd.leaf_count(),
-                data.rows(),
-                "VMD leaf count must equal data height"
-            );
+            assert_eq!(self.vmd.leaf_count(), data.rows(), "VMD leaf count must equal data height");
         }
         Table { caption: self.caption, hmd: self.hmd, vmd: self.vmd, data }
     }

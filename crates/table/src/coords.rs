@@ -151,11 +151,7 @@ pub fn assign_coordinates(table: &Table) -> TableCoordinates {
             row: hp.depth().saturating_sub(1),
             col: j,
             role: CellRole::Hmd,
-            coord: BiCoord {
-                vertical: CoordPath::empty(),
-                horizontal: hp.clone(),
-                nested: (0, 0),
-            },
+            coord: BiCoord { vertical: CoordPath::empty(), horizontal: hp.clone(), nested: (0, 0) },
         });
     }
     for (i, vp) in vpaths.iter().enumerate().take(table.n_rows()) {
@@ -163,11 +159,7 @@ pub fn assign_coordinates(table: &Table) -> TableCoordinates {
             row: i,
             col: vp.depth().saturating_sub(1),
             role: CellRole::Vmd,
-            coord: BiCoord {
-                vertical: vp.clone(),
-                horizontal: CoordPath::empty(),
-                nested: (0, 0),
-            },
+            coord: BiCoord { vertical: vp.clone(), horizontal: CoordPath::empty(), nested: (0, 0) },
         });
     }
     out
@@ -203,8 +195,7 @@ pub fn nested_tables_with_coords<'t>(
     let mut out = Vec::new();
     for (r, c, v) in table.data.iter_indexed() {
         if let CellValue::Nested(inner) = v {
-            let host =
-                coords.data_coord(r, c).cloned().unwrap_or_default();
+            let host = coords.data_coord(r, c).cloned().unwrap_or_default();
             out.push((host, inner.as_ref()));
         }
     }
@@ -229,16 +220,19 @@ mod tests {
     fn bin_table() -> Table {
         Table::builder("trial")
             .hmd_tree(MetaTree::from_roots(vec![
-                MetaNode::branch("Efficacy End Point", vec![
-                    MetaNode::leaf("OS"),
-                    MetaNode::leaf("PFS"),
-                ]),
+                MetaNode::branch(
+                    "Efficacy End Point",
+                    vec![MetaNode::leaf("OS"), MetaNode::leaf("PFS")],
+                ),
                 MetaNode::branch("Other Efficacy", vec![MetaNode::leaf("HR")]),
             ]))
-            .vmd_tree(MetaTree::from_roots(vec![MetaNode::branch("Patient Cohort", vec![
-                MetaNode::leaf("Previously Untreated"),
-                MetaNode::leaf("Failing under Fluoropyrimidine"),
-            ])]))
+            .vmd_tree(MetaTree::from_roots(vec![MetaNode::branch(
+                "Patient Cohort",
+                vec![
+                    MetaNode::leaf("Previously Untreated"),
+                    MetaNode::leaf("Failing under Fluoropyrimidine"),
+                ],
+            )]))
             .text_row(&["a", "b", "c"])
             .text_row(&["d", "e", "f"])
             .build()
@@ -288,10 +282,8 @@ mod tests {
 
     #[test]
     fn nested_coordinates_start_at_one() {
-        let inner = Table::builder("inner")
-            .hmd_flat(&["n", "OS", "HR"])
-            .text_row(&["x", "y", "z"])
-            .build();
+        let inner =
+            Table::builder("inner").hmd_flat(&["n", "OS", "HR"]).text_row(&["x", "y", "z"]).build();
         let host = BiCoord {
             vertical: CoordPath(vec![1, 3]),
             horizontal: CoordPath(vec![2, 7]),

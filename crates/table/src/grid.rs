@@ -103,8 +103,7 @@ mod tests {
     #[test]
     fn iter_indexed_order() {
         let g = Grid::from_rows(vec![vec![0, 1], vec![2, 3]]);
-        let idx: Vec<(usize, usize, i32)> =
-            g.iter_indexed().map(|(r, c, &v)| (r, c, v)).collect();
+        let idx: Vec<(usize, usize, i32)> = g.iter_indexed().map(|(r, c, &v)| (r, c, v)).collect();
         assert_eq!(idx, vec![(0, 0, 0), (0, 1, 1), (1, 0, 2), (1, 1, 3)]);
     }
 

@@ -161,7 +161,10 @@ mod tests {
 
     fn two_level() -> MetaTree {
         MetaTree::from_roots(vec![
-            MetaNode::branch("Efficacy End Point", vec![MetaNode::leaf("OS"), MetaNode::leaf("PFS")]),
+            MetaNode::branch(
+                "Efficacy End Point",
+                vec![MetaNode::leaf("OS"), MetaNode::leaf("PFS")],
+            ),
             MetaNode::branch("Other Efficacy", vec![MetaNode::leaf("HR")]),
         ])
     }

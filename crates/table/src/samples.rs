@@ -100,11 +100,7 @@ pub fn table2_relational() -> Table {
             CellValue::number(28.0, None),
             CellValue::text("Engineer"),
         ])
-        .row(vec![
-            CellValue::text("Ava"),
-            CellValue::number(35.0, None),
-            CellValue::text("Lawyer"),
-        ])
+        .row(vec![CellValue::text("Ava"), CellValue::number(35.0, None), CellValue::text("Lawyer")])
         .row(vec![
             CellValue::text("Kim"),
             CellValue::number(41.0, None),
@@ -146,11 +142,8 @@ mod tests {
         let t = table1_sample();
         assert!(t.has_nesting());
         assert_eq!(t.kind(), TableKind::HmdHierarchical);
-        let ranges = t
-            .data
-            .iter_indexed()
-            .filter(|(_, _, c)| matches!(c, CellValue::Range { .. }))
-            .count();
+        let ranges =
+            t.data.iter_indexed().filter(|(_, _, c)| matches!(c, CellValue::Range { .. })).count();
         assert_eq!(ranges, 2);
     }
 

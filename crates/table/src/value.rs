@@ -60,16 +60,15 @@ impl Unit {
             | "rr" | "ratio" | "stats" => Unit::Stats,
             "mm" | "cm" | "m" | "km" | "in" | "ft" | "mi" | "mile" | "miles" | "meter"
             | "meters" | "length" | "acres" => Unit::Length,
-            "mg" | "g" | "kg" | "lb" | "lbs" | "ton" | "tons" | "gram" | "grams" | "mcg"
-            | "µg" | "weight" => Unit::Weight,
+            "mg" | "g" | "kg" | "lb" | "lbs" | "ton" | "tons" | "gram" | "grams" | "mcg" | "µg"
+            | "weight" => Unit::Weight,
             "ml" | "l" | "dl" | "gal" | "oz" | "dose" | "doses" | "liter" | "liters"
             | "capacity" => Unit::Capacity,
             "s" | "sec" | "min" | "h" | "hr(s)" | "hour" | "hours" | "day" | "days" | "week"
-            | "weeks" | "month" | "months" | "year" | "years" | "yr" | "yrs" | "time" => {
-                Unit::Time
+            | "weeks" | "month" | "months" | "year" | "years" | "yr" | "yrs" | "time" => Unit::Time,
+            "c" | "°c" | "f" | "°f" | "k" | "celsius" | "fahrenheit" | "kelvin" | "temperature" => {
+                Unit::Temperature
             }
-            "c" | "°c" | "f" | "°f" | "k" | "celsius" | "fahrenheit" | "kelvin"
-            | "temperature" => Unit::Temperature,
             "mmhg" | "kpa" | "psi" | "atm" | "bar" | "pa" | "pressure" => Unit::Pressure,
             _ => return None,
         })
@@ -122,15 +121,14 @@ impl NumericFeatures {
         if s.ends_with('.') {
             s.pop();
         }
-        let digits: Vec<u8> =
-            s.bytes().filter(u8::is_ascii_digit).map(|b| b - b'0').collect();
+        let digits: Vec<u8> = s.bytes().filter(u8::is_ascii_digit).map(|b| b - b'0').collect();
         let int_digits = s.split('.').next().map(|p| p.len()).unwrap_or(0);
         let frac_digits = digits.len().saturating_sub(int_digits);
         let first_digit = digits.iter().copied().find(|&d| d != 0).unwrap_or(0);
         let last_digit = digits.last().copied().unwrap_or(0);
         NumericFeatures {
             magnitude: magnitude.min(9),
-            precision: (frac_digits.max(1)).min(9) as u8,
+            precision: frac_digits.clamp(1, 9) as u8,
             first_digit,
             last_digit,
         }

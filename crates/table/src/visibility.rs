@@ -87,12 +87,11 @@ mod tests {
 
     #[test]
     fn matrix_is_symmetric() {
-        let items: Vec<SeqItem> =
-            (0..12).map(|i| SeqItem::cell(i % 3, i / 3)).collect();
+        let items: Vec<SeqItem> = (0..12).map(|i| SeqItem::cell(i % 3, i / 3)).collect();
         let m = visibility_matrix(&items);
-        for i in 0..items.len() {
-            for j in 0..items.len() {
-                assert_eq!(m[i][j], m[j][i], "asymmetry at ({i},{j})");
+        for (i, row) in m.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(v, m[j][i], "asymmetry at ({i},{j})");
             }
         }
     }

@@ -11,13 +11,10 @@ use tabbin_table::{CellValue, MetaNode, MetaTree, Table, Unit};
 fn meta_tree(leaves: usize) -> impl Strategy<Value = MetaTree> {
     (0..=1usize).prop_map(move |hier| {
         if hier == 0 || leaves < 2 {
-            MetaTree::from_roots(
-                (0..leaves).map(|i| MetaNode::leaf(format!("leaf{i}"))).collect(),
-            )
+            MetaTree::from_roots((0..leaves).map(|i| MetaNode::leaf(format!("leaf{i}"))).collect())
         } else {
             let split = leaves / 2;
-            let left: Vec<MetaNode> =
-                (0..split).map(|i| MetaNode::leaf(format!("l{i}"))).collect();
+            let left: Vec<MetaNode> = (0..split).map(|i| MetaNode::leaf(format!("l{i}"))).collect();
             let right: Vec<MetaNode> =
                 (split..leaves).map(|i| MetaNode::leaf(format!("r{i}"))).collect();
             let mut roots = vec![MetaNode::branch("groupA", left)];
@@ -43,16 +40,12 @@ fn cell_value() -> impl Strategy<Value = CellValue> {
 
 fn arb_table() -> impl Strategy<Value = Table> {
     (1..5usize, 1..5usize).prop_flat_map(|(rows, cols)| {
-        let grid = proptest::collection::vec(
-            proptest::collection::vec(cell_value(), cols),
-            rows,
-        );
+        let grid = proptest::collection::vec(proptest::collection::vec(cell_value(), cols), rows);
         (grid, meta_tree(cols), prop_oneof![Just(true), Just(false)]).prop_map(
             move |(grid, hmd, with_vmd)| {
                 let mut b = Table::builder("prop table").hmd_tree(hmd);
                 if with_vmd {
-                    let labels: Vec<String> =
-                        (0..rows).map(|i| format!("row{i}")).collect();
+                    let labels: Vec<String> = (0..rows).map(|i| format!("row{i}")).collect();
                     let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
                     b = b.vmd_flat(&refs);
                 }
@@ -110,10 +103,10 @@ proptest! {
             .flat_map(|r| (0..t.n_cols()).map(move |c| SeqItem::cell(r as u32, c as u32)))
             .collect();
         let m = visibility_matrix(&items);
-        for i in 0..items.len() {
-            prop_assert!(m[i][i]);
-            for j in 0..items.len() {
-                prop_assert_eq!(m[i][j], m[j][i]);
+        for (i, row) in m.iter().enumerate() {
+            prop_assert!(row[i]);
+            for (j, &v) in row.iter().enumerate() {
+                prop_assert_eq!(v, m[j][i]);
             }
         }
     }

@@ -35,24 +35,45 @@ enum Op {
     /// Row-wise softmax over the last dimension of a rank-2 tensor.
     SoftmaxRows(NodeId),
     /// Row-wise layer normalization with learnable `gamma`/`beta` of shape `[1,d]`.
-    LayerNorm { x: NodeId, gamma: NodeId, beta: NodeId, cache: LnCache },
+    LayerNorm {
+        x: NodeId,
+        gamma: NodeId,
+        beta: NodeId,
+        cache: LnCache,
+    },
     /// Gathers rows `rows[i]` of `x`; the building block for embedding lookup.
-    RowSelect { x: NodeId, rows: Vec<usize> },
+    RowSelect {
+        x: NodeId,
+        rows: Vec<usize>,
+    },
     ConcatCols(Vec<NodeId>),
     ConcatRows(Vec<NodeId>),
     /// Columns `[start, start+len)` of `x`.
-    ColSlice { x: NodeId, start: usize },
+    ColSlice {
+        x: NodeId,
+        start: usize,
+    },
     MeanRows(NodeId),
     MeanAll(NodeId),
     /// Adds a constant tensor (e.g. an additive attention mask).
     AddConst(NodeId),
     /// Multiplies by a constant tensor (e.g. an inverted dropout mask).
-    MulConst { x: NodeId, mask: Tensor },
+    MulConst {
+        x: NodeId,
+        mask: Tensor,
+    },
     /// Mean cross-entropy over rows; `targets[i] < 0` rows are ignored.
-    CrossEntropyRows { logits: NodeId, targets: Vec<i64>, probs: Tensor, counted: usize },
+    CrossEntropyRows {
+        logits: NodeId,
+        targets: Vec<i64>,
+        probs: Tensor,
+        counted: usize,
+    },
     /// Repeats a `[1,d]` row into `[n,d]` (the count lives in the output
     /// shape; backward only needs the parent).
-    RepeatRows { x: NodeId },
+    RepeatRows {
+        x: NodeId,
+    },
 }
 
 #[derive(Debug)]
@@ -68,7 +89,11 @@ struct Node {
     op: Op,
 }
 
-/// A single forward/backward tape. Create one per training step.
+/// A single forward/backward tape.
+///
+/// Create one per training step, or — the batched-pipeline pattern — create
+/// one, use it, and [`Graph::reset`] it before the next step/batch so the
+/// node arena's allocation is reused instead of rebuilt.
 #[derive(Default)]
 pub struct Graph {
     nodes: Vec<Node>,
@@ -81,7 +106,24 @@ pub struct Graph {
 impl Graph {
     /// An empty tape.
     pub fn new() -> Self {
-        Self { nodes: Vec::with_capacity(256), param_grads: Vec::new() }
+        Self::with_capacity(256)
+    }
+
+    /// An empty tape with room for `nodes` operations before reallocating.
+    pub fn with_capacity(nodes: usize) -> Self {
+        Self { nodes: Vec::with_capacity(nodes), param_grads: Vec::new() }
+    }
+
+    /// Clears the tape for reuse, keeping the node arena's allocation.
+    ///
+    /// After `reset` the graph is observationally identical to a fresh
+    /// [`Graph::new`], but repeated build/backward cycles (pre-training
+    /// steps, batched embedding) skip the per-step reallocation of the node
+    /// vector. `NodeId`s handed out before the reset must not be used
+    /// afterwards.
+    pub fn reset(&mut self) {
+        self.nodes.clear();
+        self.param_grads.clear();
     }
 
     /// Number of nodes recorded so far.
@@ -223,8 +265,8 @@ impl Graph {
             let var = row.iter().map(|v| (v - mu) * (v - mu)).sum::<f32>() / d as f32;
             let istd = 1.0 / (var + eps).sqrt();
             inv_std.push(istd);
-            for j in 0..d {
-                *xhat.at_mut(i, j) = (row[j] - mu) * istd;
+            for (j, &rv) in row.iter().enumerate() {
+                *xhat.at_mut(i, j) = (rv - mu) * istd;
             }
         }
         let gv = self.value(gamma).clone();
@@ -349,9 +391,8 @@ impl Graph {
         let mut probs = Tensor::zeros(&[n, c]);
         let mut total = 0.0f64;
         let mut counted = 0usize;
-        for i in 0..n {
+        for (i, &t) in targets.iter().enumerate() {
             softmax_row(lv.row(i), probs.row_mut(i));
-            let t = targets[i];
             if t >= 0 {
                 let t = t as usize;
                 assert!(t < c, "target {t} out of range for {c} classes");
@@ -617,8 +658,7 @@ impl Graph {
                     let scale = g.data()[0] / *counted as f32;
                     let (n, c) = (probs.rows(), probs.cols());
                     let mut gl = Tensor::zeros(&[n, c]);
-                    for i in 0..n {
-                        let t = targets[i];
+                    for (i, &t) in targets.iter().enumerate().take(n) {
                         if t < 0 {
                             continue;
                         }
@@ -664,7 +704,9 @@ fn accumulate(grads: &mut [Option<Tensor>], idx: usize, g: &Tensor) {
     }
 }
 
-fn softmax_row(input: &[f32], out: &mut [f32]) {
+/// Numerically-stable softmax of one row (shared by the tape ops and the
+/// no-tape inference kernels, so both paths use the same formula).
+pub fn softmax_row(input: &[f32], out: &mut [f32]) {
     let max = input.iter().copied().fold(f32::NEG_INFINITY, f32::max);
     let mut sum = 0.0f32;
     for (o, &x) in out.iter_mut().zip(input) {
@@ -680,7 +722,9 @@ fn softmax_row(input: &[f32], out: &mut [f32]) {
 
 const GELU_C: f32 = 0.797_884_6; // sqrt(2/pi)
 
-fn gelu_fwd(x: f32) -> f32 {
+/// GELU forward (tanh approximation, as in BERT); shared like
+/// [`softmax_row`].
+pub fn gelu_fwd(x: f32) -> f32 {
     0.5 * x * (1.0 + (GELU_C * (x + 0.044715 * x * x * x)).tanh())
 }
 

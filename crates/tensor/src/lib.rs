@@ -46,6 +46,10 @@
 
 mod graph;
 pub mod init;
+/// Scalar math shared by the autograd tape and no-tape inference kernels.
+pub mod ops {
+    pub use crate::graph::{gelu_fwd, softmax_row};
+}
 pub mod nn;
 pub mod optim;
 mod param;

@@ -1,7 +1,7 @@
 //! Row-major dense `f32` tensor with shape-checked operations.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// Threshold (in multiply-accumulate operations) above which matrix
@@ -268,8 +268,9 @@ impl Tensor {
         assert!(m > 0, "mean_rows of empty tensor");
         let mut data = vec![0.0f32; n];
         for i in 0..m {
-            for j in 0..n {
-                data[j] += self.data[i * n + j];
+            let row = &self.data[i * n..(i + 1) * n];
+            for (acc, &v) in data.iter_mut().zip(row) {
+                *acc += v;
             }
         }
         let inv = 1.0 / m as f32;

@@ -99,10 +99,7 @@ mod tests {
 
     #[test]
     fn percent_is_a_token() {
-        assert_eq!(
-            basic_split("62%"),
-            vec![RawToken::Number(62.0), RawToken::Word("%".into())]
-        );
+        assert_eq!(basic_split("62%"), vec![RawToken::Number(62.0), RawToken::Word("%".into())]);
     }
 
     #[test]

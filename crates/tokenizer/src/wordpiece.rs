@@ -100,8 +100,7 @@ impl Tokenizer {
             let mut matched = None;
             while end > start {
                 let body: String = chars[start..end].iter().collect();
-                let candidate =
-                    if start == 0 { body } else { format!("##{body}") };
+                let candidate = if start == 0 { body } else { format!("##{body}") };
                 if let Some(id) = self.vocab.id_of(&candidate) {
                     matched = Some(id);
                     break;

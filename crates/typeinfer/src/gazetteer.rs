@@ -79,63 +79,211 @@ impl Gazetteer {
 }
 
 const DISEASES: &[&str] = &[
-    "cancer", "carcinoma", "adenocarcinoma", "melanoma", "lymphoma", "leukemia", "tumor",
-    "colorectal cancer", "colon cancer", "rectal cancer", "breast cancer", "lung cancer",
-    "covid-19", "covid", "sars-cov-2", "influenza", "pneumonia", "sepsis", "diabetes",
-    "hypertension", "asthma", "arthritis", "hepatitis", "metastasis", "polyp", "anemia",
-    "neutropenia", "mucositis", "diarrhea", "fatigue", "nausea", "colitis",
+    "cancer",
+    "carcinoma",
+    "adenocarcinoma",
+    "melanoma",
+    "lymphoma",
+    "leukemia",
+    "tumor",
+    "colorectal cancer",
+    "colon cancer",
+    "rectal cancer",
+    "breast cancer",
+    "lung cancer",
+    "covid-19",
+    "covid",
+    "sars-cov-2",
+    "influenza",
+    "pneumonia",
+    "sepsis",
+    "diabetes",
+    "hypertension",
+    "asthma",
+    "arthritis",
+    "hepatitis",
+    "metastasis",
+    "polyp",
+    "anemia",
+    "neutropenia",
+    "mucositis",
+    "diarrhea",
+    "fatigue",
+    "nausea",
+    "colitis",
 ];
 
 const DRUGS: &[&str] = &[
-    "ramucirumab", "bevacizumab", "cetuximab", "panitumumab", "regorafenib", "aflibercept",
-    "fluorouracil", "capecitabine", "oxaliplatin", "irinotecan", "leucovorin", "trifluridine",
-    "pembrolizumab", "nivolumab", "ipilimumab", "aspirin", "metformin", "remdesivir",
-    "dexamethasone", "paxlovid", "molnupiravir", "heparin", "warfarin", "folfox", "folfiri",
+    "ramucirumab",
+    "bevacizumab",
+    "cetuximab",
+    "panitumumab",
+    "regorafenib",
+    "aflibercept",
+    "fluorouracil",
+    "capecitabine",
+    "oxaliplatin",
+    "irinotecan",
+    "leucovorin",
+    "trifluridine",
+    "pembrolizumab",
+    "nivolumab",
+    "ipilimumab",
+    "aspirin",
+    "metformin",
+    "remdesivir",
+    "dexamethasone",
+    "paxlovid",
+    "molnupiravir",
+    "heparin",
+    "warfarin",
+    "folfox",
+    "folfiri",
 ];
 
 const CHEMICALS: &[&str] = &[
-    "fluoropyrimidine", "platinum", "oxalate", "glucose", "sodium", "potassium", "calcium",
-    "creatinine", "bilirubin", "albumin", "hemoglobin", "cholesterol", "nitrogen", "oxygen",
-    "carbon", "ethanol", "methanol", "acetate",
+    "fluoropyrimidine",
+    "platinum",
+    "oxalate",
+    "glucose",
+    "sodium",
+    "potassium",
+    "calcium",
+    "creatinine",
+    "bilirubin",
+    "albumin",
+    "hemoglobin",
+    "cholesterol",
+    "nitrogen",
+    "oxygen",
+    "carbon",
+    "ethanol",
+    "methanol",
+    "acetate",
 ];
 
 const VACCINES: &[&str] = &[
-    "moderna", "covaxin", "pfizer", "biontech", "astrazeneca", "sputnik", "sinovac",
-    "janssen", "novavax", "mrna-1273", "bnt162b2", "covishield", "booster",
+    "moderna",
+    "covaxin",
+    "pfizer",
+    "biontech",
+    "astrazeneca",
+    "sputnik",
+    "sinovac",
+    "janssen",
+    "novavax",
+    "mrna-1273",
+    "bnt162b2",
+    "covishield",
+    "booster",
 ];
 
 const TREATMENTS: &[&str] = &[
-    "chemotherapy", "surgery", "resection", "colectomy", "colonoscopy", "screening",
-    "transplant", "dialysis", "intubation", "ventilation", "infusion", "prescription",
-    "regimen", "dose escalation", "maintenance",
+    "chemotherapy",
+    "surgery",
+    "resection",
+    "colectomy",
+    "colonoscopy",
+    "screening",
+    "transplant",
+    "dialysis",
+    "intubation",
+    "ventilation",
+    "infusion",
+    "prescription",
+    "regimen",
+    "dose escalation",
+    "maintenance",
 ];
 
 const THERAPIES: &[&str] = &[
-    "immunotherapy", "radiotherapy", "targeted therapy", "hormone therapy", "gene therapy",
-    "combination therapy", "monotherapy", "adjuvant therapy", "neoadjuvant therapy",
-    "palliative care", "therapy",
+    "immunotherapy",
+    "radiotherapy",
+    "targeted therapy",
+    "hormone therapy",
+    "gene therapy",
+    "combination therapy",
+    "monotherapy",
+    "adjuvant therapy",
+    "neoadjuvant therapy",
+    "palliative care",
+    "therapy",
 ];
 
 const NAMES: &[&str] = &[
-    "sam", "ava", "kim", "paul", "maria", "john", "wei", "fatima", "carlos", "yuki",
-    "smith", "johnson", "garcia", "chen", "patel", "mueller", "kowalski", "rossi",
+    "sam", "ava", "kim", "paul", "maria", "john", "wei", "fatima", "carlos", "yuki", "smith",
+    "johnson", "garcia", "chen", "patel", "mueller", "kowalski", "rossi",
 ];
 
 const PLACES: &[&str] = &[
     // Cities (the spaCy GPE tagger recognizes these reliably).
-    "tallahassee", "tampa", "miami", "orlando", "atlanta", "boston", "chicago", "seattle",
-    "houston", "denver", "portland", "austin", "phoenix", "detroit", "memphis", "omaha",
-    "tucson", "raleigh", "usa", "london", "paris", "tokyo", "berlin", "madrid", "rome",
+    "tallahassee",
+    "tampa",
+    "miami",
+    "orlando",
+    "atlanta",
+    "boston",
+    "chicago",
+    "seattle",
+    "houston",
+    "denver",
+    "portland",
+    "austin",
+    "phoenix",
+    "detroit",
+    "memphis",
+    "omaha",
+    "tucson",
+    "raleigh",
+    "usa",
+    "london",
+    "paris",
+    "tokyo",
+    "berlin",
+    "madrid",
+    "rome",
     // US states — basic NER coverage.
-    "florida", "texas", "california", "georgia", "ohio", "alabama", "nevada", "oregon",
-    "michigan", "virginia", "colorado", "arizona", "illinois", "washington", "montana",
-    "kansas", "utah", "iowa",
+    "florida",
+    "texas",
+    "california",
+    "georgia",
+    "ohio",
+    "alabama",
+    "nevada",
+    "oregon",
+    "michigan",
+    "virginia",
+    "colorado",
+    "arizona",
+    "illinois",
+    "washington",
+    "montana",
+    "kansas",
+    "utah",
+    "iowa",
 ];
 
 const ORGS: &[&str] = &[
-    "university", "college", "institute", "hospital", "clinic", "fbi", "census bureau",
-    "fc", "united", "city fc", "rovers", "athletic", "ministry", "department", "agency",
-    "pubmed", "who", "cdc", "nih", "fda",
+    "university",
+    "college",
+    "institute",
+    "hospital",
+    "clinic",
+    "fbi",
+    "census bureau",
+    "fc",
+    "united",
+    "city fc",
+    "rovers",
+    "athletic",
+    "ministry",
+    "department",
+    "agency",
+    "pubmed",
+    "who",
+    "cdc",
+    "nih",
+    "fda",
 ];
 
 #[cfg(test)]

@@ -66,7 +66,9 @@ impl TypeTagger {
 
 /// `mean ± std` with optional unit.
 fn is_gaussian(t: &str) -> bool {
-    let Some((a, b)) = t.split_once('±') else { return false };
+    let Some((a, b)) = t.split_once('±') else {
+        return false;
+    };
     parse_front_number(a).is_some() && parse_front_number(b).is_some()
 }
 

@@ -11,26 +11,19 @@ use tabbin_corpus::{generate, Dataset, GenOptions};
 use tabbin_eval::rank_by_cosine;
 
 fn main() {
-    let corpus =
-        generate(Dataset::CancerKg, &GenOptions { n_tables: Some(40), seed: 11 });
+    let corpus = generate(Dataset::CancerKg, &GenOptions { n_tables: Some(40), seed: 11 });
     let tables = corpus.plain_tables();
     println!("generated {} CancerKG-profile tables", tables.len());
 
     let mut family = TabBiNFamily::new(&tables, ModelConfig::tiny(), 11);
-    family.pretrain(
-        &tables,
-        &PretrainOptions { steps: 40, batch: 4, ..Default::default() },
-    );
+    family.pretrain(&tables, &PretrainOptions { steps: 40, batch: 4, ..Default::default() });
 
-    let embeddings: Vec<Vec<f32>> =
-        tables.iter().map(|t| family.embed_table(t)).collect();
+    // Batched pipeline: all 40 tables in one pass per segment model, with
+    // row-parallel dispatch across worker threads.
+    let embeddings: Vec<Vec<f32>> = family.embed_tables(&tables);
 
     // Use the first nested-table-carrying table as the query.
-    let query = corpus
-        .tables
-        .iter()
-        .position(|t| t.table.has_nesting())
-        .unwrap_or(0);
+    let query = corpus.tables.iter().position(|t| t.table.has_nesting()).unwrap_or(0);
     println!(
         "\nquery table: '{}' (topic: {})",
         corpus.tables[query].table.caption, corpus.tables[query].topic

@@ -22,10 +22,7 @@ fn main() {
 
     let tables = corpus.plain_tables();
     let mut family = TabBiNFamily::new(&tables, ModelConfig::tiny(), 3);
-    family.pretrain(
-        &tables,
-        &PretrainOptions { steps: 40, batch: 4, ..Default::default() },
-    );
+    family.pretrain(&tables, &PretrainOptions { steps: 40, batch: 4, ..Default::default() });
 
     // Embed a mixed set of entities and cluster around a vaccine query.
     let mut texts = Vec::new();
@@ -36,7 +33,8 @@ fn main() {
             types.push(ety);
         }
     }
-    let embs: Vec<Vec<f32>> = texts.iter().map(|t| family.embed_entity(t)).collect();
+    // One batched pass over the whole catalog slice.
+    let embs: Vec<Vec<f32>> = family.embed_entities(&texts);
     // Prefer a vaccine the type tagger's gazetteer covers (real NER also has
     // coverage gaps; uncovered entities cluster on content alone).
     let query = texts

@@ -34,10 +34,8 @@ fn main() {
     // 3. Pre-train a tiny TabBiN family on three sample tables.
     let tables = vec![fig1, table1_sample(), table2_relational()];
     let mut family = TabBiNFamily::new(&tables, ModelConfig::tiny(), 7);
-    let curves = family.pretrain(
-        &tables,
-        &PretrainOptions { steps: 30, batch: 2, ..Default::default() },
-    );
+    let curves =
+        family.pretrain(&tables, &PretrainOptions { steps: 30, batch: 2, ..Default::default() });
     println!(
         "pre-trained 4 segment models; row-model loss {:.3} -> {:.3}",
         curves[0].first().map(|s| s.loss).unwrap_or(0.0),
@@ -45,8 +43,12 @@ fn main() {
     );
 
     // 4. Table embeddings compose per-segment vectors (tblcomp2 = data ⊕
-    //    HMD ⊕ VMD ⊕ caption).
+    //    HMD ⊕ VMD ⊕ caption). The batched path embeds the whole corpus in
+    //    one pass per segment model through the fused no-tape kernel.
+    let all = family.embed_tables(&tables);
     let e_fig1 = family.embed_table(&tables[0]);
+    let drift = all[0].iter().zip(&e_fig1).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
+    assert!(drift < 1e-5, "batched and per-table paths must agree (drift {drift})");
     println!("table embedding (tblcomp2) dimension: {}", e_fig1.len());
 
     // 5. Entity embeddings: two drugs should be closer to each other than a

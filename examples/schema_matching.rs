@@ -12,33 +12,33 @@ use tabbin_corpus::{generate, Dataset, GenOptions, FILLER_SEM_ID};
 use tabbin_eval::{center, cosine, LshIndex};
 
 fn main() {
-    let corpus =
-        generate(Dataset::Webtables, &GenOptions { n_tables: Some(40), seed: 5 });
+    let corpus = generate(Dataset::Webtables, &GenOptions { n_tables: Some(40), seed: 5 });
     let tables = corpus.plain_tables();
     let mut family = TabBiNFamily::new(&tables, ModelConfig::tiny(), 5);
-    family.pretrain(
-        &tables,
-        &PretrainOptions { steps: 40, batch: 4, ..Default::default() },
-    );
+    family.pretrain(&tables, &PretrainOptions { steps: 40, batch: 4, ..Default::default() });
 
-    // Embed every non-filler column with the colcomp composite.
+    // Embed every non-filler column with the colcomp composite, one batched
+    // pass per table (parameters placed once per segment model).
     let mut refs = Vec::new();
     let mut embs: Vec<Vec<f32>> = Vec::new();
     for (ti, lt) in corpus.tables.iter().enumerate() {
+        let columns = family.embed_columns(&lt.table);
         for (ci, &sem) in lt.column_sem.iter().enumerate() {
             if sem == FILLER_SEM_ID {
                 continue;
             }
             refs.push((ti, ci, sem));
-            embs.push(family.embed_colcomp(&lt.table, ci));
+            embs.push(columns[ci].clone());
         }
     }
     println!("embedded {} columns from {} tables", embs.len(), tables.len());
 
     // Transformer embeddings are anisotropic; center them so hyperplane LSH
-    // can separate the clusters, then block and search within blocks.
+    // can separate the clusters, then block and search within blocks. The
+    // index consumes the embeddings as an iterator — the shape a streaming
+    // pipeline hands it.
     center(&mut embs);
-    let index = LshIndex::build(&embs, 8, 4, 99);
+    let index = LshIndex::from_embeddings(embs.iter().map(Vec::as_slice), 8, 4, 99);
     println!(
         "LSH blocking: {:.1} candidates/column instead of {}",
         index.mean_candidates(),
@@ -49,11 +49,8 @@ fn main() {
     let (qt, qc, qsem) = refs[query];
     let qlabel = corpus.tables[qt].table.hmd.leaf_labels()[qc].to_string();
     println!("\nquery column: '{qlabel}' from '{}'", corpus.tables[qt].table.caption);
-    let mut scored: Vec<(usize, f64)> = index
-        .candidates(query)
-        .into_iter()
-        .map(|i| (i, cosine(&embs[query], &embs[i])))
-        .collect();
+    let mut scored: Vec<(usize, f64)> =
+        index.candidates(query).into_iter().map(|i| (i, cosine(&embs[query], &embs[i]))).collect();
     scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     println!("top 5 matches within the block:");
     for (rank, (i, score)) in scored.iter().take(5).enumerate() {

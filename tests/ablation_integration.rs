@@ -35,8 +35,7 @@ fn each_ablation_changes_embeddings() {
         AblationFlags::no_units_nesting(),
         AblationFlags::no_coordinates(),
     ] {
-        let ablated =
-            TabBiNFamily::new(&tables, ModelConfig::tiny().with_ablation(flags), 5);
+        let ablated = TabBiNFamily::new(&tables, ModelConfig::tiny().with_ablation(flags), 5);
         let emb = ablated.embed_table(&tables[0]);
         assert_ne!(reference, emb, "ablation {flags:?} had no effect");
     }
@@ -75,12 +74,8 @@ fn full_model_exploits_numeric_structure() {
 fn ablated_families_still_train_stably() {
     let corpus = generate(Dataset::CovidKg, &GenOptions { n_tables: Some(10), seed: 9 });
     let tables = corpus.plain_tables();
-    for flags in [
-        AblationFlags::no_visibility(),
-        AblationFlags::no_coordinates(),
-    ] {
-        let mut fam =
-            TabBiNFamily::new(&tables, ModelConfig::tiny().with_ablation(flags), 9);
+    for flags in [AblationFlags::no_visibility(), AblationFlags::no_coordinates()] {
+        let mut fam = TabBiNFamily::new(&tables, ModelConfig::tiny().with_ablation(flags), 9);
         let curves = fam.pretrain(
             &tables,
             &PretrainOptions { steps: 8, batch: 2, seed: 9, ..Default::default() },

@@ -27,8 +27,7 @@ fn tabbin_beats_word2vec_on_numeric_column_clustering() {
     let sentences: Vec<Vec<String>> = tables
         .iter()
         .flat_map(|t| {
-            (0..t.n_rows())
-                .map(move |i| t.row_text(i).iter().flat_map(|c| tokenize(c)).collect())
+            (0..t.n_rows()).map(move |i| t.row_text(i).iter().flat_map(|c| tokenize(c)).collect())
         })
         .collect();
     let (w2v, _) = Word2Vec::train(&sentences, &Word2VecConfig::default());
@@ -54,12 +53,7 @@ fn tabbin_beats_word2vec_on_numeric_column_clustering() {
     let queries: Vec<usize> = (0..labels.len().min(20)).collect();
     let tab = evaluate_retrieval(&tab_items, &labels, &queries, 20);
     let w2 = evaluate_retrieval(&w2v_items, &labels, &queries, 20);
-    assert!(
-        tab.map > w2.map,
-        "TabBiN must beat Word2Vec on numeric CC: {} vs {}",
-        tab.map,
-        w2.map
-    );
+    assert!(tab.map > w2.map, "TabBiN must beat Word2Vec on numeric CC: {} vs {}", tab.map, w2.map);
 }
 
 #[test]
@@ -77,8 +71,7 @@ fn tuta_and_bert_produce_usable_embeddings() {
     );
     let cfg = BertConfig { hidden: 24, layers: 1, heads: 2, ff: 32, max_seq: 48 };
     let mut bert = BertSim::new(cfg, tok.vocab_size(), 13);
-    let seqs: Vec<Vec<u32>> =
-        tables.iter().map(|t| BertSim::linearize(t, tok, 48)).collect();
+    let seqs: Vec<Vec<u32>> = tables.iter().map(|t| BertSim::linearize(t, tok, 48)).collect();
     bert.pretrain(&seqs, &BertPretrainOptions { steps: 5, ..Default::default() });
 
     for t in tables.iter().take(4) {
@@ -116,9 +109,8 @@ fn word2vec_dimensionality_tradeoff_exists() {
         .tables
         .iter()
         .flat_map(|t| {
-            (0..t.table.n_rows()).map(move |i| {
-                t.table.row_text(i).iter().flat_map(|c| tokenize(c)).collect()
-            })
+            (0..t.table.n_rows())
+                .map(move |i| t.table.row_text(i).iter().flat_map(|c| tokenize(c)).collect())
         })
         .collect();
     let (small, t_small) =

@@ -104,10 +104,7 @@ fn nested_tables_get_nested_coordinates_in_encoding() {
             seq.tokens.iter().any(|et| et.tpos[4] > 0),
             "nested cells must carry nested coordinates"
         );
-        assert!(
-            seq.tokens.iter().any(|et| et.feat_bits[7]),
-            "nesting bit must be set somewhere"
-        );
+        assert!(seq.tokens.iter().any(|et| et.feat_bits[7]), "nesting bit must be set somewhere");
     }
 }
 

@@ -10,11 +10,7 @@ use tabbin_metaclass::{
 
 fn corpus_rows(ds: Dataset, n: usize, seed: u64) -> Vec<tabbin_metaclass::LabeledRow> {
     let corpus = generate(ds, &GenOptions { n_tables: Some(n), seed });
-    corpus
-        .tables
-        .iter()
-        .flat_map(|t| labeled_rows_from_table(&t.table))
-        .collect()
+    corpus.tables.iter().flat_map(|t| labeled_rows_from_table(&t.table)).collect()
 }
 
 #[test]
@@ -59,8 +55,7 @@ fn heuristic_agrees_on_generated_headers() {
         if t.hmd.is_empty() || t.n_rows() == 0 {
             continue;
         }
-        let header: Vec<String> =
-            t.hmd.leaf_labels().iter().map(|s| s.to_string()).collect();
+        let header: Vec<String> = t.hmd.leaf_labels().iter().map(|s| s.to_string()).collect();
         let below_numeric = t.numeric_fraction();
         total += 1;
         if heuristic_is_metadata_row(&header, below_numeric) {

@@ -7,14 +7,16 @@ use tabbin_core::variants::TabBiNFamily;
 use tabbin_corpus::{generate, Dataset, GenOptions, FILLER_SEM_ID};
 use tabbin_eval::clustering::evaluate_retrieval;
 
-fn trained_family(ds: Dataset, n: usize, steps: usize, seed: u64) -> (tabbin_corpus::Corpus, TabBiNFamily) {
+fn trained_family(
+    ds: Dataset,
+    n: usize,
+    steps: usize,
+    seed: u64,
+) -> (tabbin_corpus::Corpus, TabBiNFamily) {
     let corpus = generate(ds, &GenOptions { n_tables: Some(n), seed });
     let tables = corpus.plain_tables();
     let mut family = TabBiNFamily::new(&tables, ModelConfig::tiny(), seed);
-    family.pretrain(
-        &tables,
-        &PretrainOptions { steps, batch: 4, seed, ..Default::default() },
-    );
+    family.pretrain(&tables, &PretrainOptions { steps, batch: 4, seed, ..Default::default() });
     (corpus, family)
 }
 
@@ -42,8 +44,7 @@ fn column_clustering_beats_random_guessing() {
 #[test]
 fn table_embeddings_separate_topics() {
     let (corpus, family) = trained_family(Dataset::Cius, 20, 15, 5);
-    let items: Vec<Vec<f32>> =
-        corpus.tables.iter().map(|t| family.embed_table(&t.table)).collect();
+    let items: Vec<Vec<f32>> = corpus.tables.iter().map(|t| family.embed_table(&t.table)).collect();
     let labels: Vec<&str> = corpus.tables.iter().map(|t| t.topic.as_str()).collect();
     let queries: Vec<usize> = (0..items.len()).collect();
     let eval = evaluate_retrieval(&items, &labels, &queries, 20);
@@ -79,10 +80,7 @@ fn pretraining_improves_column_clustering() {
         &PretrainOptions { steps: 30, batch: 4, seed: 13, ..Default::default() },
     );
     let after = eval_of(&trained);
-    assert!(
-        after > before - 0.05,
-        "pre-training should not hurt numeric CC: {before} -> {after}"
-    );
+    assert!(after > before - 0.05, "pre-training should not hurt numeric CC: {before} -> {after}");
 }
 
 #[test]

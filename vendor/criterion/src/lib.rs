@@ -1,0 +1,203 @@
+//! Minimal, offline stand-in for `criterion`.
+//!
+//! Provides the subset of the criterion 0.5 API the workspace's benches use
+//! (`Criterion`, groups, `BenchmarkId`, `Bencher::iter`, the
+//! `criterion_group!`/`criterion_main!` macros). Measurement is deliberately
+//! simple: each benchmark runs `sample_size` timed samples after one warm-up
+//! and reports the median per-iteration time. No statistics, plots, or
+//! baselines — enough to track relative performance in CI logs.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { samples: Vec::new() };
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        report(name, &mut bencher.samples);
+        self
+    }
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        let mut bencher = Bencher { samples: Vec::new() };
+        for _ in 0..self.criterion.sample_size {
+            f(&mut bencher, input);
+        }
+        report(&label, &mut bencher.samples);
+        self
+    }
+
+    /// Runs one named benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name);
+        let mut bencher = Bencher { samples: Vec::new() };
+        for _ in 0..self.criterion.sample_size {
+            f(&mut bencher);
+        }
+        report(&label, &mut bencher.samples);
+        self
+    }
+
+    /// Finishes the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id carrying only the parameter value.
+    pub fn from_parameter(p: impl Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// An id with a function name and a parameter value.
+    pub fn new(name: impl Display, p: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+/// Per-benchmark measurement context.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one sample of the routine. The return value is captured so the
+    /// compiler cannot discard the computation.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // One untimed warm-up on the first sample.
+        if self.samples.is_empty() {
+            std::hint::black_box(routine());
+        }
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn report(label: &str, samples: &mut [Duration]) {
+    if samples.is_empty() {
+        println!("bench {label:<40} (no samples)");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    println!(
+        "bench {label:<40} median {:>12?}  (min {:?}, max {:?}, n={})",
+        median,
+        min,
+        max,
+        samples.len()
+    );
+}
+
+/// Mirrors `criterion_group!`, both the struct-like and positional forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Mirrors `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0usize;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+            });
+        });
+        // 3 samples + 1 warm-up.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn group_bench_with_input_passes_input() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("grp");
+        let mut seen = 0u64;
+        g.bench_with_input(BenchmarkId::from_parameter(7u64), &7u64, |b, &n| {
+            b.iter(|| {
+                seen = n;
+            });
+        });
+        g.finish();
+        assert_eq!(seen, 7);
+    }
+}

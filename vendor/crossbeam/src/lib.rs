@@ -1,0 +1,83 @@
+//! Minimal, offline stand-in for the parts of `crossbeam` this workspace
+//! uses: scoped threads. Implemented directly on [`std::thread::scope`],
+//! which provides the same borrow-from-the-stack guarantee; the wrapper only
+//! adapts the closure signature (`crossbeam` passes the scope back into each
+//! spawned closure) and the `Result` return (panics in workers propagate at
+//! join time, exactly like `crossbeam::scope` returning `Err`).
+
+use std::thread;
+
+/// A scope handle mirroring `crossbeam::thread::Scope`. Unlike crossbeam's
+/// (which is passed by reference), this handle is a `Copy` wrapper over the
+/// std scope, which sidesteps self-referential lifetime plumbing; call sites
+/// are written identically.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped worker. As in crossbeam, the closure receives the
+    /// scope so workers can spawn further workers.
+    pub fn spawn<F, T>(self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(self))
+    }
+}
+
+/// Creates a scope for spawning threads that may borrow from the caller's
+/// stack. All spawned threads are joined before `scope` returns.
+///
+/// Returns `Ok(r)` with the closure's result; a panicking worker propagates
+/// its panic at join (where crossbeam would have returned `Err`), so callers
+/// using `.expect(..)` observe a panic either way.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::scope;
+
+    #[test]
+    fn workers_borrow_and_mutate_disjoint_chunks() {
+        let mut data = vec![0u64; 64];
+        scope(|s| {
+            for (i, chunk) in data.chunks_mut(16).enumerate() {
+                s.spawn(move |_| {
+                    for (j, v) in chunk.iter_mut().enumerate() {
+                        *v = (i * 16 + j) as u64;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64));
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let r = scope(|_| 41 + 1).unwrap();
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| {
+                    flag.store(true, std::sync::atomic::Ordering::SeqCst);
+                });
+            });
+        })
+        .unwrap();
+        assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+    }
+}

@@ -1,0 +1,504 @@
+//! Minimal, offline stand-in for `proptest`.
+//!
+//! Supports the strategy combinators the workspace's property tests use:
+//! numeric range strategies, a small regex-subset string strategy
+//! (`.`/`[class]` atoms with `{m}`/`{m,n}` repetition), tuples, `Just`,
+//! `prop_map`, `prop_flat_map`, `prop_oneof!`, `proptest::collection::vec`,
+//! and the `proptest!` runner macro with `prop_assert*`.
+//!
+//! Differences from real proptest: cases are drawn from a deterministic
+//! per-test RNG (seeded from the test name, overridable with
+//! `PROPTEST_SEED`), and failing cases are **not shrunk** — the panic
+//! message carries whatever the assertion formats.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+
+/// Runner configuration.
+pub mod test_runner {
+    /// Mirrors `proptest::test_runner::ProptestConfig`; only `cases` is
+    /// honored.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases each test runs.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+}
+
+/// Everything tests normally import.
+pub mod prelude {
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy, Just,
+        Strategy,
+    };
+}
+
+/// Builds the deterministic RNG for one named test.
+pub fn seed_rng(test_name: &str) -> StdRng {
+    if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+        if let Ok(n) = seed.parse::<u64>() {
+            return StdRng::seed_from_u64(n);
+        }
+    }
+    // FNV-1a over the test name keeps runs reproducible per test.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// A generator of random values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transforms generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Chains into a dependent strategy.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy (needed by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// The result of [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Object-safe strategy view used by [`BoxedStrategy`].
+trait DynStrategy<V> {
+    fn generate_dyn(&self, rng: &mut StdRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut StdRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut StdRng) -> V {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Uniform choice among alternatives; built by `prop_oneof!`.
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union; panics on an empty option list.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut StdRng) -> V {
+        let i = rng.random_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+// ---------------------------------------------------------------------------
+// Regex-subset string strategy
+// ---------------------------------------------------------------------------
+
+/// One parsed pattern atom with its repetition bounds.
+struct Atom {
+    chars: AtomChars,
+    min: usize,
+    max: usize,
+}
+
+enum AtomChars {
+    /// `.` — any printable character (no newline), with a sprinkle of
+    /// non-ASCII to exercise UTF-8 handling.
+    Any,
+    /// `[...]` or a literal — an explicit choice set.
+    Set(Vec<char>),
+}
+
+const ANY_EXTRA: &[char] = &['é', 'ß', 'µ', '中', '🦀', '—', 'Ω'];
+
+fn parse_pattern(pat: &str) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let mut chars = pat.chars().peekable();
+    while let Some(c) = chars.next() {
+        let atom_chars = match c {
+            '.' => AtomChars::Any,
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match chars.next() {
+                        Some(']') => break,
+                        Some('-') if prev.is_some() && chars.peek() != Some(&']') => {
+                            let lo = prev.take().unwrap();
+                            let hi = chars.next().unwrap();
+                            for code in lo as u32..=hi as u32 {
+                                if let Some(ch) = char::from_u32(code) {
+                                    set.push(ch);
+                                }
+                            }
+                        }
+                        Some(ch) => {
+                            if let Some(p) = prev.take() {
+                                set.push(p);
+                            }
+                            prev = Some(ch);
+                        }
+                        None => panic!("unterminated character class in pattern `{pat}`"),
+                    }
+                }
+                if let Some(p) = prev.take() {
+                    set.push(p);
+                }
+                assert!(!set.is_empty(), "empty character class in pattern `{pat}`");
+                AtomChars::Set(set)
+            }
+            '\\' => AtomChars::Set(vec![chars.next().expect("dangling escape")]),
+            literal => AtomChars::Set(vec![literal]),
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut lo = String::new();
+            let mut hi = String::new();
+            let mut in_hi = false;
+            loop {
+                match chars.next() {
+                    Some('}') => break,
+                    Some(',') => in_hi = true,
+                    Some(d) => {
+                        if in_hi {
+                            hi.push(d)
+                        } else {
+                            lo.push(d)
+                        }
+                    }
+                    None => panic!("unterminated repetition in pattern `{pat}`"),
+                }
+            }
+            let lo: usize = lo.parse().expect("bad repetition lower bound");
+            let hi: usize =
+                if in_hi { hi.parse().expect("bad repetition upper bound") } else { lo };
+            (lo, hi)
+        } else {
+            (1, 1)
+        };
+        atoms.push(Atom { chars: atom_chars, min, max });
+    }
+    atoms
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let reps = rng.random_range(atom.min..=atom.max);
+            for _ in 0..reps {
+                match &atom.chars {
+                    AtomChars::Any => {
+                        // Mostly printable ASCII, occasionally wider Unicode.
+                        if rng.random_range(0..8usize) == 0 {
+                            let i = rng.random_range(0..ANY_EXTRA.len());
+                            out.push(ANY_EXTRA[i]);
+                        } else {
+                            out.push(char::from(rng.random_range(0x20u8..0x7f)));
+                        }
+                    }
+                    AtomChars::Set(set) => {
+                        let i = rng.random_range(0..set.len());
+                        out.push(set[i]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Mirrors `proptest!`: wraps `#[test]` functions whose arguments are drawn
+/// from strategies, running each body for `config.cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( $(#[$meta:meta])+ fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config = $cfg;
+                let mut rng = $crate::seed_rng(stringify!($name));
+                let strategy = ( $($strat,)+ );
+                for _case in 0..config.cases {
+                    let ( $($pat,)+ ) = $crate::Strategy::generate(&strategy, &mut rng);
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Mirrors `prop_assert!` (panics instead of returning a `TestCaseError`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            panic!("proptest assertion failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!($($fmt)+);
+        }
+    };
+}
+
+/// Mirrors `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            panic!("proptest assert_eq failed: {:?} != {:?}", a, b);
+        }
+    }};
+}
+
+/// Mirrors `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if a == b {
+            panic!("proptest assert_ne failed: both sides are {:?}", a);
+        }
+    }};
+}
+
+/// Mirrors `prop_oneof!` (unweighted alternatives, uniform choice).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![ $( $crate::Strategy::boxed($strat) ),+ ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::seed_rng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = seed_rng("ranges_stay_in_bounds");
+        for _ in 0..500 {
+            let v = Strategy::generate(&(3usize..9), &mut rng);
+            assert!((3..9).contains(&v));
+            let f = Strategy::generate(&(-2.0f32..2.0), &mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = seed_rng("string_patterns_match_shape");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+
+            let t = Strategy::generate(&"[a-z ]{0,20}", &mut rng);
+            assert!(t.chars().count() <= 20);
+            assert!(t.chars().all(|c| c.is_ascii_lowercase() || c == ' '), "{t:?}");
+
+            let any = Strategy::generate(&".{0,60}", &mut rng);
+            assert!(any.chars().count() <= 60);
+            assert!(!any.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_alternative() {
+        let strat = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut rng = seed_rng("oneof_hits_every_alternative");
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[Strategy::generate(&strat, &mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    proptest! {
+        #[test]
+        fn runner_draws_tuples(a in 0usize..10, (b, c) in (0u8..4, 0u8..4)) {
+            prop_assert!(a < 10);
+            prop_assert!(b < 4 && c < 4, "b={} c={}", b, c);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        #[test]
+        fn runner_honors_case_count(v in crate::collection::vec(0i32..5, 0..6)) {
+            prop_assert!(v.len() < 6);
+            for x in v {
+                prop_assert!((0..5).contains(&x));
+            }
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! Minimal, offline stand-in for `serde_json`: prints and parses the
+//! vendored `serde::Value` tree as standard JSON.
+//!
+//! Numbers round-trip exactly: integers print as integers, floats print with
+//! Rust's shortest-round-trip `Display` (so `f64 -> text -> f64` is the
+//! identity for finite values). Strings are emitted as raw UTF-8 with only
+//! the mandatory escapes; the parser additionally understands `\uXXXX`
+//! (including surrogate pairs) for interoperability.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::fmt;
+
+/// Errors from [`from_str`] / [`from_slice`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Serializes a value to a JSON string. Infallible for the types this
+/// workspace serializes, but keeps serde_json's `Result` signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Serializes a value to JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Parses a value from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Parses a value from JSON bytes.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+// ---------------------------------------------------------------------------
+// Printer
+// ---------------------------------------------------------------------------
+
+fn write_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::I64(i) => out.push_str(&i.to_string()),
+        Value::U64(u) => out.push_str(&u.to_string()),
+        Value::F64(f) => write_f64(*f, out),
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_value(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_f64(f: f64, out: &mut String) {
+    if !f.is_finite() {
+        // JSON has no NaN/Infinity; serialize as null like serde_json does.
+        out.push_str("null");
+        return;
+    }
+    let s = f.to_string();
+    out.push_str(&s);
+    // Keep floatness on the wire so `1.0` does not come back as the integer 1
+    // only to fail a struct field expecting a float. (Our Deserialize impls
+    // coerce, so this is cosmetic, but it keeps the format honest.)
+    if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+        out.push_str(".0");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+fn parse(s: &str) -> Result<Value, Error> {
+    let mut p = Parser { chars: s.chars().peekable() };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.chars.peek().is_some() {
+        return Err(Error::new("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.chars.next();
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), Error> {
+        match self.chars.next() {
+            Some(got) if got == c => Ok(()),
+            Some(got) => Err(Error::new(format!("expected `{c}`, found `{got}`"))),
+            None => Err(Error::new(format!("expected `{c}`, found end of input"))),
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.chars.peek() {
+            Some('n') => self.keyword("null", Value::Null),
+            Some('t') => self.keyword("true", Value::Bool(true)),
+            Some('f') => self.keyword("false", Value::Bool(false)),
+            Some('"') => self.string().map(Value::Str),
+            Some('[') => self.array(),
+            Some('{') => self.object(),
+            Some(c) if *c == '-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(Error::new(format!("unexpected character `{c}`"))),
+            None => Err(Error::new("unexpected end of input")),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        for expected in word.chars() {
+            self.expect(expected)?;
+        }
+        Ok(value)
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.chars.peek() == Some(&']') {
+            self.chars.next();
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.chars.next() {
+                Some(',') => {}
+                Some(']') => return Ok(Value::Array(items)),
+                other => return Err(Error::new(format!("expected `,` or `]`, got {other:?}"))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect('{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.chars.peek() == Some(&'}') {
+            self.chars.next();
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.chars.next() {
+                Some(',') => {}
+                Some('}') => return Ok(Value::Object(entries)),
+                other => return Err(Error::new(format!("expected `,` or `}}`, got {other:?}"))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.chars.next() {
+                Some('"') => return Ok(out),
+                Some('\\') => match self.chars.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('b') => out.push('\u{08}'),
+                    Some('f') => out.push('\u{0c}'),
+                    Some('u') => {
+                        let hi = self.hex4()?;
+                        let code = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair.
+                            self.expect('\\')?;
+                            self.expect('u')?;
+                            let lo = self.hex4()?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(Error::new("invalid low surrogate"));
+                            }
+                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                        } else {
+                            hi
+                        };
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| Error::new("invalid unicode escape"))?,
+                        );
+                    }
+                    other => return Err(Error::new(format!("bad escape {other:?}"))),
+                },
+                Some(c) => out.push(c),
+                None => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let c = self.chars.next().ok_or_else(|| Error::new("truncated \\u escape"))?;
+            v = v * 16 + c.to_digit(16).ok_or_else(|| Error::new("bad hex digit"))?;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let mut text = String::new();
+        if self.chars.peek() == Some(&'-') {
+            text.push(self.chars.next().unwrap());
+        }
+        let mut is_float = false;
+        while let Some(&c) = self.chars.peek() {
+            match c {
+                '0'..='9' => text.push(self.chars.next().unwrap()),
+                '.' | 'e' | 'E' | '+' | '-' => {
+                    is_float = true;
+                    text.push(self.chars.next().unwrap());
+                }
+                _ => break,
+            }
+        }
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::I64(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::U64(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert!(from_str::<bool>("true").unwrap());
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(from_str::<u32>("42").unwrap(), 42);
+        assert_eq!(from_str::<i64>("-7").unwrap(), -7);
+    }
+
+    #[test]
+    fn floats_roundtrip_exactly() {
+        for f in [0.1f64, -1e-12, 3.5, 1.0, 12345.6789, f64::MIN_POSITIVE] {
+            let s = to_string(&f).unwrap();
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(back, f, "{s}");
+        }
+        let f32s = [0.1f32, 7777.2, -0.05];
+        for f in f32s {
+            let s = to_string(&f).unwrap();
+            let back: f32 = from_str(&s).unwrap();
+            assert_eq!(back, f, "{s}");
+        }
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let original = "line1\nline2\t\"quoted\" \\ back — émoji 🦀".to_string();
+        let s = to_string(&original).unwrap();
+        let back: String = from_str(&s).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let s: String = from_str(r#""A🦀""#).unwrap();
+        assert_eq!(s, "A🦀");
+    }
+
+    #[test]
+    fn nested_containers_roundtrip() {
+        let v: Vec<Option<Vec<u8>>> = vec![Some(vec![1, 2]), None, Some(vec![])];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[[1,2],null,[]]");
+        let back: Vec<Option<Vec<u8>>> = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(from_str::<bool>("tru").is_err());
+        assert!(from_str::<Vec<u8>>("[1,").is_err());
+        assert!(from_str::<String>("\"unterminated").is_err());
+        assert!(from_str::<bool>("true false").is_err());
+    }
+}
