@@ -1,0 +1,175 @@
+//! Retrieval-layer micro-benchmark: `tabbin_index::VectorStore` batched
+//! top-k against the pre-store baseline (a scalar cosine scan per query).
+//!
+//! Besides the criterion samples, this writes `BENCH_index.json` at the
+//! workspace root — QPS for both paths, the speedup, and recall@10 of the
+//! LSH-blocked path against exact scan — so successive PRs accumulate a
+//! perf trajectory. The printed figures are the written figures: both come
+//! from the same formatted strings, so the log and the JSON cannot drift.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+use tabbin_eval::cosine;
+use tabbin_index::{LshParams, StoreConfig, VectorStore};
+
+/// Corpus size / dimension of the headline measurement.
+const N_VECTORS: usize = 10_000;
+const DIM: usize = 128;
+const K: usize = 10;
+/// Queries per timed batch.
+const N_QUERIES: usize = 256;
+
+/// Clustered corpus: 100 topic directions with jittered members — the shape
+/// table/column embeddings actually have (tables cluster by topic), and the
+/// regime LSH banding is tuned for.
+fn clustered_corpus(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_clusters = 100;
+    let centers: Vec<Vec<f32>> = (0..n_clusters)
+        .map(|_| (0..dim).map(|_| rng.random_range(-1.0f32..1.0)).collect())
+        .collect();
+    (0..n)
+        .map(|i| {
+            let c = &centers[i % n_clusters];
+            c.iter().map(|x| x + rng.random_range(-0.15f32..0.15)).collect()
+        })
+        .collect()
+}
+
+/// The pre-store baseline: one full scalar-cosine scan plus top-k selection
+/// per query, exactly what `rank_by_cosine` callers paid before the
+/// retrieval layer existed.
+fn exact_scan_topk(corpus: &[Vec<f32>], q: &[f32], k: usize) -> Vec<(usize, f64)> {
+    let mut scored: Vec<(usize, f64)> =
+        corpus.iter().enumerate().map(|(i, v)| (i, cosine(q, v))).collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    scored.truncate(k);
+    scored
+}
+
+fn bench_index(c: &mut Criterion) {
+    let corpus = clustered_corpus(N_VECTORS, DIM, 17);
+    let queries: Vec<Vec<f32>> = corpus.iter().take(N_QUERIES).cloned().collect();
+
+    let cfg = StoreConfig::with_lsh(LshParams::default_blocking());
+    let mut store = VectorStore::new(DIM, cfg);
+    for v in &corpus {
+        store.insert(v);
+    }
+    assert_eq!(store.len(), N_VECTORS);
+    assert!(store.stats().sealed_segments >= 2, "10k rows should span several sealed segments");
+
+    // Recall@10 of the LSH-blocked store against the exact baseline, over
+    // the timed query set.
+    let blocked = store.query_batch(&queries, K);
+    let mut hit = 0usize;
+    let mut want = 0usize;
+    for (q, hits) in queries.iter().zip(&blocked) {
+        let exact = exact_scan_topk(&corpus, q, K);
+        want += exact.len();
+        hit += exact.iter().filter(|(i, _)| hits.iter().any(|h| h.id == *i as u64)).count();
+    }
+    let recall = hit as f64 / want as f64;
+
+    // QPS: median of 5 timed batches each.
+    let time_qps = |f: &dyn Fn() -> usize| -> f64 {
+        let mut qps: Vec<f64> = (0..5)
+            .map(|_| {
+                let start = Instant::now();
+                let n = black_box(f());
+                n as f64 / start.elapsed().as_secs_f64()
+            })
+            .collect();
+        qps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        qps[qps.len() / 2]
+    };
+    let exact_qps = time_qps(&|| {
+        // The baseline is slow enough that a fraction of the batch gives a
+        // stable per-query figure.
+        let sample = &queries[..32];
+        for q in sample {
+            black_box(exact_scan_topk(&corpus, q, K));
+        }
+        sample.len()
+    });
+    let batched_qps = time_qps(&|| {
+        black_box(store.query_batch(&queries, K));
+        queries.len()
+    });
+    let speedup = batched_qps / exact_qps;
+
+    // Format once, print and write the same strings.
+    let exact_s = format!("{exact_qps:.1}");
+    let batched_s = format!("{batched_qps:.1}");
+    let speedup_s = format!("{speedup:.2}");
+    let recall_s = format!("{recall:.4}");
+    println!(
+        "index_{N_VECTORS}x{DIM}: exact scan {exact_s} qps, store query_batch {batched_s} qps \
+         ({speedup_s}x), recall@{K} {recall_s}"
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"vector_store_query\",\n  \"n_vectors\": {N_VECTORS},\n  \
+         \"dim\": {DIM},\n  \"k\": {K},\n  \"n_queries\": {N_QUERIES},\n  \
+         \"exact_scan_qps\": {exact_s},\n  \"batched_lsh_qps\": {batched_s},\n  \
+         \"speedup\": {speedup_s},\n  \"recall_at_10\": {recall_s}\n}}\n"
+    );
+    // Prefer the workspace root; fall back to the working directory (and a
+    // warning) so a relocated bench binary still reports instead of dying.
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_index.json");
+    if let Err(first) = std::fs::write(&out, &json) {
+        if let Err(second) = std::fs::write("BENCH_index.json", &json) {
+            eprintln!("warning: could not write BENCH_index.json ({first}; fallback: {second})");
+        }
+    }
+
+    let mut g = c.benchmark_group("vector_store_10k_query");
+    g.bench_function("exact_scan_baseline", |b| {
+        b.iter(|| black_box(exact_scan_topk(&corpus, &queries[0], K)));
+    });
+    g.bench_function("store_query_lsh", |b| {
+        b.iter(|| black_box(store.query(&queries[0], K)));
+    });
+    g.bench_function("store_query_batch_lsh", |b| {
+        b.iter(|| black_box(store.query_batch(&queries[..32], K)));
+    });
+    g.finish();
+
+    // Lifecycle costs: upsert throughput and snapshot round-trip.
+    let mut g = c.benchmark_group("vector_store_lifecycle");
+    g.bench_function("upsert", |b| {
+        let mut s = VectorStore::new(DIM, StoreConfig::with_lsh(LshParams::default_blocking()));
+        let mut next = 0u64;
+        b.iter(|| {
+            s.upsert(next % 4096, &corpus[(next as usize) % corpus.len()]);
+            next += 1;
+            // Overwrites tombstone the old rows; compact periodically so the
+            // store stays near steady state instead of accreting dead
+            // segments across criterion's many iterations. The compaction
+            // cost amortizes to a small, realistic share of each upsert.
+            if s.stats().tombstones > 8192 {
+                s.compact();
+            }
+        });
+    });
+    g.bench_function("compact_4k", |b| {
+        let mut s = VectorStore::new(DIM, StoreConfig::with_lsh(LshParams::default_blocking()));
+        for v in corpus.iter().take(4096) {
+            s.insert(v);
+        }
+        b.iter(|| {
+            s.compact();
+            black_box(s.len())
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_index
+}
+criterion_main!(benches);

@@ -121,15 +121,21 @@ fn bench_embed_batch(c: &mut Criterion) {
     let single_tps = time_it(&|| tables.iter().map(|t| family.embed_table(t)).collect());
     let batched_tps = time_it(&|| BatchEncoder::new(&family).embed_tables(&tables));
     let speedup = batched_tps / single_tps;
+
+    // Format once and use the same strings for the log line and the JSON,
+    // so the printed figures and BENCH_embed.json cannot drift apart.
+    let single_s = format!("{single_tps:.2}");
+    let batched_s = format!("{batched_tps:.2}");
+    let speedup_s = format!("{speedup:.3}");
     println!(
-        "embed_batch_{BATCH}: single {single_tps:.1} tables/s, batched {batched_tps:.1} \
-         tables/s ({speedup:.2}x)"
+        "embed_batch_{BATCH}: single {single_s} tables/s, batched {batched_s} \
+         tables/s ({speedup_s}x)"
     );
 
     let json = format!(
         "{{\n  \"bench\": \"embed_table\",\n  \"config\": \"ModelConfig::tiny\",\n  \
-         \"batch_size\": {BATCH},\n  \"single_tables_per_sec\": {single_tps:.2},\n  \
-         \"batched_tables_per_sec\": {batched_tps:.2},\n  \"speedup\": {speedup:.3}\n}}\n"
+         \"batch_size\": {BATCH},\n  \"single_tables_per_sec\": {single_s},\n  \
+         \"batched_tables_per_sec\": {batched_s},\n  \"speedup\": {speedup_s}\n}}\n"
     );
     // Prefer the workspace root; fall back to the working directory (and a
     // warning) so a relocated bench binary still reports instead of dying.

@@ -26,48 +26,18 @@ use crate::encoding::{encode_column, encode_segment, encode_text, EncodedSequenc
 use crate::infer::{embed_with, InferScratch};
 use crate::model::TabBiNModel;
 use crate::variants::TabBiNFamily;
+use tabbin_index::VectorStore;
 use tabbin_table::Table;
 
 /// Batch size at which embedding fans out across worker threads. Mirrors the
 /// spirit of the tensor crate's parallel-matmul FLOP threshold: below this,
-/// thread spawn overhead beats the win.
-pub const PARALLEL_BATCH_THRESHOLD: usize = 8;
+/// thread spawn overhead beats the win. The dispatch itself
+/// ([`par_chunk_map`]) is the workspace-shared helper in
+/// `tabbin_index::parallel`, which the vector store's batched queries use
+/// too.
+pub const PARALLEL_BATCH_THRESHOLD: usize = tabbin_index::parallel::PARALLEL_TASK_THRESHOLD;
 
-/// Upper bound on embedding worker threads.
-const MAX_WORKERS: usize = 8;
-
-fn worker_count(batch: usize) -> usize {
-    if batch < PARALLEL_BATCH_THRESHOLD {
-        return 1;
-    }
-    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(2).min(MAX_WORKERS).min(batch)
-}
-
-/// Maps `f` over chunks of `items` across scoped worker threads (serially
-/// for small batches), preserving input order in the flattened output.
-fn par_chunk_map<T, R, F>(items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&[T]) -> Vec<R> + Sync,
-{
-    let workers = worker_count(items.len());
-    if workers <= 1 {
-        return f(items);
-    }
-    let chunk = items.len().div_ceil(workers);
-    let f = &f;
-    crossbeam::scope(|scope| {
-        let handles: Vec<_> =
-            items.chunks(chunk).map(|part| scope.spawn(move |_| f(part))).collect();
-        let mut out = Vec::with_capacity(items.len());
-        for h in handles {
-            out.extend(h.join().expect("batch worker panicked"));
-        }
-        out
-    })
-    .expect("batch scope failed")
-}
+use tabbin_index::parallel::par_chunk_map;
 
 /// A reusable inference arena for repeated embedding calls.
 ///
@@ -219,6 +189,21 @@ impl<'a> BatchEncoder<'a> {
             .collect()
     }
 
+    /// Embeds `tables` through the batched pipeline and streams the
+    /// composite embeddings straight into `store` (one `insert` per table,
+    /// in input order). Returns the assigned ids, so callers can map store
+    /// hits back to tables. The store must be sized for the composite
+    /// dimension (`4 * hidden`).
+    pub fn embed_into(&self, store: &mut VectorStore, tables: &[Table]) -> Vec<u64> {
+        self.embed_tables(tables).iter().map(|v| store.insert(v)).collect()
+    }
+
+    /// [`BatchEncoder::embed_into`] for `colcomp` column embeddings of one
+    /// table (store dimension `2 * hidden`). Returns one id per column.
+    pub fn embed_columns_into(&self, store: &mut VectorStore, table: &Table) -> Vec<u64> {
+        self.embed_columns(table).iter().map(|v| store.insert(v)).collect()
+    }
+
     /// Entity embeddings for a batch of surface forms (column model, as in
     /// §4.3), batched. Elementwise equal to [`TabBiNFamily::embed_entity`]
     /// per text.
@@ -280,6 +265,25 @@ mod tests {
         let batch = BatchEncoder::new(&fam).embed_entities(&texts);
         for (t, b) in texts.iter().zip(&batch) {
             assert_close(b, &fam.embed_entity(t), t);
+        }
+    }
+
+    #[test]
+    fn embed_into_streams_batched_embeddings() {
+        let (tables, fam) = family();
+        let dim = 4 * fam.cfg.hidden;
+        let mut store = tabbin_index::VectorStore::exact(dim);
+        let ids = BatchEncoder::new(&fam).embed_into(&mut store, &tables);
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(store.len(), tables.len());
+        // The store holds the same composites the batch path produces,
+        // modulo the normalization it applies: each table's own embedding
+        // must retrieve it first with score ~1.
+        let batched = BatchEncoder::new(&fam).embed_tables(&tables);
+        for (i, emb) in batched.iter().enumerate() {
+            let hits = store.query(emb, 1);
+            assert_eq!(hits[0].id, ids[i]);
+            assert!((hits[0].score - 1.0).abs() < 1e-5);
         }
     }
 

@@ -189,6 +189,17 @@ impl TabBiNFamily {
         crate::batch::BatchEncoder::new(self).embed_entities(texts)
     }
 
+    /// Embeds `tables` and streams the composites into a
+    /// [`tabbin_index::VectorStore`] (dimension `4 * hidden`); returns the
+    /// assigned ids in table order.
+    pub fn embed_tables_into(
+        &self,
+        store: &mut tabbin_index::VectorStore,
+        tables: &[Table],
+    ) -> Vec<u64> {
+        crate::batch::BatchEncoder::new(self).embed_into(store, tables)
+    }
+
     /// Entity embedding via the column model (§4.3 uses the TabBiN-column
     /// model for entity clustering).
     pub fn embed_entity(&self, text: &str) -> Vec<f32> {

@@ -5,9 +5,18 @@
 //! MAP@20 / MRR@20 are averaged over the sampled queries (§4.1–§4.3).
 //! Topic-centroid variants (table clustering, §4.2) rank against the mean
 //! vector of a topic's members instead of an individual item.
+//!
+//! Ranking is served by a [`tabbin_index::VectorStore`]: the corpus is
+//! loaded once (ids are corpus indices) and every query is a SIMD top-k
+//! over normalized dots instead of an O(n) cosine pass plus a full sort per
+//! query. Cosine and normalized-dot induce the same ranking, and the
+//! store's tie-break (ascending id) matches the old `rank_by_cosine` index
+//! tie-break, so the metrics are unchanged. For corpora big enough that
+//! even exact top-k is too slow, [`evaluate_retrieval_blocked`] runs the
+//! same protocol over the paper's §4.1 LSH blocking.
 
 use crate::metrics::{map_at_k, mrr_at_k};
-use crate::similarity::rank_by_cosine;
+use tabbin_index::{ExactScan, Hit, LshCandidates, LshParams, StoreConfig, VectorStore};
 
 /// The joint MAP/MRR result of one evaluation.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -27,6 +36,45 @@ impl RetrievalEval {
     }
 }
 
+/// Loads a corpus into an exact-scan store with ids = corpus indices.
+/// `None` when the corpus is empty or zero-dimensional.
+fn corpus_store(items: &[Vec<f32>], lsh: Option<(LshParams, u64)>) -> Option<VectorStore> {
+    let dim = items.first()?.len();
+    if dim == 0 {
+        return None;
+    }
+    let cfg = match lsh {
+        Some((params, seed)) => StoreConfig { lsh: Some(params), seed, ..StoreConfig::default() },
+        None => StoreConfig::default(),
+    };
+    let mut store = VectorStore::new(dim, cfg);
+    for v in items {
+        store.insert(v);
+    }
+    Some(store)
+}
+
+/// Turns one query's hits into the `(relevance list, total relevant)` pair
+/// the MAP/MRR metrics consume, excluding `exclude` from the hits.
+fn relevance_of<L: PartialEq>(
+    hits: &[Hit],
+    labels: &[L],
+    query_label: &L,
+    exclude: Option<u64>,
+) -> (Vec<bool>, usize) {
+    let rels: Vec<bool> = hits
+        .iter()
+        .filter(|h| Some(h.id) != exclude)
+        .map(|h| labels[h.id as usize] == *query_label)
+        .collect();
+    let total = labels
+        .iter()
+        .enumerate()
+        .filter(|(i, l)| Some(*i as u64) != exclude && **l == *query_label)
+        .count();
+    (rels, total)
+}
+
 /// Evaluates item-as-query retrieval: every index in `query_indices` ranks
 /// the rest of `items`; `labels[i] == labels[j]` defines relevance.
 pub fn evaluate_retrieval<L: PartialEq>(
@@ -36,12 +84,43 @@ pub fn evaluate_retrieval<L: PartialEq>(
     k: usize,
 ) -> RetrievalEval {
     assert_eq!(items.len(), labels.len(), "item/label length mismatch");
+    let Some(store) = corpus_store(items, None) else {
+        return RetrievalEval { map: 0.0, mrr: 0.0, queries: query_indices.len() };
+    };
     let mut queries = Vec::with_capacity(query_indices.len());
     for &q in query_indices {
-        let ranked = rank_by_cosine(&items[q], items, Some(q));
-        let rels: Vec<bool> = ranked.iter().map(|&i| labels[i] == labels[q]).collect();
-        let total = labels.iter().enumerate().filter(|(i, l)| *i != q && **l == labels[q]).count();
-        queries.push((rels, total));
+        // k + 1 so the query's own (score ~1) hit can be dropped.
+        let hits = store.search(&items[q], k + 1, &ExactScan);
+        queries.push(relevance_of(&hits, labels, &labels[q], Some(q as u64)));
+    }
+    RetrievalEval {
+        map: map_at_k(&queries, k),
+        mrr: mrr_at_k(&queries, k),
+        queries: query_indices.len(),
+    }
+}
+
+/// [`evaluate_retrieval`] over LSH blocking instead of exact scan — the
+/// paper's §4.1 recipe for corpora where even linear scans per query are
+/// too slow (227k CancerKG columns). Metrics are computed over the blocked
+/// candidates only, so scores are a (usually tight) lower bound on the
+/// exact protocol; `seed` fixes the hyperplanes.
+pub fn evaluate_retrieval_blocked<L: PartialEq>(
+    items: &[Vec<f32>],
+    labels: &[L],
+    query_indices: &[usize],
+    k: usize,
+    params: LshParams,
+    seed: u64,
+) -> RetrievalEval {
+    assert_eq!(items.len(), labels.len(), "item/label length mismatch");
+    let Some(store) = corpus_store(items, Some((params, seed))) else {
+        return RetrievalEval { map: 0.0, mrr: 0.0, queries: query_indices.len() };
+    };
+    let mut queries = Vec::with_capacity(query_indices.len());
+    for &q in query_indices {
+        let hits = store.search(&items[q], k + 1, &LshCandidates);
+        queries.push(relevance_of(&hits, labels, &labels[q], Some(q as u64)));
     }
     RetrievalEval {
         map: map_at_k(&queries, k),
@@ -60,6 +139,7 @@ pub fn evaluate_centroid_retrieval<L: PartialEq + Clone>(
     k: usize,
 ) -> RetrievalEval {
     assert_eq!(items.len(), labels.len(), "item/label length mismatch");
+    let store = corpus_store(items, None);
     let mut queries = Vec::new();
     for topic in centroid_labels {
         let members: Vec<&Vec<f32>> =
@@ -77,10 +157,12 @@ pub fn evaluate_centroid_retrieval<L: PartialEq + Clone>(
         for c in &mut centroid {
             *c /= members.len() as f32;
         }
-        let ranked = rank_by_cosine(&centroid, items, None);
-        let rels: Vec<bool> = ranked.iter().map(|&i| labels[i] == *topic).collect();
-        let total = labels.iter().filter(|l| **l == *topic).count();
-        queries.push((rels, total));
+        let Some(store) = store.as_ref() else {
+            queries.push((Vec::new(), members.len()));
+            continue;
+        };
+        let hits = store.search(&centroid, k, &ExactScan);
+        queries.push(relevance_of(&hits, labels, topic, None));
     }
     RetrievalEval { map: map_at_k(&queries, k), mrr: mrr_at_k(&queries, k), queries: queries.len() }
 }
@@ -129,6 +211,30 @@ mod tests {
     }
 
     #[test]
+    fn blocked_protocol_tracks_exact_on_tight_clusters() {
+        let (items, labels) = toy();
+        let queries: Vec<usize> = (0..items.len()).collect();
+        let exact = evaluate_retrieval(&items, &labels, &queries, 20);
+        let blocked = evaluate_retrieval_blocked(
+            &items,
+            &labels,
+            &queries,
+            20,
+            LshParams { bands: 8, rows_per_band: 2 },
+            7,
+        );
+        assert_eq!(blocked.queries, exact.queries);
+        // Tight clusters collide in nearly every band, so the blocked
+        // metrics should land within a small margin of the exact ones.
+        assert!(
+            (exact.map - blocked.map).abs() < 0.1,
+            "blocked map {} strayed from exact {}",
+            blocked.map,
+            exact.map
+        );
+    }
+
+    #[test]
     fn centroid_retrieval_matches_item_retrieval_on_tight_clusters() {
         let (items, labels) = toy();
         let eval = evaluate_centroid_retrieval(&items, &labels, &[0, 1, 2], 20);
@@ -141,6 +247,15 @@ mod tests {
         let (items, labels) = toy();
         let eval = evaluate_centroid_retrieval(&items, &labels, &[0, 99], 20);
         assert_eq!(eval.queries, 1);
+    }
+
+    #[test]
+    fn empty_corpus_evaluates_to_zero() {
+        let items: Vec<Vec<f32>> = Vec::new();
+        let labels: Vec<usize> = Vec::new();
+        let eval = evaluate_retrieval(&items, &labels, &[], 20);
+        assert_eq!(eval.map, 0.0);
+        assert_eq!(eval.queries, 0);
     }
 
     #[test]

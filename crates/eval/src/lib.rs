@@ -4,17 +4,22 @@
 //!   MRR@20), precision/recall/F1.
 //! * [`similarity`] — cosine similarity and ranking.
 //! * [`lsh`] — random-hyperplane LSH with banded blocking, used to avoid the
-//!   quadratic all-pairs comparison in column clustering (§4.1).
+//!   quadratic all-pairs comparison in column clustering (§4.1). The
+//!   implementation moved to `tabbin-index` (where it also powers the
+//!   vector store's candidate generation); this re-export keeps the old
+//!   `tabbin_eval::lsh::LshIndex` paths working.
 //! * [`clustering`] — the paper's retrieval-style clustering protocol: rank
-//!   the corpus by cosine similarity against a query (or a topic centroid)
-//!   and take the top-20 as the cluster.
+//!   the corpus against a query (or a topic centroid) and take the top-20 as
+//!   the cluster. Ranking runs through `tabbin_index::VectorStore` top-k
+//!   instead of a full cosine pass per query.
 
 pub mod clustering;
-pub mod lsh;
 pub mod metrics;
 pub mod similarity;
 
-pub use clustering::{evaluate_retrieval, RetrievalEval};
+pub use tabbin_index::lsh;
+
+pub use clustering::{evaluate_retrieval, evaluate_retrieval_blocked, RetrievalEval};
 pub use lsh::LshIndex;
 pub use metrics::{ap_at_k, f1_score, map_at_k, mrr_at_k, PrecisionRecall};
-pub use similarity::{center, cosine, normalize, rank_by_cosine};
+pub use similarity::{center, cosine, normalize, rank_by_cosine, try_cosine};

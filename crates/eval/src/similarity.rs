@@ -1,8 +1,15 @@
 //! Cosine similarity and ranking.
 
 /// Cosine similarity between two vectors; 0.0 when either has zero norm.
+///
+/// This is the hot path of every ranking loop, so the length check is a
+/// `debug_assert!` only: callers are expected to hold equal-dimension
+/// embeddings (release builds silently truncate to the shorter side). For
+/// vectors of untrusted provenance use [`try_cosine`]; bulk retrieval
+/// should go through `tabbin_index::VectorStore`, whose normalized-dot path
+/// never recomputes norms at all.
 pub fn cosine(a: &[f32], b: &[f32]) -> f64 {
-    assert_eq!(a.len(), b.len(), "cosine length mismatch");
+    debug_assert_eq!(a.len(), b.len(), "cosine length mismatch");
     let mut dot = 0.0f64;
     let mut na = 0.0f64;
     let mut nb = 0.0f64;
@@ -18,6 +25,16 @@ pub fn cosine(a: &[f32], b: &[f32]) -> f64 {
     }
 }
 
+/// Checked [`cosine`] for vectors whose dimensions are not trusted (user
+/// input, deserialized embeddings, mixed model outputs): `None` on a length
+/// mismatch instead of a panic or a silent truncation.
+pub fn try_cosine(a: &[f32], b: &[f32]) -> Option<f64> {
+    if a.len() != b.len() {
+        return None;
+    }
+    Some(cosine(a, b))
+}
+
 /// Subtracts the mean vector from every item in place.
 ///
 /// Transformer mean-pooled embeddings are strongly anisotropic (all vectors
@@ -30,7 +47,9 @@ pub fn center(items: &mut [Vec<f32>]) {
     let d = first.len();
     let mut mean = vec![0.0f32; d];
     for v in items.iter() {
-        assert_eq!(v.len(), d, "center over ragged vectors");
+        // Hot path over bulk corpora: ragged input is a caller bug, checked
+        // in debug builds only (release zips against the shorter side).
+        debug_assert_eq!(v.len(), d, "center over ragged vectors");
         for (m, x) in mean.iter_mut().zip(v) {
             *m += x;
         }
@@ -86,6 +105,14 @@ mod tests {
     #[test]
     fn zero_vector_is_zero_similarity() {
         assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn try_cosine_rejects_mismatched_dims() {
+        assert_eq!(try_cosine(&[1.0, 0.0], &[1.0, 0.0, 0.0]), None);
+        assert_eq!(try_cosine(&[], &[1.0]), None);
+        let same = try_cosine(&[1.0, 0.0], &[2.0, 0.0]).expect("equal dims");
+        assert!((same - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,30 @@
+//! Retrieval layer for the TabBiN workspace: a vector store over table,
+//! column, and entity embeddings.
+//!
+//! The paper's evaluation only ever needed one-shot LSH blocking
+//! (`tabbin_eval`'s original `LshIndex`, which now lives here). Serving
+//! retrieval over a *growing* corpus needs more, and this crate provides it:
+//!
+//! * [`VectorStore`] — L2-normalized embeddings in flat, segmented arrays
+//!   with SIMD dot-product top-k ([`simd`]), incremental `upsert`/`delete`
+//!   with tombstones, a sealed-segment + compaction lifecycle, and
+//!   JSON snapshot persistence (`save`/`load`).
+//! * [`CandidateSource`] — pluggable candidate generation per segment:
+//!   [`ExactScan`] or [`LshCandidates`] (banded SimHash blocking maintained
+//!   incrementally as vectors arrive).
+//! * [`VectorStore::query_batch`] — batched queries fanning (query ×
+//!   segment) tasks across crossbeam scoped workers, mirroring the batched
+//!   embedding pipeline in `tabbin_core::batch`.
+//! * [`lsh`] — the SimHash primitives and the original one-shot
+//!   [`LshIndex`], still re-exported by `tabbin_eval` for its old users.
+
+pub mod candidates;
+pub mod lsh;
+pub mod parallel;
+pub mod simd;
+pub mod store;
+
+pub use candidates::{CandidateSource, Candidates, ExactScan, LshCandidates, QueryContext};
+pub use lsh::LshIndex;
+pub use simd::Hit;
+pub use store::{LshParams, StoreConfig, StoreSnapshot, StoreStats, VectorStore};

@@ -5,10 +5,49 @@
 //! the classic SimHash construction: each item receives a bit signature from
 //! random hyperplanes; signatures are cut into bands, and items sharing any
 //! band bucket become blocking candidates of each other.
+//!
+//! Two consumers share the primitives in this module:
+//!
+//! * [`LshIndex`] — the one-shot, build-once blocking index (moved here from
+//!   `tabbin-eval`, which still re-exports it);
+//! * [`crate::VectorStore`] — hashes vectors **incrementally** as they are
+//!   upserted, maintaining per-segment band buckets, and uses
+//!   [`crate::LshCandidates`] as a pluggable candidate source at query time.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+
+/// Draws `n_planes` random hyperplanes of dimension `dim`, each component
+/// uniform in `[-1, 1)`. Deterministic per seed.
+pub fn random_planes(n_planes: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_planes).map(|_| (0..dim).map(|_| rng.random_range(-1.0f32..1.0)).collect()).collect()
+}
+
+/// The bit signature of `v` against `planes`: one bit per hyperplane,
+/// set when the vector lies on the non-negative side.
+pub fn signature_of(planes: &[Vec<f32>], v: &[f32]) -> Vec<bool> {
+    planes
+        .iter()
+        .map(|p| {
+            let dot: f32 = p.iter().zip(v).map(|(a, b)| a * b).sum();
+            dot >= 0.0
+        })
+        .collect()
+}
+
+/// Packs `rows` consecutive signature bits of one band into a bucket key.
+pub fn band_key(sig: &[bool], band: usize, rows: usize) -> u64 {
+    let mut key = 0u64;
+    for r in 0..rows {
+        key = (key << 1) | sig[band * rows + r] as u64;
+    }
+    // Mix the band id in so identical bit patterns in different bands do not
+    // collide into one bucket map (they live in separate maps anyway; this
+    // guards against accidental cross-band reuse).
+    key ^ ((band as u64) << 32)
+}
 
 /// An LSH blocking index over fixed-dimension embeddings.
 #[derive(Clone, Debug)]
@@ -48,13 +87,9 @@ impl LshIndex {
             return Self::empty(bands, rows_per_band);
         };
         let dim = first.as_ref().len();
-        let n_planes = bands * rows_per_band;
-        let mut rng = StdRng::seed_from_u64(seed);
-        let planes: Vec<Vec<f32>> = (0..n_planes)
-            .map(|_| (0..dim).map(|_| rng.random_range(-1.0f32..1.0)).collect())
-            .collect();
-        let mut signatures = vec![Self::signature_of(&planes, first.as_ref())];
-        signatures.extend(iter.map(|v| Self::signature_of(&planes, v.as_ref())));
+        let planes = random_planes(bands * rows_per_band, dim, seed);
+        let mut signatures = vec![signature_of(&planes, first.as_ref())];
+        signatures.extend(iter.map(|v| signature_of(&planes, v.as_ref())));
         let mut buckets = vec![HashMap::new(); bands];
         for (idx, sig) in signatures.iter().enumerate() {
             for (b, bucket) in buckets.iter_mut().enumerate() {
@@ -74,16 +109,6 @@ impl LshIndex {
             buckets: vec![HashMap::new(); bands],
             signatures: Vec::new(),
         }
-    }
-
-    fn signature_of(planes: &[Vec<f32>], v: &[f32]) -> Vec<bool> {
-        planes
-            .iter()
-            .map(|p| {
-                let dot: f32 = p.iter().zip(v).map(|(a, b)| a * b).sum();
-                dot >= 0.0
-            })
-            .collect()
     }
 
     /// Number of indexed items.
@@ -118,7 +143,7 @@ impl LshIndex {
         if self.planes.is_empty() {
             return Vec::new();
         }
-        let sig = Self::signature_of(&self.planes, v);
+        let sig = signature_of(&self.planes, v);
         let mut out = Vec::new();
         for (b, bucket) in self.buckets.iter().enumerate() {
             let key = band_key(&sig, b, self.rows_per_band);
@@ -145,17 +170,6 @@ impl LshIndex {
     pub fn signature_bits(&self) -> usize {
         self.bands * self.rows_per_band
     }
-}
-
-fn band_key(sig: &[bool], band: usize, rows: usize) -> u64 {
-    let mut key = 0u64;
-    for r in 0..rows {
-        key = (key << 1) | sig[band * rows + r] as u64;
-    }
-    // Mix the band id in so identical bit patterns in different bands do not
-    // collide into one bucket map (they live in separate maps anyway; this
-    // guards against accidental cross-band reuse).
-    key ^ ((band as u64) << 32)
 }
 
 #[cfg(test)]

@@ -1,0 +1,866 @@
+//! The segmented vector store.
+//!
+//! [`VectorStore`] holds L2-normalized embeddings in flat per-segment
+//! `Vec<f32>` arrays and serves top-k similarity queries over them:
+//!
+//! * **Segments** — vectors append into the one unsealed tail segment; when
+//!   it reaches `seal_threshold` rows it is sealed and a fresh segment opens.
+//!   Sealed segments are immutable except for tombstones, which keeps scans
+//!   cache-friendly flat loops.
+//! * **Upsert / delete with tombstones** — overwriting or deleting an id
+//!   tombstones the old row in place; [`VectorStore::compact`] rewrites the
+//!   segments without the dead rows.
+//! * **Candidate generation** — scoring is routed through a pluggable
+//!   [`CandidateSource`](crate::CandidateSource): exhaustive
+//!   [`ExactScan`](crate::ExactScan) or LSH banded blocking
+//!   ([`LshCandidates`](crate::LshCandidates)), with per-segment band
+//!   buckets maintained incrementally as vectors arrive.
+//! * **Batched parallel queries** — [`VectorStore::query_batch`] fans
+//!   (query × segment) tasks across crossbeam scoped workers, mirroring the
+//!   `par_chunk_map` dispatch in `tabbin_core::batch`.
+//! * **Persistence** — [`VectorStore::snapshot`] captures the live entries;
+//!   [`VectorStore::save`] / [`VectorStore::load`] move snapshots through
+//!   JSON on disk. Loaded stores answer queries byte-identically: vectors
+//!   round-trip exactly, scoring is layout-independent, and ties break by id.
+
+use crate::candidates::{CandidateSource, Candidates, ExactScan, LshCandidates, QueryContext};
+use crate::lsh::{band_key, random_planes, signature_of};
+use crate::parallel::par_chunk_map;
+use crate::simd::{dot, Hit, TopK};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+
+/// Task count at which `query_batch` fans out across worker threads (the
+/// workspace-wide [`crate::parallel::PARALLEL_TASK_THRESHOLD`]).
+pub const PARALLEL_QUERY_THRESHOLD: usize = crate::parallel::PARALLEL_TASK_THRESHOLD;
+
+/// Default number of rows after which the active segment is sealed.
+pub const DEFAULT_SEAL_THRESHOLD: usize = 4096;
+
+/// LSH banding parameters for a store's candidate generation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LshParams {
+    /// Number of bands; each band is one bucket lookup per probe.
+    pub bands: usize,
+    /// Signature bits per band; more rows prune harder but recall less.
+    pub rows_per_band: usize,
+}
+
+impl LshParams {
+    /// A blocking geometry that keeps recall high on realistic (clustered)
+    /// embedding corpora while still pruning aggressively.
+    pub fn default_blocking() -> Self {
+        Self { bands: 16, rows_per_band: 8 }
+    }
+}
+
+/// Construction-time options for a [`VectorStore`].
+#[derive(Clone, Copy, Debug)]
+pub struct StoreConfig {
+    /// Rows per segment before it seals and a new one opens.
+    pub seal_threshold: usize,
+    /// `Some` enables incremental LSH bucket maintenance (and makes
+    /// [`LshCandidates`] meaningful); `None` leaves exact scan only.
+    pub lsh: Option<LshParams>,
+    /// Seed for the LSH hyperplanes — two stores with the same seed, params,
+    /// and dimension hash identically.
+    pub seed: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self { seal_threshold: DEFAULT_SEAL_THRESHOLD, lsh: None, seed: 0x7ab1 }
+    }
+}
+
+impl StoreConfig {
+    /// The default configuration with LSH blocking enabled.
+    pub fn with_lsh(params: LshParams) -> Self {
+        Self { lsh: Some(params), ..Self::default() }
+    }
+}
+
+/// One flat slab of vectors. Only the store mutates segments; candidate
+/// sources read them through the accessors on [`VectorStore`].
+#[derive(Clone, Debug)]
+pub(crate) struct Segment {
+    /// Row-major normalized vectors, `rows * dim` long.
+    data: Vec<f32>,
+    /// Row -> id.
+    ids: Vec<u64>,
+    /// Tombstones; a deleted row stays in `data` until compaction.
+    deleted: Vec<bool>,
+    n_deleted: usize,
+    sealed: bool,
+    /// Per-band LSH buckets (`band -> key -> rows`); empty when LSH is off.
+    buckets: Vec<HashMap<u64, Vec<u32>>>,
+}
+
+impl Segment {
+    fn new(bands: usize) -> Self {
+        Self {
+            data: Vec::new(),
+            ids: Vec::new(),
+            deleted: Vec::new(),
+            n_deleted: 0,
+            sealed: false,
+            buckets: vec![HashMap::new(); bands],
+        }
+    }
+
+    fn rows(&self) -> usize {
+        self.ids.len()
+    }
+}
+
+/// Aggregate state of a store, for observability and compaction policy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Live (non-tombstoned) vectors.
+    pub live: usize,
+    /// Tombstoned rows awaiting compaction.
+    pub tombstones: usize,
+    /// Total segments, including the unsealed tail.
+    pub segments: usize,
+    /// Segments that have been sealed.
+    pub sealed_segments: usize,
+}
+
+/// A serializable snapshot of a store: its configuration plus every live
+/// `(id, normalized vector)` entry in physical order. Tombstones are
+/// dropped on capture — a snapshot is implicitly compacted.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StoreSnapshot {
+    /// Snapshot format version; bumped on incompatible layout changes.
+    pub version: u32,
+    /// Vector dimensionality.
+    pub dim: usize,
+    /// Hyperplane seed (see [`StoreConfig::seed`]).
+    pub seed: u64,
+    /// Segment seal threshold.
+    pub seal_threshold: usize,
+    /// LSH banding, if enabled.
+    pub lsh: Option<LshParams>,
+    /// The next auto-assigned id.
+    pub next_id: u64,
+    /// Live entries in segment-then-row order.
+    pub entries: Vec<(u64, Vec<f32>)>,
+}
+
+/// The snapshot format this build writes and reads.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// A segmented, incrementally-updatable vector store over L2-normalized
+/// embeddings. See the [module docs](self) for the design.
+#[derive(Clone, Debug)]
+pub struct VectorStore {
+    dim: usize,
+    cfg: StoreConfig,
+    /// `bands * rows_per_band` hyperplanes when LSH is on, empty otherwise.
+    planes: Vec<Vec<f32>>,
+    segments: Vec<Segment>,
+    /// id -> (segment, row) of the live copy.
+    locs: HashMap<u64, (u32, u32)>,
+    next_id: u64,
+}
+
+impl VectorStore {
+    /// An empty store for `dim`-dimensional vectors.
+    ///
+    /// # Panics
+    /// On `dim == 0`, a zero `seal_threshold`, or LSH params with zero
+    /// bands/rows.
+    pub fn new(dim: usize, cfg: StoreConfig) -> Self {
+        assert!(dim > 0, "VectorStore dimension must be positive");
+        assert!(cfg.seal_threshold > 0, "seal_threshold must be positive");
+        let planes = match cfg.lsh {
+            Some(p) => {
+                assert!(p.bands > 0 && p.rows_per_band > 0, "LSH bands and rows must be positive");
+                random_planes(p.bands * p.rows_per_band, dim, cfg.seed)
+            }
+            None => Vec::new(),
+        };
+        Self { dim, cfg, planes, segments: Vec::new(), locs: HashMap::new(), next_id: 0 }
+    }
+
+    /// An exact-scan-only store with default segment sizing.
+    pub fn exact(dim: usize) -> Self {
+        Self::new(dim, StoreConfig::default())
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of live vectors.
+    pub fn len(&self) -> usize {
+        self.locs.len()
+    }
+
+    /// Whether the store holds no live vectors.
+    pub fn is_empty(&self) -> bool {
+        self.locs.is_empty()
+    }
+
+    /// Whether LSH candidate generation is enabled.
+    pub fn has_lsh(&self) -> bool {
+        !self.planes.is_empty()
+    }
+
+    /// Live/tombstone/segment counts.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            live: self.locs.len(),
+            tombstones: self.segments.iter().map(|s| s.n_deleted).sum(),
+            segments: self.segments.len(),
+            sealed_segments: self.segments.iter().filter(|s| s.sealed).count(),
+        }
+    }
+
+    /// Inserts under a fresh auto-assigned id and returns it.
+    pub fn insert(&mut self, v: &[f32]) -> u64 {
+        let id = self.next_id;
+        self.upsert(id, v);
+        id
+    }
+
+    /// Inserts or replaces the vector stored under `id`. The vector is
+    /// L2-normalized on the way in (zero vectors are stored as-is and score
+    /// 0 against everything).
+    ///
+    /// # Panics
+    /// If `v.len()` differs from the store dimension.
+    pub fn upsert(&mut self, id: u64, v: &[f32]) {
+        assert_eq!(
+            v.len(),
+            self.dim,
+            "upsert of a {}-dim vector into a {}-dim store",
+            v.len(),
+            self.dim
+        );
+        let mut nv = v.to_vec();
+        let norm = nv.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm > 0.0 {
+            for x in &mut nv {
+                *x /= norm;
+            }
+        }
+        self.insert_normalized(id, &nv);
+    }
+
+    /// The raw insert path: `nv` is trusted to be normalized already. Used
+    /// by [`upsert`](Self::upsert) and by snapshot loading, where
+    /// re-normalizing could perturb the stored bits.
+    fn insert_normalized(&mut self, id: u64, nv: &[f32]) {
+        if let Some(&(seg, row)) = self.locs.get(&id) {
+            self.tombstone(seg as usize, row as usize);
+        }
+        let need_new = match self.segments.last() {
+            Some(s) => s.sealed || s.rows() >= self.cfg.seal_threshold,
+            None => true,
+        };
+        if need_new {
+            if let Some(tail) = self.segments.last_mut() {
+                tail.sealed = true;
+            }
+            let bands = self.cfg.lsh.map_or(0, |p| p.bands);
+            self.segments.push(Segment::new(bands));
+        }
+        let seg_idx = self.segments.len() - 1;
+        let seg = &mut self.segments[seg_idx];
+        let row = seg.rows();
+        seg.data.extend_from_slice(nv);
+        seg.ids.push(id);
+        seg.deleted.push(false);
+        if let Some(p) = self.cfg.lsh {
+            let sig = signature_of(&self.planes, nv);
+            for (b, bucket) in seg.buckets.iter_mut().enumerate() {
+                let key = band_key(&sig, b, p.rows_per_band);
+                bucket.entry(key).or_insert_with(Vec::new).push(row as u32);
+            }
+        }
+        if seg.rows() >= self.cfg.seal_threshold {
+            seg.sealed = true;
+        }
+        self.locs.insert(id, (seg_idx as u32, row as u32));
+        self.next_id = self.next_id.max(id + 1);
+    }
+
+    /// Tombstones `id`; returns whether it was live. The row's data stays in
+    /// place (and keeps its LSH bucket entries) until [`compact`](Self::compact).
+    pub fn delete(&mut self, id: u64) -> bool {
+        match self.locs.remove(&id) {
+            Some((seg, row)) => {
+                self.tombstone(seg as usize, row as usize);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn tombstone(&mut self, seg: usize, row: usize) {
+        let s = &mut self.segments[seg];
+        if !s.deleted[row] {
+            s.deleted[row] = true;
+            s.n_deleted += 1;
+        }
+    }
+
+    /// The live normalized vector stored under `id`.
+    pub fn get(&self, id: u64) -> Option<&[f32]> {
+        let &(seg, row) = self.locs.get(&id)?;
+        Some(self.row(seg as usize, row as usize))
+    }
+
+    /// Whether `id` is live in the store.
+    pub fn contains(&self, id: u64) -> bool {
+        self.locs.contains_key(&id)
+    }
+
+    #[inline]
+    fn row(&self, seg: usize, row: usize) -> &[f32] {
+        &self.segments[seg].data[row * self.dim..(row + 1) * self.dim]
+    }
+
+    // --- accessors used by candidate sources -------------------------------
+
+    /// Number of segments (including the unsealed tail).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Number of rows (live + tombstoned) in segment `seg`.
+    pub fn segment_rows(&self, seg: usize) -> usize {
+        self.segments[seg].rows()
+    }
+
+    /// Whether a row of a segment has been tombstoned.
+    pub fn is_deleted(&self, seg: usize, row: usize) -> bool {
+        self.segments[seg].deleted[row]
+    }
+
+    /// The store's LSH hyperplanes (empty when LSH is off).
+    pub(crate) fn lsh_planes(&self) -> &[Vec<f32>] {
+        &self.planes
+    }
+
+    /// The configured LSH parameters, if any.
+    pub fn lsh_params(&self) -> Option<LshParams> {
+        self.cfg.lsh
+    }
+
+    /// Rows of segment `seg` sharing the band bucket `key` of `band`.
+    pub(crate) fn bucket_rows(&self, seg: usize, band: usize, key: u64) -> Option<&[u32]> {
+        self.segments[seg].buckets.get(band)?.get(&key).map(Vec::as_slice)
+    }
+
+    // --- queries -----------------------------------------------------------
+
+    /// Top-`k` most similar live vectors under the store's default candidate
+    /// source: LSH blocking when configured, exact scan otherwise.
+    pub fn query(&self, q: &[f32], k: usize) -> Vec<Hit> {
+        if self.has_lsh() {
+            self.search(q, k, &LshCandidates)
+        } else {
+            self.search(q, k, &ExactScan)
+        }
+    }
+
+    /// Batched [`query`](Self::query) over many query vectors.
+    pub fn query_batch(&self, queries: &[Vec<f32>], k: usize) -> Vec<Vec<Hit>> {
+        if self.has_lsh() {
+            self.search_batch(queries, k, &LshCandidates)
+        } else {
+            self.search_batch(queries, k, &ExactScan)
+        }
+    }
+
+    /// Top-`k` search with an explicit candidate source. Scores are dot
+    /// products of normalized vectors (cosine similarity); ties break by
+    /// ascending id. Fewer than `k` hits come back when the source yields
+    /// fewer candidates (or the store is small).
+    ///
+    /// # Panics
+    /// If `q.len()` differs from the store dimension.
+    pub fn search(&self, q: &[f32], k: usize, source: &dyn CandidateSource) -> Vec<Hit> {
+        let nq = self.normalize_query(q);
+        let sig = self.query_signature(&nq);
+        let ctx = QueryContext { vector: &nq, signature: sig.as_deref() };
+        let mut topk = TopK::new(k);
+        for seg in 0..self.segments.len() {
+            topk.merge(self.scan_segment(&ctx, seg, k, source));
+        }
+        topk.into_sorted()
+    }
+
+    /// Batched [`search`](Self::search): every (query, segment) pair becomes
+    /// one task, and tasks fan out across crossbeam scoped workers — large
+    /// batches parallelize across queries, while a handful of queries over
+    /// a many-segment store still parallelize across segments.
+    pub fn search_batch(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        source: &dyn CandidateSource,
+    ) -> Vec<Vec<Hit>> {
+        let normalized: Vec<Vec<f32>> = queries.iter().map(|q| self.normalize_query(q)).collect();
+        if self.segments.is_empty() {
+            return vec![Vec::new(); queries.len()];
+        }
+        // Per-query state (normalized vector + LSH signature) is computed
+        // once here and shared by every segment task of that query.
+        let signatures: Vec<Option<Vec<bool>>> =
+            normalized.iter().map(|nq| self.query_signature(nq)).collect();
+        let mut tasks = Vec::with_capacity(queries.len() * self.segments.len());
+        for qi in 0..queries.len() {
+            for seg in 0..self.segments.len() {
+                tasks.push((qi as u32, seg as u32));
+            }
+        }
+        let partials = par_chunk_map(&tasks, |chunk| {
+            chunk
+                .iter()
+                .map(|&(qi, seg)| {
+                    let ctx = QueryContext {
+                        vector: &normalized[qi as usize],
+                        signature: signatures[qi as usize].as_deref(),
+                    };
+                    (qi, self.scan_segment(&ctx, seg as usize, k, source))
+                })
+                .collect()
+        });
+        let mut merged: Vec<TopK> = (0..queries.len()).map(|_| TopK::new(k)).collect();
+        for (qi, partial) in partials {
+            merged[qi as usize].merge(partial);
+        }
+        merged.into_iter().map(TopK::into_sorted).collect()
+    }
+
+    /// How many candidate rows `source` would score for `q` — the blocking
+    /// factor to report against the exhaustive `len()`.
+    pub fn candidate_count(&self, q: &[f32], source: &dyn CandidateSource) -> usize {
+        let nq = self.normalize_query(q);
+        let sig = self.query_signature(&nq);
+        let ctx = QueryContext { vector: &nq, signature: sig.as_deref() };
+        (0..self.segments.len())
+            .map(|seg| match source.candidates(self, seg, &ctx) {
+                Candidates::All => self.segments[seg].rows() - self.segments[seg].n_deleted,
+                Candidates::Subset(rows) => rows
+                    .iter()
+                    .filter(|&&r| {
+                        (r as usize) < self.segments[seg].rows()
+                            && !self.segments[seg].deleted[r as usize]
+                    })
+                    .count(),
+            })
+            .sum()
+    }
+
+    fn normalize_query(&self, q: &[f32]) -> Vec<f32> {
+        assert_eq!(
+            q.len(),
+            self.dim,
+            "query of a {}-dim vector against a {}-dim store",
+            q.len(),
+            self.dim
+        );
+        let mut nq = q.to_vec();
+        let norm = nq.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm > 0.0 {
+            for x in &mut nq {
+                *x /= norm;
+            }
+        }
+        nq
+    }
+
+    /// The query's LSH signature, when LSH is enabled — computed once per
+    /// query and shared across every segment probe.
+    fn query_signature(&self, nq: &[f32]) -> Option<Vec<bool>> {
+        self.has_lsh().then(|| signature_of(&self.planes, nq))
+    }
+
+    /// Scores one segment's candidates for one prepared query.
+    fn scan_segment(
+        &self,
+        ctx: &QueryContext<'_>,
+        seg: usize,
+        k: usize,
+        source: &dyn CandidateSource,
+    ) -> TopK {
+        let s = &self.segments[seg];
+        let nq = ctx.vector;
+        let mut topk = TopK::new(k);
+        match source.candidates(self, seg, ctx) {
+            Candidates::All => {
+                for row in 0..s.rows() {
+                    if !s.deleted[row] {
+                        topk.push(s.ids[row], dot(nq, self.row(seg, row)));
+                    }
+                }
+            }
+            Candidates::Subset(rows) => {
+                for &r in &rows {
+                    let row = r as usize;
+                    debug_assert!(row < s.rows(), "candidate row out of range");
+                    if row < s.rows() && !s.deleted[row] {
+                        topk.push(s.ids[row], dot(nq, self.row(seg, row)));
+                    }
+                }
+            }
+        }
+        topk
+    }
+
+    // --- lifecycle ---------------------------------------------------------
+
+    /// Rewrites all segments without tombstoned rows, resealing full
+    /// segments. Query results are unchanged: scoring depends only on the
+    /// live `(id, vector)` set, never on physical layout.
+    pub fn compact(&mut self) {
+        let entries = self.live_entries();
+        self.rebuild(entries);
+    }
+
+    /// Live `(id, vector)` pairs in segment-then-row order.
+    fn live_entries(&self) -> Vec<(u64, Vec<f32>)> {
+        let mut entries = Vec::with_capacity(self.locs.len());
+        for (si, s) in self.segments.iter().enumerate() {
+            for row in 0..s.rows() {
+                if !s.deleted[row] {
+                    entries.push((s.ids[row], self.row(si, row).to_vec()));
+                }
+            }
+        }
+        entries
+    }
+
+    fn rebuild(&mut self, entries: Vec<(u64, Vec<f32>)>) {
+        self.segments.clear();
+        self.locs.clear();
+        for (id, v) in entries {
+            self.insert_normalized(id, &v);
+        }
+    }
+
+    /// Captures the live contents (implicitly compacted — tombstones are not
+    /// carried) plus everything needed to rebuild an identically-behaving
+    /// store: dimension, seed, banding, and the id counter.
+    pub fn snapshot(&self) -> StoreSnapshot {
+        StoreSnapshot {
+            version: SNAPSHOT_VERSION,
+            dim: self.dim,
+            seed: self.cfg.seed,
+            seal_threshold: self.cfg.seal_threshold,
+            lsh: self.cfg.lsh,
+            next_id: self.next_id,
+            entries: self.live_entries(),
+        }
+    }
+
+    /// Rebuilds a store from a snapshot. Vectors are inserted through the
+    /// raw path — they were normalized before capture, and re-normalizing
+    /// could shift low bits and break byte-identical replay.
+    pub fn from_snapshot(snap: &StoreSnapshot) -> io::Result<Self> {
+        if snap.version != SNAPSHOT_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported snapshot version {} (want {SNAPSHOT_VERSION})", snap.version),
+            ));
+        }
+        if snap.dim == 0 || snap.seal_threshold == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "snapshot with zero dim or seal_threshold",
+            ));
+        }
+        if let Some(p) = snap.lsh {
+            // Validate before Self::new, which asserts on these: load() is
+            // an untrusted-input boundary and must error, not abort.
+            if p.bands == 0 || p.rows_per_band == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "snapshot with zero LSH bands or rows_per_band",
+                ));
+            }
+        }
+        let cfg =
+            StoreConfig { seal_threshold: snap.seal_threshold, lsh: snap.lsh, seed: snap.seed };
+        let mut store = Self::new(snap.dim, cfg);
+        for (id, v) in &snap.entries {
+            if v.len() != snap.dim {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("snapshot entry {id} has dim {} (want {})", v.len(), snap.dim),
+                ));
+            }
+            store.insert_normalized(*id, v);
+        }
+        store.next_id = store.next_id.max(snap.next_id);
+        Ok(store)
+    }
+
+    /// Serializes a snapshot to JSON at `path`.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let json = serde_json::to_string(&self.snapshot())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        std::fs::write(path, json)
+    }
+
+    /// Reads a snapshot from `path` and rebuilds the store.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        let snap: StoreSnapshot = serde_json::from_str(&json)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        Self::from_snapshot(&snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_vecs(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| (0..dim).map(|_| rng.random_range(-1.0f32..1.0)).collect()).collect()
+    }
+
+    fn small_store(lsh: bool) -> StoreConfig {
+        StoreConfig {
+            seal_threshold: 16,
+            lsh: lsh.then_some(LshParams { bands: 8, rows_per_band: 2 }),
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn insert_assigns_sequential_ids_and_finds_self() {
+        let vecs = random_vecs(40, 12, 1);
+        let mut store = VectorStore::new(12, small_store(false));
+        let ids: Vec<u64> = vecs.iter().map(|v| store.insert(v)).collect();
+        assert_eq!(ids, (0..40).collect::<Vec<u64>>());
+        assert_eq!(store.len(), 40);
+        // A stored vector's own nearest neighbor is itself with score ~1.
+        for (i, v) in vecs.iter().enumerate() {
+            let hits = store.query(v, 1);
+            assert_eq!(hits[0].id, i as u64);
+            assert!((hits[0].score - 1.0).abs() < 1e-5, "self-score {}", hits[0].score);
+        }
+    }
+
+    #[test]
+    fn query_matches_brute_force_ranking() {
+        let vecs = random_vecs(100, 8, 2);
+        let mut store = VectorStore::new(8, small_store(false));
+        for v in &vecs {
+            store.insert(v);
+        }
+        let q = &vecs[17];
+        let hits = store.query(q, 10);
+        // Brute-force cosine ranking over the raw vectors.
+        let qn = (q.iter().map(|x| x * x).sum::<f32>()).sqrt();
+        let mut scored: Vec<(usize, f32)> = vecs
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let d: f32 = q.iter().zip(v).map(|(a, b)| a * b).sum();
+                let n = (v.iter().map(|x| x * x).sum::<f32>()).sqrt();
+                (i, d / (qn * n))
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        let want: Vec<u64> = scored[..10].iter().map(|(i, _)| *i as u64).collect();
+        let got: Vec<u64> = hits.iter().map(|h| h.id).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn segments_seal_at_threshold() {
+        let vecs = random_vecs(40, 4, 3);
+        let mut store = VectorStore::new(4, small_store(false));
+        for v in &vecs {
+            store.insert(v);
+        }
+        let stats = store.stats();
+        assert_eq!(stats.segments, 3, "40 rows at threshold 16 => 3 segments");
+        assert_eq!(stats.sealed_segments, 2);
+        assert_eq!(stats.live, 40);
+    }
+
+    #[test]
+    fn upsert_replaces_and_delete_tombstones() {
+        let vecs = random_vecs(20, 6, 4);
+        let mut store = VectorStore::new(6, small_store(false));
+        for v in &vecs {
+            store.insert(v);
+        }
+        // Replace id 3 with id 7's direction: querying v7 now returns both.
+        store.upsert(3, &vecs[7]);
+        assert_eq!(store.len(), 20);
+        assert_eq!(store.stats().tombstones, 1);
+        let hits = store.query(&vecs[7], 2);
+        assert_eq!(hits.iter().map(|h| h.id).collect::<Vec<_>>(), vec![3, 7]);
+
+        assert!(store.delete(3));
+        assert!(!store.delete(3), "double delete reports dead");
+        assert!(!store.contains(3));
+        assert_eq!(store.len(), 19);
+        let hits = store.query(&vecs[7], 2);
+        assert_eq!(hits[0].id, 7);
+        assert!(hits.iter().all(|h| h.id != 3), "tombstoned id must not surface");
+    }
+
+    #[test]
+    fn insert_after_explicit_upsert_does_not_collide() {
+        let mut store = VectorStore::new(4, small_store(false));
+        store.upsert(10, &[1.0, 0.0, 0.0, 0.0]);
+        let id = store.insert(&[0.0, 1.0, 0.0, 0.0]);
+        assert!(id > 10, "auto ids must skip past explicit ones, got {id}");
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn compact_drops_tombstones_and_preserves_results() {
+        let vecs = random_vecs(50, 10, 5);
+        let mut store = VectorStore::new(10, small_store(true));
+        for v in &vecs {
+            store.insert(v);
+        }
+        for id in [0u64, 5, 13, 22, 31, 49] {
+            store.delete(id);
+        }
+        store.upsert(40, &vecs[2]);
+        let queries: Vec<Vec<f32>> = vecs[..8].to_vec();
+        let before = store.query_batch(&queries, 5);
+        let live_before = store.len();
+        store.compact();
+        assert_eq!(store.len(), live_before);
+        assert_eq!(store.stats().tombstones, 0);
+        assert_eq!(store.query_batch(&queries, 5), before, "compaction changed results");
+    }
+
+    #[test]
+    fn lsh_and_exact_agree_on_tight_clusters() {
+        // Two tight clusters: LSH blocking must still retrieve the
+        // same-cluster neighbors exact scan finds.
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut vecs = Vec::new();
+        for c in 0..2 {
+            let center: Vec<f32> =
+                (0..16).map(|i| if i % 2 == c { 1.0 } else { -1.0f32 }).collect();
+            for _ in 0..20 {
+                vecs.push(
+                    center.iter().map(|x| x + rng.random_range(-0.05f32..0.05)).collect::<Vec<_>>(),
+                );
+            }
+        }
+        let mut store =
+            VectorStore::new(16, StoreConfig::with_lsh(LshParams { bands: 8, rows_per_band: 4 }));
+        for v in &vecs {
+            store.insert(v);
+        }
+        for (i, v) in vecs.iter().enumerate() {
+            let exact = store.search(v, 5, &ExactScan);
+            let lsh = store.search(v, 5, &LshCandidates);
+            assert_eq!(exact, lsh, "query {i}");
+        }
+        // And blocking actually prunes: candidates ≈ the query's own cluster.
+        let count = store.candidate_count(&vecs[0], &LshCandidates);
+        assert!(count < vecs.len(), "no pruning: {count} of {}", vecs.len());
+    }
+
+    #[test]
+    fn snapshot_roundtrips_byte_identical() {
+        let vecs = random_vecs(60, 12, 7);
+        let mut store = VectorStore::new(12, small_store(true));
+        for v in &vecs {
+            store.insert(v);
+        }
+        for id in [3u64, 30, 44] {
+            store.delete(id);
+        }
+        let queries: Vec<Vec<f32>> = vecs[10..20].to_vec();
+        let before = store.query_batch(&queries, 7);
+
+        let path =
+            std::env::temp_dir().join(format!("tabbin_index_snapshot_{}.json", std::process::id()));
+        store.save(&path).expect("save");
+        let loaded = VectorStore::load(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(loaded.len(), store.len());
+        assert_eq!(loaded.dim(), store.dim());
+        let after = loaded.query_batch(&queries, 7);
+        // Byte-identical: same ids, same score bits.
+        assert_eq!(after, before);
+        for (a, b) in after.iter().flatten().zip(before.iter().flatten()) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+        // The loaded store keeps allocating fresh ids past the old counter.
+        let mut loaded = loaded;
+        let new_id = loaded.insert(&vecs[0]);
+        assert_eq!(new_id, 60);
+    }
+
+    #[test]
+    fn load_rejects_bad_snapshots() {
+        let path =
+            std::env::temp_dir().join(format!("tabbin_index_garbage_{}.json", std::process::id()));
+        std::fs::write(&path, "not json at all").unwrap();
+        assert!(VectorStore::load(&path).is_err());
+        std::fs::write(&path, "{\"version\":999}").unwrap();
+        assert!(VectorStore::load(&path).is_err());
+        // Degenerate LSH params must error, not trip the constructor assert.
+        let mut snap = VectorStore::new(4, small_store(true)).snapshot();
+        snap.lsh = Some(LshParams { bands: 0, rows_per_band: 2 });
+        assert!(VectorStore::from_snapshot(&snap).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn batch_matches_serial_queries() {
+        let vecs = random_vecs(80, 8, 9);
+        let mut store = VectorStore::new(8, small_store(true));
+        for v in &vecs {
+            store.insert(v);
+        }
+        // Enough queries to cross PARALLEL_QUERY_THRESHOLD tasks.
+        let queries: Vec<Vec<f32>> = vecs[..30].to_vec();
+        let batched = store.query_batch(&queries, 6);
+        for (q, want) in queries.iter().zip(&batched) {
+            assert_eq!(&store.query(q, 6), want);
+        }
+    }
+
+    #[test]
+    fn zero_vector_scores_zero_everywhere() {
+        let mut store = VectorStore::new(4, small_store(false));
+        store.insert(&[0.0; 4]);
+        store.insert(&[1.0, 0.0, 0.0, 0.0]);
+        let hits = store.query(&[0.0; 4], 2);
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|h| h.score == 0.0));
+        // Ties broke by id.
+        assert_eq!(hits[0].id, 0);
+    }
+
+    #[test]
+    fn empty_store_returns_no_hits() {
+        let store = VectorStore::exact(8);
+        assert!(store.query(&[1.0; 8], 5).is_empty());
+        assert!(store.query_batch(&[vec![1.0; 8]], 5)[0].is_empty());
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "upsert of a 3-dim vector into a 4-dim store")]
+    fn dimension_mismatch_panics_with_shapes() {
+        let mut store = VectorStore::exact(4);
+        store.upsert(0, &[1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the vector store: LSH-accelerated top-k must track
+//! exact scan closely, and the mutation lifecycle must never change what a
+//! query returns.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tabbin_index::{ExactScan, LshCandidates, LshParams, StoreConfig, VectorStore};
+
+/// Random centered embeddings: draw uniform vectors, then subtract the mean
+/// so the corpus is isotropic around the origin — the shape hyperplane LSH
+/// actually faces after `tabbin_eval::center`.
+fn centered_random(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut items: Vec<Vec<f32>> =
+        (0..n).map(|_| (0..dim).map(|_| rng.random_range(-1.0f32..1.0)).collect()).collect();
+    let mut mean = vec![0.0f32; dim];
+    for v in &items {
+        for (m, x) in mean.iter_mut().zip(v) {
+            *m += x;
+        }
+    }
+    for m in &mut mean {
+        *m /= n as f32;
+    }
+    for v in &mut items {
+        for (x, m) in v.iter_mut().zip(&mean) {
+            *x -= m;
+        }
+    }
+    items
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Recall@10 of LSH-blocked top-k against exact scan stays ≥ 0.9 on
+    /// random centered embeddings — uniform data is LSH's worst case (no
+    /// cluster structure to exploit), so this bounds realistic corpora from
+    /// below. The banding (16 bands × 3 rows) is deliberately recall-heavy.
+    #[test]
+    fn lsh_topk_recall_at_10_beats_090(seed in 0u64..10_000) {
+        const N: usize = 200;
+        const DIM: usize = 16;
+        const K: usize = 10;
+        let items = centered_random(N, DIM, seed);
+        let cfg = StoreConfig {
+            seal_threshold: 64, // 200 rows => 4 segments, exercising the fan-out
+            lsh: Some(LshParams { bands: 16, rows_per_band: 3 }),
+            seed: seed ^ 0xdead_beef,
+        };
+        let mut store = VectorStore::new(DIM, cfg);
+        for v in &items {
+            store.insert(v);
+        }
+        let mut hit_total = 0usize;
+        let mut want_total = 0usize;
+        for q in items.iter().take(32) {
+            let exact = store.search(q, K, &ExactScan);
+            let lsh = store.search(q, K, &LshCandidates);
+            want_total += exact.len();
+            for e in &exact {
+                if lsh.iter().any(|h| h.id == e.id) {
+                    hit_total += 1;
+                }
+            }
+        }
+        let recall = hit_total as f64 / want_total as f64;
+        prop_assert!(recall >= 0.9, "recall@10 {recall:.3} below 0.9 (seed {seed})");
+    }
+
+    /// Upserts and deletes never corrupt retrieval: after arbitrary
+    /// mutations, querying a live id's own vector returns that id first,
+    /// and deleted ids never surface.
+    #[test]
+    fn mutations_preserve_retrieval_invariants(
+        seed in 0u64..10_000,
+        n_delete in 1usize..30,
+    ) {
+        const N: usize = 60;
+        const DIM: usize = 12;
+        let items = centered_random(N, DIM, seed);
+        let cfg = StoreConfig {
+            seal_threshold: 16,
+            lsh: Some(LshParams { bands: 8, rows_per_band: 2 }),
+            seed,
+        };
+        let mut store = VectorStore::new(DIM, cfg);
+        for v in &items {
+            store.insert(v);
+        }
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31));
+        let mut deleted = Vec::new();
+        for _ in 0..n_delete {
+            let id = rng.random_range(0..N as u64);
+            if store.delete(id) {
+                deleted.push(id);
+            }
+        }
+        for (i, v) in items.iter().enumerate() {
+            let id = i as u64;
+            let hits = store.search(v, 5, &ExactScan);
+            if deleted.contains(&id) {
+                prop_assert!(hits.iter().all(|h| h.id != id), "deleted id {id} surfaced");
+            } else {
+                prop_assert!(hits[0].id == id, "live id {} not its own top hit", id);
+            }
+        }
+        // Compaction is invisible to queries.
+        let before = store.query_batch(&items[..10], 5);
+        store.compact();
+        prop_assert_eq!(store.query_batch(&items[..10], 5), before);
+    }
+}

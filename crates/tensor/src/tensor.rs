@@ -90,7 +90,9 @@ impl Tensor {
         match self.shape.len() {
             1 => 1,
             2 => self.shape[0],
-            r => panic!("rows() requires rank 1 or 2, got rank {r}"),
+            r => {
+                panic!("rows() requires rank 1 or 2, got rank {r} tensor of shape {:?}", self.shape)
+            }
         }
     }
 
@@ -99,7 +101,9 @@ impl Tensor {
         match self.shape.len() {
             1 => self.shape[0],
             2 => self.shape[1],
-            r => panic!("cols() requires rank 1 or 2, got rank {r}"),
+            r => {
+                panic!("cols() requires rank 1 or 2, got rank {r} tensor of shape {:?}", self.shape)
+            }
         }
     }
 
@@ -321,6 +325,18 @@ fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, k: usize, n: 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    #[should_panic(expected = "rows() requires rank 1 or 2, got rank 3 tensor of shape [2, 2, 1]")]
+    fn rows_of_rank3_panics_with_shape() {
+        let _ = Tensor::from_vec(vec![0.0; 4], &[2, 2, 1]).rows();
+    }
+
+    #[test]
+    #[should_panic(expected = "cols() requires rank 1 or 2, got rank 3 tensor of shape [1, 2, 2]")]
+    fn cols_of_rank3_panics_with_shape() {
+        let _ = Tensor::from_vec(vec![0.0; 4], &[1, 2, 2]).cols();
+    }
 
     #[test]
     fn from_vec_roundtrip() {

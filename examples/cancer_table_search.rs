@@ -1,14 +1,17 @@
 //! Table search over a CancerKG-profile corpus: embed every table with
-//! TabBiN composite embeddings and retrieve the most similar tables for a
-//! query table — the data-fusion scenario from the paper's introduction.
+//! TabBiN composite embeddings, stream them into a `tabbin-index`
+//! `VectorStore`, and retrieve the most similar tables for a query table —
+//! the data-fusion scenario from the paper's introduction, served by the
+//! retrieval layer instead of a hand-rolled cosine loop.
 //!
 //! Run with: `cargo run --example cancer_table_search`
 
+use tabbin_core::batch::BatchEncoder;
 use tabbin_core::config::ModelConfig;
 use tabbin_core::pretrain::PretrainOptions;
 use tabbin_core::variants::TabBiNFamily;
 use tabbin_corpus::{generate, Dataset, GenOptions};
-use tabbin_eval::rank_by_cosine;
+use tabbin_index::VectorStore;
 
 fn main() {
     let corpus = generate(Dataset::CancerKg, &GenOptions { n_tables: Some(40), seed: 11 });
@@ -18,9 +21,13 @@ fn main() {
     let mut family = TabBiNFamily::new(&tables, ModelConfig::tiny(), 11);
     family.pretrain(&tables, &PretrainOptions { steps: 40, batch: 4, ..Default::default() });
 
-    // Batched pipeline: all 40 tables in one pass per segment model, with
-    // row-parallel dispatch across worker threads.
-    let embeddings: Vec<Vec<f32>> = family.embed_tables(&tables);
+    // Batched pipeline straight into the vector store: all 40 tables in one
+    // pass per segment model, composites normalized and indexed as they
+    // arrive. The composite dimension is 4 * hidden (data ⊕ HMD ⊕ VMD ⊕
+    // caption).
+    let mut store = VectorStore::exact(4 * family.cfg.hidden);
+    let ids = BatchEncoder::new(&family).embed_into(&mut store, &tables);
+    println!("indexed {} table embeddings (dim {})", store.len(), store.dim());
 
     // Use the first nested-table-carrying table as the query.
     let query = corpus.tables.iter().position(|t| t.table.has_nesting()).unwrap_or(0);
@@ -28,19 +35,23 @@ fn main() {
         "\nquery table: '{}' (topic: {})",
         corpus.tables[query].table.caption, corpus.tables[query].topic
     );
-    let ranked = rank_by_cosine(&embeddings[query], &embeddings, Some(query));
+    // Top-k from the store (k + 1 so the query's own hit can be dropped).
+    let query_emb = store.get(ids[query]).expect("query table was indexed").to_vec();
+    let hits = store.query(&query_emb, 6);
     println!("top 5 most similar tables:");
-    let mut hits = 0;
-    for (rank, &i) in ranked.iter().take(5).enumerate() {
+    let mut hits_same = 0;
+    for (rank, hit) in hits.iter().filter(|h| h.id != ids[query]).take(5).enumerate() {
+        let i = hit.id as usize;
         let same = corpus.tables[i].topic == corpus.tables[query].topic;
-        hits += same as usize;
+        hits_same += same as usize;
         println!(
-            "  {}. '{}' (topic: {}){}",
+            "  {}. '{}' (topic: {}, score {:.3}){}",
             rank + 1,
             corpus.tables[i].table.caption,
             corpus.tables[i].topic,
+            hit.score,
             if same { "  <- same topic" } else { "" }
         );
     }
-    println!("\n{hits}/5 retrieved tables share the query's topic");
+    println!("\n{hits_same}/5 retrieved tables share the query's topic");
 }

@@ -1,7 +1,9 @@
 //! Schema matching via column clustering with LSH blocking: find columns
 //! mergeable with a query column across a Webtables-profile corpus — the
-//! paper's CC task (§4.1) end to end, including the LSH blocking step used
-//! to avoid quadratic comparisons.
+//! paper's CC task (§4.1) end to end. Column embeddings live in a
+//! `tabbin-index` `VectorStore` with LSH candidate generation, so the
+//! blocking step and the within-block top-k are one SIMD-scored query
+//! instead of a hand-rolled candidate loop over cosines.
 //!
 //! Run with: `cargo run --example schema_matching`
 
@@ -9,7 +11,8 @@ use tabbin_core::config::ModelConfig;
 use tabbin_core::pretrain::PretrainOptions;
 use tabbin_core::variants::TabBiNFamily;
 use tabbin_corpus::{generate, Dataset, GenOptions, FILLER_SEM_ID};
-use tabbin_eval::{center, cosine, LshIndex};
+use tabbin_eval::center;
+use tabbin_index::{LshCandidates, LshParams, StoreConfig, VectorStore};
 
 fn main() {
     let corpus = generate(Dataset::Webtables, &GenOptions { n_tables: Some(40), seed: 5 });
@@ -34,33 +37,38 @@ fn main() {
     println!("embedded {} columns from {} tables", embs.len(), tables.len());
 
     // Transformer embeddings are anisotropic; center them so hyperplane LSH
-    // can separate the clusters, then block and search within blocks. The
-    // index consumes the embeddings as an iterator — the shape a streaming
-    // pipeline hands it.
+    // can separate the clusters, then index them in a store that maintains
+    // banded LSH buckets incrementally as the vectors arrive.
     center(&mut embs);
-    let index = LshIndex::from_embeddings(embs.iter().map(Vec::as_slice), 8, 4, 99);
-    println!(
-        "LSH blocking: {:.1} candidates/column instead of {}",
-        index.mean_candidates(),
-        embs.len() - 1
-    );
+    let cfg = StoreConfig {
+        lsh: Some(LshParams { bands: 8, rows_per_band: 4 }),
+        seed: 99,
+        ..StoreConfig::default()
+    };
+    let mut store = VectorStore::new(embs[0].len(), cfg);
+    for v in &embs {
+        store.insert(v);
+    }
 
     let query = 0;
     let (qt, qc, qsem) = refs[query];
     let qlabel = corpus.tables[qt].table.hmd.leaf_labels()[qc].to_string();
+    let blocked = store.candidate_count(&embs[query], &LshCandidates);
+    println!("LSH blocking: {} candidates for the query column instead of {}", blocked, embs.len());
     println!("\nquery column: '{qlabel}' from '{}'", corpus.tables[qt].table.caption);
-    let mut scored: Vec<(usize, f64)> =
-        index.candidates(query).into_iter().map(|i| (i, cosine(&embs[query], &embs[i]))).collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+
+    // One store query scores only the blocked candidates (SIMD dots over
+    // normalized vectors) and returns the within-block top-k.
+    let hits = store.search(&embs[query], 6, &LshCandidates);
     println!("top 5 matches within the block:");
-    for (rank, (i, score)) in scored.iter().take(5).enumerate() {
-        let (ti, ci, sem) = refs[*i];
+    for (rank, hit) in hits.iter().filter(|h| h.id != query as u64).take(5).enumerate() {
+        let (ti, ci, sem) = refs[hit.id as usize];
         let label = corpus.tables[ti].table.hmd.leaf_labels()[ci].to_string();
         println!(
             "  {}. '{}' (cos {:.3}){}",
             rank + 1,
             label,
-            score,
+            hit.score,
             if sem == qsem { "  <- true match" } else { "" }
         );
     }
