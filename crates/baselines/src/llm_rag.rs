@@ -109,7 +109,7 @@ impl LlmRagSim {
                 (i, self.tail_quality * truth + noise)
             })
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
         let mut order: Vec<usize> = scored.into_iter().map(|(i, _)| i).collect();
         // Head correction: with probability head_accuracy ensure a relevant
         // item leads the ranking.

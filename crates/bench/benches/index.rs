@@ -1,11 +1,15 @@
-//! Retrieval-layer micro-benchmark: `tabbin_index::VectorStore` batched
-//! top-k against the pre-store baseline (a scalar cosine scan per query).
+//! Retrieval-layer micro-benchmark: `tabbin_index` batched top-k against
+//! the pre-store baseline (a scalar cosine scan per query), for both store
+//! tiers — one `VectorStore` and the sharded engine (`ShardedStore`, 4
+//! shards) that is the exercised default across the workspace.
 //!
 //! Besides the criterion samples, this writes `BENCH_index.json` at the
-//! workspace root — QPS for both paths, the speedup, and recall@10 of the
-//! LSH-blocked path against exact scan — so successive PRs accumulate a
-//! perf trajectory. The printed figures are the written figures: both come
-//! from the same formatted strings, so the log and the JSON cannot drift.
+//! workspace root — QPS for every path, the speedup, recall@10 against
+//! exact scan, and (for the sharded tier) policy-driven compaction pause
+//! p50/p99 under steady-state overwrite churn — so successive PRs
+//! accumulate a perf trajectory. The printed figures are the written
+//! figures: both come from the same formatted strings, so the log and the
+//! JSON cannot drift.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
@@ -13,7 +17,7 @@ use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 use std::time::Instant;
 use tabbin_eval::cosine;
-use tabbin_index::{LshParams, StoreConfig, VectorStore};
+use tabbin_index::{CompactionPolicy, LshParams, ShardedStore, StoreConfig, VectorStore};
 
 /// Corpus size / dimension of the headline measurement.
 const N_VECTORS: usize = 10_000;
@@ -21,6 +25,8 @@ const DIM: usize = 128;
 const K: usize = 10;
 /// Queries per timed batch.
 const N_QUERIES: usize = 256;
+/// Shards in the sharded tier's measurement.
+const N_SHARDS: usize = 4;
 
 /// Clustered corpus: 100 topic directions with jittered members — the shape
 /// table/column embeddings actually have (tables cluster by topic), and the
@@ -45,9 +51,29 @@ fn clustered_corpus(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
 fn exact_scan_topk(corpus: &[Vec<f32>], q: &[f32], k: usize) -> Vec<(usize, f64)> {
     let mut scored: Vec<(usize, f64)> =
         corpus.iter().enumerate().map(|(i, v)| (i, cosine(q, v))).collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     scored.truncate(k);
     scored
+}
+
+/// Recall of `hits` (per query) against precomputed exact top-k lists —
+/// the exact baseline depends only on (corpus, queries), so callers
+/// compute it once and score every tier against the same lists.
+fn recall_vs_exact(exact_lists: &[Vec<(usize, f64)>], hits: &[Vec<tabbin_index::Hit>]) -> f64 {
+    let mut hit = 0usize;
+    let mut want = 0usize;
+    for (exact, got) in exact_lists.iter().zip(hits) {
+        want += exact.len();
+        hit += exact.iter().filter(|(i, _)| got.iter().any(|h| h.id == *i as u64)).count();
+    }
+    hit as f64 / want as f64
+}
+
+/// The `q`-quantile of `samples` (nearest-rank), in milliseconds.
+fn quantile_ms(samples: &mut [f64], q: f64) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    let idx = ((samples.len() - 1) as f64 * q).round() as usize;
+    samples[idx] * 1e3
 }
 
 fn bench_index(c: &mut Criterion) {
@@ -62,17 +88,19 @@ fn bench_index(c: &mut Criterion) {
     assert_eq!(store.len(), N_VECTORS);
     assert!(store.stats().sealed_segments >= 2, "10k rows should span several sealed segments");
 
-    // Recall@10 of the LSH-blocked store against the exact baseline, over
-    // the timed query set.
-    let blocked = store.query_batch(&queries, K);
-    let mut hit = 0usize;
-    let mut want = 0usize;
-    for (q, hits) in queries.iter().zip(&blocked) {
-        let exact = exact_scan_topk(&corpus, q, K);
-        want += exact.len();
-        hit += exact.iter().filter(|(i, _)| hits.iter().any(|h| h.id == *i as u64)).count();
+    // The sharded tier over the same corpus and blocking geometry.
+    let mut sharded = ShardedStore::new(DIM, N_SHARDS, cfg);
+    for v in &corpus {
+        sharded.insert(v);
     }
-    let recall = hit as f64 / want as f64;
+    assert_eq!(sharded.len(), N_VECTORS);
+    assert!(sharded.stats().shards.iter().all(|s| s.live > 0), "hash routing left a shard empty");
+
+    // Recall@10 against the exact baseline, over the timed query set.
+    let exact_lists: Vec<Vec<(usize, f64)>> =
+        queries.iter().map(|q| exact_scan_topk(&corpus, q, K)).collect();
+    let recall = recall_vs_exact(&exact_lists, &store.query_batch(&queries, K));
+    let sharded_recall = recall_vs_exact(&exact_lists, &sharded.query_batch(&queries, K));
 
     // QPS: median of 5 timed batches each.
     let time_qps = |f: &dyn Fn() -> usize| -> f64 {
@@ -83,7 +111,7 @@ fn bench_index(c: &mut Criterion) {
                 n as f64 / start.elapsed().as_secs_f64()
             })
             .collect();
-        qps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        qps.sort_by(f64::total_cmp);
         qps[qps.len() / 2]
     };
     let exact_qps = time_qps(&|| {
@@ -95,26 +123,78 @@ fn bench_index(c: &mut Criterion) {
         }
         sample.len()
     });
-    let batched_qps = time_qps(&|| {
+    // The two store tiers are compared with paired, interleaved rounds —
+    // each round times one full batch on each — so clock/thermal drift
+    // between measurement instants hits both tiers equally instead of
+    // biasing whichever ran later. Medians over 9 rounds.
+    let mut single_rounds = Vec::with_capacity(9);
+    let mut sharded_rounds = Vec::with_capacity(9);
+    for _ in 0..9 {
+        let start = Instant::now();
         black_box(store.query_batch(&queries, K));
-        queries.len()
-    });
+        single_rounds.push(queries.len() as f64 / start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        black_box(sharded.query_batch(&queries, K));
+        sharded_rounds.push(queries.len() as f64 / start.elapsed().as_secs_f64());
+    }
+    single_rounds.sort_by(f64::total_cmp);
+    sharded_rounds.sort_by(f64::total_cmp);
+    let batched_qps = single_rounds[single_rounds.len() / 2];
+    let sharded_qps = sharded_rounds[sharded_rounds.len() / 2];
     let speedup = batched_qps / exact_qps;
+
+    // Compaction pauses under steady-state overwrite churn, policy-driven:
+    // each upsert over a live id tombstones the old row; every shard
+    // compacts itself at 25% dead rows. No caller ever calls compact().
+    let churn_policy = CompactionPolicy { max_tombstone_ratio: 0.25, max_segments: 64 };
+    let mut churn = ShardedStore::new(DIM, N_SHARDS, StoreConfig { policy: churn_policy, ..cfg });
+    const CHURN_LIVE: usize = 8192;
+    const CHURN_WRITES: usize = 24_000;
+    for v in corpus.iter().take(CHURN_LIVE) {
+        churn.insert(v);
+    }
+    for i in 0..CHURN_WRITES {
+        churn.upsert((i % CHURN_LIVE) as u64, &corpus[i % corpus.len()]);
+    }
+    let mut pauses = churn.compaction_pauses();
+    assert!(
+        pauses.len() >= N_SHARDS,
+        "churn of {CHURN_WRITES} writes must trigger the policy in every shard"
+    );
+    let n_compactions = churn.compactions();
+    let pause_p50 = quantile_ms(&mut pauses, 0.50);
+    let pause_p99 = quantile_ms(&mut pauses, 0.99);
 
     // Format once, print and write the same strings.
     let exact_s = format!("{exact_qps:.1}");
     let batched_s = format!("{batched_qps:.1}");
     let speedup_s = format!("{speedup:.2}");
     let recall_s = format!("{recall:.4}");
+    let sharded_qps_s = format!("{sharded_qps:.1}");
+    let sharded_recall_s = format!("{sharded_recall:.4}");
+    let pause_p50_s = format!("{pause_p50:.3}");
+    let pause_p99_s = format!("{pause_p99:.3}");
     println!(
         "index_{N_VECTORS}x{DIM}: exact scan {exact_s} qps, store query_batch {batched_s} qps \
          ({speedup_s}x), recall@{K} {recall_s}"
+    );
+    println!(
+        "index_{N_VECTORS}x{DIM} sharded({N_SHARDS}): query_batch {sharded_qps_s} qps, \
+         recall@{K} {sharded_recall_s}, {n_compactions} policy compactions \
+         (pause p50 {pause_p50_s} ms, p99 {pause_p99_s} ms over {CHURN_WRITES} writes)"
     );
     let json = format!(
         "{{\n  \"bench\": \"vector_store_query\",\n  \"n_vectors\": {N_VECTORS},\n  \
          \"dim\": {DIM},\n  \"k\": {K},\n  \"n_queries\": {N_QUERIES},\n  \
          \"exact_scan_qps\": {exact_s},\n  \"batched_lsh_qps\": {batched_s},\n  \
-         \"speedup\": {speedup_s},\n  \"recall_at_10\": {recall_s}\n}}\n"
+         \"speedup\": {speedup_s},\n  \"recall_at_10\": {recall_s},\n  \
+         \"sharded\": {{\n    \"n_shards\": {N_SHARDS},\n    \
+         \"query_batch_qps\": {sharded_qps_s},\n    \
+         \"recall_at_10\": {sharded_recall_s},\n    \
+         \"churn_writes\": {CHURN_WRITES},\n    \
+         \"compactions\": {n_compactions},\n    \
+         \"compaction_pause_ms_p50\": {pause_p50_s},\n    \
+         \"compaction_pause_ms_p99\": {pause_p99_s}\n  }}\n}}\n"
     );
     // Prefer the workspace root; fall back to the working directory (and a
     // warning) so a relocated bench binary still reports instead of dying.
@@ -135,23 +215,20 @@ fn bench_index(c: &mut Criterion) {
     g.bench_function("store_query_batch_lsh", |b| {
         b.iter(|| black_box(store.query_batch(&queries[..32], K)));
     });
+    g.bench_function("sharded_query_batch_lsh", |b| {
+        b.iter(|| black_box(sharded.query_batch(&queries[..32], K)));
+    });
     g.finish();
 
-    // Lifecycle costs: upsert throughput and snapshot round-trip.
+    // Lifecycle costs: upsert throughput (compaction included — the policy
+    // amortizes rewrites into the write stream) and explicit compaction.
     let mut g = c.benchmark_group("vector_store_lifecycle");
-    g.bench_function("upsert", |b| {
+    g.bench_function("upsert_policy_compacted", |b| {
         let mut s = VectorStore::new(DIM, StoreConfig::with_lsh(LshParams::default_blocking()));
         let mut next = 0u64;
         b.iter(|| {
             s.upsert(next % 4096, &corpus[(next as usize) % corpus.len()]);
             next += 1;
-            // Overwrites tombstone the old rows; compact periodically so the
-            // store stays near steady state instead of accreting dead
-            // segments across criterion's many iterations. The compaction
-            // cost amortizes to a small, realistic share of each upsert.
-            if s.stats().tombstones > 8192 {
-                s.compact();
-            }
         });
     });
     g.bench_function("compact_4k", |b| {

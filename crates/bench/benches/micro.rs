@@ -115,7 +115,7 @@ fn bench_embed_batch(c: &mut Criterion) {
                 start.elapsed().as_secs_f64()
             })
             .collect();
-        secs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        secs.sort_by(f64::total_cmp);
         BATCH as f64 / secs[secs.len() / 2]
     };
     let single_tps = time_it(&|| tables.iter().map(|t| family.embed_table(t)).collect());

@@ -26,7 +26,7 @@ use crate::encoding::{encode_column, encode_segment, encode_text, EncodedSequenc
 use crate::infer::{embed_with, InferScratch};
 use crate::model::TabBiNModel;
 use crate::variants::TabBiNFamily;
-use tabbin_index::VectorStore;
+use tabbin_index::VectorSink;
 use tabbin_table::Table;
 
 /// Batch size at which embedding fans out across worker threads. Mirrors the
@@ -190,18 +190,36 @@ impl<'a> BatchEncoder<'a> {
     }
 
     /// Embeds `tables` through the batched pipeline and streams the
-    /// composite embeddings straight into `store` (one `insert` per table,
-    /// in input order). Returns the assigned ids, so callers can map store
-    /// hits back to tables. The store must be sized for the composite
-    /// dimension (`4 * hidden`).
-    pub fn embed_into(&self, store: &mut VectorStore, tables: &[Table]) -> Vec<u64> {
-        self.embed_tables(tables).iter().map(|v| store.insert(v)).collect()
+    /// composite embeddings straight into `sink` — a single
+    /// [`tabbin_index::VectorStore`], a [`tabbin_index::ShardedStore`], or
+    /// any other [`VectorSink`] — one `insert` per table, in input order.
+    /// Returns
+    /// the assigned ids, so callers can map store hits back to tables.
+    /// The sink must be sized for the composite dimension (`4 * hidden`).
+    pub fn embed_into<S: VectorSink>(&self, sink: &mut S, tables: &[Table]) -> Vec<u64> {
+        let composite = 4 * self.family.cfg.hidden;
+        assert_eq!(
+            sink.dim(),
+            composite,
+            "sink sized for {}-dim vectors, but table composites are {composite}-dim \
+             (4 * hidden)",
+            sink.dim()
+        );
+        self.embed_tables(tables).iter().map(|v| sink.insert(v)).collect()
     }
 
     /// [`BatchEncoder::embed_into`] for `colcomp` column embeddings of one
-    /// table (store dimension `2 * hidden`). Returns one id per column.
-    pub fn embed_columns_into(&self, store: &mut VectorStore, table: &Table) -> Vec<u64> {
-        self.embed_columns(table).iter().map(|v| store.insert(v)).collect()
+    /// table (sink dimension `2 * hidden`). Returns one id per column.
+    pub fn embed_columns_into<S: VectorSink>(&self, sink: &mut S, table: &Table) -> Vec<u64> {
+        let colcomp = 2 * self.family.cfg.hidden;
+        assert_eq!(
+            sink.dim(),
+            colcomp,
+            "sink sized for {}-dim vectors, but column composites are {colcomp}-dim \
+             (2 * hidden)",
+            sink.dim()
+        );
+        self.embed_columns(table).iter().map(|v| sink.insert(v)).collect()
     }
 
     /// Entity embeddings for a batch of surface forms (column model, as in

@@ -189,15 +189,16 @@ impl TabBiNFamily {
         crate::batch::BatchEncoder::new(self).embed_entities(texts)
     }
 
-    /// Embeds `tables` and streams the composites into a
-    /// [`tabbin_index::VectorStore`] (dimension `4 * hidden`); returns the
+    /// Embeds `tables` and streams the composites into any
+    /// [`tabbin_index::VectorSink`] — a `VectorStore`, a `ShardedStore`, or
+    /// a custom sink — sized for dimension `4 * hidden`; returns the
     /// assigned ids in table order.
-    pub fn embed_tables_into(
+    pub fn embed_tables_into<S: tabbin_index::VectorSink>(
         &self,
-        store: &mut tabbin_index::VectorStore,
+        sink: &mut S,
         tables: &[Table],
     ) -> Vec<u64> {
-        crate::batch::BatchEncoder::new(self).embed_into(store, tables)
+        crate::batch::BatchEncoder::new(self).embed_into(sink, tables)
     }
 
     /// Entity embedding via the column model (§4.3 uses the TabBiN-column

@@ -6,17 +6,25 @@
 //! Topic-centroid variants (table clustering, §4.2) rank against the mean
 //! vector of a topic's members instead of an individual item.
 //!
-//! Ranking is served by a [`tabbin_index::VectorStore`]: the corpus is
-//! loaded once (ids are corpus indices) and every query is a SIMD top-k
-//! over normalized dots instead of an O(n) cosine pass plus a full sort per
-//! query. Cosine and normalized-dot induce the same ranking, and the
-//! store's tie-break (ascending id) matches the old `rank_by_cosine` index
-//! tie-break, so the metrics are unchanged. For corpora big enough that
-//! even exact top-k is too slow, [`evaluate_retrieval_blocked`] runs the
-//! same protocol over the paper's §4.1 LSH blocking.
+//! Ranking is served by a [`tabbin_index::ShardedStore`] — the retrieval
+//! layer's production tier and the default path everywhere: the corpus is
+//! loaded once (ids are corpus indices, hash-routed across
+//! [`EVAL_SHARDS`] shards) and every query is a SIMD top-k over normalized
+//! dots fanned across the shards and k-way merged, instead of an O(n)
+//! cosine pass plus a full sort per query. Cosine and normalized-dot
+//! induce the same ranking, sharding is result-invisible (ids are unique
+//! and ties break by id), and the tie-break matches the old
+//! `rank_by_cosine` index tie-break, so the metrics are unchanged. For
+//! corpora big enough that even exact top-k is too slow,
+//! [`evaluate_retrieval_blocked`] runs the same protocol over the paper's
+//! §4.1 LSH blocking.
 
 use crate::metrics::{map_at_k, mrr_at_k};
-use tabbin_index::{ExactScan, Hit, LshCandidates, LshParams, StoreConfig, VectorStore};
+use tabbin_index::{ExactScan, Hit, LshCandidates, LshParams, ShardedStore, StoreConfig};
+
+/// Shards backing the evaluation protocols' corpus store. Retrieval results
+/// are shard-count-invariant; this just sizes the fan-out.
+pub const EVAL_SHARDS: usize = 4;
 
 /// The joint MAP/MRR result of one evaluation.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -36,9 +44,9 @@ impl RetrievalEval {
     }
 }
 
-/// Loads a corpus into an exact-scan store with ids = corpus indices.
+/// Loads a corpus into a sharded store with ids = corpus indices.
 /// `None` when the corpus is empty or zero-dimensional.
-fn corpus_store(items: &[Vec<f32>], lsh: Option<(LshParams, u64)>) -> Option<VectorStore> {
+fn corpus_store(items: &[Vec<f32>], lsh: Option<(LshParams, u64)>) -> Option<ShardedStore> {
     let dim = items.first()?.len();
     if dim == 0 {
         return None;
@@ -47,7 +55,7 @@ fn corpus_store(items: &[Vec<f32>], lsh: Option<(LshParams, u64)>) -> Option<Vec
         Some((params, seed)) => StoreConfig { lsh: Some(params), seed, ..StoreConfig::default() },
         None => StoreConfig::default(),
     };
-    let mut store = VectorStore::new(dim, cfg);
+    let mut store = ShardedStore::new(dim, EVAL_SHARDS, cfg);
     for v in items {
         store.insert(v);
     }

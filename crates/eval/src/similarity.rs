@@ -85,9 +85,7 @@ pub fn rank_by_cosine(query: &[f32], items: &[Vec<f32>], exclude: Option<usize>)
         .filter(|(i, _)| Some(*i) != exclude)
         .map(|(i, v)| (i, cosine(query, v)))
         .collect();
-    scored.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
-    });
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     scored.into_iter().map(|(i, _)| i).collect()
 }
 

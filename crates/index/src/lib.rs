@@ -1,30 +1,45 @@
-//! Retrieval layer for the TabBiN workspace: a vector store over table,
+//! Retrieval layer for the TabBiN workspace: a storage engine over table,
 //! column, and entity embeddings.
 //!
 //! The paper's evaluation only ever needed one-shot LSH blocking
 //! (`tabbin_eval`'s original `LshIndex`, which now lives here). Serving
-//! retrieval over a *growing* corpus needs more, and this crate provides it:
+//! retrieval over a *growing* corpus needs more, and this crate provides it
+//! as a layered storage engine:
 //!
-//! * [`VectorStore`] — L2-normalized embeddings in flat, segmented arrays
-//!   with SIMD dot-product top-k ([`simd`]), incremental `upsert`/`delete`
-//!   with tombstones, a sealed-segment + compaction lifecycle, and
-//!   JSON snapshot persistence (`save`/`load`).
+//! * [`segment`] — the flat slab: rows, tombstones, seal lifecycle, and
+//!   per-segment LSH band buckets.
+//! * [`VectorStore`] ([`store`]) — one process-wide store: segmented
+//!   L2-normalized embeddings with SIMD dot-product top-k ([`simd`]),
+//!   incremental `upsert`/`delete`, and **policy-driven compaction**
+//!   ([`CompactionPolicy`]) that rewrites dead rows automatically on
+//!   mutation instead of at caller discretion.
+//! * [`ShardedStore`] ([`shard`]) — many stores behind one surface:
+//!   deterministic hash routing of ids, per-shard compaction, parallel
+//!   (shard × query) fan-out, and a k-way heap merge of per-shard top-k
+//!   lists. The step from one process to many.
 //! * [`CandidateSource`] — pluggable candidate generation per segment:
 //!   [`ExactScan`] or [`LshCandidates`] (banded SimHash blocking maintained
 //!   incrementally as vectors arrive).
-//! * [`VectorStore::query_batch`] — batched queries fanning (query ×
-//!   segment) tasks across crossbeam scoped workers, mirroring the batched
-//!   embedding pipeline in `tabbin_core::batch`.
+//! * [`snapshot`] — persistence: the `TBIX` binary codec (write path) and
+//!   the legacy JSON codec (read back-compat), autodetected on load, for
+//!   both store tiers. Loaded stores answer queries byte-identically.
+//! * [`VectorSink`] — the insertion surface the batched embedding pipeline
+//!   (`tabbin_core::batch`) streams into, implemented by both store tiers.
 //! * [`lsh`] — the SimHash primitives and the original one-shot
 //!   [`LshIndex`], still re-exported by `tabbin_eval` for its old users.
 
 pub mod candidates;
 pub mod lsh;
 pub mod parallel;
+pub mod segment;
+pub mod shard;
 pub mod simd;
+pub mod snapshot;
 pub mod store;
 
 pub use candidates::{CandidateSource, Candidates, ExactScan, LshCandidates, QueryContext};
 pub use lsh::LshIndex;
+pub use shard::{ShardedStats, ShardedStore};
 pub use simd::Hit;
-pub use store::{LshParams, StoreConfig, StoreSnapshot, StoreStats, VectorStore};
+pub use snapshot::{StoreSnapshot, SNAPSHOT_VERSION};
+pub use store::{CompactionPolicy, LshParams, StoreConfig, StoreStats, VectorSink, VectorStore};

@@ -1,0 +1,46 @@
+//! The segment: one flat slab of vectors with its tombstones, seal state,
+//! and incremental LSH band buckets.
+//!
+//! Segments are the unit of scanning and of the store's append lifecycle:
+//! vectors append into the one unsealed tail segment; when it reaches the
+//! store's `seal_threshold` rows it is sealed and a fresh segment opens.
+//! Sealed segments are immutable except for tombstones — a deleted row's
+//! data stays in place (and keeps its bucket entries) until compaction
+//! rewrites the segment list without the dead rows. Only the store mutates
+//! segments; candidate sources read them through accessors on
+//! [`VectorStore`](crate::VectorStore).
+
+use std::collections::HashMap;
+
+/// One flat slab of vectors.
+#[derive(Clone, Debug)]
+pub(crate) struct Segment {
+    /// Row-major normalized vectors, `rows * dim` long.
+    pub(crate) data: Vec<f32>,
+    /// Row -> id.
+    pub(crate) ids: Vec<u64>,
+    /// Tombstones; a deleted row stays in `data` until compaction.
+    pub(crate) deleted: Vec<bool>,
+    pub(crate) n_deleted: usize,
+    pub(crate) sealed: bool,
+    /// Per-band LSH buckets (`band -> key -> rows`); empty when LSH is off.
+    pub(crate) buckets: Vec<HashMap<u64, Vec<u32>>>,
+}
+
+impl Segment {
+    pub(crate) fn new(bands: usize) -> Self {
+        Self {
+            data: Vec::new(),
+            ids: Vec::new(),
+            deleted: Vec::new(),
+            n_deleted: 0,
+            sealed: false,
+            buckets: vec![HashMap::new(); bands],
+        }
+    }
+
+    /// Total rows, live and tombstoned.
+    pub(crate) fn rows(&self) -> usize {
+        self.ids.len()
+    }
+}

@@ -1,0 +1,614 @@
+//! The sharded store: many [`VectorStore`]s behind one surface.
+//!
+//! [`ShardedStore`] routes every id to one of `n_shards` inner stores with
+//! a deterministic hash (splitmix64 of the id), so a corpus too big for one
+//! flat segment list spreads evenly across independent stores — the step
+//! from one process to many. Each shard keeps its own segments, LSH
+//! buckets, and tombstones, and runs the shared [`CompactionPolicy`]
+//! locally: a busy shard compacts without pausing its siblings.
+//!
+//! Queries fan out and merge back:
+//!
+//! * [`ShardedStore::query_batch`] spreads (shard × query) tasks across the
+//!   workspace's crossbeam scoped workers ([`crate::parallel`]), exactly
+//!   like the single store spreads (segment × query) tasks;
+//! * per-shard top-k lists come back ranked, and a k-way **heap merge**
+//!   ([`merge_ranked`]) folds them into one global top-k. Ids are unique
+//!   across shards and ties break by id, so merged results are identical
+//!   to what one big store would return — the routing is invisible to
+//!   callers (property-tested in `tests/prop_index.rs`).
+//!
+//! All shards share one configuration — same seed, same banding — so LSH
+//! signatures agree across shards and a query is normalized and signed
+//! **once**, not per shard. Snapshots persist through the same `TBIX`
+//! binary codec as the single store ([`crate::snapshot`]), with the shard
+//! count in the header; ids re-route on load, so only the merged entry
+//! list is stored.
+
+use crate::candidates::{CandidateSource, ExactScan, LshCandidates, QueryContext};
+use crate::parallel::par_chunk_map;
+use crate::simd::{rank_cmp, Hit};
+use crate::snapshot::{self, StoreSnapshot, MAX_SNAPSHOT_SHARDS, SNAPSHOT_VERSION};
+use crate::store::{CompactionPolicy, StoreConfig, StoreStats, VectorSink, VectorStore};
+use std::io;
+use std::path::Path;
+
+/// Finalizing mixer from the splitmix64 generator: every id bit diffuses
+/// into the shard choice, so sequential ids (the common case — auto-ids and
+/// corpus indices) spread uniformly instead of striping.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Per-shard observability: one [`StoreStats`] per shard, plus the sums.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardedStats {
+    /// Stats of every shard, in shard order.
+    pub shards: Vec<StoreStats>,
+}
+
+impl ShardedStats {
+    /// The whole-store aggregate across shards.
+    pub fn totals(&self) -> StoreStats {
+        let mut t = StoreStats::default();
+        for s in &self.shards {
+            t.live += s.live;
+            t.tombstones += s.tombstones;
+            t.segments += s.segments;
+            t.sealed_segments += s.sealed_segments;
+        }
+        t
+    }
+}
+
+/// A hash-sharded vector store: `n_shards` independent [`VectorStore`]s
+/// with deterministic id routing, parallel fan-out queries, and a k-way
+/// merged global top-k. See the [module docs](self) for the design.
+#[derive(Clone, Debug)]
+pub struct ShardedStore {
+    dim: usize,
+    shards: Vec<VectorStore>,
+    next_id: u64,
+}
+
+impl ShardedStore {
+    /// An empty store of `n_shards` shards for `dim`-dimensional vectors,
+    /// every shard built from the same `cfg` (shared seed ⇒ shared LSH
+    /// hyperplanes, which is what makes per-shard signatures compatible).
+    ///
+    /// # Panics
+    /// On `n_shards == 0`, `n_shards` past the snapshot format's shard
+    /// bound (65536 — so `save` can never write a file `load` rejects), or
+    /// any config `VectorStore::new` rejects.
+    pub fn new(dim: usize, n_shards: usize, cfg: StoreConfig) -> Self {
+        assert!(n_shards > 0, "ShardedStore needs at least one shard");
+        assert!(
+            n_shards <= MAX_SNAPSHOT_SHARDS as usize,
+            "ShardedStore supports at most {MAX_SNAPSHOT_SHARDS} shards (asked for {n_shards})"
+        );
+        let shards = (0..n_shards).map(|_| VectorStore::new(dim, cfg)).collect();
+        Self { dim, shards, next_id: 0 }
+    }
+
+    /// An exact-scan-only sharded store with default segment sizing.
+    pub fn exact(dim: usize, n_shards: usize) -> Self {
+        Self::new(dim, n_shards, StoreConfig::default())
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Live vectors across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(VectorStore::len).sum()
+    }
+
+    /// Whether no shard holds a live vector.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(VectorStore::is_empty)
+    }
+
+    /// Whether LSH candidate generation is enabled (uniform across shards).
+    pub fn has_lsh(&self) -> bool {
+        self.shards[0].has_lsh()
+    }
+
+    /// The shard `id` routes to. Pure in `(id, n_shards)` — stable across
+    /// processes, runs, and snapshot round-trips.
+    pub fn shard_of(&self, id: u64) -> usize {
+        (splitmix64(id) % self.shards.len() as u64) as usize
+    }
+
+    /// Per-shard stats, shard order; `.totals()` for the aggregate.
+    pub fn stats(&self) -> ShardedStats {
+        ShardedStats { shards: self.shards.iter().map(VectorStore::stats).collect() }
+    }
+
+    /// Total compaction runs across all shards over the store's lifetime.
+    pub fn compactions(&self) -> u64 {
+        self.shards.iter().map(VectorStore::compactions).sum()
+    }
+
+    /// Every shard's recorded compaction pauses (seconds), concatenated in
+    /// shard order — the raw series the `index` bench turns into p50/p99.
+    /// Each shard retains at least its most recent
+    /// [`crate::store::MAX_PAUSE_SAMPLES`] runs (trimmed amortized, see
+    /// that constant's docs).
+    pub fn compaction_pauses(&self) -> Vec<f64> {
+        self.shards.iter().flat_map(|s| s.compaction_pauses().iter().copied()).collect()
+    }
+
+    /// Inserts under a fresh auto-assigned id (global across shards) and
+    /// returns it.
+    pub fn insert(&mut self, v: &[f32]) -> u64 {
+        let id = self.next_id;
+        self.upsert(id, v);
+        id
+    }
+
+    /// Inserts or replaces `id` in its shard. The shard may run a policy
+    /// compaction afterwards; siblings are untouched.
+    pub fn upsert(&mut self, id: u64, v: &[f32]) {
+        let shard = self.shard_of(id);
+        self.shards[shard].upsert(id, v);
+        self.next_id = self.next_id.max(id + 1);
+    }
+
+    /// Tombstones `id` in its shard; returns whether it was live.
+    pub fn delete(&mut self, id: u64) -> bool {
+        let shard = self.shard_of(id);
+        self.shards[shard].delete(id)
+    }
+
+    /// The live normalized vector stored under `id`.
+    pub fn get(&self, id: u64) -> Option<&[f32]> {
+        self.shards[self.shard_of(id)].get(id)
+    }
+
+    /// Whether `id` is live.
+    pub fn contains(&self, id: u64) -> bool {
+        self.shards[self.shard_of(id)].contains(id)
+    }
+
+    /// Compacts every shard now, regardless of policy — an explicit
+    /// maintenance sweep; steady-state mutation relies on the per-shard
+    /// policy instead.
+    pub fn compact(&mut self) {
+        for s in &mut self.shards {
+            s.compact();
+        }
+    }
+
+    // --- queries -----------------------------------------------------------
+
+    /// Top-`k` across all shards under the default candidate source (LSH
+    /// when configured, exact scan otherwise).
+    pub fn query(&self, q: &[f32], k: usize) -> Vec<Hit> {
+        if self.has_lsh() {
+            self.search(q, k, &LshCandidates)
+        } else {
+            self.search(q, k, &ExactScan)
+        }
+    }
+
+    /// Batched [`query`](Self::query) over many query vectors.
+    pub fn query_batch(&self, queries: &[Vec<f32>], k: usize) -> Vec<Vec<Hit>> {
+        if self.has_lsh() {
+            self.search_batch(queries, k, &LshCandidates)
+        } else {
+            self.search_batch(queries, k, &ExactScan)
+        }
+    }
+
+    /// Top-`k` search with an explicit candidate source: each shard scans
+    /// its own segments, and the ranked per-shard lists k-way merge into
+    /// the global result. Identical output to one unsharded store over the
+    /// same corpus.
+    pub fn search(&self, q: &[f32], k: usize, source: &dyn CandidateSource) -> Vec<Hit> {
+        let (nq, sig) = self.shards[0].prepare_query(q);
+        let ctx = QueryContext { vector: &nq, signature: sig.as_deref() };
+        let lists: Vec<Vec<Hit>> =
+            self.shards.iter().map(|s| s.scan_prepared(&ctx, k, source).into_sorted()).collect();
+        merge_ranked(&lists, k)
+    }
+
+    /// Batched [`search`](Self::search): every (query, shard) pair becomes
+    /// one task fanned across crossbeam scoped workers; per-query results
+    /// k-way merge as the partials land. Queries are normalized and LSH
+    /// signatures computed once each, shared by every shard task.
+    ///
+    /// Tasks are laid out **shard-major** — all queries of shard 0, then
+    /// all of shard 1, … — so each worker's contiguous chunk stays inside
+    /// one shard: a shard's slab and bucket maps are a fraction of the
+    /// whole corpus (often cache-resident) and get reused across many
+    /// queries back-to-back, which a query-major order would thrash.
+    pub fn search_batch(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        source: &dyn CandidateSource,
+    ) -> Vec<Vec<Hit>> {
+        let prepared: Vec<(Vec<f32>, Option<Vec<bool>>)> =
+            queries.iter().map(|q| self.shards[0].prepare_query(q)).collect();
+        let mut tasks = Vec::with_capacity(queries.len() * self.shards.len());
+        for shard in 0..self.shards.len() {
+            for qi in 0..queries.len() {
+                tasks.push((qi as u32, shard as u32));
+            }
+        }
+        let partials = par_chunk_map(&tasks, |chunk| {
+            chunk
+                .iter()
+                .map(|&(qi, shard)| {
+                    let (nq, sig) = &prepared[qi as usize];
+                    let ctx = QueryContext { vector: nq, signature: sig.as_deref() };
+                    (qi, self.shards[shard as usize].scan_prepared(&ctx, k, source).into_sorted())
+                })
+                .collect()
+        });
+        let mut per_query: Vec<Vec<Vec<Hit>>> =
+            (0..queries.len()).map(|_| Vec::with_capacity(self.shards.len())).collect();
+        for (qi, list) in partials {
+            per_query[qi as usize].push(list);
+        }
+        per_query.into_iter().map(|lists| merge_ranked(&lists, k)).collect()
+    }
+
+    /// Candidate rows `source` would score for `q`, summed across shards —
+    /// the blocking factor to report against the exhaustive `len()`.
+    pub fn candidate_count(&self, q: &[f32], source: &dyn CandidateSource) -> usize {
+        self.shards.iter().map(|s| s.candidate_count(q, source)).sum()
+    }
+
+    // --- persistence -------------------------------------------------------
+
+    /// Saves the whole store to `path` in the `TBIX` binary format: one
+    /// merged entry list (shard order) plus the shard count. Ids re-route
+    /// deterministically on load, so per-shard layout is not persisted.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let cfg = self.shards[0].config();
+        let mut entries = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            entries.extend(shard.snapshot().entries);
+        }
+        let snap = StoreSnapshot {
+            version: SNAPSHOT_VERSION,
+            dim: self.dim,
+            seed: cfg.seed,
+            seal_threshold: cfg.seal_threshold,
+            lsh: cfg.lsh,
+            next_id: self.next_id,
+            entries,
+        };
+        snapshot::write_file(path, &snap, self.shards.len() as u32)
+    }
+
+    /// Loads a store from `path` (binary or JSON, autodetected). The shard
+    /// count comes from the snapshot header; a single-store snapshot loads
+    /// as one shard. Entries re-insert through the raw normalized path, so
+    /// loaded stores answer queries byte-identically.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let (marker, snap) = snapshot::read_file(path)?;
+        let n_shards = (marker as usize).max(1);
+        let cfg = StoreConfig {
+            seal_threshold: snap.seal_threshold,
+            lsh: snap.lsh,
+            seed: snap.seed,
+            policy: CompactionPolicy::default(),
+        };
+        let mut store = Self::new(snap.dim, n_shards, cfg);
+        for (id, v) in &snap.entries {
+            let shard = store.shard_of(*id);
+            store.shards[shard].insert_normalized(*id, v);
+            store.next_id = store.next_id.max(*id + 1);
+        }
+        store.next_id = store.next_id.max(snap.next_id);
+        Ok(store)
+    }
+}
+
+impl VectorSink for ShardedStore {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn insert(&mut self, v: &[f32]) -> u64 {
+        ShardedStore::insert(self, v)
+    }
+}
+
+/// K-way merge of ranked hit lists (each sorted best-first by
+/// [`rank_cmp`]'s order) into the global top-`k`, via a heap of one head
+/// per list: pop the best head, advance its list, repeat. Cost is
+/// `O(k log s)` for `s` shards instead of re-sorting every hit.
+fn merge_ranked(lists: &[Vec<Hit>], k: usize) -> Vec<Hit> {
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    /// One list's current head; the heap orders heads so the best-ranked
+    /// hit surfaces first (`BinaryHeap` is a max-heap, so `cmp` inverts
+    /// `rank_cmp`).
+    struct Head {
+        hit: Hit,
+        list: u32,
+        pos: u32,
+    }
+
+    impl PartialEq for Head {
+        fn eq(&self, other: &Self) -> bool {
+            self.cmp(other) == Ordering::Equal
+        }
+    }
+    impl Eq for Head {}
+    impl PartialOrd for Head {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Head {
+        fn cmp(&self, other: &Self) -> Ordering {
+            rank_cmp(&other.hit, &self.hit)
+        }
+    }
+
+    let mut heap = BinaryHeap::with_capacity(lists.len());
+    for (li, list) in lists.iter().enumerate() {
+        if let Some(&hit) = list.first() {
+            heap.push(Head { hit, list: li as u32, pos: 0 });
+        }
+    }
+    let mut out = Vec::with_capacity(k.min(lists.iter().map(Vec::len).sum()));
+    while out.len() < k {
+        let Some(head) = heap.pop() else { break };
+        out.push(head.hit);
+        let pos = head.pos + 1;
+        if let Some(&hit) = lists[head.list as usize].get(pos as usize) {
+            heap.push(Head { hit, list: head.list, pos });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::LshParams;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_vecs(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| (0..dim).map(|_| rng.random_range(-1.0f32..1.0)).collect()).collect()
+    }
+
+    fn cfg(lsh: bool) -> StoreConfig {
+        StoreConfig {
+            seal_threshold: 16,
+            lsh: lsh.then_some(LshParams { bands: 8, rows_per_band: 2 }),
+            seed: 42,
+            policy: CompactionPolicy::disabled(),
+        }
+    }
+
+    #[test]
+    fn merge_ranked_equals_flat_sort() {
+        let lists = vec![
+            vec![Hit { id: 1, score: 0.9 }, Hit { id: 4, score: 0.4 }],
+            vec![Hit { id: 2, score: 0.9 }, Hit { id: 5, score: 0.1 }],
+            vec![],
+            vec![Hit { id: 3, score: 0.6 }],
+        ];
+        let mut flat: Vec<Hit> = lists.iter().flatten().copied().collect();
+        flat.sort_by(rank_cmp);
+        assert_eq!(merge_ranked(&lists, 3), flat[..3].to_vec());
+        assert_eq!(merge_ranked(&lists, 10), flat, "k past the total returns everything");
+        assert!(merge_ranked(&lists, 0).is_empty());
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_spreads() {
+        let store = ShardedStore::exact(4, 4);
+        let mut per_shard = [0usize; 4];
+        for id in 0..1000u64 {
+            let s = store.shard_of(id);
+            assert_eq!(s, store.shard_of(id), "routing must be pure");
+            per_shard[s] += 1;
+        }
+        for (s, n) in per_shard.iter().enumerate() {
+            assert!(
+                (150..=350).contains(n),
+                "shard {s} got {n} of 1000 sequential ids — routing is striping"
+            );
+        }
+    }
+
+    #[test]
+    fn insert_assigns_global_sequential_ids() {
+        let vecs = random_vecs(30, 6, 1);
+        let mut store = ShardedStore::new(6, 3, cfg(false));
+        let ids: Vec<u64> = vecs.iter().map(|v| store.insert(v)).collect();
+        assert_eq!(ids, (0..30).collect::<Vec<u64>>());
+        assert_eq!(store.len(), 30);
+        let totals = store.stats().totals();
+        assert_eq!(totals.live, 30);
+        assert!(store.stats().shards.iter().all(|s| s.live > 0), "every shard populated");
+        // Each vector finds itself across the shard fan-out.
+        for (i, v) in vecs.iter().enumerate() {
+            assert_eq!(store.query(v, 1)[0].id, i as u64);
+        }
+    }
+
+    #[test]
+    fn sharded_matches_single_store_bit_for_bit() {
+        for lsh in [false, true] {
+            let vecs = random_vecs(120, 10, 2);
+            let mut single = VectorStore::new(10, cfg(lsh));
+            let mut sharded = ShardedStore::new(10, 4, cfg(lsh));
+            for v in &vecs {
+                single.insert(v);
+                sharded.insert(v);
+            }
+            // Mutate both the same way.
+            for id in [3u64, 17, 44, 90] {
+                single.delete(id);
+                sharded.delete(id);
+            }
+            single.upsert(7, &vecs[50]);
+            sharded.upsert(7, &vecs[50]);
+
+            let queries: Vec<Vec<f32>> = vecs[..20].to_vec();
+            let a = single.query_batch(&queries, 8);
+            let b = sharded.query_batch(&queries, 8);
+            assert_eq!(a, b, "lsh={lsh}: sharded results diverged");
+            for (x, y) in a.iter().flatten().zip(b.iter().flatten()) {
+                assert_eq!(x.score.to_bits(), y.score.to_bits(), "lsh={lsh}: score bits differ");
+            }
+        }
+    }
+
+    #[test]
+    fn upsert_and_delete_route_to_the_owning_shard() {
+        let vecs = random_vecs(40, 8, 3);
+        let mut store = ShardedStore::new(8, 4, cfg(false));
+        for v in &vecs {
+            store.insert(v);
+        }
+        store.upsert(5, &vecs[9]);
+        assert_eq!(store.len(), 40, "upsert replaces, not grows");
+        assert_eq!(store.stats().totals().tombstones, 1);
+        assert!(store.contains(5));
+        assert!(store.delete(5));
+        assert!(!store.delete(5), "double delete reports dead");
+        assert!(store.get(5).is_none());
+        assert_eq!(store.len(), 39);
+        assert!(store.query(&vecs[9], 40).iter().all(|h| h.id != 5));
+    }
+
+    #[test]
+    fn per_shard_policy_compacts_only_the_busy_shard() {
+        let vecs = random_vecs(80, 6, 4);
+        let policy = CompactionPolicy { max_tombstone_ratio: 0.2, max_segments: 64 };
+        let mut store = ShardedStore::new(6, 4, StoreConfig { policy, ..cfg(false) });
+        for v in &vecs {
+            store.insert(v);
+        }
+        // Delete every id one shard owns; only that shard should compact.
+        let victim = store.shard_of(0);
+        let victims: Vec<u64> = (0..80u64).filter(|&id| store.shard_of(id) == victim).collect();
+        for &id in &victims {
+            store.delete(id);
+        }
+        assert!(!store.compaction_pauses().is_empty(), "policy never ran");
+        let stats = store.stats();
+        assert_eq!(stats.shards[victim].live, 0);
+        assert_eq!(stats.shards[victim].tombstones, 0, "victim shard left uncompacted");
+        for (si, s) in stats.shards.iter().enumerate() {
+            if si != victim {
+                assert_eq!(s.tombstones, 0, "untouched shard {si} has tombstones");
+            }
+        }
+        assert_eq!(store.len(), 80 - victims.len());
+    }
+
+    #[test]
+    fn snapshot_roundtrips_a_mutated_store_byte_identical() {
+        let vecs = random_vecs(90, 12, 5);
+        let mut store = ShardedStore::new(12, 4, cfg(true));
+        for v in &vecs {
+            store.insert(v);
+        }
+        for id in [2u64, 30, 61, 77] {
+            store.delete(id);
+        }
+        store.upsert(10, &vecs[40]);
+        let queries: Vec<Vec<f32>> = vecs[20..35].to_vec();
+        let before = store.query_batch(&queries, 7);
+
+        let path =
+            std::env::temp_dir().join(format!("tabbin_index_sharded_{}.tbix", std::process::id()));
+        store.save(&path).expect("save");
+        let loaded = ShardedStore::load(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(loaded.n_shards(), 4);
+        assert_eq!(loaded.len(), store.len());
+        let after = loaded.query_batch(&queries, 7);
+        assert_eq!(after, before);
+        for (a, b) in after.iter().flatten().zip(before.iter().flatten()) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+        // Fresh ids keep allocating past the old counter.
+        let mut loaded = loaded;
+        assert_eq!(loaded.insert(&vecs[0]), 90);
+    }
+
+    #[test]
+    fn single_store_snapshot_loads_as_one_shard() {
+        let vecs = random_vecs(25, 8, 6);
+        let mut single = VectorStore::new(8, cfg(false));
+        for v in &vecs {
+            single.insert(v);
+        }
+        let path = std::env::temp_dir()
+            .join(format!("tabbin_index_single_as_sharded_{}.tbix", std::process::id()));
+        single.save(&path).expect("save");
+        let sharded = ShardedStore::load(&path).expect("load");
+        // And the reverse direction is refused with a pointer here.
+        let err = {
+            let mut s4 = ShardedStore::new(8, 4, cfg(false));
+            for v in &vecs {
+                s4.insert(v);
+            }
+            s4.save(&path).expect("save sharded");
+            VectorStore::load(&path).expect_err("single load of sharded file must fail")
+        };
+        std::fs::remove_file(&path).ok();
+        assert_eq!(sharded.n_shards(), 1);
+        assert_eq!(sharded.query(&vecs[3], 5), single.query(&vecs[3], 5));
+        assert!(err.to_string().contains("ShardedStore::load"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn candidate_count_sums_across_shards() {
+        let vecs = random_vecs(60, 8, 7);
+        let mut store = ShardedStore::new(8, 3, cfg(true));
+        let mut single = VectorStore::new(8, cfg(true));
+        for v in &vecs {
+            store.insert(v);
+            single.insert(v);
+        }
+        // Same planes, same signatures ⇒ identical candidate sets, just
+        // partitioned differently.
+        assert_eq!(
+            store.candidate_count(&vecs[0], &LshCandidates),
+            single.candidate_count(&vecs[0], &LshCandidates)
+        );
+        assert_eq!(store.candidate_count(&vecs[0], &ExactScan), 60);
+    }
+
+    #[test]
+    fn empty_sharded_store_returns_no_hits() {
+        let store = ShardedStore::exact(8, 4);
+        assert!(store.is_empty());
+        assert!(store.query(&[1.0; 8], 5).is_empty());
+        assert!(store.query_batch(&[vec![1.0; 8]], 5)[0].is_empty());
+        assert!(store.query_batch(&[], 5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        ShardedStore::exact(8, 0);
+    }
+}

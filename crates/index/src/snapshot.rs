@@ -1,0 +1,317 @@
+//! Snapshot capture and the on-disk codecs.
+//!
+//! A [`StoreSnapshot`] is the logical content of a store: its configuration
+//! plus every live `(id, normalized vector)` entry in physical order.
+//! Tombstones are dropped on capture — a snapshot is implicitly compacted.
+//!
+//! Two codecs move snapshots through disk behind the same `save`/`load`
+//! API on [`VectorStore`](crate::VectorStore) and
+//! [`ShardedStore`](crate::ShardedStore):
+//!
+//! * **`TBIX` binary** (the write path) — a 4-byte magic, little-endian
+//!   header, and the raw f32 payload. Roughly 3× smaller than JSON (each
+//!   f32 is 4 bytes instead of ~12 characters of decimal text).
+//! * **JSON** (read back-compat) — the serde format earlier builds wrote.
+//!
+//! Loading autodetects the codec by the magic bytes, so snapshots saved by
+//! any build read back transparently. Both codecs round-trip vector bits
+//! exactly; loaded stores answer queries byte-identically.
+//!
+//! The binary header carries a shard count so one format serves both store
+//! tiers: `0` marks a single-store snapshot, `n ≥ 1` a sharded one (ids
+//! re-route deterministically on load, so only the merged entry list is
+//! persisted). The compaction policy is runtime tuning, not data, and is
+//! not persisted — loaded stores run the policy they are configured with.
+
+use crate::store::LshParams;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// The snapshot format version this build writes and reads.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Magic bytes opening a binary snapshot file.
+pub(crate) const TBIX_MAGIC: [u8; 4] = *b"TBIX";
+
+/// Upper bound on the shard-count marker a snapshot may carry. Snapshots
+/// are untrusted input: without this, a corrupt header could make
+/// `ShardedStore::load` construct billions of empty shards before any
+/// entry is read. Far above any sane deployment, far below harm.
+pub(crate) const MAX_SNAPSHOT_SHARDS: u32 = 65_536;
+
+/// A serializable snapshot of a store: its configuration plus every live
+/// `(id, normalized vector)` entry in physical order. Tombstones are
+/// dropped on capture — a snapshot is implicitly compacted.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StoreSnapshot {
+    /// Snapshot format version; bumped on incompatible layout changes.
+    pub version: u32,
+    /// Vector dimensionality.
+    pub dim: usize,
+    /// Hyperplane seed (see [`crate::StoreConfig::seed`]).
+    pub seed: u64,
+    /// Segment seal threshold.
+    pub seal_threshold: usize,
+    /// LSH banding, if enabled.
+    pub lsh: Option<LshParams>,
+    /// The next auto-assigned id.
+    pub next_id: u64,
+    /// Live entries in segment-then-row order.
+    pub entries: Vec<(u64, Vec<f32>)>,
+}
+
+impl StoreSnapshot {
+    /// Checks the invariants a store rebuild relies on. Snapshots are an
+    /// untrusted-input boundary (files on disk), so violations must come
+    /// back as errors rather than tripping constructor asserts.
+    pub(crate) fn validate(&self) -> io::Result<()> {
+        if self.version != SNAPSHOT_VERSION {
+            return Err(invalid(format!(
+                "unsupported snapshot version {} (want {SNAPSHOT_VERSION})",
+                self.version
+            )));
+        }
+        if self.dim == 0 || self.seal_threshold == 0 {
+            return Err(invalid("snapshot with zero dim or seal_threshold".into()));
+        }
+        if let Some(p) = self.lsh {
+            if p.bands == 0 || p.rows_per_band == 0 {
+                return Err(invalid("snapshot with zero LSH bands or rows_per_band".into()));
+            }
+        }
+        for (id, v) in &self.entries {
+            if v.len() != self.dim {
+                return Err(invalid(format!(
+                    "snapshot entry {id} has dim {} (want {})",
+                    v.len(),
+                    self.dim
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+// --- binary codec ----------------------------------------------------------
+
+/// Encodes a snapshot into the `TBIX` binary format. `n_shards == 0` marks
+/// a single-store snapshot; `n ≥ 1` a sharded one.
+pub(crate) fn encode_binary(snap: &StoreSnapshot, n_shards: u32) -> Vec<u8> {
+    let per_entry = 8 + snap.dim * 4;
+    let mut out = Vec::with_capacity(64 + snap.entries.len() * per_entry);
+    out.extend_from_slice(&TBIX_MAGIC);
+    out.extend_from_slice(&snap.version.to_le_bytes());
+    out.extend_from_slice(&n_shards.to_le_bytes());
+    out.extend_from_slice(&(snap.dim as u32).to_le_bytes());
+    out.extend_from_slice(&(snap.seal_threshold as u64).to_le_bytes());
+    out.extend_from_slice(&snap.seed.to_le_bytes());
+    match snap.lsh {
+        Some(p) => {
+            out.push(1);
+            out.extend_from_slice(&(p.bands as u32).to_le_bytes());
+            out.extend_from_slice(&(p.rows_per_band as u32).to_le_bytes());
+        }
+        None => out.push(0),
+    }
+    out.extend_from_slice(&snap.next_id.to_le_bytes());
+    out.extend_from_slice(&(snap.entries.len() as u64).to_le_bytes());
+    for (id, v) in &snap.entries {
+        out.extend_from_slice(&id.to_le_bytes());
+        for x in v {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// A bounds-checked little-endian reader over a byte slice.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let s = &self.bytes[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(invalid("truncated binary snapshot".into())),
+        }
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn f32(&mut self) -> io::Result<f32> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+}
+
+/// Decodes a `TBIX` binary snapshot, returning the shard count marker
+/// (`0` = single store) and the validated snapshot.
+fn decode_binary(bytes: &[u8]) -> io::Result<(u32, StoreSnapshot)> {
+    let mut c = Cursor { bytes, pos: TBIX_MAGIC.len() };
+    let version = c.u32()?;
+    let n_shards = c.u32()?;
+    if n_shards > MAX_SNAPSHOT_SHARDS {
+        return Err(invalid(format!(
+            "snapshot claims {n_shards} shards (max {MAX_SNAPSHOT_SHARDS}) — corrupt header?"
+        )));
+    }
+    let dim = c.u32()? as usize;
+    let seal_threshold = c.u64()? as usize;
+    let seed = c.u64()?;
+    let lsh = match c.u8()? {
+        0 => None,
+        1 => Some(LshParams { bands: c.u32()? as usize, rows_per_band: c.u32()? as usize }),
+        flag => return Err(invalid(format!("bad LSH flag byte {flag}"))),
+    };
+    let next_id = c.u64()?;
+    let n_entries = c.u64()? as usize;
+    // The payload length is implied by the header; a mismatch means a
+    // corrupt or truncated file, caught before any large allocation.
+    let per_entry = 8usize + dim.checked_mul(4).ok_or_else(|| invalid("dim overflow".into()))?;
+    let want = n_entries
+        .checked_mul(per_entry)
+        .and_then(|p| p.checked_add(c.pos))
+        .ok_or_else(|| invalid("entry count overflow".into()))?;
+    if want != bytes.len() {
+        return Err(invalid(format!(
+            "binary snapshot length {} does not match header (want {want})",
+            bytes.len()
+        )));
+    }
+    let mut entries = Vec::with_capacity(n_entries);
+    for _ in 0..n_entries {
+        let id = c.u64()?;
+        let mut v = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            v.push(c.f32()?);
+        }
+        entries.push((id, v));
+    }
+    let snap = StoreSnapshot { version, dim, seed, seal_threshold, lsh, next_id, entries };
+    snap.validate()?;
+    Ok((n_shards, snap))
+}
+
+// --- autodetecting file I/O ------------------------------------------------
+
+/// Writes a snapshot to `path` in the binary format.
+pub(crate) fn write_file(path: &Path, snap: &StoreSnapshot, n_shards: u32) -> io::Result<()> {
+    std::fs::write(path, encode_binary(snap, n_shards))
+}
+
+/// Writes a snapshot to `path` as JSON — the legacy format, kept for
+/// interchange with older builds (and for the size comparison tests).
+pub(crate) fn write_file_json(path: &Path, snap: &StoreSnapshot) -> io::Result<()> {
+    let json = serde_json::to_string(snap).map_err(|e| invalid(e.to_string()))?;
+    std::fs::write(path, json)
+}
+
+/// Reads a snapshot from `path`, autodetecting the codec by the magic
+/// bytes: `TBIX` → binary, anything else → JSON. Returns the shard-count
+/// marker (`0` for single-store snapshots, including all JSON ones) and
+/// the validated snapshot.
+pub(crate) fn read_file(path: &Path) -> io::Result<(u32, StoreSnapshot)> {
+    let bytes = std::fs::read(path)?;
+    if bytes.starts_with(&TBIX_MAGIC) {
+        return decode_binary(&bytes);
+    }
+    let text = std::str::from_utf8(&bytes).map_err(|e| invalid(e.to_string()))?;
+    let snap: StoreSnapshot = serde_json::from_str(text).map_err(|e| invalid(e.to_string()))?;
+    snap.validate()?;
+    Ok((0, snap))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StoreSnapshot {
+        StoreSnapshot {
+            version: SNAPSHOT_VERSION,
+            dim: 3,
+            seed: 7,
+            seal_threshold: 16,
+            lsh: Some(LshParams { bands: 4, rows_per_band: 2 }),
+            next_id: 2,
+            entries: vec![(0, vec![1.0, 0.0, 0.0]), (1, vec![0.0, 0.6, 0.8])],
+        }
+    }
+
+    #[test]
+    fn binary_roundtrips_bit_exact() {
+        let snap = sample();
+        let bytes = encode_binary(&snap, 0);
+        let (n_shards, back) = decode_binary(&bytes).expect("decode");
+        assert_eq!(n_shards, 0);
+        assert_eq!(back.dim, snap.dim);
+        assert_eq!(back.next_id, snap.next_id);
+        assert_eq!(back.lsh, snap.lsh);
+        for ((ia, va), (ib, vb)) in back.entries.iter().zip(&snap.entries) {
+            assert_eq!(ia, ib);
+            for (a, b) in va.iter().zip(vb) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn binary_preserves_shard_marker() {
+        let bytes = encode_binary(&sample(), 4);
+        let (n_shards, _) = decode_binary(&bytes).expect("decode");
+        assert_eq!(n_shards, 4);
+    }
+
+    #[test]
+    fn truncated_or_padded_binary_is_rejected() {
+        let bytes = encode_binary(&sample(), 0);
+        assert!(decode_binary(&bytes[..bytes.len() - 3]).is_err(), "truncated must fail");
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(decode_binary(&padded).is_err(), "padded must fail");
+        let mut bad_version = bytes;
+        bad_version[4] = 99;
+        assert!(decode_binary(&bad_version).is_err(), "bad version must fail");
+    }
+
+    #[test]
+    fn absurd_shard_count_is_rejected_before_any_allocation() {
+        // A crafted header claiming u32::MAX shards must come back as
+        // InvalidData, not as billions of shard constructions in load().
+        let mut bytes = encode_binary(&sample(), 4);
+        bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = decode_binary(&bytes).expect_err("absurd shard count must fail");
+        assert!(err.to_string().contains("shards"), "unhelpful error: {err}");
+        // The bound itself is inclusive.
+        let mut at_max = encode_binary(&sample(), 4);
+        at_max[8..12].copy_from_slice(&MAX_SNAPSHOT_SHARDS.to_le_bytes());
+        assert!(decode_binary(&at_max).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_mismatched_entry_dim() {
+        let mut snap = sample();
+        snap.entries.push((9, vec![1.0]));
+        assert!(snap.validate().is_err());
+    }
+}

@@ -1,15 +1,20 @@
 //! The segmented vector store.
 //!
 //! [`VectorStore`] holds L2-normalized embeddings in flat per-segment
-//! `Vec<f32>` arrays and serves top-k similarity queries over them:
+//! `Vec<f32>` arrays ([`crate::segment`]) and serves top-k similarity
+//! queries over them:
 //!
 //! * **Segments** — vectors append into the one unsealed tail segment; when
 //!   it reaches `seal_threshold` rows it is sealed and a fresh segment opens.
 //!   Sealed segments are immutable except for tombstones, which keeps scans
 //!   cache-friendly flat loops.
 //! * **Upsert / delete with tombstones** — overwriting or deleting an id
-//!   tombstones the old row in place; [`VectorStore::compact`] rewrites the
-//!   segments without the dead rows.
+//!   tombstones the old row in place; compaction rewrites the segments
+//!   without the dead rows. Compaction is **policy-driven**: every store
+//!   carries a [`CompactionPolicy`] and compacts itself on mutation once
+//!   the tombstone ratio or segment count crosses the configured bounds,
+//!   so callers never schedule maintenance by hand. Pause times are
+//!   recorded per run ([`VectorStore::compaction_pauses`]).
 //! * **Candidate generation** — scoring is routed through a pluggable
 //!   [`CandidateSource`](crate::CandidateSource): exhaustive
 //!   [`ExactScan`](crate::ExactScan) or LSH banded blocking
@@ -20,17 +25,25 @@
 //!   `par_chunk_map` dispatch in `tabbin_core::batch`.
 //! * **Persistence** — [`VectorStore::snapshot`] captures the live entries;
 //!   [`VectorStore::save`] / [`VectorStore::load`] move snapshots through
-//!   JSON on disk. Loaded stores answer queries byte-identically: vectors
-//!   round-trip exactly, scoring is layout-independent, and ties break by id.
+//!   the `TBIX` binary codec on disk (JSON is still read transparently —
+//!   see [`crate::snapshot`]). Loaded stores answer queries
+//!   byte-identically: vectors round-trip exactly, scoring is
+//!   layout-independent, and ties break by id.
+//!
+//! One process-wide store is the first tier; [`crate::ShardedStore`] routes
+//! ids across many of them and merges per-shard top-k.
 
 use crate::candidates::{CandidateSource, Candidates, ExactScan, LshCandidates, QueryContext};
 use crate::lsh::{band_key, random_planes, signature_of};
 use crate::parallel::par_chunk_map;
+use crate::segment::Segment;
 use crate::simd::{dot, Hit, TopK};
+use crate::snapshot::{self, StoreSnapshot, SNAPSHOT_VERSION};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::io;
 use std::path::Path;
+use std::time::Instant;
 
 /// Task count at which `query_batch` fans out across worker threads (the
 /// workspace-wide [`crate::parallel::PARALLEL_TASK_THRESHOLD`]).
@@ -38,6 +51,14 @@ pub const PARALLEL_QUERY_THRESHOLD: usize = crate::parallel::PARALLEL_TASK_THRES
 
 /// Default number of rows after which the active segment is sealed.
 pub const DEFAULT_SEAL_THRESHOLD: usize = 4096;
+
+/// Pause-log retention floor per store. A long-lived store under churn
+/// compacts indefinitely; the pause log always holds the most recent
+/// `MAX_PAUSE_SAMPLES` runs (enough for stable p50/p99) and is trimmed
+/// amortized-O(1), so it may transiently hold up to `2 *
+/// MAX_PAUSE_SAMPLES - 1` before a trim — never more — while
+/// [`VectorStore::compactions`] counts every run ever.
+pub const MAX_PAUSE_SAMPLES: usize = 1024;
 
 /// LSH banding parameters for a store's candidate generation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -56,6 +77,55 @@ impl LshParams {
     }
 }
 
+/// When a store compacts itself. Checked after every mutating call
+/// (`upsert` / `delete`); a store whose tombstone ratio or segment count
+/// crosses either bound rewrites itself immediately, replacing
+/// caller-discretion `compact()` scheduling. Compaction only runs when it
+/// can achieve something: at least one tombstone exists (the only thing a
+/// rewrite removes), and the segment-count trigger additionally requires
+/// that a rewrite would actually shrink the segment list — a store whose
+/// *live* rows already fill more than `max_segments` full segments must
+/// not rewrite itself on every mutation forever.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CompactionPolicy {
+    /// Compact once `tombstones / (live + tombstones)` exceeds this.
+    pub max_tombstone_ratio: f32,
+    /// Compact once the segment count exceeds this (and tombstones exist).
+    pub max_segments: usize,
+}
+
+impl Default for CompactionPolicy {
+    /// Compact at 30% dead rows or past 64 segments — early enough that
+    /// scans never wade through mostly-dead slabs, late enough that the
+    /// rewrite amortizes over many mutations.
+    fn default() -> Self {
+        Self { max_tombstone_ratio: 0.3, max_segments: 64 }
+    }
+}
+
+impl CompactionPolicy {
+    /// A policy that never triggers; mutations leave tombstones in place
+    /// until `compact()` is called explicitly.
+    pub fn disabled() -> Self {
+        Self { max_tombstone_ratio: f32::INFINITY, max_segments: usize::MAX }
+    }
+
+    /// Whether a store in this state should compact now. `seal_threshold`
+    /// bounds what a rewrite can achieve: compaction repacks live rows
+    /// into `ceil(live / seal_threshold)` segments, so the segment-count
+    /// trigger only fires when that floor is below the current count.
+    pub(crate) fn should_compact(&self, stats: StoreStats, seal_threshold: usize) -> bool {
+        if stats.tombstones == 0 {
+            return false;
+        }
+        let total = (stats.live + stats.tombstones) as f32;
+        if stats.tombstones as f32 > self.max_tombstone_ratio * total {
+            return true;
+        }
+        stats.segments > self.max_segments && stats.segments > stats.live.div_ceil(seal_threshold)
+    }
+}
+
 /// Construction-time options for a [`VectorStore`].
 #[derive(Clone, Copy, Debug)]
 pub struct StoreConfig {
@@ -67,11 +137,18 @@ pub struct StoreConfig {
     /// Seed for the LSH hyperplanes — two stores with the same seed, params,
     /// and dimension hash identically.
     pub seed: u64,
+    /// When the store compacts itself (see [`CompactionPolicy`]).
+    pub policy: CompactionPolicy,
 }
 
 impl Default for StoreConfig {
     fn default() -> Self {
-        Self { seal_threshold: DEFAULT_SEAL_THRESHOLD, lsh: None, seed: 0x7ab1 }
+        Self {
+            seal_threshold: DEFAULT_SEAL_THRESHOLD,
+            lsh: None,
+            seed: 0x7ab1,
+            policy: CompactionPolicy::default(),
+        }
     }
 }
 
@@ -79,39 +156,6 @@ impl StoreConfig {
     /// The default configuration with LSH blocking enabled.
     pub fn with_lsh(params: LshParams) -> Self {
         Self { lsh: Some(params), ..Self::default() }
-    }
-}
-
-/// One flat slab of vectors. Only the store mutates segments; candidate
-/// sources read them through the accessors on [`VectorStore`].
-#[derive(Clone, Debug)]
-pub(crate) struct Segment {
-    /// Row-major normalized vectors, `rows * dim` long.
-    data: Vec<f32>,
-    /// Row -> id.
-    ids: Vec<u64>,
-    /// Tombstones; a deleted row stays in `data` until compaction.
-    deleted: Vec<bool>,
-    n_deleted: usize,
-    sealed: bool,
-    /// Per-band LSH buckets (`band -> key -> rows`); empty when LSH is off.
-    buckets: Vec<HashMap<u64, Vec<u32>>>,
-}
-
-impl Segment {
-    fn new(bands: usize) -> Self {
-        Self {
-            data: Vec::new(),
-            ids: Vec::new(),
-            deleted: Vec::new(),
-            n_deleted: 0,
-            sealed: false,
-            buckets: vec![HashMap::new(); bands],
-        }
-    }
-
-    fn rows(&self) -> usize {
-        self.ids.len()
     }
 }
 
@@ -128,29 +172,17 @@ pub struct StoreStats {
     pub sealed_segments: usize,
 }
 
-/// A serializable snapshot of a store: its configuration plus every live
-/// `(id, normalized vector)` entry in physical order. Tombstones are
-/// dropped on capture — a snapshot is implicitly compacted.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct StoreSnapshot {
-    /// Snapshot format version; bumped on incompatible layout changes.
-    pub version: u32,
-    /// Vector dimensionality.
-    pub dim: usize,
-    /// Hyperplane seed (see [`StoreConfig::seed`]).
-    pub seed: u64,
-    /// Segment seal threshold.
-    pub seal_threshold: usize,
-    /// LSH banding, if enabled.
-    pub lsh: Option<LshParams>,
-    /// The next auto-assigned id.
-    pub next_id: u64,
-    /// Live entries in segment-then-row order.
-    pub entries: Vec<(u64, Vec<f32>)>,
-}
+/// Anything embeddings can stream into: [`VectorStore`],
+/// [`crate::ShardedStore`], or custom sinks (filters, tees, remotes). The
+/// batched embedding pipeline (`tabbin_core::batch`) writes through this
+/// trait, so producers never care which storage tier they feed.
+pub trait VectorSink {
+    /// The vector dimensionality the sink expects.
+    fn dim(&self) -> usize;
 
-/// The snapshot format this build writes and reads.
-pub const SNAPSHOT_VERSION: u32 = 1;
+    /// Inserts a vector under a fresh auto-assigned id and returns it.
+    fn insert(&mut self, v: &[f32]) -> u64;
+}
 
 /// A segmented, incrementally-updatable vector store over L2-normalized
 /// embeddings. See the [module docs](self) for the design.
@@ -164,6 +196,12 @@ pub struct VectorStore {
     /// id -> (segment, row) of the live copy.
     locs: HashMap<u64, (u32, u32)>,
     next_id: u64,
+    /// Seconds the most recent compaction runs (manual or policy-triggered)
+    /// paused mutations for, in run order; trimmed per
+    /// [`MAX_PAUSE_SAMPLES`]'s schedule.
+    pauses: Vec<f64>,
+    /// Total compaction runs over the store's lifetime.
+    compactions: u64,
 }
 
 impl VectorStore {
@@ -182,7 +220,16 @@ impl VectorStore {
             }
             None => Vec::new(),
         };
-        Self { dim, cfg, planes, segments: Vec::new(), locs: HashMap::new(), next_id: 0 }
+        Self {
+            dim,
+            cfg,
+            planes,
+            segments: Vec::new(),
+            locs: HashMap::new(),
+            next_id: 0,
+            pauses: Vec::new(),
+            compactions: 0,
+        }
     }
 
     /// An exact-scan-only store with default segment sizing.
@@ -210,6 +257,11 @@ impl VectorStore {
         !self.planes.is_empty()
     }
 
+    /// The configuration the store was built with.
+    pub fn config(&self) -> StoreConfig {
+        self.cfg
+    }
+
     /// Live/tombstone/segment counts.
     pub fn stats(&self) -> StoreStats {
         StoreStats {
@@ -218,6 +270,21 @@ impl VectorStore {
             segments: self.segments.len(),
             sealed_segments: self.segments.iter().filter(|s| s.sealed).count(),
         }
+    }
+
+    /// Total compaction runs over the store's lifetime (the pause log
+    /// below only retains the most recent [`MAX_PAUSE_SAMPLES`]).
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Seconds the most recent compaction runs paused mutations for,
+    /// oldest first — the series the `index` bench distills into p50/p99.
+    /// Holds at least the last [`MAX_PAUSE_SAMPLES`] runs and at most one
+    /// sample under twice that (see the constant's docs for the trim
+    /// schedule).
+    pub fn compaction_pauses(&self) -> &[f64] {
+        &self.pauses
     }
 
     /// Inserts under a fresh auto-assigned id and returns it.
@@ -229,7 +296,8 @@ impl VectorStore {
 
     /// Inserts or replaces the vector stored under `id`. The vector is
     /// L2-normalized on the way in (zero vectors are stored as-is and score
-    /// 0 against everything).
+    /// 0 against everything). May trigger a policy compaction when the
+    /// overwrite's tombstone crosses the configured bounds.
     ///
     /// # Panics
     /// If `v.len()` differs from the store dimension.
@@ -249,12 +317,16 @@ impl VectorStore {
             }
         }
         self.insert_normalized(id, &nv);
+        self.maybe_compact();
     }
 
     /// The raw insert path: `nv` is trusted to be normalized already. Used
-    /// by [`upsert`](Self::upsert) and by snapshot loading, where
-    /// re-normalizing could perturb the stored bits.
-    fn insert_normalized(&mut self, id: u64, nv: &[f32]) {
+    /// by [`upsert`](Self::upsert) and by snapshot loading (including the
+    /// sharded store's), where re-normalizing could perturb the stored
+    /// bits. Never triggers policy compaction — public mutators do that
+    /// after the write, which keeps `compact`'s own rebuild loop off the
+    /// policy path.
+    pub(crate) fn insert_normalized(&mut self, id: u64, nv: &[f32]) {
         if let Some(&(seg, row)) = self.locs.get(&id) {
             self.tombstone(seg as usize, row as usize);
         }
@@ -289,12 +361,14 @@ impl VectorStore {
         self.next_id = self.next_id.max(id + 1);
     }
 
-    /// Tombstones `id`; returns whether it was live. The row's data stays in
-    /// place (and keeps its LSH bucket entries) until [`compact`](Self::compact).
+    /// Tombstones `id`; returns whether it was live. The row's data stays
+    /// in place (and keeps its LSH bucket entries) until the policy — or an
+    /// explicit [`compact`](Self::compact) — rewrites the store.
     pub fn delete(&mut self, id: u64) -> bool {
         match self.locs.remove(&id) {
             Some((seg, row)) => {
                 self.tombstone(seg as usize, row as usize);
+                self.maybe_compact();
                 true
             }
             None => false,
@@ -386,14 +460,9 @@ impl VectorStore {
     /// # Panics
     /// If `q.len()` differs from the store dimension.
     pub fn search(&self, q: &[f32], k: usize, source: &dyn CandidateSource) -> Vec<Hit> {
-        let nq = self.normalize_query(q);
-        let sig = self.query_signature(&nq);
+        let (nq, sig) = self.prepare_query(q);
         let ctx = QueryContext { vector: &nq, signature: sig.as_deref() };
-        let mut topk = TopK::new(k);
-        for seg in 0..self.segments.len() {
-            topk.merge(self.scan_segment(&ctx, seg, k, source));
-        }
-        topk.into_sorted()
+        self.scan_prepared(&ctx, k, source).into_sorted()
     }
 
     /// Batched [`search`](Self::search): every (query, segment) pair becomes
@@ -406,14 +475,17 @@ impl VectorStore {
         k: usize,
         source: &dyn CandidateSource,
     ) -> Vec<Vec<Hit>> {
-        let normalized: Vec<Vec<f32>> = queries.iter().map(|q| self.normalize_query(q)).collect();
         if self.segments.is_empty() {
+            // Still shape-checks (and normalizes) every query.
+            for q in queries {
+                self.normalize_query(q);
+            }
             return vec![Vec::new(); queries.len()];
         }
         // Per-query state (normalized vector + LSH signature) is computed
         // once here and shared by every segment task of that query.
-        let signatures: Vec<Option<Vec<bool>>> =
-            normalized.iter().map(|nq| self.query_signature(nq)).collect();
+        let prepared: Vec<(Vec<f32>, Option<Vec<bool>>)> =
+            queries.iter().map(|q| self.prepare_query(q)).collect();
         let mut tasks = Vec::with_capacity(queries.len() * self.segments.len());
         for qi in 0..queries.len() {
             for seg in 0..self.segments.len() {
@@ -424,10 +496,8 @@ impl VectorStore {
             chunk
                 .iter()
                 .map(|&(qi, seg)| {
-                    let ctx = QueryContext {
-                        vector: &normalized[qi as usize],
-                        signature: signatures[qi as usize].as_deref(),
-                    };
+                    let (nq, sig) = &prepared[qi as usize];
+                    let ctx = QueryContext { vector: nq, signature: sig.as_deref() };
                     (qi, self.scan_segment(&ctx, seg as usize, k, source))
                 })
                 .collect()
@@ -442,8 +512,7 @@ impl VectorStore {
     /// How many candidate rows `source` would score for `q` — the blocking
     /// factor to report against the exhaustive `len()`.
     pub fn candidate_count(&self, q: &[f32], source: &dyn CandidateSource) -> usize {
-        let nq = self.normalize_query(q);
-        let sig = self.query_signature(&nq);
+        let (nq, sig) = self.prepare_query(q);
         let ctx = QueryContext { vector: &nq, signature: sig.as_deref() };
         (0..self.segments.len())
             .map(|seg| match source.candidates(self, seg, &ctx) {
@@ -457,6 +526,29 @@ impl VectorStore {
                     .count(),
             })
             .sum()
+    }
+
+    /// Normalizes and signs a query once; the result feeds every segment
+    /// probe of this store — and, for [`crate::ShardedStore`], every shard
+    /// (shards share seed and dimension, hence hyperplanes).
+    pub(crate) fn prepare_query(&self, q: &[f32]) -> (Vec<f32>, Option<Vec<bool>>) {
+        let nq = self.normalize_query(q);
+        let sig = self.query_signature(&nq);
+        (nq, sig)
+    }
+
+    /// Scores every segment for one prepared query into a single `TopK`.
+    pub(crate) fn scan_prepared(
+        &self,
+        ctx: &QueryContext<'_>,
+        k: usize,
+        source: &dyn CandidateSource,
+    ) -> TopK {
+        let mut topk = TopK::new(k);
+        for seg in 0..self.segments.len() {
+            topk.merge(self.scan_segment(ctx, seg, k, source));
+        }
+        topk
     }
 
     fn normalize_query(&self, q: &[f32]) -> Vec<f32> {
@@ -517,12 +609,29 @@ impl VectorStore {
 
     // --- lifecycle ---------------------------------------------------------
 
+    /// Runs the configured [`CompactionPolicy`] after a mutation.
+    fn maybe_compact(&mut self) {
+        if self.cfg.policy.should_compact(self.stats(), self.cfg.seal_threshold) {
+            self.compact();
+        }
+    }
+
     /// Rewrites all segments without tombstoned rows, resealing full
-    /// segments. Query results are unchanged: scoring depends only on the
-    /// live `(id, vector)` set, never on physical layout.
+    /// segments, and records the pause. Query results are unchanged:
+    /// scoring depends only on the live `(id, vector)` set, never on
+    /// physical layout. The policy normally calls this; it stays public
+    /// for explicit maintenance windows.
     pub fn compact(&mut self) {
+        let started = Instant::now();
         let entries = self.live_entries();
         self.rebuild(entries);
+        self.pauses.push(started.elapsed().as_secs_f64());
+        self.compactions += 1;
+        // Amortized O(1) bound: let the log reach 2× the cap, then drop
+        // the oldest half in one move.
+        if self.pauses.len() >= 2 * MAX_PAUSE_SAMPLES {
+            self.pauses.drain(..self.pauses.len() - MAX_PAUSE_SAMPLES);
+        }
     }
 
     /// Live `(id, vector)` pairs in segment-then-row order.
@@ -548,7 +657,8 @@ impl VectorStore {
 
     /// Captures the live contents (implicitly compacted — tombstones are not
     /// carried) plus everything needed to rebuild an identically-behaving
-    /// store: dimension, seed, banding, and the id counter.
+    /// store: dimension, seed, banding, and the id counter. The compaction
+    /// policy is runtime tuning and is not part of a snapshot.
     pub fn snapshot(&self) -> StoreSnapshot {
         StoreSnapshot {
             version: SNAPSHOT_VERSION,
@@ -565,57 +675,56 @@ impl VectorStore {
     /// raw path — they were normalized before capture, and re-normalizing
     /// could shift low bits and break byte-identical replay.
     pub fn from_snapshot(snap: &StoreSnapshot) -> io::Result<Self> {
-        if snap.version != SNAPSHOT_VERSION {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unsupported snapshot version {} (want {SNAPSHOT_VERSION})", snap.version),
-            ));
-        }
-        if snap.dim == 0 || snap.seal_threshold == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "snapshot with zero dim or seal_threshold",
-            ));
-        }
-        if let Some(p) = snap.lsh {
-            // Validate before Self::new, which asserts on these: load() is
-            // an untrusted-input boundary and must error, not abort.
-            if p.bands == 0 || p.rows_per_band == 0 {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    "snapshot with zero LSH bands or rows_per_band",
-                ));
-            }
-        }
-        let cfg =
-            StoreConfig { seal_threshold: snap.seal_threshold, lsh: snap.lsh, seed: snap.seed };
+        // Validate before Self::new, which asserts on degenerate configs:
+        // snapshots are an untrusted-input boundary and must error, not
+        // abort.
+        snap.validate()?;
+        let cfg = StoreConfig {
+            seal_threshold: snap.seal_threshold,
+            lsh: snap.lsh,
+            seed: snap.seed,
+            policy: CompactionPolicy::default(),
+        };
         let mut store = Self::new(snap.dim, cfg);
         for (id, v) in &snap.entries {
-            if v.len() != snap.dim {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("snapshot entry {id} has dim {} (want {})", v.len(), snap.dim),
-                ));
-            }
             store.insert_normalized(*id, v);
         }
         store.next_id = store.next_id.max(snap.next_id);
         Ok(store)
     }
 
-    /// Serializes a snapshot to JSON at `path`.
+    /// Serializes a snapshot to `path` in the `TBIX` binary format.
     pub fn save(&self, path: &Path) -> io::Result<()> {
-        let json = serde_json::to_string(&self.snapshot())
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        std::fs::write(path, json)
+        snapshot::write_file(path, &self.snapshot(), 0)
     }
 
-    /// Reads a snapshot from `path` and rebuilds the store.
+    /// Serializes a snapshot to `path` as JSON — the legacy interchange
+    /// format; [`load`](Self::load) reads either.
+    pub fn save_json(&self, path: &Path) -> io::Result<()> {
+        snapshot::write_file_json(path, &self.snapshot())
+    }
+
+    /// Reads a snapshot from `path` (binary or JSON, autodetected) and
+    /// rebuilds the store.
     pub fn load(path: &Path) -> io::Result<Self> {
-        let json = std::fs::read_to_string(path)?;
-        let snap: StoreSnapshot = serde_json::from_str(&json)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let (n_shards, snap) = snapshot::read_file(path)?;
+        if n_shards != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("sharded snapshot ({n_shards} shards); load it with ShardedStore::load"),
+            ));
+        }
         Self::from_snapshot(&snap)
+    }
+}
+
+impl VectorSink for VectorStore {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn insert(&mut self, v: &[f32]) -> u64 {
+        VectorStore::insert(self, v)
     }
 }
 
@@ -635,6 +744,7 @@ mod tests {
             seal_threshold: 16,
             lsh: lsh.then_some(LshParams { bands: 8, rows_per_band: 2 }),
             seed: 42,
+            policy: CompactionPolicy::disabled(),
         }
     }
 
@@ -673,7 +783,7 @@ mod tests {
                 (i, d / (qn * n))
             })
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         let want: Vec<u64> = scored[..10].iter().map(|(i, _)| *i as u64).collect();
         let got: Vec<u64> = hits.iter().map(|h| h.id).collect();
         assert_eq!(got, want);
@@ -742,6 +852,122 @@ mod tests {
         assert_eq!(store.len(), live_before);
         assert_eq!(store.stats().tombstones, 0);
         assert_eq!(store.query_batch(&queries, 5), before, "compaction changed results");
+        assert_eq!(store.compaction_pauses().len(), 1, "one pause recorded");
+    }
+
+    #[test]
+    fn policy_compacts_on_mutation_and_queries_are_unchanged() {
+        let vecs = random_vecs(40, 8, 11);
+        let cfg = StoreConfig {
+            policy: CompactionPolicy { max_tombstone_ratio: 0.2, max_segments: 64 },
+            ..small_store(true)
+        };
+        let mut store = VectorStore::new(8, cfg);
+        for v in &vecs {
+            store.insert(v);
+        }
+        // A shadow store with the policy off shows what results should be.
+        let mut shadow = VectorStore::new(8, small_store(true));
+        for v in &vecs {
+            shadow.insert(v);
+        }
+        for id in 0..12u64 {
+            store.delete(id);
+            shadow.delete(id);
+        }
+        assert!(
+            !store.compaction_pauses().is_empty(),
+            "12/40 deletes must cross the 20% tombstone bound"
+        );
+        assert!(
+            store.stats().tombstones as f32 <= 0.2 * store.len() as f32 + 1.0,
+            "policy left {} tombstones on {} live rows",
+            store.stats().tombstones,
+            store.len()
+        );
+        let queries: Vec<Vec<f32>> = vecs[12..20].to_vec();
+        assert_eq!(
+            store.query_batch(&queries, 5),
+            shadow.query_batch(&queries, 5),
+            "policy compaction changed results"
+        );
+    }
+
+    #[test]
+    fn segment_bound_triggers_policy_compaction() {
+        let vecs = random_vecs(64, 4, 12);
+        let cfg = StoreConfig {
+            seal_threshold: 8,
+            lsh: None,
+            seed: 1,
+            policy: CompactionPolicy { max_tombstone_ratio: f32::INFINITY, max_segments: 4 },
+        };
+        let mut store = VectorStore::new(4, cfg);
+        for v in &vecs {
+            store.insert(v);
+        }
+        // Inserts alone never compact (no tombstones to drop)...
+        assert_eq!(store.stats().segments, 8);
+        assert!(store.compaction_pauses().is_empty());
+        // ...and neither do tombstones that a rewrite could not repack
+        // into fewer segments: 8 full segments of live rows stay put.
+        store.delete(0);
+        assert_eq!(store.stats().tombstones, 1, "futile compaction must not run");
+        assert!(store.compaction_pauses().is_empty());
+        // Once enough rows die that live rows fit in 7 segments, the
+        // bound fires and the rewrite actually shrinks the store.
+        for id in 1..8u64 {
+            store.delete(id);
+        }
+        assert_eq!(store.compactions(), 1);
+        assert_eq!(store.stats().tombstones, 0, "compaction dropped the tombstones");
+        assert_eq!(store.stats().segments, 7, "56 live rows at threshold 8");
+        // Steady state above the bound does not thrash: the next delete
+        // cannot shrink the segment list (ceil(55/8) is still 7), so no
+        // full-store rewrite rides on it.
+        store.delete(8);
+        assert_eq!(store.compactions(), 1, "mutation-time compaction thrash");
+        assert_eq!(store.stats().tombstones, 1);
+    }
+
+    #[test]
+    fn pause_log_is_bounded_but_the_counter_is_total() {
+        let mut store = VectorStore::new(4, small_store(false));
+        store.insert(&[1.0, 0.0, 0.0, 0.0]);
+        let runs = 2 * MAX_PAUSE_SAMPLES + 5;
+        for _ in 0..runs {
+            store.compact();
+        }
+        assert_eq!(store.compactions(), runs as u64);
+        let kept = store.compaction_pauses().len();
+        assert!(
+            (MAX_PAUSE_SAMPLES..2 * MAX_PAUSE_SAMPLES).contains(&kept),
+            "pause log kept {kept} samples (cap {MAX_PAUSE_SAMPLES})"
+        );
+    }
+
+    #[test]
+    fn nan_vectors_through_the_public_api_never_panic() {
+        // NaN survives upsert (NaN norm fails the > 0 gate, so the vector
+        // is stored as-is) and scores NaN against everything. total_cmp
+        // ranks it deterministically instead of panicking mid-sort.
+        let mut store = VectorStore::new(4, small_store(false));
+        store.insert(&[1.0, 0.0, 0.0, 0.0]);
+        let nan_id = store.insert(&[f32::NAN, 1.0, 0.0, 0.0]);
+        store.insert(&[0.0, 1.0, 0.0, 0.0]);
+
+        let hits = store.query(&[1.0, 0.0, 0.0, 0.0], 3);
+        assert_eq!(hits.len(), 3, "all rows ranked, none dropped");
+        let finite: Vec<u64> = hits.iter().filter(|h| h.score.is_finite()).map(|h| h.id).collect();
+        assert_eq!(finite, vec![0, 2], "finite scores still rank by similarity");
+
+        // Batched and NaN-query paths hold too.
+        let batched = store.query_batch(&[vec![f32::NAN; 4]], 3);
+        assert_eq!(batched[0].len(), 3);
+        // The poisoned row deletes (and compacts away) cleanly.
+        assert!(store.delete(nan_id));
+        store.compact();
+        assert!(store.query(&[1.0, 0.0, 0.0, 0.0], 3).iter().all(|h| h.score.is_finite()));
     }
 
     #[test]
@@ -788,7 +1014,7 @@ mod tests {
         let before = store.query_batch(&queries, 7);
 
         let path =
-            std::env::temp_dir().join(format!("tabbin_index_snapshot_{}.json", std::process::id()));
+            std::env::temp_dir().join(format!("tabbin_index_snapshot_{}.tbix", std::process::id()));
         store.save(&path).expect("save");
         let loaded = VectorStore::load(&path).expect("load");
         std::fs::remove_file(&path).ok();
@@ -805,6 +1031,36 @@ mod tests {
         let mut loaded = loaded;
         let new_id = loaded.insert(&vecs[0]);
         assert_eq!(new_id, 60);
+    }
+
+    #[test]
+    fn json_snapshots_still_load_and_binary_is_much_smaller() {
+        let vecs = random_vecs(120, 32, 8);
+        let mut store = VectorStore::new(32, small_store(true));
+        for v in &vecs {
+            store.insert(v);
+        }
+        let queries: Vec<Vec<f32>> = vecs[..6].to_vec();
+        let before = store.query_batch(&queries, 5);
+
+        let dir = std::env::temp_dir();
+        let bin = dir.join(format!("tabbin_index_codec_{}.tbix", std::process::id()));
+        let json = dir.join(format!("tabbin_index_codec_{}.json", std::process::id()));
+        store.save(&bin).expect("binary save");
+        store.save_json(&json).expect("json save");
+
+        // Autodetect: both read back identically through the same load().
+        let from_bin = VectorStore::load(&bin).expect("binary load");
+        let from_json = VectorStore::load(&json).expect("json load");
+        assert_eq!(from_bin.query_batch(&queries, 5), before);
+        assert_eq!(from_json.query_batch(&queries, 5), before);
+
+        // The payload is raw little-endian f32s: ≤ ~40% of the JSON text.
+        let bin_len = std::fs::metadata(&bin).expect("bin meta").len();
+        let json_len = std::fs::metadata(&json).expect("json meta").len();
+        std::fs::remove_file(&bin).ok();
+        std::fs::remove_file(&json).ok();
+        assert!(bin_len * 100 <= json_len * 40, "binary {bin_len}B not ≤ 40% of JSON {json_len}B");
     }
 
     #[test]

@@ -1,11 +1,14 @@
-//! Property tests for the vector store: LSH-accelerated top-k must track
-//! exact scan closely, and the mutation lifecycle must never change what a
-//! query returns.
+//! Property tests for the retrieval layer: LSH-accelerated top-k must track
+//! exact scan closely, the mutation lifecycle must never change what a
+//! query returns, and the sharded tier must be indistinguishable from one
+//! flat store — routing and merging are implementation details.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tabbin_index::{ExactScan, LshCandidates, LshParams, StoreConfig, VectorStore};
+use tabbin_index::{
+    CompactionPolicy, ExactScan, LshCandidates, LshParams, ShardedStore, StoreConfig, VectorStore,
+};
 
 /// Random centered embeddings: draw uniform vectors, then subtract the mean
 /// so the corpus is isotropic around the origin — the shape hyperplane LSH
@@ -48,6 +51,7 @@ proptest! {
             seal_threshold: 64, // 200 rows => 4 segments, exercising the fan-out
             lsh: Some(LshParams { bands: 16, rows_per_band: 3 }),
             seed: seed ^ 0xdead_beef,
+            policy: CompactionPolicy::default(),
         };
         let mut store = VectorStore::new(DIM, cfg);
         for v in &items {
@@ -84,6 +88,7 @@ proptest! {
             seal_threshold: 16,
             lsh: Some(LshParams { bands: 8, rows_per_band: 2 }),
             seed,
+            policy: CompactionPolicy::default(),
         };
         let mut store = VectorStore::new(DIM, cfg);
         for v in &items {
@@ -110,5 +115,119 @@ proptest! {
         let before = store.query_batch(&items[..10], 5);
         store.compact();
         prop_assert_eq!(store.query_batch(&items[..10], 5), before);
+    }
+
+    /// Sharding is invisible: a `ShardedStore` answers every query exactly
+    /// like one flat `VectorStore` over the same corpus — same ids, same
+    /// score bits — under both candidate sources and through arbitrary
+    /// upsert/delete mutations. This is the routing + k-way-merge
+    /// equivalence the sharded tier is built on (ids are unique across
+    /// shards, ties break by id, and shards share LSH hyperplanes, so the
+    /// blocked candidate union is partition-independent).
+    #[test]
+    fn sharded_topk_equals_single_store_topk(
+        seed in 0u64..10_000,
+        n_shards in 1usize..6,
+        lsh_bit in 0u8..2,
+        n_mutations in 0usize..25,
+    ) {
+        const N: usize = 90;
+        const DIM: usize = 12;
+        let use_lsh = lsh_bit == 1;
+        let items = centered_random(N, DIM, seed);
+        let cfg = StoreConfig {
+            seal_threshold: 16,
+            lsh: use_lsh.then_some(LshParams { bands: 8, rows_per_band: 2 }),
+            seed: seed ^ 0x5eed,
+            policy: CompactionPolicy::default(),
+        };
+        let mut single = VectorStore::new(DIM, cfg);
+        let mut sharded = ShardedStore::new(DIM, n_shards, cfg);
+        for v in &items {
+            single.insert(v);
+            sharded.insert(v);
+        }
+        // The same mutation script drives both stores (policy compactions
+        // fire independently per store/shard — they must not matter).
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(97));
+        for _ in 0..n_mutations {
+            let id = rng.random_range(0..N as u64);
+            if rng.random_range(0..2) == 0 {
+                let v = &items[rng.random_range(0..N)];
+                single.upsert(id, v);
+                sharded.upsert(id, v);
+            } else {
+                prop_assert_eq!(single.delete(id), sharded.delete(id));
+            }
+        }
+        prop_assert_eq!(single.len(), sharded.len());
+        let queries = &items[..16];
+        let a = single.query_batch(queries, 10);
+        let b = sharded.query_batch(queries, 10);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!(x == y, "query diverged (lsh={use_lsh}): {x:?} vs {y:?}");
+            for (hx, hy) in x.iter().zip(y) {
+                prop_assert_eq!(hx.score.to_bits(), hy.score.to_bits());
+            }
+        }
+        // Serial and batched sharded paths agree too.
+        for (q, want) in queries.iter().zip(&b) {
+            prop_assert_eq!(&sharded.query(q, 10), want);
+        }
+    }
+
+    /// A mutated multi-shard store survives a binary snapshot round-trip
+    /// byte-identically: save → load replays every query with the same ids
+    /// and score bits, and keeps allocating fresh ids past the old counter.
+    #[test]
+    fn sharded_snapshot_roundtrip_replays_queries(
+        seed in 0u64..10_000,
+        n_shards in 2usize..6,
+    ) {
+        const N: usize = 70;
+        const DIM: usize = 10;
+        let items = centered_random(N, DIM, seed);
+        let cfg = StoreConfig {
+            seal_threshold: 16,
+            lsh: Some(LshParams { bands: 8, rows_per_band: 2 }),
+            seed: seed ^ 0xf11e,
+            policy: CompactionPolicy::default(),
+        };
+        let mut store = ShardedStore::new(DIM, n_shards, cfg);
+        for v in &items {
+            store.insert(v);
+        }
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(131));
+        for _ in 0..12 {
+            let id = rng.random_range(0..N as u64);
+            if rng.random_range(0..2) == 0 {
+                store.upsert(id, &items[rng.random_range(0..N)]);
+            } else {
+                store.delete(id);
+            }
+        }
+        let queries = &items[..12];
+        let before = store.query_batch(queries, 8);
+
+        let path = std::env::temp_dir().join(format!(
+            "tabbin_prop_sharded_{}_{}_{}.tbix",
+            std::process::id(),
+            seed,
+            n_shards
+        ));
+        store.save(&path).expect("save");
+        let loaded = ShardedStore::load(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+
+        prop_assert_eq!(loaded.n_shards(), n_shards);
+        prop_assert_eq!(loaded.len(), store.len());
+        let after = loaded.query_batch(queries, 8);
+        for (x, y) in before.iter().flatten().zip(after.iter().flatten()) {
+            prop_assert_eq!(x.id, y.id);
+            prop_assert_eq!(x.score.to_bits(), y.score.to_bits());
+        }
+        let mut loaded = loaded;
+        let fresh = loaded.insert(&items[0]);
+        prop_assert!(fresh >= N as u64, "fresh id {} collided below {}", fresh, N);
     }
 }

@@ -1,8 +1,9 @@
 //! Table search over a CancerKG-profile corpus: embed every table with
 //! TabBiN composite embeddings, stream them into a `tabbin-index`
-//! `VectorStore`, and retrieve the most similar tables for a query table —
+//! `ShardedStore`, and retrieve the most similar tables for a query table —
 //! the data-fusion scenario from the paper's introduction, served by the
-//! retrieval layer instead of a hand-rolled cosine loop.
+//! retrieval layer's sharded tier (hash-routed shards, k-way merged top-k)
+//! instead of a hand-rolled cosine loop.
 //!
 //! Run with: `cargo run --example cancer_table_search`
 
@@ -11,7 +12,7 @@ use tabbin_core::config::ModelConfig;
 use tabbin_core::pretrain::PretrainOptions;
 use tabbin_core::variants::TabBiNFamily;
 use tabbin_corpus::{generate, Dataset, GenOptions};
-use tabbin_index::VectorStore;
+use tabbin_index::ShardedStore;
 
 fn main() {
     let corpus = generate(Dataset::CancerKg, &GenOptions { n_tables: Some(40), seed: 11 });
@@ -21,13 +22,20 @@ fn main() {
     let mut family = TabBiNFamily::new(&tables, ModelConfig::tiny(), 11);
     family.pretrain(&tables, &PretrainOptions { steps: 40, batch: 4, ..Default::default() });
 
-    // Batched pipeline straight into the vector store: all 40 tables in one
-    // pass per segment model, composites normalized and indexed as they
-    // arrive. The composite dimension is 4 * hidden (data ⊕ HMD ⊕ VMD ⊕
-    // caption).
-    let mut store = VectorStore::exact(4 * family.cfg.hidden);
+    // Batched pipeline straight into the sharded store: all 40 tables in
+    // one pass per segment model, composites normalized, hash-routed across
+    // shards, and indexed as they arrive. The composite dimension is
+    // 4 * hidden (data ⊕ HMD ⊕ VMD ⊕ caption).
+    let mut store = ShardedStore::exact(4 * family.cfg.hidden, 4);
     let ids = BatchEncoder::new(&family).embed_into(&mut store, &tables);
-    println!("indexed {} table embeddings (dim {})", store.len(), store.dim());
+    let per_shard: Vec<usize> = store.stats().shards.iter().map(|s| s.live).collect();
+    println!(
+        "indexed {} table embeddings (dim {}) across {} shards {:?}",
+        store.len(),
+        store.dim(),
+        store.n_shards(),
+        per_shard
+    );
 
     // Use the first nested-table-carrying table as the query.
     let query = corpus.tables.iter().position(|t| t.table.has_nesting()).unwrap_or(0);

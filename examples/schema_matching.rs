@@ -1,9 +1,11 @@
 //! Schema matching via column clustering with LSH blocking: find columns
 //! mergeable with a query column across a Webtables-profile corpus — the
 //! paper's CC task (§4.1) end to end. Column embeddings live in a
-//! `tabbin-index` `VectorStore` with LSH candidate generation, so the
+//! `tabbin-index` `ShardedStore` with LSH candidate generation, so the
 //! blocking step and the within-block top-k are one SIMD-scored query
-//! instead of a hand-rolled candidate loop over cosines.
+//! fanned across hash-routed shards (shards share hyperplanes, so the
+//! blocked candidate set is exactly the single-store one) instead of a
+//! hand-rolled candidate loop over cosines.
 //!
 //! Run with: `cargo run --example schema_matching`
 
@@ -12,7 +14,7 @@ use tabbin_core::pretrain::PretrainOptions;
 use tabbin_core::variants::TabBiNFamily;
 use tabbin_corpus::{generate, Dataset, GenOptions, FILLER_SEM_ID};
 use tabbin_eval::center;
-use tabbin_index::{LshCandidates, LshParams, StoreConfig, VectorStore};
+use tabbin_index::{LshCandidates, LshParams, ShardedStore, StoreConfig};
 
 fn main() {
     let corpus = generate(Dataset::Webtables, &GenOptions { n_tables: Some(40), seed: 5 });
@@ -37,15 +39,16 @@ fn main() {
     println!("embedded {} columns from {} tables", embs.len(), tables.len());
 
     // Transformer embeddings are anisotropic; center them so hyperplane LSH
-    // can separate the clusters, then index them in a store that maintains
-    // banded LSH buckets incrementally as the vectors arrive.
+    // can separate the clusters, then index them in a sharded store whose
+    // shards maintain banded LSH buckets incrementally as the vectors
+    // arrive (hash-routed by id; every shard hashes with the same planes).
     center(&mut embs);
     let cfg = StoreConfig {
         lsh: Some(LshParams { bands: 8, rows_per_band: 4 }),
         seed: 99,
         ..StoreConfig::default()
     };
-    let mut store = VectorStore::new(embs[0].len(), cfg);
+    let mut store = ShardedStore::new(embs[0].len(), 4, cfg);
     for v in &embs {
         store.insert(v);
     }
