@@ -1,7 +1,10 @@
 //! Retrieval-layer micro-benchmark: `tabbin_index` batched top-k against
-//! the pre-store baseline (a scalar cosine scan per query), for both store
-//! tiers — one `VectorStore` and the sharded engine (`ShardedStore`, 4
-//! shards) that is the exercised default across the workspace.
+//! the pre-store baseline (a scalar cosine scan per query), for both
+//! storage tiers — one `VectorStore` and the sharded tier (`ShardedStore`,
+//! 4 shards) — each served through the `QueryEngine` (`Queryable`-trait)
+//! path the whole workspace uses. The engines run cache-off and at probe
+//! width 1, so the figures measure storage, not result reuse; a separate
+//! `cache` entry reports the LRU hit path on repeated queries.
 //!
 //! Besides the criterion samples, this writes `BENCH_index.json` at the
 //! workspace root — QPS for every path, the speedup, recall@10 against
@@ -17,7 +20,9 @@ use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 use std::time::Instant;
 use tabbin_eval::cosine;
-use tabbin_index::{CompactionPolicy, LshParams, ShardedStore, StoreConfig, VectorStore};
+use tabbin_index::{
+    CompactionPolicy, EngineConfig, LshParams, QueryEngine, ShardedStore, StoreConfig, VectorStore,
+};
 
 /// Corpus size / dimension of the headline measurement.
 const N_VECTORS: usize = 10_000;
@@ -96,6 +101,13 @@ fn bench_index(c: &mut Criterion) {
     assert_eq!(sharded.len(), N_VECTORS);
     assert!(sharded.stats().shards.iter().all(|s| s.live > 0), "hash routing left a shard empty");
 
+    // Both tiers serve through the `QueryEngine` (the `Queryable`-trait
+    // path every consumer uses). Cache off and probe width 1: these rounds
+    // measure storage scans, not result reuse.
+    let storage_path = EngineConfig { probe_width: 1, ..EngineConfig::lsh() }.without_cache();
+    let store = QueryEngine::new(store, storage_path);
+    let sharded = QueryEngine::new(sharded, storage_path);
+
     // Recall@10 against the exact baseline, over the timed query set.
     let exact_lists: Vec<Vec<(usize, f64)>> =
         queries.iter().map(|q| exact_scan_topk(&corpus, q, K)).collect();
@@ -143,6 +155,21 @@ fn bench_index(c: &mut Criterion) {
     let sharded_qps = sharded_rounds[sharded_rounds.len() / 2];
     let speedup = batched_qps / exact_qps;
 
+    // The engine's LRU hit path: a cached engine over the same sharded
+    // tier, warmed once, then timed on pure repeats — what a serving
+    // workload with recurring queries actually pays.
+    let cached = QueryEngine::new(
+        sharded.store().clone(),
+        EngineConfig { probe_width: 1, ..EngineConfig::lsh() },
+    );
+    let warm = cached.query_batch(&queries, K);
+    assert_eq!(warm, sharded.query_batch(&queries, K), "cached engine diverged from storage");
+    let cache_qps = time_qps(&|| {
+        black_box(cached.query_batch(&queries, K));
+        queries.len()
+    });
+    assert_eq!(cached.stats().store_queries, queries.len() as u64, "timed rounds hit storage");
+
     // Compaction pauses under steady-state overwrite churn, policy-driven:
     // each upsert over a live id tombstones the old row; every shard
     // compacts itself at 25% dead rows. No caller ever calls compact().
@@ -172,15 +199,17 @@ fn bench_index(c: &mut Criterion) {
     let recall_s = format!("{recall:.4}");
     let sharded_qps_s = format!("{sharded_qps:.1}");
     let sharded_recall_s = format!("{sharded_recall:.4}");
+    let cache_qps_s = format!("{cache_qps:.1}");
     let pause_p50_s = format!("{pause_p50:.3}");
     let pause_p99_s = format!("{pause_p99:.3}");
     println!(
-        "index_{N_VECTORS}x{DIM}: exact scan {exact_s} qps, store query_batch {batched_s} qps \
-         ({speedup_s}x), recall@{K} {recall_s}"
+        "index_{N_VECTORS}x{DIM}: exact scan {exact_s} qps, engine(store) query_batch \
+         {batched_s} qps ({speedup_s}x), recall@{K} {recall_s}"
     );
     println!(
-        "index_{N_VECTORS}x{DIM} sharded({N_SHARDS}): query_batch {sharded_qps_s} qps, \
-         recall@{K} {sharded_recall_s}, {n_compactions} policy compactions \
+        "index_{N_VECTORS}x{DIM} sharded({N_SHARDS}): engine query_batch {sharded_qps_s} qps, \
+         recall@{K} {sharded_recall_s}, cache hit path {cache_qps_s} qps, \
+         {n_compactions} policy compactions \
          (pause p50 {pause_p50_s} ms, p99 {pause_p99_s} ms over {CHURN_WRITES} writes)"
     );
     let json = format!(
@@ -188,6 +217,7 @@ fn bench_index(c: &mut Criterion) {
          \"dim\": {DIM},\n  \"k\": {K},\n  \"n_queries\": {N_QUERIES},\n  \
          \"exact_scan_qps\": {exact_s},\n  \"batched_lsh_qps\": {batched_s},\n  \
          \"speedup\": {speedup_s},\n  \"recall_at_10\": {recall_s},\n  \
+         \"cache_hit_qps\": {cache_qps_s},\n  \
          \"sharded\": {{\n    \"n_shards\": {N_SHARDS},\n    \
          \"query_batch_qps\": {sharded_qps_s},\n    \
          \"recall_at_10\": {sharded_recall_s},\n    \

@@ -1,0 +1,224 @@
+//! Serving-tier benchmark: the full `tabbin-serve` stack (wire protocol →
+//! admission queue → worker pool → micro-batcher → query engine → sharded
+//! store) under closed-loop load at several offered concurrencies, over a
+//! real loopback TCP connection.
+//!
+//! Writes `BENCH_serve.json` at the workspace root: per offered-load level
+//! the achieved QPS, request latency p50/p99 (successful requests), the
+//! shed rate (requests answered `Overloaded` by the bounded admission
+//! queue), and the engine cache hit rate. The printed figures are the
+//! written figures — both come from the same formatted strings. Every
+//! client sends fresh jittered queries, so the storage path does real work
+//! and the shed level reflects scan capacity, not cache luck.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+use tabbin_index::{EngineConfig, LshParams, QueryEngine, ShardedStore, StoreConfig};
+use tabbin_serve::{Client, QueryOutcome, ServeConfig, Server};
+
+const N_VECTORS: usize = 10_000;
+const DIM: usize = 128;
+const K: usize = 10;
+const N_SHARDS: usize = 4;
+/// Requests each closed-loop client issues per load level.
+const REQUESTS_PER_CLIENT: usize = 400;
+/// Offered-load levels: closed-loop client counts. The last level offers
+/// far more concurrency than `WORKERS + QUEUE_CAPACITY` can hold, so the
+/// admission queue must shed.
+const LOADS: [usize; 3] = [2, 8, 32];
+const WORKERS: usize = 4;
+const QUEUE_CAPACITY: usize = 8;
+
+/// Same clustered corpus shape as the `index` bench.
+fn clustered_corpus(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_clusters = 100;
+    let centers: Vec<Vec<f32>> = (0..n_clusters)
+        .map(|_| (0..dim).map(|_| rng.random_range(-1.0f32..1.0)).collect())
+        .collect();
+    (0..n)
+        .map(|i| {
+            let c = &centers[i % n_clusters];
+            c.iter().map(|x| x + rng.random_range(-0.15f32..0.15)).collect()
+        })
+        .collect()
+}
+
+fn build_store(corpus: &[Vec<f32>]) -> ShardedStore {
+    let cfg = StoreConfig::with_lsh(LshParams::default_blocking());
+    let mut store = ShardedStore::new(DIM, N_SHARDS, cfg);
+    for v in corpus {
+        store.insert(v);
+    }
+    store
+}
+
+/// One load level's outcome.
+struct LoadResult {
+    offered: usize,
+    served: usize,
+    shed: usize,
+    wall_secs: f64,
+    /// Latencies of successful requests, seconds.
+    latencies: Vec<f64>,
+    cache_hit_rate: f64,
+}
+
+/// Runs `clients` closed-loop clients against a fresh server over `store`,
+/// each issuing [`REQUESTS_PER_CLIENT`] fresh jittered queries.
+fn run_load(store: &ShardedStore, corpus: &[Vec<f32>], clients: usize) -> LoadResult {
+    let engine = Arc::new(QueryEngine::new(store.clone(), EngineConfig::lsh()));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&engine),
+        ServeConfig { workers: WORKERS, queue_capacity: QUEUE_CAPACITY, ..ServeConfig::default() },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let queries: Vec<Vec<f32>> = {
+                let mut rng = StdRng::seed_from_u64(0x5e7e + c as u64);
+                (0..REQUESTS_PER_CLIENT)
+                    .map(|i| {
+                        let base = &corpus[(c * REQUESTS_PER_CLIENT + i) % corpus.len()];
+                        base.iter().map(|x| x + rng.random_range(-0.02f32..0.02)).collect()
+                    })
+                    .collect()
+            };
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut latencies = Vec::with_capacity(REQUESTS_PER_CLIENT);
+                let mut shed = 0usize;
+                for q in &queries {
+                    let t = Instant::now();
+                    match client.query(q, K).expect("request must answer, never hang") {
+                        QueryOutcome::Hits(hits) => {
+                            black_box(&hits);
+                            latencies.push(t.elapsed().as_secs_f64());
+                        }
+                        QueryOutcome::Overloaded => shed += 1,
+                    }
+                }
+                (latencies, shed)
+            })
+        })
+        .collect();
+
+    let mut latencies = Vec::new();
+    let mut shed = 0usize;
+    for h in handles {
+        let (lats, s) = h.join().expect("client thread panicked");
+        latencies.extend(lats);
+        shed += s;
+    }
+    let wall_secs = started.elapsed().as_secs_f64();
+    let stats = server.stats();
+    assert_eq!(stats.shed as usize, shed, "server and client shed counts disagree");
+    assert_eq!(stats.served as usize, latencies.len(), "served count mismatch");
+    let engine_stats = stats.engine;
+    let looked_up = engine_stats.cache_hits + engine_stats.cache_misses;
+    server.shutdown();
+    LoadResult {
+        offered: clients * REQUESTS_PER_CLIENT,
+        served: latencies.len(),
+        shed,
+        wall_secs,
+        latencies,
+        cache_hit_rate: if looked_up == 0 {
+            0.0
+        } else {
+            engine_stats.cache_hits as f64 / looked_up as f64
+        },
+    }
+}
+
+/// The `q`-quantile of `samples` (nearest-rank), in milliseconds.
+fn quantile_ms(samples: &mut [f64], q: f64) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    let idx = ((samples.len() - 1) as f64 * q).round() as usize;
+    samples[idx] * 1e3
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let corpus = clustered_corpus(N_VECTORS, DIM, 17);
+    let store = build_store(&corpus);
+
+    let mut level_json = Vec::new();
+    let mut sheds_at_max = 0usize;
+    for &clients in &LOADS {
+        let mut r = run_load(&store, &corpus, clients);
+        assert!(r.served > 0, "{clients} clients: nothing served");
+        let qps = r.served as f64 / r.wall_secs;
+        let p50 = quantile_ms(&mut r.latencies, 0.50);
+        let p99 = quantile_ms(&mut r.latencies, 0.99);
+        let shed_rate = r.shed as f64 / r.offered as f64;
+        if clients == *LOADS.last().expect("loads nonempty") {
+            sheds_at_max = r.shed;
+        }
+        // Format once; print and write the same strings.
+        let qps_s = format!("{qps:.1}");
+        let p50_s = format!("{p50:.3}");
+        let p99_s = format!("{p99:.3}");
+        let shed_s = format!("{shed_rate:.4}");
+        let hit_s = format!("{:.4}", r.cache_hit_rate);
+        println!(
+            "serve_{N_VECTORS}x{DIM} load={clients}: {qps_s} qps, \
+             latency p50 {p50_s} ms / p99 {p99_s} ms, shed rate {shed_s}, \
+             cache hit rate {hit_s} ({}/{} requests served)",
+            r.served, r.offered
+        );
+        level_json.push(format!(
+            "    {{\n      \"clients\": {clients},\n      \"offered_requests\": {},\n      \
+             \"served\": {},\n      \"qps\": {qps_s},\n      \"latency_ms_p50\": {p50_s},\n      \
+             \"latency_ms_p99\": {p99_s},\n      \"shed_rate\": {shed_s},\n      \
+             \"cache_hit_rate\": {hit_s}\n    }}",
+            r.offered, r.served
+        ));
+    }
+    assert!(
+        sheds_at_max > 0,
+        "{} closed-loop clients against a {QUEUE_CAPACITY}-deep queue never shed — \
+         admission control is not exercised",
+        LOADS.last().expect("loads nonempty")
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"n_vectors\": {N_VECTORS},\n  \"dim\": {DIM},\n  \
+         \"k\": {K},\n  \"n_shards\": {N_SHARDS},\n  \"workers\": {WORKERS},\n  \
+         \"queue_capacity\": {QUEUE_CAPACITY},\n  \
+         \"requests_per_client\": {REQUESTS_PER_CLIENT},\n  \"loads\": [\n{}\n  ]\n}}\n",
+        level_json.join(",\n")
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
+    if let Err(first) = std::fs::write(&out, &json) {
+        if let Err(second) = std::fs::write("BENCH_serve.json", &json) {
+            eprintln!("warning: could not write BENCH_serve.json ({first}; fallback: {second})");
+        }
+    }
+
+    // Criterion sample: one uncontended wire round-trip (connect excluded).
+    let engine = Arc::new(QueryEngine::new(store.clone(), EngineConfig::lsh().without_cache()));
+    let server = Server::bind("127.0.0.1:0", engine, ServeConfig::default()).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let mut g = c.benchmark_group("serve_roundtrip");
+    g.bench_function("query_10k_dim128_uncached", |b| {
+        b.iter(|| black_box(client.query(&corpus[0], K).expect("query")));
+    });
+    g.finish();
+    drop(client);
+    server.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_serve
+}
+criterion_main!(benches);

@@ -299,7 +299,7 @@ mod tests {
         // must retrieve it first with score ~1.
         let batched = BatchEncoder::new(&fam).embed_tables(&tables);
         for (i, emb) in batched.iter().enumerate() {
-            let hits = store.query(emb, 1);
+            let hits = store.search(emb, 1, &tabbin_index::ExactScan);
             assert_eq!(hits[0].id, ids[i]);
             assert!((hits[0].score - 1.0).abs() < 1e-5);
         }

@@ -6,21 +6,24 @@
 //! Topic-centroid variants (table clustering, §4.2) rank against the mean
 //! vector of a topic's members instead of an individual item.
 //!
-//! Ranking is served by a [`tabbin_index::ShardedStore`] — the retrieval
-//! layer's production tier and the default path everywhere: the corpus is
-//! loaded once (ids are corpus indices, hash-routed across
-//! [`EVAL_SHARDS`] shards) and every query is a SIMD top-k over normalized
-//! dots fanned across the shards and k-way merged, instead of an O(n)
-//! cosine pass plus a full sort per query. Cosine and normalized-dot
-//! induce the same ranking, sharding is result-invisible (ids are unique
-//! and ties break by id), and the tie-break matches the old
-//! `rank_by_cosine` index tie-break, so the metrics are unchanged. For
-//! corpora big enough that even exact top-k is too slow,
-//! [`evaluate_retrieval_blocked`] runs the same protocol over the paper's
-//! §4.1 LSH blocking.
+//! Ranking is served by a [`tabbin_index::QueryEngine`] over a
+//! [`tabbin_index::ShardedStore`] — the retrieval layer's execution tier
+//! and the default path everywhere: the corpus is loaded once (ids are
+//! corpus indices, hash-routed across [`EVAL_SHARDS`] shards) and every
+//! query is planned by the engine — forced exact scan here, matching the
+//! protocol — then fanned across the shards as a SIMD top-k and k-way
+//! merged, instead of an O(n) cosine pass plus a full sort per query.
+//! Cosine and normalized-dot induce the same ranking, sharding and the
+//! engine are result-invisible (ids are unique, ties break by id, and the
+//! engine serves exact prefixes of storage scans), and the tie-break
+//! matches the old `rank_by_cosine` index tie-break, so the metrics are
+//! unchanged. The engine's result cache is disabled: protocol queries
+//! never repeat, so caching would only churn. For corpora big enough that
+//! even exact top-k is too slow, [`evaluate_retrieval_blocked`] runs the
+//! same protocol with the engine pinned to the paper's §4.1 LSH blocking.
 
 use crate::metrics::{map_at_k, mrr_at_k};
-use tabbin_index::{ExactScan, Hit, LshCandidates, LshParams, ShardedStore, StoreConfig};
+use tabbin_index::{EngineConfig, Hit, LshParams, QueryEngine, ShardedStore, StoreConfig};
 
 /// Shards backing the evaluation protocols' corpus store. Retrieval results
 /// are shard-count-invariant; this just sizes the fan-out.
@@ -44,22 +47,32 @@ impl RetrievalEval {
     }
 }
 
-/// Loads a corpus into a sharded store with ids = corpus indices.
-/// `None` when the corpus is empty or zero-dimensional.
-fn corpus_store(items: &[Vec<f32>], lsh: Option<(LshParams, u64)>) -> Option<ShardedStore> {
+/// Loads a corpus into a query engine over a sharded store with ids =
+/// corpus indices. `None` when the corpus is empty or zero-dimensional.
+/// The engine plan is pinned per protocol (exact vs. LSH-blocked) and the
+/// cache is off — every protocol query is distinct.
+fn corpus_engine(
+    items: &[Vec<f32>],
+    lsh: Option<(LshParams, u64)>,
+) -> Option<QueryEngine<ShardedStore>> {
     let dim = items.first()?.len();
     if dim == 0 {
         return None;
     }
-    let cfg = match lsh {
-        Some((params, seed)) => StoreConfig { lsh: Some(params), seed, ..StoreConfig::default() },
-        None => StoreConfig::default(),
+    let (cfg, engine_cfg) = match lsh {
+        Some((params, seed)) => (
+            StoreConfig { lsh: Some(params), seed, ..StoreConfig::default() },
+            // probe_width 1: over-fetch only pays off via the cache, and
+            // the cache is off here.
+            EngineConfig { probe_width: 1, ..EngineConfig::lsh() }.without_cache(),
+        ),
+        None => (StoreConfig::default(), EngineConfig::exact().without_cache()),
     };
     let mut store = ShardedStore::new(dim, EVAL_SHARDS, cfg);
     for v in items {
         store.insert(v);
     }
-    Some(store)
+    Some(QueryEngine::new(store, engine_cfg))
 }
 
 /// Turns one query's hits into the `(relevance list, total relevant)` pair
@@ -92,13 +105,13 @@ pub fn evaluate_retrieval<L: PartialEq>(
     k: usize,
 ) -> RetrievalEval {
     assert_eq!(items.len(), labels.len(), "item/label length mismatch");
-    let Some(store) = corpus_store(items, None) else {
+    let Some(engine) = corpus_engine(items, None) else {
         return RetrievalEval { map: 0.0, mrr: 0.0, queries: query_indices.len() };
     };
     let mut queries = Vec::with_capacity(query_indices.len());
     for &q in query_indices {
         // k + 1 so the query's own (score ~1) hit can be dropped.
-        let hits = store.search(&items[q], k + 1, &ExactScan);
+        let hits = engine.query(&items[q], k + 1);
         queries.push(relevance_of(&hits, labels, &labels[q], Some(q as u64)));
     }
     RetrievalEval {
@@ -122,12 +135,12 @@ pub fn evaluate_retrieval_blocked<L: PartialEq>(
     seed: u64,
 ) -> RetrievalEval {
     assert_eq!(items.len(), labels.len(), "item/label length mismatch");
-    let Some(store) = corpus_store(items, Some((params, seed))) else {
+    let Some(engine) = corpus_engine(items, Some((params, seed))) else {
         return RetrievalEval { map: 0.0, mrr: 0.0, queries: query_indices.len() };
     };
     let mut queries = Vec::with_capacity(query_indices.len());
     for &q in query_indices {
-        let hits = store.search(&items[q], k + 1, &LshCandidates);
+        let hits = engine.query(&items[q], k + 1);
         queries.push(relevance_of(&hits, labels, &labels[q], Some(q as u64)));
     }
     RetrievalEval {
@@ -147,7 +160,7 @@ pub fn evaluate_centroid_retrieval<L: PartialEq + Clone>(
     k: usize,
 ) -> RetrievalEval {
     assert_eq!(items.len(), labels.len(), "item/label length mismatch");
-    let store = corpus_store(items, None);
+    let engine = corpus_engine(items, None);
     let mut queries = Vec::new();
     for topic in centroid_labels {
         let members: Vec<&Vec<f32>> =
@@ -165,11 +178,11 @@ pub fn evaluate_centroid_retrieval<L: PartialEq + Clone>(
         for c in &mut centroid {
             *c /= members.len() as f32;
         }
-        let Some(store) = store.as_ref() else {
+        let Some(engine) = engine.as_ref() else {
             queries.push((Vec::new(), members.len()));
             continue;
         };
-        let hits = store.search(&centroid, k, &ExactScan);
+        let hits = engine.query(&centroid, k);
         queries.push(relevance_of(&hits, labels, topic, None));
     }
     RetrievalEval { map: map_at_k(&queries, k), mrr: mrr_at_k(&queries, k), queries: queries.len() }

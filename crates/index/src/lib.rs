@@ -23,12 +23,21 @@
 //! * [`snapshot`] — persistence: the `TBIX` binary codec (write path) and
 //!   the legacy JSON codec (read back-compat), autodetected on load, for
 //!   both store tiers. Loaded stores answer queries byte-identically.
+//! * [`QueryEngine`] ([`engine`]) — query *execution* extracted out of
+//!   storage: candidate-source planning ([`ProbePolicy`], ef-style probe
+//!   width), an LRU result cache keyed on normalized query vectors, and a
+//!   leader/follower [`MicroBatcher`] coalescing concurrent single queries
+//!   into batched scans. The stores stay pure storage behind the
+//!   [`Queryable`] trait; the engine is what consumers (eval, examples,
+//!   the `tabbin-serve` network tier) talk to.
 //! * [`VectorSink`] — the insertion surface the batched embedding pipeline
-//!   (`tabbin_core::batch`) streams into, implemented by both store tiers.
+//!   (`tabbin_core::batch`) streams into, implemented by both store tiers
+//!   (and by [`QueryEngine`], which invalidates its cache as it inserts).
 //! * [`lsh`] — the SimHash primitives and the original one-shot
 //!   [`LshIndex`], still re-exported by `tabbin_eval` for its old users.
 
 pub mod candidates;
+pub mod engine;
 pub mod lsh;
 pub mod parallel;
 pub mod segment;
@@ -38,6 +47,10 @@ pub mod snapshot;
 pub mod store;
 
 pub use candidates::{CandidateSource, Candidates, ExactScan, LshCandidates, QueryContext};
+pub use engine::{
+    EngineConfig, EngineStats, MicroBatchStats, MicroBatcher, ProbePolicy, QueryEngine, QueryPlan,
+    Queryable,
+};
 pub use lsh::LshIndex;
 pub use shard::{ShardedStats, ShardedStore};
 pub use simd::Hit;

@@ -9,7 +9,7 @@
 //!
 //! Queries fan out and merge back:
 //!
-//! * [`ShardedStore::query_batch`] spreads (shard × query) tasks across the
+//! * [`ShardedStore::search_batch`] spreads (shard × query) tasks across the
 //!   workspace's crossbeam scoped workers ([`crate::parallel`]), exactly
 //!   like the single store spreads (segment × query) tasks;
 //! * per-shard top-k lists come back ranked, and a k-way **heap merge**
@@ -25,11 +25,13 @@
 //! count in the header; ids re-route on load, so only the merged entry
 //! list is stored.
 
-use crate::candidates::{CandidateSource, ExactScan, LshCandidates, QueryContext};
+use crate::candidates::{CandidateSource, QueryContext};
+use crate::engine::Queryable;
 use crate::parallel::par_chunk_map;
 use crate::simd::{rank_cmp, Hit};
 use crate::snapshot::{self, StoreSnapshot, MAX_SNAPSHOT_SHARDS, SNAPSHOT_VERSION};
 use crate::store::{CompactionPolicy, StoreConfig, StoreStats, VectorSink, VectorStore};
+use serde::{Deserialize, Serialize};
 use std::io;
 use std::path::Path;
 
@@ -45,7 +47,9 @@ fn splitmix64(mut x: u64) -> u64 {
 }
 
 /// Per-shard observability: one [`StoreStats`] per shard, plus the sums.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+/// Serializable so the serving tier (`tabbin-serve`) can ship it verbatim
+/// as the `Stats` reply's storage section.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ShardedStats {
     /// Stats of every shard, in shard order.
     pub shards: Vec<StoreStats>,
@@ -60,8 +64,16 @@ impl ShardedStats {
             t.tombstones += s.tombstones;
             t.segments += s.segments;
             t.sealed_segments += s.sealed_segments;
+            t.pending_rows += s.pending_rows;
         }
         t
+    }
+
+    /// Per-shard pending depth (tombstones + unsealed rows), shard order —
+    /// the head-of-line-blocking signal: a shard whose depth runs away is
+    /// the one stalling fan-out queries while its siblings idle.
+    pub fn depths(&self) -> Vec<usize> {
+        self.shards.iter().map(StoreStats::pending_depth).collect()
     }
 }
 
@@ -192,25 +204,6 @@ impl ShardedStore {
 
     // --- queries -----------------------------------------------------------
 
-    /// Top-`k` across all shards under the default candidate source (LSH
-    /// when configured, exact scan otherwise).
-    pub fn query(&self, q: &[f32], k: usize) -> Vec<Hit> {
-        if self.has_lsh() {
-            self.search(q, k, &LshCandidates)
-        } else {
-            self.search(q, k, &ExactScan)
-        }
-    }
-
-    /// Batched [`query`](Self::query) over many query vectors.
-    pub fn query_batch(&self, queries: &[Vec<f32>], k: usize) -> Vec<Vec<Hit>> {
-        if self.has_lsh() {
-            self.search_batch(queries, k, &LshCandidates)
-        } else {
-            self.search_batch(queries, k, &ExactScan)
-        }
-    }
-
     /// Top-`k` search with an explicit candidate source: each shard scans
     /// its own segments, and the ranked per-shard lists k-way merge into
     /// the global result. Identical output to one unsharded store over the
@@ -328,6 +321,33 @@ impl VectorSink for ShardedStore {
     }
 }
 
+impl Queryable for ShardedStore {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn len(&self) -> usize {
+        ShardedStore::len(self)
+    }
+
+    fn has_lsh(&self) -> bool {
+        ShardedStore::has_lsh(self)
+    }
+
+    fn search(&self, q: &[f32], k: usize, source: &dyn CandidateSource) -> Vec<Hit> {
+        ShardedStore::search(self, q, k, source)
+    }
+
+    fn search_batch(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        source: &dyn CandidateSource,
+    ) -> Vec<Vec<Hit>> {
+        ShardedStore::search_batch(self, queries, k, source)
+    }
+}
+
 /// K-way merge of ranked hit lists (each sorted best-first by
 /// [`rank_cmp`]'s order) into the global top-`k`, via a heap of one head
 /// per list: pop the best head, advance its list, repeat. Cost is
@@ -383,9 +403,20 @@ fn merge_ranked(lists: &[Vec<Hit>], k: usize) -> Vec<Hit> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::candidates::{ExactScan, LshCandidates};
     use crate::store::LshParams;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+
+    /// The default-source choice the engine layer makes, inlined for tests
+    /// that predate it: LSH when the store has it, exact scan otherwise.
+    fn query_batch(store: &ShardedStore, queries: &[Vec<f32>], k: usize) -> Vec<Vec<Hit>> {
+        if store.has_lsh() {
+            store.search_batch(queries, k, &LshCandidates)
+        } else {
+            store.search_batch(queries, k, &ExactScan)
+        }
+    }
 
     fn random_vecs(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -445,7 +476,7 @@ mod tests {
         assert!(store.stats().shards.iter().all(|s| s.live > 0), "every shard populated");
         // Each vector finds itself across the shard fan-out.
         for (i, v) in vecs.iter().enumerate() {
-            assert_eq!(store.query(v, 1)[0].id, i as u64);
+            assert_eq!(store.search(v, 1, &ExactScan)[0].id, i as u64);
         }
     }
 
@@ -467,9 +498,10 @@ mod tests {
             single.upsert(7, &vecs[50]);
             sharded.upsert(7, &vecs[50]);
 
+            let source: &dyn CandidateSource = if lsh { &LshCandidates } else { &ExactScan };
             let queries: Vec<Vec<f32>> = vecs[..20].to_vec();
-            let a = single.query_batch(&queries, 8);
-            let b = sharded.query_batch(&queries, 8);
+            let a = single.search_batch(&queries, 8, source);
+            let b = sharded.search_batch(&queries, 8, source);
             assert_eq!(a, b, "lsh={lsh}: sharded results diverged");
             for (x, y) in a.iter().flatten().zip(b.iter().flatten()) {
                 assert_eq!(x.score.to_bits(), y.score.to_bits(), "lsh={lsh}: score bits differ");
@@ -492,7 +524,7 @@ mod tests {
         assert!(!store.delete(5), "double delete reports dead");
         assert!(store.get(5).is_none());
         assert_eq!(store.len(), 39);
-        assert!(store.query(&vecs[9], 40).iter().all(|h| h.id != 5));
+        assert!(store.search(&vecs[9], 40, &ExactScan).iter().all(|h| h.id != 5));
     }
 
     #[test]
@@ -533,7 +565,7 @@ mod tests {
         }
         store.upsert(10, &vecs[40]);
         let queries: Vec<Vec<f32>> = vecs[20..35].to_vec();
-        let before = store.query_batch(&queries, 7);
+        let before = query_batch(&store, &queries, 7);
 
         let path =
             std::env::temp_dir().join(format!("tabbin_index_sharded_{}.tbix", std::process::id()));
@@ -543,7 +575,7 @@ mod tests {
 
         assert_eq!(loaded.n_shards(), 4);
         assert_eq!(loaded.len(), store.len());
-        let after = loaded.query_batch(&queries, 7);
+        let after = query_batch(&loaded, &queries, 7);
         assert_eq!(after, before);
         for (a, b) in after.iter().flatten().zip(before.iter().flatten()) {
             assert_eq!(a.score.to_bits(), b.score.to_bits());
@@ -575,7 +607,7 @@ mod tests {
         };
         std::fs::remove_file(&path).ok();
         assert_eq!(sharded.n_shards(), 1);
-        assert_eq!(sharded.query(&vecs[3], 5), single.query(&vecs[3], 5));
+        assert_eq!(sharded.search(&vecs[3], 5, &ExactScan), single.search(&vecs[3], 5, &ExactScan));
         assert!(err.to_string().contains("ShardedStore::load"), "unhelpful error: {err}");
     }
 
@@ -601,14 +633,44 @@ mod tests {
     fn empty_sharded_store_returns_no_hits() {
         let store = ShardedStore::exact(8, 4);
         assert!(store.is_empty());
-        assert!(store.query(&[1.0; 8], 5).is_empty());
-        assert!(store.query_batch(&[vec![1.0; 8]], 5)[0].is_empty());
-        assert!(store.query_batch(&[], 5).is_empty());
+        assert!(store.search(&[1.0; 8], 5, &ExactScan).is_empty());
+        assert!(store.search_batch(&[vec![1.0; 8]], 5, &ExactScan)[0].is_empty());
+        assert!(store.search_batch(&[], 5, &ExactScan).is_empty());
     }
 
     #[test]
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_panics() {
         ShardedStore::exact(8, 0);
+    }
+
+    #[test]
+    fn stats_expose_per_shard_pending_depth() {
+        let vecs = random_vecs(40, 6, 8);
+        let mut store = ShardedStore::new(6, 4, cfg(false));
+        for v in &vecs {
+            store.insert(v);
+        }
+        let stats = store.stats();
+        // seal_threshold 16 over ~10 rows per shard: every shard's rows sit
+        // in its unsealed tail, so depth == rows; no tombstones yet.
+        assert_eq!(stats.depths().len(), 4);
+        for (s, depth) in stats.shards.iter().zip(stats.depths()) {
+            assert_eq!(s.pending_rows, s.live, "all rows should be unsealed");
+            assert_eq!(depth, s.pending_depth());
+            assert_eq!(depth, s.pending_rows + s.tombstones);
+        }
+        assert_eq!(stats.totals().pending_rows, 40);
+        // Deletes deepen exactly the owning shard's backlog: the row stays
+        // in the unsealed tail *and* counts as a tombstone until compaction.
+        let victim = store.shard_of(0);
+        let before = store.stats().depths();
+        store.delete(0);
+        let after = store.stats();
+        for (shard, (&b, a)) in before.iter().zip(after.depths()).enumerate() {
+            let expect = if shard == victim { b + 1 } else { b };
+            assert_eq!(a, expect, "shard {shard} depth moved unexpectedly");
+        }
+        assert_eq!(after.shards[victim].tombstones, 1);
     }
 }

@@ -89,6 +89,25 @@ unsafe fn dot_avx2(a: &[f32], b: &[f32]) -> f32 {
     }
 }
 
+/// L2-normalizes `v` in place — the **single** normalization everything
+/// routes through: stored vectors ([`crate::VectorStore::upsert`]), query
+/// preparation, and the engine's cache keys. One implementation is a
+/// correctness requirement, not a style choice: the engine's cache is
+/// keyed on these exact bits, and a key computed by a divergent copy would
+/// silently serve another query's results. Norms that are not strictly
+/// positive (zero, NaN) leave the vector unchanged; an infinite norm
+/// divides through (components collapse to `±0`/NaN), which downstream
+/// scoring handles via `total_cmp` ordering.
+#[inline]
+pub(crate) fn l2_normalize(v: &mut [f32]) {
+    let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in v {
+            *x /= norm;
+        }
+    }
+}
+
 /// One search result: a stored id and its similarity score (dot product of
 /// L2-normalized vectors, i.e. cosine similarity in `[-1, 1]`).
 #[derive(Clone, Copy, Debug, PartialEq)]

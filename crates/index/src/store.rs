@@ -19,8 +19,10 @@
 //!   [`CandidateSource`](crate::CandidateSource): exhaustive
 //!   [`ExactScan`](crate::ExactScan) or LSH banded blocking
 //!   ([`LshCandidates`](crate::LshCandidates)), with per-segment band
-//!   buckets maintained incrementally as vectors arrive.
-//! * **Batched parallel queries** — [`VectorStore::query_batch`] fans
+//!   buckets maintained incrementally as vectors arrive. The store never
+//!   picks a source itself — that is query *execution*, which lives in
+//!   [`crate::QueryEngine`]; storage only scans what it is told to.
+//! * **Batched parallel scans** — [`VectorStore::search_batch`] fans
 //!   (query × segment) tasks across crossbeam scoped workers, mirroring the
 //!   `par_chunk_map` dispatch in `tabbin_core::batch`.
 //! * **Persistence** — [`VectorStore::snapshot`] captures the live entries;
@@ -31,9 +33,12 @@
 //!   layout-independent, and ties break by id.
 //!
 //! One process-wide store is the first tier; [`crate::ShardedStore`] routes
-//! ids across many of them and merges per-shard top-k.
+//! ids across many of them and merges per-shard top-k. Both implement
+//! [`crate::Queryable`], the storage surface the query-execution layer
+//! ([`crate::QueryEngine`]) plans, caches, and batches over.
 
-use crate::candidates::{CandidateSource, Candidates, ExactScan, LshCandidates, QueryContext};
+use crate::candidates::{CandidateSource, Candidates, QueryContext};
+use crate::engine::Queryable;
 use crate::lsh::{band_key, random_planes, signature_of};
 use crate::parallel::par_chunk_map;
 use crate::segment::Segment;
@@ -45,7 +50,7 @@ use std::io;
 use std::path::Path;
 use std::time::Instant;
 
-/// Task count at which `query_batch` fans out across worker threads (the
+/// Task count at which `search_batch` fans out across worker threads (the
 /// workspace-wide [`crate::parallel::PARALLEL_TASK_THRESHOLD`]).
 pub const PARALLEL_QUERY_THRESHOLD: usize = crate::parallel::PARALLEL_TASK_THRESHOLD;
 
@@ -160,7 +165,9 @@ impl StoreConfig {
 }
 
 /// Aggregate state of a store, for observability and compaction policy.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// Serializable so the serving tier can ship per-shard stats in a `Stats`
+/// reply.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StoreStats {
     /// Live (non-tombstoned) vectors.
     pub live: usize,
@@ -170,6 +177,20 @@ pub struct StoreStats {
     pub segments: usize,
     /// Segments that have been sealed.
     pub sealed_segments: usize,
+    /// Rows (live + tombstoned) still in unsealed segments — work the seal
+    /// lifecycle has not absorbed yet. Together with `tombstones` this is
+    /// the store's *pending depth*: the backlog a busy shard accumulates,
+    /// and the per-shard head-of-line signal the serving tier reports.
+    pub pending_rows: usize,
+}
+
+impl StoreStats {
+    /// The store's pending depth: tombstones awaiting compaction plus rows
+    /// awaiting seal — the backlog proxy the serving tier's `Stats` reply
+    /// exposes per shard.
+    pub fn pending_depth(&self) -> usize {
+        self.tombstones + self.pending_rows
+    }
 }
 
 /// Anything embeddings can stream into: [`VectorStore`],
@@ -269,6 +290,7 @@ impl VectorStore {
             tombstones: self.segments.iter().map(|s| s.n_deleted).sum(),
             segments: self.segments.len(),
             sealed_segments: self.segments.iter().filter(|s| s.sealed).count(),
+            pending_rows: self.segments.iter().filter(|s| !s.sealed).map(Segment::rows).sum(),
         }
     }
 
@@ -310,12 +332,7 @@ impl VectorStore {
             self.dim
         );
         let mut nv = v.to_vec();
-        let norm = nv.iter().map(|x| x * x).sum::<f32>().sqrt();
-        if norm > 0.0 {
-            for x in &mut nv {
-                *x /= norm;
-            }
-        }
+        crate::simd::l2_normalize(&mut nv);
         self.insert_normalized(id, &nv);
         self.maybe_compact();
     }
@@ -433,25 +450,6 @@ impl VectorStore {
 
     // --- queries -----------------------------------------------------------
 
-    /// Top-`k` most similar live vectors under the store's default candidate
-    /// source: LSH blocking when configured, exact scan otherwise.
-    pub fn query(&self, q: &[f32], k: usize) -> Vec<Hit> {
-        if self.has_lsh() {
-            self.search(q, k, &LshCandidates)
-        } else {
-            self.search(q, k, &ExactScan)
-        }
-    }
-
-    /// Batched [`query`](Self::query) over many query vectors.
-    pub fn query_batch(&self, queries: &[Vec<f32>], k: usize) -> Vec<Vec<Hit>> {
-        if self.has_lsh() {
-            self.search_batch(queries, k, &LshCandidates)
-        } else {
-            self.search_batch(queries, k, &ExactScan)
-        }
-    }
-
     /// Top-`k` search with an explicit candidate source. Scores are dot
     /// products of normalized vectors (cosine similarity); ties break by
     /// ascending id. Fewer than `k` hits come back when the source yields
@@ -560,12 +558,7 @@ impl VectorStore {
             self.dim
         );
         let mut nq = q.to_vec();
-        let norm = nq.iter().map(|x| x * x).sum::<f32>().sqrt();
-        if norm > 0.0 {
-            for x in &mut nq {
-                *x /= norm;
-            }
-        }
+        crate::simd::l2_normalize(&mut nq);
         nq
     }
 
@@ -728,9 +721,37 @@ impl VectorSink for VectorStore {
     }
 }
 
+impl Queryable for VectorStore {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn len(&self) -> usize {
+        VectorStore::len(self)
+    }
+
+    fn has_lsh(&self) -> bool {
+        VectorStore::has_lsh(self)
+    }
+
+    fn search(&self, q: &[f32], k: usize, source: &dyn CandidateSource) -> Vec<Hit> {
+        VectorStore::search(self, q, k, source)
+    }
+
+    fn search_batch(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        source: &dyn CandidateSource,
+    ) -> Vec<Vec<Hit>> {
+        VectorStore::search_batch(self, queries, k, source)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::candidates::{ExactScan, LshCandidates};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -757,7 +778,7 @@ mod tests {
         assert_eq!(store.len(), 40);
         // A stored vector's own nearest neighbor is itself with score ~1.
         for (i, v) in vecs.iter().enumerate() {
-            let hits = store.query(v, 1);
+            let hits = store.search(v, 1, &ExactScan);
             assert_eq!(hits[0].id, i as u64);
             assert!((hits[0].score - 1.0).abs() < 1e-5, "self-score {}", hits[0].score);
         }
@@ -771,7 +792,7 @@ mod tests {
             store.insert(v);
         }
         let q = &vecs[17];
-        let hits = store.query(q, 10);
+        let hits = store.search(q, 10, &ExactScan);
         // Brute-force cosine ranking over the raw vectors.
         let qn = (q.iter().map(|x| x * x).sum::<f32>()).sqrt();
         let mut scored: Vec<(usize, f32)> = vecs
@@ -813,14 +834,14 @@ mod tests {
         store.upsert(3, &vecs[7]);
         assert_eq!(store.len(), 20);
         assert_eq!(store.stats().tombstones, 1);
-        let hits = store.query(&vecs[7], 2);
+        let hits = store.search(&vecs[7], 2, &ExactScan);
         assert_eq!(hits.iter().map(|h| h.id).collect::<Vec<_>>(), vec![3, 7]);
 
         assert!(store.delete(3));
         assert!(!store.delete(3), "double delete reports dead");
         assert!(!store.contains(3));
         assert_eq!(store.len(), 19);
-        let hits = store.query(&vecs[7], 2);
+        let hits = store.search(&vecs[7], 2, &ExactScan);
         assert_eq!(hits[0].id, 7);
         assert!(hits.iter().all(|h| h.id != 3), "tombstoned id must not surface");
     }
@@ -846,12 +867,16 @@ mod tests {
         }
         store.upsert(40, &vecs[2]);
         let queries: Vec<Vec<f32>> = vecs[..8].to_vec();
-        let before = store.query_batch(&queries, 5);
+        let before = store.search_batch(&queries, 5, &LshCandidates);
         let live_before = store.len();
         store.compact();
         assert_eq!(store.len(), live_before);
         assert_eq!(store.stats().tombstones, 0);
-        assert_eq!(store.query_batch(&queries, 5), before, "compaction changed results");
+        assert_eq!(
+            store.search_batch(&queries, 5, &LshCandidates),
+            before,
+            "compaction changed results"
+        );
         assert_eq!(store.compaction_pauses().len(), 1, "one pause recorded");
     }
 
@@ -887,8 +912,8 @@ mod tests {
         );
         let queries: Vec<Vec<f32>> = vecs[12..20].to_vec();
         assert_eq!(
-            store.query_batch(&queries, 5),
-            shadow.query_batch(&queries, 5),
+            store.search_batch(&queries, 5, &LshCandidates),
+            shadow.search_batch(&queries, 5, &LshCandidates),
             "policy compaction changed results"
         );
     }
@@ -956,18 +981,21 @@ mod tests {
         let nan_id = store.insert(&[f32::NAN, 1.0, 0.0, 0.0]);
         store.insert(&[0.0, 1.0, 0.0, 0.0]);
 
-        let hits = store.query(&[1.0, 0.0, 0.0, 0.0], 3);
+        let hits = store.search(&[1.0, 0.0, 0.0, 0.0], 3, &ExactScan);
         assert_eq!(hits.len(), 3, "all rows ranked, none dropped");
         let finite: Vec<u64> = hits.iter().filter(|h| h.score.is_finite()).map(|h| h.id).collect();
         assert_eq!(finite, vec![0, 2], "finite scores still rank by similarity");
 
         // Batched and NaN-query paths hold too.
-        let batched = store.query_batch(&[vec![f32::NAN; 4]], 3);
+        let batched = store.search_batch(&[vec![f32::NAN; 4]], 3, &ExactScan);
         assert_eq!(batched[0].len(), 3);
         // The poisoned row deletes (and compacts away) cleanly.
         assert!(store.delete(nan_id));
         store.compact();
-        assert!(store.query(&[1.0, 0.0, 0.0, 0.0], 3).iter().all(|h| h.score.is_finite()));
+        assert!(store
+            .search(&[1.0, 0.0, 0.0, 0.0], 3, &ExactScan)
+            .iter()
+            .all(|h| h.score.is_finite()));
     }
 
     #[test]
@@ -1011,7 +1039,7 @@ mod tests {
             store.delete(id);
         }
         let queries: Vec<Vec<f32>> = vecs[10..20].to_vec();
-        let before = store.query_batch(&queries, 7);
+        let before = store.search_batch(&queries, 7, &LshCandidates);
 
         let path =
             std::env::temp_dir().join(format!("tabbin_index_snapshot_{}.tbix", std::process::id()));
@@ -1021,7 +1049,7 @@ mod tests {
 
         assert_eq!(loaded.len(), store.len());
         assert_eq!(loaded.dim(), store.dim());
-        let after = loaded.query_batch(&queries, 7);
+        let after = loaded.search_batch(&queries, 7, &LshCandidates);
         // Byte-identical: same ids, same score bits.
         assert_eq!(after, before);
         for (a, b) in after.iter().flatten().zip(before.iter().flatten()) {
@@ -1041,7 +1069,7 @@ mod tests {
             store.insert(v);
         }
         let queries: Vec<Vec<f32>> = vecs[..6].to_vec();
-        let before = store.query_batch(&queries, 5);
+        let before = store.search_batch(&queries, 5, &LshCandidates);
 
         let dir = std::env::temp_dir();
         let bin = dir.join(format!("tabbin_index_codec_{}.tbix", std::process::id()));
@@ -1052,8 +1080,8 @@ mod tests {
         // Autodetect: both read back identically through the same load().
         let from_bin = VectorStore::load(&bin).expect("binary load");
         let from_json = VectorStore::load(&json).expect("json load");
-        assert_eq!(from_bin.query_batch(&queries, 5), before);
-        assert_eq!(from_json.query_batch(&queries, 5), before);
+        assert_eq!(from_bin.search_batch(&queries, 5, &LshCandidates), before);
+        assert_eq!(from_json.search_batch(&queries, 5, &LshCandidates), before);
 
         // The payload is raw little-endian f32s: ≤ ~40% of the JSON text.
         let bin_len = std::fs::metadata(&bin).expect("bin meta").len();
@@ -1087,9 +1115,9 @@ mod tests {
         }
         // Enough queries to cross PARALLEL_QUERY_THRESHOLD tasks.
         let queries: Vec<Vec<f32>> = vecs[..30].to_vec();
-        let batched = store.query_batch(&queries, 6);
+        let batched = store.search_batch(&queries, 6, &LshCandidates);
         for (q, want) in queries.iter().zip(&batched) {
-            assert_eq!(&store.query(q, 6), want);
+            assert_eq!(&store.search(q, 6, &LshCandidates), want);
         }
     }
 
@@ -1098,7 +1126,7 @@ mod tests {
         let mut store = VectorStore::new(4, small_store(false));
         store.insert(&[0.0; 4]);
         store.insert(&[1.0, 0.0, 0.0, 0.0]);
-        let hits = store.query(&[0.0; 4], 2);
+        let hits = store.search(&[0.0; 4], 2, &ExactScan);
         assert_eq!(hits.len(), 2);
         assert!(hits.iter().all(|h| h.score == 0.0));
         // Ties broke by id.
@@ -1108,8 +1136,8 @@ mod tests {
     #[test]
     fn empty_store_returns_no_hits() {
         let store = VectorStore::exact(8);
-        assert!(store.query(&[1.0; 8], 5).is_empty());
-        assert!(store.query_batch(&[vec![1.0; 8]], 5)[0].is_empty());
+        assert!(store.search(&[1.0; 8], 5, &ExactScan).is_empty());
+        assert!(store.search_batch(&[vec![1.0; 8]], 5, &ExactScan)[0].is_empty());
         assert!(store.is_empty());
     }
 

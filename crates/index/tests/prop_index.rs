@@ -7,7 +7,8 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tabbin_index::{
-    CompactionPolicy, ExactScan, LshCandidates, LshParams, ShardedStore, StoreConfig, VectorStore,
+    CandidateSource, CompactionPolicy, EngineConfig, ExactScan, LshCandidates, LshParams,
+    QueryEngine, ShardedStore, StoreConfig, VectorStore,
 };
 
 /// Random centered embeddings: draw uniform vectors, then subtract the mean
@@ -112,9 +113,9 @@ proptest! {
             }
         }
         // Compaction is invisible to queries.
-        let before = store.query_batch(&items[..10], 5);
+        let before = store.search_batch(&items[..10], 5, &LshCandidates);
         store.compact();
-        prop_assert_eq!(store.query_batch(&items[..10], 5), before);
+        prop_assert_eq!(store.search_batch(&items[..10], 5, &LshCandidates), before);
     }
 
     /// Sharding is invisible: a `ShardedStore` answers every query exactly
@@ -161,9 +162,10 @@ proptest! {
             }
         }
         prop_assert_eq!(single.len(), sharded.len());
+        let source: &dyn CandidateSource = if use_lsh { &LshCandidates } else { &ExactScan };
         let queries = &items[..16];
-        let a = single.query_batch(queries, 10);
-        let b = sharded.query_batch(queries, 10);
+        let a = single.search_batch(queries, 10, source);
+        let b = sharded.search_batch(queries, 10, source);
         for (x, y) in a.iter().zip(&b) {
             prop_assert!(x == y, "query diverged (lsh={use_lsh}): {x:?} vs {y:?}");
             for (hx, hy) in x.iter().zip(y) {
@@ -172,7 +174,7 @@ proptest! {
         }
         // Serial and batched sharded paths agree too.
         for (q, want) in queries.iter().zip(&b) {
-            prop_assert_eq!(&sharded.query(q, 10), want);
+            prop_assert_eq!(&sharded.search(q, 10, source), want);
         }
     }
 
@@ -207,7 +209,7 @@ proptest! {
             }
         }
         let queries = &items[..12];
-        let before = store.query_batch(queries, 8);
+        let before = store.search_batch(queries, 8, &LshCandidates);
 
         let path = std::env::temp_dir().join(format!(
             "tabbin_prop_sharded_{}_{}_{}.tbix",
@@ -221,7 +223,7 @@ proptest! {
 
         prop_assert_eq!(loaded.n_shards(), n_shards);
         prop_assert_eq!(loaded.len(), store.len());
-        let after = loaded.query_batch(queries, 8);
+        let after = loaded.search_batch(queries, 8, &LshCandidates);
         for (x, y) in before.iter().flatten().zip(after.iter().flatten()) {
             prop_assert_eq!(x.id, y.id);
             prop_assert_eq!(x.score.to_bits(), y.score.to_bits());
@@ -229,5 +231,55 @@ proptest! {
         let mut loaded = loaded;
         let fresh = loaded.insert(&items[0]);
         prop_assert!(fresh >= N as u64, "fresh id {} collided below {}", fresh, N);
+    }
+
+    /// The query-execution layer is result-invisible: an engine with
+    /// caching and ef-style over-fetch returns exactly the `k`-prefix of a
+    /// direct storage scan under the same candidate source — on first
+    /// sight (cache miss), on repeat (cache hit), and at a smaller `k`
+    /// served as a cached prefix.
+    #[test]
+    fn engine_is_bit_identical_to_direct_storage(
+        seed in 0u64..10_000,
+        probe_width in 1usize..4,
+        lsh_bit in 0u8..2,
+    ) {
+        const N: usize = 80;
+        const DIM: usize = 12;
+        const K: usize = 7;
+        let use_lsh = lsh_bit == 1;
+        let items = centered_random(N, DIM, seed);
+        let cfg = StoreConfig {
+            seal_threshold: 16,
+            lsh: use_lsh.then_some(LshParams { bands: 8, rows_per_band: 2 }),
+            seed: seed ^ 0xe9e,
+            policy: CompactionPolicy::default(),
+        };
+        let mut store = VectorStore::new(DIM, cfg);
+        let mut shadow = VectorStore::new(DIM, cfg);
+        for v in &items {
+            store.insert(v);
+            shadow.insert(v);
+        }
+        let ecfg = EngineConfig {
+            probe_width,
+            ..if use_lsh { EngineConfig::lsh() } else { EngineConfig::exact() }
+        };
+        let engine = QueryEngine::new(store, ecfg);
+        let source: &dyn CandidateSource = if use_lsh { &LshCandidates } else { &ExactScan };
+        for q in items.iter().take(12) {
+            let want = shadow.search(q, K, source);
+            let miss = engine.query(q, K);
+            let hit = engine.query(q, K);
+            let prefix = engine.query(q, K - 2);
+            prop_assert!(miss == want, "cache-miss path diverged: {miss:?} vs {want:?}");
+            prop_assert!(hit == want, "cache-hit path diverged: {hit:?} vs {want:?}");
+            prop_assert!(prefix == want[..K - 2], "cached prefix diverged: {prefix:?}");
+            for (a, b) in miss.iter().zip(&want) {
+                prop_assert_eq!(a.score.to_bits(), b.score.to_bits());
+            }
+        }
+        let stats = engine.stats();
+        prop_assert!(stats.cache_hits >= 24, "prefix requests missed: {:?}", stats);
     }
 }

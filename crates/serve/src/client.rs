@@ -1,0 +1,64 @@
+//! A blocking client for the serving tier's wire protocol.
+
+use crate::wire::{
+    decode_response, encode_request, read_frame, write_frame, Request, Response, StatsReply,
+};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+use tabbin_index::Hit;
+
+/// What a `Query` request came back as — callers must handle shed load
+/// explicitly, it is a normal serving outcome rather than an IO failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryOutcome {
+    /// Ranked hits, best first — bit-identical to the in-process engine.
+    Hits(Vec<Hit>),
+    /// The admission queue was full; retry later (or back off).
+    Overloaded,
+}
+
+/// A blocking connection to a `tabbin-serve` server: one outstanding
+/// request at a time, framed per [`crate::wire`].
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { reader: BufReader::new(stream.try_clone()?), writer: BufWriter::new(stream) })
+    }
+
+    /// Top-`k` over the wire. Server-side `Error` replies surface as
+    /// `InvalidInput` IO errors carrying the server's message.
+    pub fn query(&mut self, vector: &[f32], k: usize) -> io::Result<QueryOutcome> {
+        let req = Request::Query { k: k as u32, vector: vector.to_vec() };
+        match self.exchange(&req)? {
+            Response::Hits(hits) => Ok(QueryOutcome::Hits(hits)),
+            Response::Overloaded => Ok(QueryOutcome::Overloaded),
+            Response::Error(msg) => Err(io::Error::new(io::ErrorKind::InvalidInput, msg)),
+            Response::Stats(_) => Err(protocol("stats reply to a query request")),
+        }
+    }
+
+    /// The server's health counters.
+    pub fn stats(&mut self) -> io::Result<StatsReply> {
+        match self.exchange(&Request::Stats)? {
+            Response::Stats(stats) => Ok(*stats),
+            Response::Error(msg) => Err(io::Error::new(io::ErrorKind::InvalidInput, msg)),
+            _ => Err(protocol("non-stats reply to a stats request")),
+        }
+    }
+
+    fn exchange(&mut self, req: &Request) -> io::Result<Response> {
+        write_frame(&mut self.writer, &encode_request(req))?;
+        decode_response(&read_frame(&mut self.reader)?)
+    }
+}
+
+fn protocol(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}

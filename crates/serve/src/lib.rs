@@ -1,0 +1,35 @@
+//! The serving tier: table-search as a network service.
+//!
+//! `tabbin-index` ends at an in-process [`QueryEngine`]; this crate puts a
+//! network front on it so the sharded retrieval tier serves sustained
+//! traffic instead of in-process callers — the ROADMAP's query-server
+//! milestone. Three layers:
+//!
+//! * [`wire`] — the length-prefixed binary protocol: flat little-endian
+//!   query/hits frames, JSON-bodied stats, and allocation-safe decoding
+//!   (hostile length prefixes are rejected before any buffer is sized).
+//! * [`Server`] ([`server`]) — a `TcpListener` acceptor, per-connection
+//!   decode threads, a **bounded admission queue** that sheds load with an
+//!   explicit [`Response::Overloaded`] reply (it never blocks and never
+//!   hangs the client), and a worker pool whose members submit through the
+//!   engine's [`MicroBatcher`](tabbin_index::MicroBatcher) so concurrent
+//!   connections coalesce into batched storage scans.
+//! * [`Client`] ([`client`]) — a blocking connection that surfaces shed
+//!   load as [`QueryOutcome::Overloaded`] and ships the server's
+//!   [`StatsReply`] health snapshot.
+//!
+//! Wire results are **bit-identical** to in-process engine calls (pinned
+//! end to end in `tests/loopback.rs`): frames carry exact `f32` bit
+//! patterns and the server never reorders within a connection.
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, QueryOutcome};
+pub use server::{ServeConfig, Server, MAX_REPLY_HITS};
+pub use wire::{Request, Response, StatsReply, MAX_FRAME_LEN};
+
+// Re-exported so downstream callers can build an engine without also
+// depending on tabbin-index directly.
+pub use tabbin_index::{EngineConfig, QueryEngine, ShardedStore};

@@ -1,0 +1,318 @@
+//! The serving loop: a TCP front on the query engine.
+//!
+//! Architecture (no async runtime — blocking IO and a worker pool, which
+//! the vendored dependency set supports and a top-k workload saturates):
+//!
+//! ```text
+//! acceptor thread ──► connection thread (per client)
+//!                        │  read frame → decode → validate
+//!                        │  try_send ──► bounded admission queue ──► worker pool
+//!                        │     │ full                                   │
+//!                        │     ▼                                        ▼
+//!                        │  Overloaded reply               MicroBatcher::submit
+//!                        ◄── reply channel ◄──────────────── engine.query_batch
+//! ```
+//!
+//! * **Admission control** — the queue between connections and workers is
+//!   a bounded `sync_channel`. `try_send` never blocks: past capacity the
+//!   request is *shed* with an explicit [`Response::Overloaded`] reply
+//!   instead of queuing unboundedly or hanging the client. Depth and shed
+//!   counts are live in the `Stats` reply.
+//! * **Micro-batching** — workers submit their queries through the
+//!   engine's [`MicroBatcher`], so requests arriving concurrently on many
+//!   connections coalesce into one batched storage scan (leader/follower:
+//!   whichever worker gets there first executes for all of them).
+//! * **Stats bypass admission** — a health probe must answer *especially*
+//!   when the queue is full, so `Stats` requests are served inline on the
+//!   connection thread from atomic counters, never queued.
+//!
+//! Results are bit-identical to in-process [`QueryEngine`] calls — the
+//! wire moves exact `f32` bit patterns and the server adds no reordering
+//! (one outstanding request per connection, replies routed per request).
+
+use crate::wire::MAX_FRAME_LEN;
+use crate::wire::{
+    decode_request, encode_response, read_frame, write_frame, Request, Response, StatsReply,
+};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use tabbin_index::{MicroBatcher, QueryEngine, ShardedStore};
+
+/// Most hits one `Hits` reply can carry and still fit [`MAX_FRAME_LEN`]
+/// (opcode + count header, 12 bytes per hit). Queries asking for more are
+/// answered with an `Error` up front instead of building a frame the
+/// peer's decoder would reject.
+pub const MAX_REPLY_HITS: usize = (MAX_FRAME_LEN as usize - 5) / 12;
+
+/// Construction-time options for a [`Server`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Worker threads draining the admission queue.
+    pub workers: usize,
+    /// Admission queue capacity; requests past it are shed with
+    /// [`Response::Overloaded`].
+    pub queue_capacity: usize,
+    /// Most concurrent connections; further accepts are answered with one
+    /// `Overloaded` frame and closed, so a connection flood cannot spawn
+    /// unbounded handler threads.
+    pub max_connections: usize,
+}
+
+impl Default for ServeConfig {
+    /// Four workers over a 64-deep admission queue, 256 connections.
+    fn default() -> Self {
+        Self { workers: 4, queue_capacity: 64, max_connections: 256 }
+    }
+}
+
+/// One admitted query riding the queue to a worker.
+struct QueryJob {
+    vector: Vec<f32>,
+    k: usize,
+    reply: mpsc::Sender<Response>,
+}
+
+/// State shared by the acceptor, connection threads, and workers.
+struct Shared {
+    batcher: MicroBatcher<ShardedStore>,
+    cfg: ServeConfig,
+    admit: SyncSender<QueryJob>,
+    /// Jobs admitted but not yet picked up by a worker.
+    depth: AtomicUsize,
+    /// Live connection handler threads.
+    connections: AtomicUsize,
+    shed: AtomicU64,
+    served: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn engine(&self) -> &Arc<QueryEngine<ShardedStore>> {
+        self.batcher.engine()
+    }
+
+    fn stats(&self) -> StatsReply {
+        let engine = self.engine();
+        let shards = engine.store().stats();
+        StatsReply {
+            shard_depths: shards.depths(),
+            shards,
+            engine: engine.stats(),
+            batcher: self.batcher.stats(),
+            queue_depth: self.depth.load(Ordering::Relaxed),
+            queue_capacity: self.cfg.queue_capacity,
+            shed: self.shed.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A running server: acceptor + connection threads + worker pool over one
+/// engine. Dropping the handle leaks the threads; call
+/// [`shutdown`](Server::shutdown) for an orderly stop.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral loopback port) and starts
+    /// serving `engine` with `cfg`'s worker pool and admission bounds.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        engine: Arc<QueryEngine<ShardedStore>>,
+        cfg: ServeConfig,
+    ) -> io::Result<Server> {
+        assert!(cfg.workers > 0, "server needs at least one worker");
+        assert!(cfg.queue_capacity > 0, "admission queue needs capacity");
+        assert!(cfg.max_connections > 0, "server needs at least one connection slot");
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let (admit, jobs) = mpsc::sync_channel(cfg.queue_capacity);
+        let shared = Arc::new(Shared {
+            batcher: MicroBatcher::new(engine),
+            cfg,
+            admit,
+            depth: AtomicUsize::new(0),
+            connections: AtomicUsize::new(0),
+            shed: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+
+        let jobs = Arc::new(Mutex::new(jobs));
+        let workers = (0..cfg.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let jobs = Arc::clone(&jobs);
+                std::thread::spawn(move || worker_loop(&shared, &jobs))
+            })
+            .collect();
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+
+        Ok(Server { addr: local, shared, acceptor: Some(acceptor), workers })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's health counters, as a `Stats` request would see them.
+    pub fn stats(&self) -> StatsReply {
+        self.shared.stats()
+    }
+
+    /// Stops accepting, drains the workers, and joins the service threads.
+    /// Open connections see EOF on their next read.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a no-op connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        // Connection admission mirrors request admission: past the cap,
+        // shed with one Overloaded frame and close — never spawn
+        // unboundedly. The short write timeout keeps a peer that refuses
+        // to read from pinning the acceptor.
+        if shared.connections.load(Ordering::SeqCst) >= shared.cfg.max_connections {
+            shared.shed.fetch_add(1, Ordering::Relaxed);
+            stream.set_write_timeout(Some(Duration::from_millis(100))).ok();
+            let mut w = BufWriter::new(stream);
+            let _ = send(&mut w, &Response::Overloaded);
+            continue;
+        }
+        shared.connections.fetch_add(1, Ordering::SeqCst);
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || {
+            // A broken connection is the client's problem, not the
+            // server's; the handler just ends.
+            let _ = connection_loop(stream, &shared);
+            shared.connections.fetch_sub(1, Ordering::SeqCst);
+        });
+    }
+}
+
+/// One request/response exchange at a time per connection, until EOF.
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(p) => p,
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => {
+                // Malformed framing: tell the peer, then drop them — the
+                // stream offset can no longer be trusted.
+                send(&mut writer, &Response::Error(e.to_string()))?;
+                return Ok(());
+            }
+        };
+        let resp = match decode_request(&payload) {
+            Err(e) => Response::Error(e.to_string()),
+            Ok(Request::Stats) => Response::Stats(Box::new(shared.stats())),
+            Ok(Request::Query { k, vector }) => handle_query(shared, vector, k as usize),
+        };
+        send(&mut writer, &resp)?;
+    }
+}
+
+/// Admits one query (or sheds it) and waits for the worker's reply.
+fn handle_query(shared: &Arc<Shared>, vector: Vec<f32>, k: usize) -> Response {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        // The workers are draining away; queuing now could wait forever.
+        return Response::Error("server is shutting down".into());
+    }
+    let dim = shared.engine().dim();
+    if vector.len() != dim {
+        return Response::Error(format!("query of {} components, store is {dim}", vector.len()));
+    }
+    if k > MAX_REPLY_HITS {
+        return Response::Error(format!(
+            "k={k} exceeds the {MAX_REPLY_HITS}-hit reply bound (frame limit {MAX_FRAME_LEN}B)"
+        ));
+    }
+    let (tx, rx) = mpsc::channel();
+    // Count the admission *before* the send: a worker can pop the job and
+    // decrement between the send and any later increment.
+    shared.depth.fetch_add(1, Ordering::Relaxed);
+    match shared.admit.try_send(QueryJob { vector, k, reply: tx }) {
+        Ok(()) => rx.recv().unwrap_or_else(|_| Response::Error("worker dropped reply".into())),
+        Err(TrySendError::Full(_)) => {
+            shared.depth.fetch_sub(1, Ordering::Relaxed);
+            shared.shed.fetch_add(1, Ordering::Relaxed);
+            Response::Overloaded
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            shared.depth.fetch_sub(1, Ordering::Relaxed);
+            Response::Error("server is shutting down".into())
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, jobs: &Mutex<Receiver<QueryJob>>) {
+    loop {
+        // Hold the receiver lock only for the dequeue, and poll with a
+        // timeout so shutdown is seen even while idle.
+        let job = {
+            let rx = jobs.lock().expect("job queue lock poisoned");
+            rx.recv_timeout(Duration::from_millis(50))
+        };
+        match job {
+            Ok(job) => {
+                shared.depth.fetch_sub(1, Ordering::Relaxed);
+                let hits = shared.batcher.submit(&job.vector, job.k);
+                shared.served.fetch_add(1, Ordering::Relaxed);
+                // The connection may have hung up mid-wait; fine.
+                let _ = job.reply.send(Response::Hits(hits));
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Encodes and writes one response. A reply that would not fit a frame
+/// (e.g. a many-shard `Stats` body — `Hits` are bounded by the `k` guard)
+/// degrades to an in-band `Error` instead of emitting a frame the peer's
+/// decoder must reject.
+fn send<W: Write>(w: &mut W, resp: &Response) -> io::Result<()> {
+    let payload = encode_response(resp);
+    if payload.len() > MAX_FRAME_LEN as usize {
+        let err = Response::Error(format!(
+            "reply of {} bytes exceeds the {MAX_FRAME_LEN}-byte frame bound",
+            payload.len()
+        ));
+        return write_frame(w, &encode_response(&err));
+    }
+    write_frame(w, &payload)
+}

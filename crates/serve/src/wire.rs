@@ -1,0 +1,395 @@
+//! The wire protocol: length-prefixed binary frames over a byte stream.
+//!
+//! Every message is one **frame**: a `u32` little-endian payload length,
+//! then the payload. The first payload byte is an opcode; the rest is the
+//! message body, fixed-layout little-endian (except the `Stats` body,
+//! which is JSON — stats are structured, low-rate, and evolve; queries are
+//! hot and flat).
+//!
+//! | frame          | opcode | body |
+//! |----------------|--------|------|
+//! | `Query`        | `0x01` | `k: u32`, `n: u32`, `n × f32` query vector |
+//! | `Stats`        | `0x02` | — |
+//! | `Hits`         | `0x81` | `n: u32`, `n × (id: u64, score: f32)` |
+//! | `StatsReply`   | `0x82` | JSON-encoded [`StatsReply`] |
+//! | `Overloaded`   | `0x83` | — |
+//! | `Error`        | `0x84` | UTF-8 message |
+//!
+//! Decoding is **allocation-safe against hostile peers**: the length
+//! prefix is checked against [`MAX_FRAME_LEN`] *before* any buffer is
+//! sized from it, so an adversarial `0xffffffff` prefix is rejected with
+//! `InvalidData` instead of a multi-gigabyte allocation. Body lengths are
+//! cross-checked against their element counts the same way.
+
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read, Write};
+use tabbin_index::{EngineStats, Hit, MicroBatchStats, ShardedStats};
+
+/// Hard ceiling on one frame's payload (1 MiB). A dim-4096 query is
+/// ~16 KiB; the bound leaves two orders of magnitude of headroom while
+/// keeping the worst hostile allocation harmless.
+pub const MAX_FRAME_LEN: u32 = 1 << 20;
+
+const OP_QUERY: u8 = 0x01;
+const OP_STATS: u8 = 0x02;
+const OP_HITS: u8 = 0x81;
+const OP_STATS_REPLY: u8 = 0x82;
+const OP_OVERLOADED: u8 = 0x83;
+const OP_ERROR: u8 = 0x84;
+
+/// A client-to-server message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Top-`k` over one query vector.
+    Query {
+        /// How many hits to return.
+        k: u32,
+        /// The query vector (dimension is validated server-side).
+        vector: Vec<f32>,
+    },
+    /// Snapshot the server's health counters.
+    Stats,
+}
+
+/// A server-to-client message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Ranked hits for a `Query`.
+    Hits(Vec<Hit>),
+    /// The health snapshot for a `Stats` request.
+    Stats(Box<StatsReply>),
+    /// The admission queue was full; the request was shed, not queued.
+    Overloaded,
+    /// The request was malformed or unserviceable (e.g. wrong dimension).
+    Error(String),
+}
+
+/// The server's `Stats` payload: storage, engine, batcher, and admission
+/// counters in one reply — the health endpoint the ROADMAP promised.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct StatsReply {
+    /// Per-shard storage stats (live/tombstones/segments/pending rows).
+    pub shards: ShardedStats,
+    /// Per-shard pending depth (tombstones + unsealed rows), shard order —
+    /// the head-of-line-blocking signal across the fan-out.
+    pub shard_depths: Vec<usize>,
+    /// Query-engine cache and storage-call counters.
+    pub engine: EngineStats,
+    /// Micro-batcher coalescing counters.
+    pub batcher: MicroBatchStats,
+    /// Requests currently admitted and waiting for a worker.
+    pub queue_depth: usize,
+    /// Admission queue capacity.
+    pub queue_capacity: usize,
+    /// Requests shed with `Overloaded` since the server started.
+    pub shed: u64,
+    /// Query requests served since the server started.
+    pub served: u64,
+}
+
+/// Writes one frame (length prefix + payload). Refuses payloads past
+/// [`MAX_FRAME_LEN`] — the peer's decoder would reject them anyway, and
+/// erroring here keeps the stream's framing intact.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_LEN as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "outbound frame of {} bytes exceeds the {MAX_FRAME_LEN}-byte bound",
+                payload.len()
+            ),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame's payload. Rejects length prefixes of zero or beyond
+/// [`MAX_FRAME_LEN`] **before allocating anything** sized by them.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Vec<u8>> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf);
+    if len == 0 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "empty frame"));
+    }
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_LEN}-byte bound"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// Encodes a request payload (no length prefix; [`write_frame`] adds it).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    match req {
+        Request::Query { k, vector } => {
+            let mut out = Vec::with_capacity(1 + 8 + 4 * vector.len());
+            out.push(OP_QUERY);
+            out.extend_from_slice(&k.to_le_bytes());
+            out.extend_from_slice(&(vector.len() as u32).to_le_bytes());
+            for x in vector {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+            out
+        }
+        Request::Stats => vec![OP_STATS],
+    }
+}
+
+/// Decodes a request payload.
+pub fn decode_request(payload: &[u8]) -> io::Result<Request> {
+    let mut cur = Cursor::new(payload);
+    match cur.u8()? {
+        OP_QUERY => {
+            let k = cur.u32()?;
+            let n = cur.u32()? as usize;
+            // n came off the wire: cross-check against the bytes actually
+            // present before sizing a buffer from it.
+            if cur.remaining() != n * 4 {
+                return Err(invalid(format!(
+                    "query of {n} components with {} body bytes",
+                    cur.remaining()
+                )));
+            }
+            let vector = (0..n).map(|_| cur.f32()).collect::<io::Result<Vec<f32>>>()?;
+            cur.done()?;
+            Ok(Request::Query { k, vector })
+        }
+        OP_STATS => {
+            cur.done()?;
+            Ok(Request::Stats)
+        }
+        op => Err(invalid(format!("unknown request opcode {op:#04x}"))),
+    }
+}
+
+/// Encodes a response payload (no length prefix; [`write_frame`] adds it).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    match resp {
+        Response::Hits(hits) => {
+            let mut out = Vec::with_capacity(1 + 4 + 12 * hits.len());
+            out.push(OP_HITS);
+            out.extend_from_slice(&(hits.len() as u32).to_le_bytes());
+            for h in hits {
+                out.extend_from_slice(&h.id.to_le_bytes());
+                out.extend_from_slice(&h.score.to_le_bytes());
+            }
+            out
+        }
+        Response::Stats(stats) => {
+            let json = serde_json::to_string(stats.as_ref()).expect("StatsReply serializes");
+            let mut out = Vec::with_capacity(1 + json.len());
+            out.push(OP_STATS_REPLY);
+            out.extend_from_slice(json.as_bytes());
+            out
+        }
+        Response::Overloaded => vec![OP_OVERLOADED],
+        Response::Error(msg) => {
+            let mut out = Vec::with_capacity(1 + msg.len());
+            out.push(OP_ERROR);
+            out.extend_from_slice(msg.as_bytes());
+            out
+        }
+    }
+}
+
+/// Decodes a response payload.
+pub fn decode_response(payload: &[u8]) -> io::Result<Response> {
+    let mut cur = Cursor::new(payload);
+    match cur.u8()? {
+        OP_HITS => {
+            let n = cur.u32()? as usize;
+            if cur.remaining() != n * 12 {
+                return Err(invalid(format!("{n} hits with {} body bytes", cur.remaining())));
+            }
+            let mut hits = Vec::with_capacity(n);
+            for _ in 0..n {
+                let id = cur.u64()?;
+                let score = cur.f32()?;
+                hits.push(Hit { id, score });
+            }
+            cur.done()?;
+            Ok(Response::Hits(hits))
+        }
+        OP_STATS_REPLY => {
+            let json = std::str::from_utf8(cur.rest())
+                .map_err(|e| invalid(format!("stats reply is not UTF-8: {e}")))?;
+            let stats: StatsReply = serde_json::from_str(json)
+                .map_err(|e| invalid(format!("stats reply does not parse: {e}")))?;
+            Ok(Response::Stats(Box::new(stats)))
+        }
+        OP_OVERLOADED => {
+            cur.done()?;
+            Ok(Response::Overloaded)
+        }
+        OP_ERROR => {
+            let msg = std::str::from_utf8(cur.rest())
+                .map_err(|e| invalid(format!("error reply is not UTF-8: {e}")))?
+                .to_string();
+            Ok(Response::Error(msg))
+        }
+        op => Err(invalid(format!("unknown response opcode {op:#04x}"))),
+    }
+}
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// A bounds-checked little-endian reader over one payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(invalid(format!("truncated frame: wanted {n} more bytes")));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn rest(&mut self) -> &'a [u8] {
+        let s = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        s
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn f32(&mut self) -> io::Result<f32> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Asserts the payload was consumed exactly — trailing garbage is a
+    /// framing bug on the peer's side and must not pass silently.
+    fn done(&self) -> io::Result<()> {
+        if self.remaining() != 0 {
+            return Err(invalid(format!("{} trailing bytes after message", self.remaining())));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_roundtrips() {
+        let req = Request::Query { k: 10, vector: vec![1.5, -2.25, 0.0, f32::MIN_POSITIVE] };
+        assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+        let empty = Request::Query { k: 0, vector: Vec::new() };
+        assert_eq!(decode_request(&encode_request(&empty)).unwrap(), empty);
+        assert_eq!(decode_request(&encode_request(&Request::Stats)).unwrap(), Request::Stats);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let hits =
+            Response::Hits(vec![Hit { id: 7, score: 0.99 }, Hit { id: u64::MAX, score: -1.0 }]);
+        assert_eq!(decode_response(&encode_response(&hits)).unwrap(), hits);
+        assert_eq!(
+            decode_response(&encode_response(&Response::Overloaded)).unwrap(),
+            Response::Overloaded
+        );
+        let err = Response::Error("no such dimension".into());
+        assert_eq!(decode_response(&encode_response(&err)).unwrap(), err);
+        let stats = Response::Stats(Box::new(StatsReply {
+            shard_depths: vec![3, 1],
+            queue_capacity: 64,
+            shed: 2,
+            served: 40,
+            ..StatsReply::default()
+        }));
+        assert_eq!(decode_response(&encode_response(&stats)).unwrap(), stats);
+    }
+
+    #[test]
+    fn nan_scores_survive_the_wire_bit_for_bit() {
+        let hits = vec![Hit { id: 1, score: f32::NAN }, Hit { id: 2, score: f32::INFINITY }];
+        let decoded = decode_response(&encode_response(&Response::Hits(hits.clone()))).unwrap();
+        let Response::Hits(got) = decoded else { panic!("wrong variant") };
+        for (a, b) in hits.iter().zip(&got) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        // A hostile 4 GiB length prefix: read_frame must error out after
+        // the 4 prefix bytes without sizing a buffer from it.
+        let mut stream: &[u8] = &0xffff_ffffu32.to_le_bytes();
+        let err = read_frame(&mut stream).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("exceeds"), "unhelpful error: {err}");
+        // Just past the bound is rejected too; at the bound it would read.
+        let mut at_edge: &[u8] = &(MAX_FRAME_LEN + 1).to_le_bytes();
+        assert_eq!(read_frame(&mut at_edge).unwrap_err().kind(), io::ErrorKind::InvalidData);
+        let mut zero: &[u8] = &0u32.to_le_bytes();
+        assert_eq!(read_frame(&mut zero).unwrap_err().kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn corrupt_bodies_are_rejected() {
+        // Element count inconsistent with the body length.
+        let mut req = encode_request(&Request::Query { k: 5, vector: vec![1.0, 2.0] });
+        req[5..9].copy_from_slice(&100u32.to_le_bytes());
+        assert!(decode_request(&req).is_err(), "inflated component count must not decode");
+        // Unknown opcodes, truncation, and trailing garbage.
+        assert!(decode_request(&[0x7f]).is_err());
+        assert!(decode_request(&[OP_QUERY, 1]).is_err());
+        let mut trailing = encode_request(&Request::Stats);
+        trailing.push(0);
+        assert!(decode_request(&trailing).is_err());
+        let mut resp = encode_response(&Response::Hits(vec![Hit { id: 1, score: 1.0 }]));
+        resp[1..5].copy_from_slice(&2u32.to_le_bytes());
+        assert!(decode_response(&resp).is_err(), "inflated hit count must not decode");
+    }
+
+    #[test]
+    fn frames_roundtrip_through_a_byte_stream() {
+        let payloads: Vec<Vec<u8>> = vec![
+            encode_request(&Request::Query { k: 3, vector: vec![0.5; 17] }),
+            encode_request(&Request::Stats),
+            encode_response(&Response::Overloaded),
+        ];
+        let mut stream = Vec::new();
+        for p in &payloads {
+            write_frame(&mut stream, p).unwrap();
+        }
+        let mut r: &[u8] = &stream;
+        for p in &payloads {
+            assert_eq!(&read_frame(&mut r).unwrap(), p);
+        }
+        assert!(read_frame(&mut r).is_err(), "EOF must surface as an error");
+    }
+}

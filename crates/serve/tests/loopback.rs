@@ -1,0 +1,266 @@
+//! End-to-end serving tests over a real loopback TCP connection: wire
+//! results must be bit-identical to in-process engine results, the
+//! admission queue must shed (never hang) past capacity, and the stats
+//! endpoint must answer with live counters.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use tabbin_index::{EngineConfig, Hit, LshParams, QueryEngine, ShardedStore, StoreConfig};
+use tabbin_serve::{Client, QueryOutcome, ServeConfig, Server};
+
+fn random_vecs(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| (0..dim).map(|_| rng.random_range(-1.0f32..1.0)).collect()).collect()
+}
+
+/// A 3-shard LSH corpus behind an engine, shared by server and reference.
+fn corpus_engine(vecs: &[Vec<f32>]) -> Arc<QueryEngine<ShardedStore>> {
+    let cfg = StoreConfig {
+        lsh: Some(LshParams { bands: 8, rows_per_band: 2 }),
+        seed: 9,
+        ..StoreConfig::default()
+    };
+    let mut store = ShardedStore::new(vecs[0].len(), 3, cfg);
+    for v in vecs {
+        store.insert(v);
+    }
+    Arc::new(QueryEngine::new(store, EngineConfig::lsh()))
+}
+
+#[test]
+fn wire_results_are_bit_identical_to_in_process_engine() {
+    let vecs = random_vecs(120, 16, 1);
+    let engine = corpus_engine(&vecs);
+    let server =
+        Server::bind("127.0.0.1:0", Arc::clone(&engine), ServeConfig::default()).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    for q in vecs.iter().take(24) {
+        let wire = match client.query(q, 8).expect("query") {
+            QueryOutcome::Hits(hits) => hits,
+            QueryOutcome::Overloaded => panic!("uncontended query shed"),
+        };
+        let local: Vec<Hit> = engine.query(q, 8);
+        assert_eq!(wire.len(), local.len());
+        for (w, l) in wire.iter().zip(&local) {
+            assert_eq!(w.id, l.id, "ids diverged over the wire");
+            assert_eq!(w.score.to_bits(), l.score.to_bits(), "score bits diverged over the wire");
+        }
+    }
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_get_correct_coalesced_results() {
+    let vecs = random_vecs(150, 12, 2);
+    let engine = corpus_engine(&vecs);
+    // Reference answers from a twin engine (same store build) so the
+    // server engine's cache state doesn't matter.
+    let reference = corpus_engine(&vecs);
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&engine),
+        ServeConfig { workers: 4, queue_capacity: 64, ..ServeConfig::default() },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    let handles: Vec<_> = (0..8)
+        .map(|c| {
+            let queries: Vec<Vec<f32>> = vecs[c * 12..(c + 1) * 12].to_vec();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                queries
+                    .iter()
+                    .map(|q| match client.query(q, 5).expect("query") {
+                        QueryOutcome::Hits(hits) => hits,
+                        QueryOutcome::Overloaded => panic!("64-deep queue shed 8 clients"),
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    for (c, h) in handles.into_iter().enumerate() {
+        let lists = h.join().expect("client thread panicked");
+        for (qi, hits) in lists.iter().enumerate() {
+            let want = reference.query(&vecs[c * 12 + qi], 5);
+            assert_eq!(hits, &want, "client {c} query {qi} diverged");
+        }
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.served, 96);
+    assert_eq!(stats.shed, 0);
+    assert_eq!(stats.batcher.submitted, 96);
+    assert!(stats.batcher.batches <= 96, "more batches than submissions");
+    server.shutdown();
+}
+
+#[test]
+fn overload_sheds_with_an_explicit_reply_and_never_hangs() {
+    let vecs = random_vecs(4000, 32, 3);
+    let engine = corpus_engine(&vecs);
+    // One worker and a 2-deep queue: a burst of 24 clients must overflow.
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&engine),
+        ServeConfig { workers: 1, queue_capacity: 2, ..ServeConfig::default() },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    let handles: Vec<_> = (0..24)
+        .map(|c| {
+            let q = vecs[c].clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut sheds = 0u64;
+                let mut served = 0u64;
+                for _ in 0..8 {
+                    match client.query(&q, 10).expect("query must answer, not hang") {
+                        QueryOutcome::Hits(hits) => {
+                            assert!(!hits.is_empty());
+                            served += 1;
+                        }
+                        QueryOutcome::Overloaded => sheds += 1,
+                    }
+                }
+                (served, sheds)
+            })
+        })
+        .collect();
+    let mut total_served = 0;
+    let mut total_shed = 0;
+    for h in handles {
+        let (served, sheds) = h.join().expect("client thread panicked");
+        total_served += served;
+        total_shed += sheds;
+    }
+    assert_eq!(total_served + total_shed, 24 * 8, "every request got an answer");
+    assert!(total_shed > 0, "24 clients against a 2-deep queue never overflowed");
+    let stats = server.stats();
+    assert_eq!(stats.shed, total_shed);
+    assert_eq!(stats.served, total_served);
+    server.shutdown();
+}
+
+#[test]
+fn connection_flood_is_shed_at_the_cap() {
+    let vecs = random_vecs(40, 8, 7);
+    let engine = corpus_engine(&vecs);
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&engine),
+        ServeConfig { max_connections: 2, ..ServeConfig::default() },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    let mut c1 = Client::connect(addr).expect("c1");
+    let mut c2 = Client::connect(addr).expect("c2");
+    assert!(matches!(c1.query(&vecs[0], 3).expect("c1 query"), QueryOutcome::Hits(_)));
+    assert!(matches!(c2.query(&vecs[1], 3).expect("c2 query"), QueryOutcome::Hits(_)));
+
+    // The third connection is accepted at the TCP level, answered with a
+    // single Overloaded frame, and closed — no handler thread spawned.
+    let mut c3 = Client::connect(addr).expect("c3 tcp connect");
+    match c3.query(&vecs[2], 3) {
+        Ok(QueryOutcome::Overloaded) => {}
+        // The close can race the client's write; a refused exchange is
+        // also acceptable — the point is no hang and no service.
+        Err(_) => {}
+        Ok(QueryOutcome::Hits(_)) => panic!("third connection was served past the cap"),
+    }
+
+    // Capacity frees once a connection goes away.
+    drop(c1);
+    let mut recovered = false;
+    for _ in 0..200 {
+        if let Ok(mut c) = Client::connect(addr) {
+            if matches!(c.query(&vecs[3], 3), Ok(QueryOutcome::Hits(_))) {
+                recovered = true;
+                break;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(recovered, "closing a connection never freed a slot");
+    drop(c2);
+    server.shutdown();
+}
+
+#[test]
+fn stats_reply_reports_storage_engine_and_admission_state() {
+    let vecs = random_vecs(90, 10, 4);
+    let engine = corpus_engine(&vecs);
+    let server =
+        Server::bind("127.0.0.1:0", Arc::clone(&engine), ServeConfig::default()).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Same query twice: second one must be an engine cache hit.
+    for _ in 0..2 {
+        match client.query(&vecs[0], 5).expect("query") {
+            QueryOutcome::Hits(hits) => assert_eq!(hits.len(), 5),
+            QueryOutcome::Overloaded => panic!("uncontended query shed"),
+        }
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.shards.totals().live, 90);
+    assert_eq!(stats.shards.shards.len(), 3);
+    assert_eq!(stats.shard_depths.len(), 3);
+    assert_eq!(
+        stats.shard_depths,
+        stats.shards.depths(),
+        "depth vector must mirror the per-shard stats"
+    );
+    assert_eq!(stats.engine.cache_hits, 1, "repeat query missed the cache");
+    assert_eq!(stats.served, 2);
+    assert_eq!(stats.queue_capacity, ServeConfig::default().queue_capacity);
+    assert_eq!(stats.shed, 0);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_and_mismatched_requests_get_error_replies() {
+    let vecs = random_vecs(30, 8, 5);
+    let engine = corpus_engine(&vecs);
+    let server =
+        Server::bind("127.0.0.1:0", Arc::clone(&engine), ServeConfig::default()).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Wrong dimension: explicit server-side error, connection stays alive.
+    let err = client.query(&[1.0; 4], 5).expect_err("dim mismatch must error");
+    assert!(err.to_string().contains("8"), "unhelpful error: {err}");
+    match client.query(&vecs[0], 3).expect("connection survives an error reply") {
+        QueryOutcome::Hits(hits) => assert_eq!(hits.len(), 3),
+        QueryOutcome::Overloaded => panic!("uncontended query shed"),
+    }
+
+    // A k whose reply could never fit one frame is refused up front
+    // instead of building an oversized frame the client would reject.
+    let err = client.query(&vecs[0], 10_000_000).expect_err("k beyond the reply bound");
+    assert!(err.to_string().contains("exceeds"), "unhelpful error: {err}");
+    match client.query(&vecs[0], 3).expect("connection survives the k rejection") {
+        QueryOutcome::Hits(hits) => assert_eq!(hits.len(), 3),
+        QueryOutcome::Overloaded => panic!("uncontended query shed"),
+    }
+
+    // A hostile oversized length prefix: the server answers with an error
+    // frame and hangs up without allocating the claimed 4 GiB.
+    use std::io::{Read, Write};
+    let mut raw = std::net::TcpStream::connect(server.local_addr()).expect("connect raw");
+    raw.write_all(&0xffff_ffffu32.to_le_bytes()).expect("write hostile prefix");
+    raw.flush().ok();
+    let mut reply = Vec::new();
+    raw.read_to_end(&mut reply).expect("server must reply then close");
+    let payload = tabbin_serve::wire::read_frame(&mut &reply[..]).expect("one reply frame");
+    match tabbin_serve::wire::decode_response(&payload).expect("decodes") {
+        tabbin_serve::Response::Error(msg) => {
+            assert!(msg.contains("exceeds"), "unhelpful error: {msg}")
+        }
+        other => panic!("expected an error reply, got {other:?}"),
+    }
+    server.shutdown();
+}

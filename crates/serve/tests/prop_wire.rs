@@ -1,0 +1,123 @@
+//! Property tests for the wire protocol: arbitrary requests and responses
+//! must survive encode → frame → unframe → decode exactly, including every
+//! `f32` bit pattern a score or query component can take.
+
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use tabbin_index::Hit;
+use tabbin_serve::wire::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    Request, Response,
+};
+use tabbin_serve::StatsReply;
+
+/// Any f32 bit pattern — NaNs, infinities, subnormals included. The wire
+/// must move bits, not values.
+fn any_f32_bits() -> impl Strategy<Value = f32> {
+    (0u32..=u32::MAX).prop_map(f32::from_bits)
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn query_requests_roundtrip(
+        k in 0u32..=u32::MAX,
+        vector in pvec(any_f32_bits(), 0..64),
+    ) {
+        let req = Request::Query { k, vector: vector.clone() };
+        let decoded = decode_request(&encode_request(&req)).expect("decode");
+        let Request::Query { k: dk, vector: dv } = decoded else {
+            panic!("wrong request variant");
+        };
+        prop_assert_eq!(dk, k);
+        prop_assert!(bits(&dv) == bits(&vector), "component bits changed on the wire");
+    }
+
+    #[test]
+    fn hit_responses_roundtrip(
+        ids in pvec(0u64..=u64::MAX, 0..40),
+        score_bits in pvec(0u32..=u32::MAX, 40),
+    ) {
+        let hits: Vec<Hit> = ids
+            .iter()
+            .zip(&score_bits)
+            .map(|(&id, &s)| Hit { id, score: f32::from_bits(s) })
+            .collect();
+        let decoded = decode_response(&encode_response(&Response::Hits(hits.clone())))
+            .expect("decode");
+        let Response::Hits(got) = decoded else { panic!("wrong response variant") };
+        prop_assert_eq!(got.len(), hits.len());
+        for (a, b) in hits.iter().zip(&got) {
+            prop_assert_eq!(a.id, b.id);
+            prop_assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn error_and_stats_responses_roundtrip(
+        msg in "[ -~]{0,60}",
+        depths in pvec(0usize..10_000, 0..8),
+        shed in 0u64..1_000_000,
+    ) {
+        let err = Response::Error(msg.clone());
+        prop_assert_eq!(decode_response(&encode_response(&err)).expect("decode error"), err);
+        let stats = Response::Stats(Box::new(StatsReply {
+            shard_depths: depths,
+            shed,
+            ..StatsReply::default()
+        }));
+        prop_assert_eq!(
+            decode_response(&encode_response(&stats)).expect("decode stats"),
+            stats
+        );
+    }
+
+    /// Several frames written back-to-back into one byte stream come back
+    /// out in order and exactly — the framing layer never over- or
+    /// under-reads.
+    #[test]
+    fn framed_streams_preserve_message_boundaries(
+        vectors in pvec(pvec(any_f32_bits(), 1..16), 1..8),
+    ) {
+        let payloads: Vec<Vec<u8>> = vectors
+            .iter()
+            .map(|v| encode_request(&Request::Query { k: 5, vector: v.clone() }))
+            .collect();
+        let mut stream = Vec::new();
+        for p in &payloads {
+            write_frame(&mut stream, p).expect("write");
+        }
+        let mut r: &[u8] = &stream;
+        for p in &payloads {
+            prop_assert_eq!(&read_frame(&mut r).expect("read"), p);
+        }
+        prop_assert!(read_frame(&mut r).is_err(), "stream must be exactly consumed");
+    }
+
+    /// Truncating a valid frame anywhere must yield an error, never a
+    /// short or garbled message.
+    #[test]
+    fn truncated_frames_error(
+        vector in pvec(any_f32_bits(), 1..16),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &encode_request(&Request::Query { k: 3, vector }))
+            .expect("write");
+        let cut = 1 + ((stream.len() - 2) as f64 * cut_frac) as usize;
+        let mut r: &[u8] = &stream[..cut];
+        match read_frame(&mut r) {
+            Err(_) => {}
+            Ok(payload) => {
+                // The frame survived only if the cut landed past it.
+                prop_assert_eq!(cut, stream.len());
+                prop_assert!(decode_request(&payload).is_ok());
+            }
+        }
+    }
+}

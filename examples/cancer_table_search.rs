@@ -1,8 +1,9 @@
 //! Table search over a CancerKG-profile corpus: embed every table with
 //! TabBiN composite embeddings, stream them into a `tabbin-index`
 //! `ShardedStore`, and retrieve the most similar tables for a query table —
-//! the data-fusion scenario from the paper's introduction, served by the
-//! retrieval layer's sharded tier (hash-routed shards, k-way merged top-k)
+//! the data-fusion scenario from the paper's introduction, served through
+//! the query-execution layer (`QueryEngine`: planned source, LRU result
+//! cache) over the sharded tier (hash-routed shards, k-way merged top-k)
 //! instead of a hand-rolled cosine loop.
 //!
 //! Run with: `cargo run --example cancer_table_search`
@@ -12,7 +13,7 @@ use tabbin_core::config::ModelConfig;
 use tabbin_core::pretrain::PretrainOptions;
 use tabbin_core::variants::TabBiNFamily;
 use tabbin_corpus::{generate, Dataset, GenOptions};
-use tabbin_index::ShardedStore;
+use tabbin_index::{EngineConfig, QueryEngine, ShardedStore};
 
 fn main() {
     let corpus = generate(Dataset::CancerKg, &GenOptions { n_tables: Some(40), seed: 11 });
@@ -37,15 +38,20 @@ fn main() {
         per_shard
     );
 
+    // Serve retrieval through the query-execution layer: the engine plans
+    // the candidate source (exact here — 40 tables is far below the Auto
+    // cutoff) and caches results keyed on the normalized query vector.
+    let engine = QueryEngine::new(store, EngineConfig::default());
+
     // Use the first nested-table-carrying table as the query.
     let query = corpus.tables.iter().position(|t| t.table.has_nesting()).unwrap_or(0);
     println!(
         "\nquery table: '{}' (topic: {})",
         corpus.tables[query].table.caption, corpus.tables[query].topic
     );
-    // Top-k from the store (k + 1 so the query's own hit can be dropped).
-    let query_emb = store.get(ids[query]).expect("query table was indexed").to_vec();
-    let hits = store.query(&query_emb, 6);
+    // Top-k from the engine (k + 1 so the query's own hit can be dropped).
+    let query_emb = engine.store().get(ids[query]).expect("query table was indexed").to_vec();
+    let hits = engine.query(&query_emb, 6);
     println!("top 5 most similar tables:");
     let mut hits_same = 0;
     for (rank, hit) in hits.iter().filter(|h| h.id != ids[query]).take(5).enumerate() {
@@ -62,4 +68,13 @@ fn main() {
         );
     }
     println!("\n{hits_same}/5 retrieved tables share the query's topic");
+
+    // A repeated query never reaches storage: the engine's LRU serves it.
+    let again = engine.query(&query_emb, 6);
+    assert_eq!(again, hits, "cached result diverged from the stored scan");
+    let stats = engine.stats();
+    println!(
+        "engine: {} cache hit(s), {} miss(es), {} storage scan(s)",
+        stats.cache_hits, stats.cache_misses, stats.store_batches
+    );
 }

@@ -1,8 +1,9 @@
 //! Schema matching via column clustering with LSH blocking: find columns
 //! mergeable with a query column across a Webtables-profile corpus — the
 //! paper's CC task (§4.1) end to end. Column embeddings live in a
-//! `tabbin-index` `ShardedStore` with LSH candidate generation, so the
-//! blocking step and the within-block top-k are one SIMD-scored query
+//! `tabbin-index` `ShardedStore` with LSH candidate generation, and the
+//! query-execution layer (`QueryEngine`, pinned to LSH blocking) turns the
+//! blocking step and the within-block top-k into one SIMD-scored query
 //! fanned across hash-routed shards (shards share hyperplanes, so the
 //! blocked candidate set is exactly the single-store one) instead of a
 //! hand-rolled candidate loop over cosines.
@@ -14,7 +15,9 @@ use tabbin_core::pretrain::PretrainOptions;
 use tabbin_core::variants::TabBiNFamily;
 use tabbin_corpus::{generate, Dataset, GenOptions, FILLER_SEM_ID};
 use tabbin_eval::center;
-use tabbin_index::{LshCandidates, LshParams, ShardedStore, StoreConfig};
+use tabbin_index::{
+    EngineConfig, LshCandidates, LshParams, QueryEngine, ShardedStore, StoreConfig,
+};
 
 fn main() {
     let corpus = generate(Dataset::Webtables, &GenOptions { n_tables: Some(40), seed: 5 });
@@ -52,17 +55,20 @@ fn main() {
     for v in &embs {
         store.insert(v);
     }
+    // The engine owns query execution; `lsh()` pins the plan to blocked
+    // candidate generation, the paper's §4.1 recipe.
+    let engine = QueryEngine::new(store, EngineConfig::lsh());
 
     let query = 0;
     let (qt, qc, qsem) = refs[query];
     let qlabel = corpus.tables[qt].table.hmd.leaf_labels()[qc].to_string();
-    let blocked = store.candidate_count(&embs[query], &LshCandidates);
+    let blocked = engine.store().candidate_count(&embs[query], &LshCandidates);
     println!("LSH blocking: {} candidates for the query column instead of {}", blocked, embs.len());
     println!("\nquery column: '{qlabel}' from '{}'", corpus.tables[qt].table.caption);
 
-    // One store query scores only the blocked candidates (SIMD dots over
+    // One engine query scores only the blocked candidates (SIMD dots over
     // normalized vectors) and returns the within-block top-k.
-    let hits = store.search(&embs[query], 6, &LshCandidates);
+    let hits = engine.query(&embs[query], 6);
     println!("top 5 matches within the block:");
     for (rank, hit) in hits.iter().filter(|h| h.id != query as u64).take(5).enumerate() {
         let (ti, ci, sem) = refs[hit.id as usize];
