@@ -6,11 +6,19 @@
 //! width 1, so the figures measure storage, not result reuse; a separate
 //! `cache` entry reports the LRU hit path on repeated queries.
 //!
+//! The quantized scoring tier is measured alongside: the same corpus behind
+//! `ScoringTier::Quantized`, driven through `EngineConfig::exact` so every
+//! query is a full coarse scan over the packed sign-bit signatures (the
+//! popcount Hamming kernel) followed by an f32 re-rank of the top
+//! `rerank_factor × k` — the tier's headline trade, a scan over ~64×-denser
+//! data, measured without LSH pruning in the way.
+//!
 //! Besides the criterion samples, this writes `BENCH_index.json` at the
 //! workspace root — QPS for every path, the speedup, recall@10 against
-//! exact scan, and (for the sharded tier) policy-driven compaction pause
-//! p50/p99 under steady-state overwrite churn — so successive PRs
-//! accumulate a perf trajectory. The printed figures are the written
+//! exact scan (including the quantized tier's, pinned ≥ 0.99), and (for
+//! the sharded tier) policy-driven compaction pause p50/p99 under
+//! steady-state overwrite churn — so successive PRs accumulate a perf
+//! trajectory. The printed figures are the written
 //! figures: both come from the same formatted strings, so the log and the
 //! JSON cannot drift.
 
@@ -22,6 +30,7 @@ use std::time::Instant;
 use tabbin_eval::cosine;
 use tabbin_index::{
     CompactionPolicy, EngineConfig, LshParams, QueryEngine, ShardedStore, StoreConfig, VectorStore,
+    DEFAULT_RERANK_FACTOR,
 };
 
 /// Corpus size / dimension of the headline measurement.
@@ -33,12 +42,16 @@ const N_QUERIES: usize = 256;
 /// Shards in the sharded tier's measurement.
 const N_SHARDS: usize = 4;
 
-/// Clustered corpus: 100 topic directions with jittered members — the shape
+/// Clustered corpus: 250 topic directions with jittered members — the shape
 /// table/column embeddings actually have (tables cluster by topic), and the
-/// regime LSH banding is tuned for.
+/// regime both LSH banding and sign-bit quantization are tuned for. Topic
+/// population (10k / 250 = 40 rows) stays within the quantized tier's
+/// re-rank budget (`rerank_factor × k` = 40 at k = 10), the regime where a
+/// sign-bit coarse pass is exact-by-construction: every same-topic row fits
+/// in the coarse set, so the f32 re-rank sees the full true top-k.
 fn clustered_corpus(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let n_clusters = 100;
+    let n_clusters = 250;
     let centers: Vec<Vec<f32>> = (0..n_clusters)
         .map(|_| (0..dim).map(|_| rng.random_range(-1.0f32..1.0)).collect())
         .collect();
@@ -101,18 +114,37 @@ fn bench_index(c: &mut Criterion) {
     assert_eq!(sharded.len(), N_VECTORS);
     assert!(sharded.stats().shards.iter().all(|s| s.live > 0), "hash routing left a shard empty");
 
-    // Both tiers serve through the `QueryEngine` (the `Queryable`-trait
+    // The quantized tier over the same corpus and blocking geometry: full
+    // coarse sign-bit scans (`ExactScan` source, via `EngineConfig::exact`),
+    // so its figure measures the packed popcount kernel plus f32 re-rank —
+    // a full scan over ~64×-denser data — not LSH pruning.
+    let qcfg = StoreConfig::quantized(LshParams::default_blocking());
+    let mut quant = VectorStore::new(DIM, qcfg);
+    for v in &corpus {
+        quant.insert(v);
+    }
+    let mut quant_sharded = ShardedStore::new(DIM, N_SHARDS, qcfg);
+    for v in &corpus {
+        quant_sharded.insert(v);
+    }
+
+    // All tiers serve through the `QueryEngine` (the `Queryable`-trait
     // path every consumer uses). Cache off and probe width 1: these rounds
     // measure storage scans, not result reuse.
     let storage_path = EngineConfig { probe_width: 1, ..EngineConfig::lsh() }.without_cache();
     let store = QueryEngine::new(store, storage_path);
     let sharded = QueryEngine::new(sharded, storage_path);
+    let coarse_path = EngineConfig::exact().without_cache();
+    let quant = QueryEngine::new(quant, coarse_path);
+    let quant_sharded = QueryEngine::new(quant_sharded, coarse_path);
+    assert!(quant.plan(K).quantized, "quantized store must plan a quantized pass");
 
     // Recall@10 against the exact baseline, over the timed query set.
     let exact_lists: Vec<Vec<(usize, f64)>> =
         queries.iter().map(|q| exact_scan_topk(&corpus, q, K)).collect();
     let recall = recall_vs_exact(&exact_lists, &store.query_batch(&queries, K));
     let sharded_recall = recall_vs_exact(&exact_lists, &sharded.query_batch(&queries, K));
+    let quant_recall = recall_vs_exact(&exact_lists, &quant.query_batch(&queries, K));
 
     // QPS: median of 5 timed batches each.
     let time_qps = |f: &dyn Fn() -> usize| -> f64 {
@@ -141,6 +173,8 @@ fn bench_index(c: &mut Criterion) {
     // biasing whichever ran later. Medians over 9 rounds.
     let mut single_rounds = Vec::with_capacity(9);
     let mut sharded_rounds = Vec::with_capacity(9);
+    let mut quant_rounds = Vec::with_capacity(9);
+    let mut quant_sharded_rounds = Vec::with_capacity(9);
     for _ in 0..9 {
         let start = Instant::now();
         black_box(store.query_batch(&queries, K));
@@ -148,12 +182,29 @@ fn bench_index(c: &mut Criterion) {
         let start = Instant::now();
         black_box(sharded.query_batch(&queries, K));
         sharded_rounds.push(queries.len() as f64 / start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        black_box(quant.query_batch(&queries, K));
+        quant_rounds.push(queries.len() as f64 / start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        black_box(quant_sharded.query_batch(&queries, K));
+        quant_sharded_rounds.push(queries.len() as f64 / start.elapsed().as_secs_f64());
     }
     single_rounds.sort_by(f64::total_cmp);
     sharded_rounds.sort_by(f64::total_cmp);
+    quant_rounds.sort_by(f64::total_cmp);
+    quant_sharded_rounds.sort_by(f64::total_cmp);
     let batched_qps = single_rounds[single_rounds.len() / 2];
     let sharded_qps = sharded_rounds[sharded_rounds.len() / 2];
+    let quant_qps = quant_rounds[quant_rounds.len() / 2];
+    let quant_sharded_qps = quant_sharded_rounds[quant_sharded_rounds.len() / 2];
     let speedup = batched_qps / exact_qps;
+    // The ISSUE 6 acceptance bars: the coarse pass must at least double the
+    // LSH-blocked engine path while keeping recall@10 within 1% of exact.
+    assert!(
+        quant_qps >= 2.0 * batched_qps,
+        "quantized coarse pass {quant_qps:.1} qps below 2x the LSH path {batched_qps:.1} qps"
+    );
+    assert!(quant_recall >= 0.99, "quantized recall@10 {quant_recall:.4} below 0.99");
 
     // The engine's LRU hit path: a cached engine over the same sharded
     // tier, warmed once, then timed on pure repeats — what a serving
@@ -199,12 +250,19 @@ fn bench_index(c: &mut Criterion) {
     let recall_s = format!("{recall:.4}");
     let sharded_qps_s = format!("{sharded_qps:.1}");
     let sharded_recall_s = format!("{sharded_recall:.4}");
+    let quant_qps_s = format!("{quant_qps:.1}");
+    let quant_sharded_qps_s = format!("{quant_sharded_qps:.1}");
+    let quant_recall_s = format!("{quant_recall:.4}");
     let cache_qps_s = format!("{cache_qps:.1}");
     let pause_p50_s = format!("{pause_p50:.3}");
     let pause_p99_s = format!("{pause_p99:.3}");
     println!(
         "index_{N_VECTORS}x{DIM}: exact scan {exact_s} qps, engine(store) query_batch \
          {batched_s} qps ({speedup_s}x), recall@{K} {recall_s}"
+    );
+    println!(
+        "index_{N_VECTORS}x{DIM} quantized(rerank {DEFAULT_RERANK_FACTOR}): coarse pass \
+         {quant_qps_s} qps (sharded {quant_sharded_qps_s} qps), recall@{K} {quant_recall_s}"
     );
     println!(
         "index_{N_VECTORS}x{DIM} sharded({N_SHARDS}): engine query_batch {sharded_qps_s} qps, \
@@ -217,10 +275,14 @@ fn bench_index(c: &mut Criterion) {
          \"dim\": {DIM},\n  \"k\": {K},\n  \"n_queries\": {N_QUERIES},\n  \
          \"exact_scan_qps\": {exact_s},\n  \"batched_lsh_qps\": {batched_s},\n  \
          \"speedup\": {speedup_s},\n  \"recall_at_10\": {recall_s},\n  \
+         \"quantized_coarse_qps\": {quant_qps_s},\n  \
+         \"quantized_recall_at_10\": {quant_recall_s},\n  \
+         \"quantized_rerank_factor\": {DEFAULT_RERANK_FACTOR},\n  \
          \"cache_hit_qps\": {cache_qps_s},\n  \
          \"sharded\": {{\n    \"n_shards\": {N_SHARDS},\n    \
          \"query_batch_qps\": {sharded_qps_s},\n    \
          \"recall_at_10\": {sharded_recall_s},\n    \
+         \"quantized_coarse_qps\": {quant_sharded_qps_s},\n    \
          \"churn_writes\": {CHURN_WRITES},\n    \
          \"compactions\": {n_compactions},\n    \
          \"compaction_pause_ms_p50\": {pause_p50_s},\n    \
@@ -247,6 +309,9 @@ fn bench_index(c: &mut Criterion) {
     });
     g.bench_function("sharded_query_batch_lsh", |b| {
         b.iter(|| black_box(sharded.query_batch(&queries[..32], K)));
+    });
+    g.bench_function("quantized_query_batch_coarse", |b| {
+        b.iter(|| black_box(quant.query_batch(&queries[..32], K)));
     });
     g.finish();
 

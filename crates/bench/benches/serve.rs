@@ -7,9 +7,11 @@
 //! the achieved QPS, request latency p50/p99 (successful requests), the
 //! shed rate (requests answered `Overloaded` by the bounded admission
 //! queue), and the engine cache hit rate. The printed figures are the
-//! written figures — both come from the same formatted strings. Every
-//! client sends fresh jittered queries, so the storage path does real work
-//! and the shed level reflects scan capacity, not cache luck.
+//! written figures — both come from the same formatted strings. Clients
+//! model a serving workload with recurring hot queries: [`REPEAT_PCT`]% of
+//! each client's requests draw from a small shared pool (byte-identical
+//! across clients, so the engine's LRU genuinely hits), the rest are fresh
+//! jittered queries that keep the storage path honest.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
@@ -32,6 +34,11 @@ const REQUESTS_PER_CLIENT: usize = 400;
 const LOADS: [usize; 3] = [2, 8, 32];
 const WORKERS: usize = 4;
 const QUEUE_CAPACITY: usize = 8;
+/// Size of the shared hot-query pool clients repeat from.
+const QUERY_POOL_SIZE: usize = 48;
+/// Percent of each client's requests drawn from the hot pool; the rest are
+/// fresh jittered queries no cache can anticipate.
+const REPEAT_PCT: u32 = 75;
 
 /// Same clustered corpus shape as the `index` bench.
 fn clustered_corpus(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
@@ -69,8 +76,14 @@ struct LoadResult {
 }
 
 /// Runs `clients` closed-loop clients against a fresh server over `store`,
-/// each issuing [`REQUESTS_PER_CLIENT`] fresh jittered queries.
-fn run_load(store: &ShardedStore, corpus: &[Vec<f32>], clients: usize) -> LoadResult {
+/// each issuing [`REQUESTS_PER_CLIENT`] requests: [`REPEAT_PCT`]% drawn
+/// from the shared hot-query `pool`, the rest fresh jittered queries.
+fn run_load(
+    store: &ShardedStore,
+    corpus: &[Vec<f32>],
+    pool: &Arc<Vec<Vec<f32>>>,
+    clients: usize,
+) -> LoadResult {
     let engine = Arc::new(QueryEngine::new(store.clone(), EngineConfig::lsh()));
     let server = Server::bind(
         "127.0.0.1:0",
@@ -85,10 +98,16 @@ fn run_load(store: &ShardedStore, corpus: &[Vec<f32>], clients: usize) -> LoadRe
         .map(|c| {
             let queries: Vec<Vec<f32>> = {
                 let mut rng = StdRng::seed_from_u64(0x5e7e + c as u64);
+                let pool = Arc::clone(pool);
                 (0..REQUESTS_PER_CLIENT)
                     .map(|i| {
-                        let base = &corpus[(c * REQUESTS_PER_CLIENT + i) % corpus.len()];
-                        base.iter().map(|x| x + rng.random_range(-0.02f32..0.02)).collect()
+                        if rng.random_range(0u32..100) < REPEAT_PCT {
+                            // A hot query, byte-identical across clients.
+                            pool[rng.random_range(0..pool.len())].clone()
+                        } else {
+                            let base = &corpus[(c * REQUESTS_PER_CLIENT + i) % corpus.len()];
+                            base.iter().map(|x| x + rng.random_range(-0.02f32..0.02)).collect()
+                        }
                     })
                     .collect()
             };
@@ -149,12 +168,29 @@ fn quantile_ms(samples: &mut [f64], q: f64) -> f64 {
 fn bench_serve(c: &mut Criterion) {
     let corpus = clustered_corpus(N_VECTORS, DIM, 17);
     let store = build_store(&corpus);
+    // The hot-query pool every client repeats from: jittered corpus rows,
+    // fixed seed, built once so repeats are byte-identical across clients.
+    let pool: Arc<Vec<Vec<f32>>> = Arc::new({
+        let mut rng = StdRng::seed_from_u64(0x9001);
+        (0..QUERY_POOL_SIZE)
+            .map(|i| {
+                let base = &corpus[(i * 97) % corpus.len()];
+                base.iter().map(|x| x + rng.random_range(-0.02f32..0.02)).collect()
+            })
+            .collect()
+    });
 
     let mut level_json = Vec::new();
     let mut sheds_at_max = 0usize;
     for &clients in &LOADS {
-        let mut r = run_load(&store, &corpus, clients);
+        let mut r = run_load(&store, &corpus, &pool, clients);
         assert!(r.served > 0, "{clients} clients: nothing served");
+        assert!(
+            r.cache_hit_rate > 0.2,
+            "{clients} clients: cache hit rate {:.4} — a {REPEAT_PCT}% hot-pool workload \
+             must hit the engine LRU",
+            r.cache_hit_rate
+        );
         let qps = r.served as f64 / r.wall_secs;
         let p50 = quantile_ms(&mut r.latencies, 0.50);
         let p99 = quantile_ms(&mut r.latencies, 0.99);
@@ -193,7 +229,9 @@ fn bench_serve(c: &mut Criterion) {
         "{{\n  \"bench\": \"serve\",\n  \"n_vectors\": {N_VECTORS},\n  \"dim\": {DIM},\n  \
          \"k\": {K},\n  \"n_shards\": {N_SHARDS},\n  \"workers\": {WORKERS},\n  \
          \"queue_capacity\": {QUEUE_CAPACITY},\n  \
-         \"requests_per_client\": {REQUESTS_PER_CLIENT},\n  \"loads\": [\n{}\n  ]\n}}\n",
+         \"requests_per_client\": {REQUESTS_PER_CLIENT},\n  \
+         \"query_pool_size\": {QUERY_POOL_SIZE},\n  \
+         \"repeat_pct\": {REPEAT_PCT},\n  \"loads\": [\n{}\n  ]\n}}\n",
         level_json.join(",\n")
     );
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");

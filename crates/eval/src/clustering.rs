@@ -236,14 +236,8 @@ mod tests {
         let (items, labels) = toy();
         let queries: Vec<usize> = (0..items.len()).collect();
         let exact = evaluate_retrieval(&items, &labels, &queries, 20);
-        let blocked = evaluate_retrieval_blocked(
-            &items,
-            &labels,
-            &queries,
-            20,
-            LshParams { bands: 8, rows_per_band: 2 },
-            7,
-        );
+        let blocked =
+            evaluate_retrieval_blocked(&items, &labels, &queries, 20, LshParams::default(), 7);
         assert_eq!(blocked.queries, exact.queries);
         // Tight clusters collide in nearly every band, so the blocked
         // metrics should land within a small margin of the exact ones.

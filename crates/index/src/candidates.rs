@@ -22,6 +22,10 @@ pub struct QueryContext<'a> {
     /// The query's LSH signature, precomputed once by the store when LSH is
     /// enabled; `None` on stores without LSH.
     pub signature: Option<&'a [bool]>,
+    /// The same signature packed into `u64` words
+    /// ([`crate::lsh::pack_signature`]) — what the quantized tier's coarse
+    /// Hamming pass scores against; `None` on stores without LSH.
+    pub packed: Option<&'a [u64]>,
 }
 
 /// Which rows of one segment to score for a query.
@@ -96,7 +100,7 @@ mod tests {
     use crate::store::StoreConfig;
 
     fn ctx<'a>(v: &'a [f32]) -> QueryContext<'a> {
-        QueryContext { vector: v, signature: None }
+        QueryContext { vector: v, signature: None, packed: None }
     }
 
     #[test]

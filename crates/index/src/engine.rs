@@ -32,7 +32,7 @@
 
 use crate::candidates::{CandidateSource, ExactScan, LshCandidates};
 use crate::simd::Hit;
-use crate::store::VectorSink;
+use crate::store::{ScoringTier, VectorSink};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -57,6 +57,13 @@ pub trait Queryable: Send + Sync {
     /// Whether the tier maintains LSH buckets (makes
     /// [`LshCandidates`] meaningful).
     fn has_lsh(&self) -> bool;
+
+    /// How the tier scores candidates (see [`ScoringTier`]). The default is
+    /// exact f32 scoring; stores with a quantized coarse pass report it
+    /// here so plans — and cache keys — reflect the scoring path.
+    fn tier(&self) -> ScoringTier {
+        ScoringTier::Exact
+    }
 
     /// Ranked top-`k` for one query under an explicit candidate source.
     fn search(&self, q: &[f32], k: usize, source: &dyn CandidateSource) -> Vec<Hit>;
@@ -141,6 +148,9 @@ pub struct QueryPlan {
     pub fetch_k: usize,
     /// Whether the candidate pass is LSH-blocked (vs. exact scan).
     pub lsh: bool,
+    /// Whether the store scores through its quantized coarse-then-re-rank
+    /// tier ([`ScoringTier::Quantized`]) rather than pure f32 scans.
+    pub quantized: bool,
 }
 
 /// Engine observability: cache and storage-call counters, snapshotted by
@@ -241,7 +251,11 @@ impl<S: Queryable> QueryEngine<S> {
                 self.store.has_lsh() && self.store.len() > exact_cutoff
             }
         };
-        QueryPlan { fetch_k: k.saturating_mul(self.cfg.probe_width), lsh }
+        QueryPlan {
+            fetch_k: k.saturating_mul(self.cfg.probe_width),
+            lsh,
+            quantized: matches!(self.store.tier(), ScoringTier::Quantized { .. }),
+        }
     }
 
     /// Cache/storage counters right now.
@@ -267,7 +281,7 @@ impl<S: Queryable> QueryEngine<S> {
         let plan = self.plan(k);
         let source: &dyn CandidateSource = if plan.lsh { &LshCandidates } else { &ExactScan };
         if self.cfg.cache_capacity > 0 {
-            let key = CacheKey::of(&normalize(q), plan.lsh);
+            let key = CacheKey::of(&normalize(q), plan.lsh, plan.quantized);
             if let Some(hits) = self.cache.lock().expect("cache lock poisoned").get(&key, k) {
                 self.cache_hits.fetch_add(1, Ordering::Relaxed);
                 return hits;
@@ -310,7 +324,7 @@ impl<S: Queryable> QueryEngine<S> {
         }
 
         let keys: Vec<CacheKey> =
-            queries.iter().map(|q| CacheKey::of(&normalize(q), plan.lsh)).collect();
+            queries.iter().map(|q| CacheKey::of(&normalize(q), plan.lsh, plan.quantized)).collect();
         let mut out: Vec<Option<Vec<Hit>>> = vec![None; queries.len()];
         let mut miss_idx = Vec::new();
         {
@@ -369,16 +383,18 @@ fn normalize(q: &[f32]) -> Vec<f32> {
 // ---------------------------------------------------------------------------
 
 /// Cache key: the normalized query's exact bit pattern plus the planned
-/// candidate source — two plans over one vector must not share results.
+/// candidate source and scoring tier — two plans over one vector must not
+/// share results.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 struct CacheKey {
     bits: Vec<u32>,
     lsh: bool,
+    quantized: bool,
 }
 
 impl CacheKey {
-    fn of(nq: &[f32], lsh: bool) -> Self {
-        Self { bits: nq.iter().map(|x| x.to_bits()).collect(), lsh }
+    fn of(nq: &[f32], lsh: bool, quantized: bool) -> Self {
+        Self { bits: nq.iter().map(|x| x.to_bits()).collect(), lsh, quantized }
     }
 }
 
@@ -666,12 +682,15 @@ mod tests {
         (0..n).map(|_| (0..dim).map(|_| rng.random_range(-1.0f32..1.0)).collect()).collect()
     }
 
-    fn store_with(vecs: &[Vec<f32>], lsh: bool) -> VectorStore {
+    /// A small test store; `lsh` picks the banding (e.g.
+    /// `Some(LshParams::default())`), `None` leaves exact scan only.
+    fn store_with(vecs: &[Vec<f32>], lsh: Option<LshParams>) -> VectorStore {
         let cfg = StoreConfig {
             seal_threshold: 16,
-            lsh: lsh.then_some(LshParams { bands: 8, rows_per_band: 2 }),
+            lsh,
             seed: 42,
             policy: CompactionPolicy::disabled(),
+            ..StoreConfig::default()
         };
         let mut store = VectorStore::new(vecs[0].len(), cfg);
         for v in vecs {
@@ -683,8 +702,8 @@ mod tests {
     #[test]
     fn engine_matches_direct_storage_prefixes() {
         let vecs = random_vecs(60, 8, 1);
-        let store = store_with(&vecs, false);
-        let engine = QueryEngine::new(store_with(&vecs, false), EngineConfig::exact());
+        let store = store_with(&vecs, None);
+        let engine = QueryEngine::new(store_with(&vecs, None), EngineConfig::exact());
         for q in vecs.iter().take(10) {
             let direct = store.search(q, 5, &ExactScan);
             assert_eq!(engine.query(q, 5), direct);
@@ -700,10 +719,10 @@ mod tests {
     #[test]
     fn probe_width_overfetch_serves_exact_prefixes() {
         let vecs = random_vecs(50, 8, 2);
-        let store = store_with(&vecs, false);
+        let store = store_with(&vecs, None);
         let cfg = EngineConfig { probe_width: 3, ..EngineConfig::exact() };
-        let engine = QueryEngine::new(store_with(&vecs, false), cfg);
-        assert_eq!(engine.plan(4), QueryPlan { fetch_k: 12, lsh: false });
+        let engine = QueryEngine::new(store_with(&vecs, None), cfg);
+        assert_eq!(engine.plan(4), QueryPlan { fetch_k: 12, lsh: false, quantized: false });
         for q in vecs.iter().take(8) {
             assert_eq!(engine.query(q, 4), store.search(q, 4, &ExactScan));
         }
@@ -713,7 +732,7 @@ mod tests {
     fn cache_hits_serve_smaller_k_as_prefix() {
         let vecs = random_vecs(40, 6, 3);
         let cfg = EngineConfig { probe_width: 2, ..EngineConfig::exact() };
-        let engine = QueryEngine::new(store_with(&vecs, false), cfg);
+        let engine = QueryEngine::new(store_with(&vecs, None), cfg);
         let ten = engine.query(&vecs[0], 10); // fetches 20, caches
         let five = engine.query(&vecs[0], 5); // prefix of the cached 20
         assert_eq!(five, ten[..5].to_vec());
@@ -735,7 +754,7 @@ mod tests {
     #[test]
     fn scaled_duplicate_queries_share_a_cache_entry() {
         let vecs = random_vecs(30, 6, 4);
-        let engine = QueryEngine::new(store_with(&vecs, false), EngineConfig::exact());
+        let engine = QueryEngine::new(store_with(&vecs, None), EngineConfig::exact());
         let a = engine.query(&vecs[3], 5);
         let double: Vec<f32> = vecs[3].iter().map(|x| x * 2.0).collect();
         let b = engine.query(&double, 5);
@@ -748,7 +767,7 @@ mod tests {
         // 5 vectors, fetch depth 10 → the cached list is exhaustive, so
         // every larger k is servable without refetching.
         let vecs = random_vecs(5, 4, 5);
-        let engine = QueryEngine::new(store_with(&vecs, false), EngineConfig::exact());
+        let engine = QueryEngine::new(store_with(&vecs, None), EngineConfig::exact());
         let all = engine.query(&vecs[0], 10);
         assert_eq!(all.len(), 5);
         assert_eq!(engine.query(&vecs[0], 40).len(), 5);
@@ -762,18 +781,18 @@ mod tests {
             probe: ProbePolicy::Auto { exact_cutoff: 20 },
             ..EngineConfig::default()
         };
-        let lsh_engine = QueryEngine::new(store_with(&vecs, true), cfg);
+        let lsh_engine = QueryEngine::new(store_with(&vecs, Some(LshParams::default())), cfg);
         assert!(lsh_engine.plan(5).lsh, "30 > 20 with LSH available must block");
-        let small = QueryEngine::new(store_with(&vecs[..10], true), cfg);
+        let small = QueryEngine::new(store_with(&vecs[..10], Some(LshParams::default())), cfg);
         assert!(!small.plan(5).lsh, "10 ≤ 20 must scan exactly");
-        let no_lsh = QueryEngine::new(store_with(&vecs, false), cfg);
+        let no_lsh = QueryEngine::new(store_with(&vecs, None), cfg);
         assert!(!no_lsh.plan(5).lsh, "no LSH in the store, no LSH in the plan");
     }
 
     #[test]
     fn mutation_through_store_mut_invalidates_the_cache() {
         let vecs = random_vecs(20, 6, 7);
-        let mut engine = QueryEngine::new(store_with(&vecs, false), EngineConfig::exact());
+        let mut engine = QueryEngine::new(store_with(&vecs, None), EngineConfig::exact());
         let before = engine.query(&vecs[0], 3);
         assert_eq!(before[0].id, 0);
         engine.store_mut().delete(0);
@@ -785,9 +804,9 @@ mod tests {
     #[test]
     fn cache_disabled_still_answers_correctly() {
         let vecs = random_vecs(30, 6, 8);
-        let store = store_with(&vecs, false);
+        let store = store_with(&vecs, None);
         let engine =
-            QueryEngine::new(store_with(&vecs, false), EngineConfig::exact().without_cache());
+            QueryEngine::new(store_with(&vecs, None), EngineConfig::exact().without_cache());
         for q in vecs.iter().take(5) {
             assert_eq!(engine.query(q, 5), store.search(q, 5, &ExactScan));
         }
@@ -799,9 +818,9 @@ mod tests {
     #[test]
     fn lru_evicts_oldest_and_bumps_on_get() {
         let mut lru = LruCache::new(2);
-        let ka = CacheKey::of(&[1.0], false);
-        let kb = CacheKey::of(&[2.0], false);
-        let kc = CacheKey::of(&[3.0], false);
+        let ka = CacheKey::of(&[1.0], false, false);
+        let kb = CacheKey::of(&[2.0], false, false);
+        let kc = CacheKey::of(&[3.0], false, false);
         lru.insert(ka.clone(), 1, vec![Hit { id: 1, score: 0.5 }]);
         lru.insert(kb.clone(), 1, vec![Hit { id: 2, score: 0.5 }]);
         assert!(lru.get(&ka, 1).is_some(), "touch A so B is the LRU entry");
@@ -818,7 +837,10 @@ mod tests {
     #[test]
     fn micro_batcher_matches_engine_under_concurrency() {
         let vecs = random_vecs(80, 8, 9);
-        let engine = Arc::new(QueryEngine::new(store_with(&vecs, true), EngineConfig::lsh()));
+        let engine = Arc::new(QueryEngine::new(
+            store_with(&vecs, Some(LshParams::default())),
+            EngineConfig::lsh(),
+        ));
         let want: Vec<Vec<Hit>> = vecs[..16].iter().map(|q| engine.query(q, 6)).collect();
         let batcher = Arc::new(MicroBatcher::new(engine));
         let got: Vec<Vec<Hit>> = crossbeam::scope(|scope| {
@@ -852,6 +874,9 @@ mod tests {
         fn has_lsh(&self) -> bool {
             self.0.has_lsh()
         }
+        fn tier(&self) -> ScoringTier {
+            self.0.tier()
+        }
         fn search(&self, q: &[f32], k: usize, source: &dyn CandidateSource) -> Vec<Hit> {
             assert!(q[0] != 42.0, "poison query");
             self.0.search(q, k, source)
@@ -870,7 +895,7 @@ mod tests {
     #[test]
     fn micro_batcher_releases_leadership_when_a_batch_panics() {
         let vecs = random_vecs(30, 4, 11);
-        let store = PanickyStore(store_with(&vecs, false));
+        let store = PanickyStore(store_with(&vecs, None));
         let engine = Arc::new(QueryEngine::new(store, EngineConfig::exact().without_cache()));
         let batcher = Arc::new(MicroBatcher::new(Arc::clone(&engine)));
         // The poison submitter leads its own batch and unwinds mid-execute.
@@ -890,9 +915,35 @@ mod tests {
     }
 
     #[test]
+    fn quantized_store_flows_through_plan_and_results() {
+        let vecs = random_vecs(50, 8, 12);
+        let cfg = StoreConfig {
+            seal_threshold: 16,
+            seed: 42,
+            policy: CompactionPolicy::disabled(),
+            ..StoreConfig::quantized(LshParams::default())
+        };
+        let mut store = VectorStore::new(8, cfg);
+        for v in &vecs {
+            store.insert(v);
+        }
+        let direct = store.search(&vecs[0], 5, &ExactScan);
+        let engine = QueryEngine::new(store, EngineConfig::exact());
+        let plan = engine.plan(5);
+        assert!(plan.quantized, "plan must reflect the store's tier");
+        assert!(!plan.lsh);
+        // Engine results are bit-identical to direct quantized storage
+        // calls, and the second query is a cache hit under the
+        // tier-carrying key.
+        assert_eq!(engine.query(&vecs[0], 5), direct);
+        assert_eq!(engine.query(&vecs[0], 5), direct);
+        assert_eq!(engine.stats().cache_hits, 1);
+    }
+
+    #[test]
     fn micro_batcher_groups_mixed_k_correctly() {
         let vecs = random_vecs(40, 6, 10);
-        let engine = Arc::new(QueryEngine::new(store_with(&vecs, false), EngineConfig::exact()));
+        let engine = Arc::new(QueryEngine::new(store_with(&vecs, None), EngineConfig::exact()));
         let batcher = Arc::new(MicroBatcher::new(Arc::clone(&engine)));
         crossbeam::scope(|scope| {
             let handles: Vec<_> = (0..12)

@@ -20,6 +20,12 @@
 //! * [`CandidateSource`] — pluggable candidate generation per segment:
 //!   [`ExactScan`] or [`LshCandidates`] (banded SimHash blocking maintained
 //!   incrementally as vectors arrive).
+//! * [`ScoringTier`] — how nominated candidates are scored:
+//!   [`ScoringTier::Exact`] runs the f32 dot kernel over everything;
+//!   [`ScoringTier::Quantized`] ranks packed sign-bit signatures by SIMD
+//!   popcount Hamming distance first and re-scores only the top
+//!   `rerank_factor × k` survivors exactly. Coarse selection is a global
+//!   top-R, so quantized results are shard-layout-independent.
 //! * [`snapshot`] — persistence: the `TBIX` binary codec (write path) and
 //!   the legacy JSON codec (read back-compat), autodetected on load, for
 //!   both store tiers. Loaded stores answer queries byte-identically.
@@ -55,4 +61,7 @@ pub use lsh::LshIndex;
 pub use shard::{ShardedStats, ShardedStore};
 pub use simd::Hit;
 pub use snapshot::{StoreSnapshot, SNAPSHOT_VERSION};
-pub use store::{CompactionPolicy, LshParams, StoreConfig, StoreStats, VectorSink, VectorStore};
+pub use store::{
+    CompactionPolicy, LshParams, ScoringTier, StoreConfig, StoreStats, VectorSink, VectorStore,
+    DEFAULT_RERANK_FACTOR,
+};

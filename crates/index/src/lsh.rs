@@ -26,15 +26,39 @@ pub fn random_planes(n_planes: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
 }
 
 /// The bit signature of `v` against `planes`: one bit per hyperplane,
-/// set when the vector lies on the non-negative side.
+/// set when the vector lies on the non-negative side. Each projection runs
+/// through the vectorized [`crate::simd::dot`] kernel — signatures are
+/// computed once per upsert and once per query, and the `bands ×
+/// rows_per_band` hyperplane products dominate that cost.
 pub fn signature_of(planes: &[Vec<f32>], v: &[f32]) -> Vec<bool> {
-    planes
-        .iter()
-        .map(|p| {
-            let dot: f32 = p.iter().zip(v).map(|(a, b)| a * b).sum();
-            dot >= 0.0
-        })
-        .collect()
+    planes.iter().map(|p| crate::simd::dot(p, v) >= 0.0).collect()
+}
+
+/// Number of `u64` words a packed `bits`-bit signature occupies.
+pub fn packed_len(bits: usize) -> usize {
+    bits.div_ceil(64)
+}
+
+/// Packs a bit signature into `u64` words, bit `i` of the signature in bit
+/// `i % 64` of word `i / 64` (LSB-first). Widths that are not a multiple of
+/// 64 leave the tail bits of the last word **zero** — the masking the
+/// quantized tier's Hamming kernel ([`crate::simd::hamming`]) relies on:
+/// both sides of an XOR carry zeroed tails, so no per-distance mask is paid.
+pub fn pack_signature(sig: &[bool]) -> Vec<u64> {
+    let mut words = vec![0u64; packed_len(sig.len())];
+    for (i, &bit) in sig.iter().enumerate() {
+        if bit {
+            words[i / 64] |= 1u64 << (i % 64);
+        }
+    }
+    words
+}
+
+/// Unpacks `bits` signature bits from packed words — the inverse of
+/// [`pack_signature`], used when a snapshot carries persisted signatures
+/// and the band buckets must be rebuilt without re-hashing every vector.
+pub fn unpack_signature(packed: &[u64], bits: usize) -> Vec<bool> {
+    (0..bits).map(|i| packed[i / 64] >> (i % 64) & 1 == 1).collect()
 }
 
 /// Packs `rows` consecutive signature bits of one band into a bucket key.
@@ -270,6 +294,22 @@ mod tests {
         // of hashing everything into one silent empty-signature bucket.
         assert!(idx.query_candidates(&[1.0, 2.0, 3.0]).is_empty());
         assert!(idx.query_candidates(&[]).is_empty());
+    }
+
+    #[test]
+    fn pack_roundtrips_and_zeroes_the_tail() {
+        for bits in [1usize, 7, 63, 64, 65, 128, 130] {
+            let sig: Vec<bool> = (0..bits).map(|i| (i * 7 + bits) % 3 == 0).collect();
+            let packed = pack_signature(&sig);
+            assert_eq!(packed.len(), packed_len(bits));
+            assert_eq!(unpack_signature(&packed, bits), sig, "bits={bits}");
+            // Tail bits beyond `bits` in the last word must be zero.
+            if bits % 64 != 0 {
+                let tail = packed[packed.len() - 1] >> (bits % 64);
+                assert_eq!(tail, 0, "bits={bits}: tail not masked");
+            }
+        }
+        assert_eq!(pack_signature(&[]).len(), 0);
     }
 
     #[test]

@@ -25,6 +25,12 @@ pub(crate) struct Segment {
     pub(crate) sealed: bool,
     /// Per-band LSH buckets (`band -> key -> rows`); empty when LSH is off.
     pub(crate) buckets: Vec<HashMap<u64, Vec<u32>>>,
+    /// Row-major packed LSH signatures, `rows * sig_words` long — the
+    /// quantized tier's coarse-scan slab, maintained in lockstep with
+    /// `data` (appended on insert, dropped with the segment on compaction;
+    /// a tombstoned row's signature stays in place like its vector does).
+    /// Empty when LSH is off.
+    pub(crate) sigs: Vec<u64>,
 }
 
 impl Segment {
@@ -36,6 +42,7 @@ impl Segment {
             n_deleted: 0,
             sealed: false,
             buckets: vec![HashMap::new(); bands],
+            sigs: Vec::new(),
         }
     }
 

@@ -17,6 +17,14 @@
 //!   across shards and ties break by id, so merged results are identical
 //!   to what one big store would return — the routing is invisible to
 //!   callers (property-tested in `tests/prop_index.rs`).
+//! * On the **quantized tier** ([`crate::ScoringTier::Quantized`]) the
+//!   merge happens one stage earlier: per-shard coarse Hamming top-R
+//!   accumulators fold into one *global* top-R under the (distance, id)
+//!   total order, and only that merged selection is re-scored with the f32
+//!   kernel (each id re-ranked against its owning shard's copy). Selecting
+//!   globally before re-ranking is what keeps quantized sharded results
+//!   bit-identical to a single store's (property-tested in
+//!   `tests/prop_quantized.rs`).
 //!
 //! All shards share one configuration — same seed, same banding — so LSH
 //! signatures agree across shards and a query is normalized and signed
@@ -25,12 +33,16 @@
 //! count in the header; ids re-route on load, so only the merged entry
 //! list is stored.
 
-use crate::candidates::{CandidateSource, QueryContext};
+use crate::candidates::CandidateSource;
 use crate::engine::Queryable;
+use crate::lsh::unpack_signature;
 use crate::parallel::par_chunk_map;
-use crate::simd::{rank_cmp, Hit};
+use crate::simd::{dot, rank_cmp, CoarseHit, CoarseTopR, Hit, TopK};
 use crate::snapshot::{self, StoreSnapshot, MAX_SNAPSHOT_SHARDS, SNAPSHOT_VERSION};
-use crate::store::{CompactionPolicy, StoreConfig, StoreStats, VectorSink, VectorStore};
+use crate::store::{
+    coarse_r, CompactionPolicy, PreparedQuery, ScoringTier, StoreConfig, StoreStats, VectorSink,
+    VectorStore,
+};
 use serde::{Deserialize, Serialize};
 use std::io;
 use std::path::Path;
@@ -136,6 +148,11 @@ impl ShardedStore {
         self.shards[0].has_lsh()
     }
 
+    /// The configured scoring tier (uniform across shards).
+    pub fn tier(&self) -> ScoringTier {
+        self.shards[0].tier()
+    }
+
     /// The shard `id` routes to. Pure in `(id, n_shards)` — stable across
     /// processes, runs, and snapshot round-trips.
     pub fn shard_of(&self, id: u64) -> usize {
@@ -209,11 +226,39 @@ impl ShardedStore {
     /// the global result. Identical output to one unsharded store over the
     /// same corpus.
     pub fn search(&self, q: &[f32], k: usize, source: &dyn CandidateSource) -> Vec<Hit> {
-        let (nq, sig) = self.shards[0].prepare_query(q);
-        let ctx = QueryContext { vector: &nq, signature: sig.as_deref() };
-        let lists: Vec<Vec<Hit>> =
-            self.shards.iter().map(|s| s.scan_prepared(&ctx, k, source).into_sorted()).collect();
-        merge_ranked(&lists, k)
+        let prepared = self.shards[0].prepare_query(q);
+        let ctx = prepared.ctx();
+        match self.tier() {
+            ScoringTier::Exact => {
+                let lists: Vec<Vec<Hit>> = self
+                    .shards
+                    .iter()
+                    .map(|s| s.scan_prepared(&ctx, k, source).into_sorted())
+                    .collect();
+                merge_ranked(&lists, k)
+            }
+            ScoringTier::Quantized { rerank_factor } => {
+                let r = coarse_r(k, rerank_factor);
+                let mut top = CoarseTopR::new(r);
+                for s in &self.shards {
+                    top.merge(s.coarse_prepared(&ctx, r, source));
+                }
+                self.rerank(&prepared.nq, &top.into_sorted(), k)
+            }
+        }
+    }
+
+    /// The quantized tier's second pass over a globally-merged coarse
+    /// selection: each id re-scores against its owning shard's copy via
+    /// O(1) routing. Coarse scans skip tombstones, so every id is live.
+    fn rerank(&self, nq: &[f32], coarse: &[CoarseHit], k: usize) -> Vec<Hit> {
+        let mut topk = TopK::new(k);
+        for ch in coarse {
+            if let Some(v) = self.get(ch.id) {
+                topk.push(ch.id, dot(nq, v));
+            }
+        }
+        topk.into_sorted()
     }
 
     /// Batched [`search`](Self::search): every (query, shard) pair becomes
@@ -232,7 +277,7 @@ impl ShardedStore {
         k: usize,
         source: &dyn CandidateSource,
     ) -> Vec<Vec<Hit>> {
-        let prepared: Vec<(Vec<f32>, Option<Vec<bool>>)> =
+        let prepared: Vec<PreparedQuery> =
             queries.iter().map(|q| self.shards[0].prepare_query(q)).collect();
         let mut tasks = Vec::with_capacity(queries.len() * self.shards.len());
         for shard in 0..self.shards.len() {
@@ -240,22 +285,48 @@ impl ShardedStore {
                 tasks.push((qi as u32, shard as u32));
             }
         }
-        let partials = par_chunk_map(&tasks, |chunk| {
-            chunk
-                .iter()
-                .map(|&(qi, shard)| {
-                    let (nq, sig) = &prepared[qi as usize];
-                    let ctx = QueryContext { vector: nq, signature: sig.as_deref() };
-                    (qi, self.shards[shard as usize].scan_prepared(&ctx, k, source).into_sorted())
-                })
-                .collect()
-        });
-        let mut per_query: Vec<Vec<Vec<Hit>>> =
-            (0..queries.len()).map(|_| Vec::with_capacity(self.shards.len())).collect();
-        for (qi, list) in partials {
-            per_query[qi as usize].push(list);
+        match self.tier() {
+            ScoringTier::Exact => {
+                let partials = par_chunk_map(&tasks, |chunk| {
+                    chunk
+                        .iter()
+                        .map(|&(qi, shard)| {
+                            let ctx = prepared[qi as usize].ctx();
+                            let shard = &self.shards[shard as usize];
+                            (qi, shard.scan_prepared(&ctx, k, source).into_sorted())
+                        })
+                        .collect()
+                });
+                let mut per_query: Vec<Vec<Vec<Hit>>> =
+                    (0..queries.len()).map(|_| Vec::with_capacity(self.shards.len())).collect();
+                for (qi, list) in partials {
+                    per_query[qi as usize].push(list);
+                }
+                per_query.into_iter().map(|lists| merge_ranked(&lists, k)).collect()
+            }
+            ScoringTier::Quantized { rerank_factor } => {
+                let r = coarse_r(k, rerank_factor);
+                let partials = par_chunk_map(&tasks, |chunk| {
+                    chunk
+                        .iter()
+                        .map(|&(qi, shard)| {
+                            let ctx = prepared[qi as usize].ctx();
+                            (qi, self.shards[shard as usize].coarse_prepared(&ctx, r, source))
+                        })
+                        .collect()
+                });
+                let mut merged: Vec<CoarseTopR> =
+                    (0..queries.len()).map(|_| CoarseTopR::new(r)).collect();
+                for (qi, partial) in partials {
+                    merged[qi as usize].merge(partial);
+                }
+                merged
+                    .into_iter()
+                    .zip(&prepared)
+                    .map(|(top, p)| self.rerank(&p.nq, &top.into_sorted(), k))
+                    .collect()
+            }
         }
-        per_query.into_iter().map(|lists| merge_ranked(&lists, k)).collect()
     }
 
     /// Candidate rows `source` would score for `q`, summed across shards —
@@ -272,8 +343,11 @@ impl ShardedStore {
     pub fn save(&self, path: &Path) -> io::Result<()> {
         let cfg = self.shards[0].config();
         let mut entries = Vec::with_capacity(self.len());
+        let mut sigs = Vec::with_capacity(if self.has_lsh() { self.len() } else { 0 });
         for shard in &self.shards {
-            entries.extend(shard.snapshot().entries);
+            let snap = shard.snapshot();
+            entries.extend(snap.entries);
+            sigs.extend(snap.sigs);
         }
         let snap = StoreSnapshot {
             version: SNAPSHOT_VERSION,
@@ -281,8 +355,13 @@ impl ShardedStore {
             seed: cfg.seed,
             seal_threshold: cfg.seal_threshold,
             lsh: cfg.lsh,
+            rerank: match cfg.tier {
+                ScoringTier::Exact => 0,
+                ScoringTier::Quantized { rerank_factor } => rerank_factor as u64,
+            },
             next_id: self.next_id,
             entries,
+            sigs,
         };
         snapshot::write_file(path, &snap, self.shards.len() as u32)
     }
@@ -298,13 +377,29 @@ impl ShardedStore {
             seal_threshold: snap.seal_threshold,
             lsh: snap.lsh,
             seed: snap.seed,
+            tier: match snap.rerank {
+                0 => ScoringTier::Exact,
+                n => ScoringTier::Quantized { rerank_factor: n as usize },
+            },
             policy: CompactionPolicy::default(),
         };
         let mut store = Self::new(snap.dim, n_shards, cfg);
-        for (id, v) in &snap.entries {
-            let shard = store.shard_of(*id);
-            store.shards[shard].insert_normalized(*id, v);
-            store.next_id = store.next_id.max(*id + 1);
+        if store.has_lsh() && snap.sigs.len() == snap.entries.len() {
+            // Reuse the persisted packed signatures instead of redoing the
+            // hyperplane dots per row (legacy snapshots lack them and fall
+            // through to the deterministic rebuild below).
+            let bits = snap.lsh.map_or(0, |p| p.bands * p.rows_per_band);
+            for ((id, v), sig) in snap.entries.iter().zip(&snap.sigs) {
+                let shard = store.shard_of(*id);
+                store.shards[shard].insert_prepared(*id, v, Some(unpack_signature(sig, bits)));
+                store.next_id = store.next_id.max(*id + 1);
+            }
+        } else {
+            for (id, v) in &snap.entries {
+                let shard = store.shard_of(*id);
+                store.shards[shard].insert_normalized(*id, v);
+                store.next_id = store.next_id.max(*id + 1);
+            }
         }
         store.next_id = store.next_id.max(snap.next_id);
         Ok(store)
@@ -332,6 +427,10 @@ impl Queryable for ShardedStore {
 
     fn has_lsh(&self) -> bool {
         ShardedStore::has_lsh(self)
+    }
+
+    fn tier(&self) -> ScoringTier {
+        ShardedStore::tier(self)
     }
 
     fn search(&self, q: &[f32], k: usize, source: &dyn CandidateSource) -> Vec<Hit> {
@@ -426,9 +525,10 @@ mod tests {
     fn cfg(lsh: bool) -> StoreConfig {
         StoreConfig {
             seal_threshold: 16,
-            lsh: lsh.then_some(LshParams { bands: 8, rows_per_band: 2 }),
+            lsh: lsh.then_some(LshParams::default()),
             seed: 42,
             policy: CompactionPolicy::disabled(),
+            ..StoreConfig::default()
         }
     }
 
@@ -505,6 +605,33 @@ mod tests {
             assert_eq!(a, b, "lsh={lsh}: sharded results diverged");
             for (x, y) in a.iter().flatten().zip(b.iter().flatten()) {
                 assert_eq!(x.score.to_bits(), y.score.to_bits(), "lsh={lsh}: score bits differ");
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_sharded_matches_single_store_bit_for_bit() {
+        let quant = StoreConfig { tier: ScoringTier::Quantized { rerank_factor: 4 }, ..cfg(true) };
+        let vecs = random_vecs(120, 10, 2);
+        let mut single = VectorStore::new(10, quant);
+        let mut sharded = ShardedStore::new(10, 4, quant);
+        for v in &vecs {
+            single.insert(v);
+            sharded.insert(v);
+        }
+        for id in [3u64, 17, 44, 90] {
+            single.delete(id);
+            sharded.delete(id);
+        }
+        single.upsert(7, &vecs[50]);
+        sharded.upsert(7, &vecs[50]);
+        let queries: Vec<Vec<f32>> = vecs[..20].to_vec();
+        for source in [&ExactScan as &dyn CandidateSource, &LshCandidates] {
+            let a = single.search_batch(&queries, 8, source);
+            let b = sharded.search_batch(&queries, 8, source);
+            assert_eq!(a, b, "quantized sharded results diverged");
+            for (x, y) in a.iter().flatten().zip(b.iter().flatten()) {
+                assert_eq!(x.score.to_bits(), y.score.to_bits(), "score bits differ");
             }
         }
     }

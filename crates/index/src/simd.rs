@@ -89,6 +89,106 @@ unsafe fn dot_avx2(a: &[f32], b: &[f32]) -> f32 {
     }
 }
 
+/// Hamming distance between two packed bit signatures (`[u64]` words, as
+/// produced by [`crate::lsh::pack_signature`]).
+///
+/// This is the quantized tier's coarse kernel: XOR + population count per
+/// word, 64 signature bits per load instead of 64 `f32` lanes — the whole
+/// point of scoring sign bits first. Signature widths that are not a
+/// multiple of 64 need no masking here: the packer zeroes the tail bits of
+/// the last word on both sides, so they XOR to zero. Like [`dot`], the
+/// kernel statically selects an AVX2 path when `target-cpu=native` enables
+/// it (a nibble-LUT popcount over 256-bit lanes, for wide signatures) and
+/// otherwise relies on `u64::count_ones`, which compiles to a single
+/// `POPCNT` on any popcount-capable build.
+///
+/// Lengths are checked with `debug_assert!` only — the store guarantees
+/// both sides share its signature width before any scoring happens.
+#[inline(always)]
+pub fn hamming(a: &[u64], b: &[u64]) -> u32 {
+    debug_assert_eq!(a.len(), b.len(), "hamming over mismatched signature widths");
+    // Short signatures are the hot case (128 bits = 2 words under
+    // `default_blocking`): a vector kernel is pure setup overhead there,
+    // and even the generic scalar loop pays a trip-count branch per word.
+    // Pinning the length per arm lets LLVM emit straight-line XOR+POPCNT.
+    match a.len() {
+        1 => fixed_hamming::<1>(a, b),
+        2 => fixed_hamming::<2>(a, b),
+        3 => fixed_hamming::<3>(a, b),
+        4 => fixed_hamming::<4>(a, b),
+        _ => {
+            #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+            // SAFETY: the avx2 target feature is statically enabled for
+            // this compilation (checked by the cfg above).
+            unsafe {
+                hamming_avx2(a, b)
+            }
+            #[cfg(not(all(target_arch = "x86_64", target_feature = "avx2")))]
+            hamming_scalar(a, b)
+        }
+    }
+}
+
+/// Fully unrolled XOR+POPCNT over a compile-time word count. The caller
+/// guarantees `a.len() == N`; one slice conversion per side hoists every
+/// bounds check out of the per-word arithmetic.
+#[inline(always)]
+fn fixed_hamming<const N: usize>(a: &[u64], b: &[u64]) -> u32 {
+    let a: &[u64; N] = a.try_into().expect("caller matched on len");
+    let b: &[u64; N] = b.try_into().expect("hamming over mismatched signature widths");
+    let mut acc = 0u32;
+    for i in 0..N {
+        acc += (a[i] ^ b[i]).count_ones();
+    }
+    acc
+}
+
+/// Word-at-a-time XOR + `count_ones`; the compiler emits `POPCNT` wherever
+/// the target has it.
+#[cfg(not(all(target_arch = "x86_64", target_feature = "avx2")))]
+#[inline]
+fn hamming_scalar(a: &[u64], b: &[u64]) -> u32 {
+    a.iter().zip(b).map(|(x, y)| (x ^ y).count_ones()).sum()
+}
+
+#[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+#[target_feature(enable = "avx2")]
+unsafe fn hamming_avx2(a: &[u64], b: &[u64]) -> u32 {
+    use std::arch::x86_64::*;
+    unsafe {
+        let n = a.len().min(b.len());
+        // Nibble-LUT popcount (Muła): per byte, look up the popcount of
+        // each 4-bit half in a shuffled table, then horizontally sum bytes
+        // with SAD against zero. Four u64 words per 256-bit iteration.
+        let lut = _mm256_setr_epi8(
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, // low lane
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, // high lane
+        );
+        let low_mask = _mm256_set1_epi8(0x0f);
+        let mut acc = _mm256_setzero_si256();
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let x = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+            let y = _mm256_loadu_si256(b.as_ptr().add(i) as *const __m256i);
+            let v = _mm256_xor_si256(x, y);
+            let lo = _mm256_shuffle_epi8(lut, _mm256_and_si256(v, low_mask));
+            let hi = _mm256_shuffle_epi8(lut, _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask));
+            let counts = _mm256_add_epi8(lo, hi);
+            acc = _mm256_add_epi64(acc, _mm256_sad_epu8(counts, _mm256_setzero_si256()));
+            i += 4;
+        }
+        let mut total = (_mm256_extract_epi64::<0>(acc)
+            + _mm256_extract_epi64::<1>(acc)
+            + _mm256_extract_epi64::<2>(acc)
+            + _mm256_extract_epi64::<3>(acc)) as u32;
+        while i < n {
+            total += (a[i] ^ b[i]).count_ones();
+            i += 1;
+        }
+        total
+    }
+}
+
 /// L2-normalizes `v` in place — the **single** normalization everything
 /// routes through: stored vectors ([`crate::VectorStore::upsert`]), query
 /// preparation, and the engine's cache keys. One implementation is a
@@ -172,6 +272,136 @@ impl TopK {
     }
 }
 
+/// One coarse-pass candidate: a stored id and its Hamming distance to the
+/// query signature.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct CoarseHit {
+    pub(crate) id: u64,
+    pub(crate) dist: u32,
+}
+
+/// Coarse ranking order: smaller Hamming distance first, ties broken by
+/// ascending id. Ids are unique, so this is a **total** order over live
+/// rows — which is what makes the quantized tier's re-rank set a function
+/// of the corpus alone, never of how rows are partitioned into segments or
+/// shards (the sharded-equals-single property test leans on exactly this).
+#[inline]
+pub(crate) fn coarse_cmp(a: &CoarseHit, b: &CoarseHit) -> Ordering {
+    a.dist.cmp(&b.dist).then(a.id.cmp(&b.id))
+}
+
+/// A bounded best-`r` accumulator over coarse hits, kept as a binary
+/// max-heap under [`coarse_cmp`] (worst survivor at the root). Unlike
+/// [`TopK`]'s sorted array — fine at k ≈ 10 — the coarse pass holds
+/// `rerank_factor × k` entries and, early in a sweep (while the entry bar
+/// is still loose), accepts thousands of rows; a heap makes each accept
+/// O(log r) sifting instead of an O(r) array memmove, while rejection
+/// stays one compare against the root. The survivor *set* is the r
+/// smallest under a total order, so it is independent of scan order; the
+/// quantized tier fills one accumulator per segment (or shard), merges
+/// them into the global coarse top-`r`, and re-ranks only that slice with
+/// the f32 [`dot`] kernel.
+#[derive(Clone, Debug)]
+pub(crate) struct CoarseTopR {
+    r: usize,
+    /// Externally-proven upper bound on the final worst survivor distance
+    /// (`u32::MAX` when unknown). While the heap is still filling,
+    /// [`worst_dist`](Self::worst_dist) reports this cap instead of
+    /// `u32::MAX`, so sweeps can reject far rows from the very first row —
+    /// rejection under a valid cap never drops a true survivor, because
+    /// every survivor's distance is at most the cap by definition.
+    cap: u32,
+    hits: Vec<CoarseHit>,
+}
+
+impl CoarseTopR {
+    pub(crate) fn new(r: usize) -> Self {
+        Self::with_cap(r, u32::MAX)
+    }
+
+    /// An accumulator whose entry bar starts at `cap` instead of open.
+    /// `cap` must upper-bound the final worst survivor distance over the
+    /// rows this accumulator will sweep (e.g. the r-th smallest distance of
+    /// any ≥ r-sized subset of them).
+    pub(crate) fn with_cap(r: usize, cap: u32) -> Self {
+        Self { r, cap, hits: Vec::with_capacity(r.min(128)) }
+    }
+
+    /// The distance a candidate must beat to enter a full accumulator; the
+    /// cap (default `u32::MAX`) while there is still room. Scan loops cache
+    /// this to reject the common case (a far row) on one compare, without
+    /// paying the `push` call.
+    #[inline]
+    pub(crate) fn worst_dist(&self) -> u32 {
+        if self.hits.len() < self.r {
+            self.cap
+        } else {
+            self.hits.first().map_or(self.cap, |h| h.dist)
+        }
+    }
+
+    /// Offers one candidate.
+    #[inline]
+    pub(crate) fn push(&mut self, id: u64, dist: u32) {
+        if self.r == 0 {
+            return;
+        }
+        let hit = CoarseHit { id, dist };
+        if self.hits.len() < self.r {
+            self.hits.push(hit);
+            self.sift_up(self.hits.len() - 1);
+        } else if coarse_cmp(&hit, &self.hits[0]) == Ordering::Less {
+            self.hits[0] = hit;
+            self.sift_down();
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if coarse_cmp(&self.hits[i], &self.hits[parent]) != Ordering::Greater {
+                break;
+            }
+            self.hits.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self) {
+        let n = self.hits.len();
+        let mut i = 0;
+        loop {
+            let mut largest = i;
+            for child in [2 * i + 1, 2 * i + 2] {
+                if child < n
+                    && coarse_cmp(&self.hits[child], &self.hits[largest]) == Ordering::Greater
+                {
+                    largest = child;
+                }
+            }
+            if largest == i {
+                return;
+            }
+            self.hits.swap(i, largest);
+            i = largest;
+        }
+    }
+
+    /// Folds another accumulator's hits in. Like [`TopK::merge`], the
+    /// result depends only on the combined hit *set*, never on merge order.
+    pub(crate) fn merge(&mut self, other: CoarseTopR) {
+        for h in other.hits {
+            self.push(h.id, h.dist);
+        }
+    }
+
+    /// The final coarse candidates, best (closest) first.
+    pub(crate) fn into_sorted(mut self) -> Vec<CoarseHit> {
+        self.hits.sort_unstable_by(coarse_cmp);
+        self.hits
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,6 +464,64 @@ mod tests {
     fn topk_zero_k_stays_empty() {
         let mut t = TopK::new(0);
         t.push(1, 1.0);
+        assert!(t.into_sorted().is_empty());
+    }
+
+    #[test]
+    fn hamming_matches_naive_bit_count() {
+        // Cover the scalar tail and (on AVX2 builds) the 4-word vector loop,
+        // including widths around the 256-bit stride.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 9, 16, 31] {
+            let a: Vec<u64> = (0..n).map(|_| next()).collect();
+            let b: Vec<u64> = (0..n).map(|_| next()).collect();
+            let naive: u32 = a.iter().zip(&b).map(|(x, y)| (x ^ y).count_ones()).sum();
+            assert_eq!(hamming(&a, &b), naive, "n={n}");
+        }
+        assert_eq!(hamming(&[0b1011, 0], &[0b0001, 0]), 2);
+        assert_eq!(hamming(&[u64::MAX; 5], &[0; 5]), 320);
+    }
+
+    #[test]
+    fn coarse_topr_keeps_closest_and_breaks_ties_by_id() {
+        let mut t = CoarseTopR::new(3);
+        for (id, dist) in [(5u64, 4u32), (1, 9), (2, 4), (3, 1), (4, 9)] {
+            t.push(id, dist);
+        }
+        let ids: Vec<u64> = t.into_sorted().iter().map(|h| h.id).collect();
+        // dist 1 first; the dist-4 tie keeps both ids in ascending order.
+        assert_eq!(ids, vec![3, 2, 5]);
+    }
+
+    #[test]
+    fn coarse_topr_merge_is_order_independent() {
+        let hits = [(1u64, 7u32), (2, 3), (3, 3), (4, 12), (5, 6)];
+        let mut left = CoarseTopR::new(3);
+        let mut right = CoarseTopR::new(3);
+        for (i, (id, d)) in hits.iter().enumerate() {
+            if i % 2 == 0 {
+                left.push(*id, *d);
+            } else {
+                right.push(*id, *d);
+            }
+        }
+        let mut forward = left.clone();
+        forward.merge(right.clone());
+        let mut backward = right;
+        backward.merge(left);
+        assert_eq!(forward.into_sorted(), backward.into_sorted());
+    }
+
+    #[test]
+    fn coarse_topr_zero_r_stays_empty() {
+        let mut t = CoarseTopR::new(0);
+        t.push(1, 0);
         assert!(t.into_sorted().is_empty());
     }
 }

@@ -22,14 +22,26 @@
 //! re-route deterministically on load, so only the merged entry list is
 //! persisted). The compaction policy is runtime tuning, not data, and is
 //! not persisted — loaded stores run the policy they are configured with.
+//!
+//! **Versioning.** Version 2 added the quantized scoring tier: the header
+//! carries the re-rank factor and the packed-signature width, and each
+//! entry's sign-bit LSH signature rides along after its vector. Version 1
+//! files (binary or JSON) still load — they carry no signatures, so the
+//! store rebuilds them from the persisted seed on load, which is
+//! deterministic and replays queries bit-identically.
 
+use crate::lsh::packed_len;
 use crate::store::LshParams;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::io;
 use std::path::Path;
 
-/// The snapshot format version this build writes and reads.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// The snapshot format version this build writes.
+pub const SNAPSHOT_VERSION: u32 = 2;
+
+/// The oldest snapshot version this build still reads: the pre-quantized
+/// layout without packed signatures or a re-rank factor.
+pub const LEGACY_SNAPSHOT_VERSION: u32 = 1;
 
 /// Magic bytes opening a binary snapshot file.
 pub(crate) const TBIX_MAGIC: [u8; 4] = *b"TBIX";
@@ -43,7 +55,7 @@ pub(crate) const MAX_SNAPSHOT_SHARDS: u32 = 65_536;
 /// A serializable snapshot of a store: its configuration plus every live
 /// `(id, normalized vector)` entry in physical order. Tombstones are
 /// dropped on capture — a snapshot is implicitly compacted.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize)]
 pub struct StoreSnapshot {
     /// Snapshot format version; bumped on incompatible layout changes.
     pub version: u32,
@@ -55,10 +67,42 @@ pub struct StoreSnapshot {
     pub seal_threshold: usize,
     /// LSH banding, if enabled.
     pub lsh: Option<LshParams>,
+    /// The quantized tier's re-rank factor; `0` means the exact tier.
+    pub rerank: u64,
     /// The next auto-assigned id.
     pub next_id: u64,
     /// Live entries in segment-then-row order.
     pub entries: Vec<(u64, Vec<f32>)>,
+    /// Packed sign-bit LSH signatures, aligned with `entries`. Empty when
+    /// LSH is off — or in legacy snapshots, which predate signatures (the
+    /// store rebuilds them from `seed` on load).
+    pub sigs: Vec<Vec<u64>>,
+}
+
+// Hand-written so the two version-2 fields stay optional: version-1 JSON
+// snapshots carry neither, and the derive errors on missing fields.
+impl Deserialize for StoreSnapshot {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        use serde::derive_support::field;
+        const TY: &str = "StoreSnapshot";
+        Ok(Self {
+            version: u32::from_value(field(v, TY, "version")?)?,
+            dim: usize::from_value(field(v, TY, "dim")?)?,
+            seed: u64::from_value(field(v, TY, "seed")?)?,
+            seal_threshold: usize::from_value(field(v, TY, "seal_threshold")?)?,
+            lsh: Option::<LshParams>::from_value(field(v, TY, "lsh")?)?,
+            rerank: match v.get("rerank") {
+                Some(r) => u64::from_value(r)?,
+                None => 0,
+            },
+            next_id: u64::from_value(field(v, TY, "next_id")?)?,
+            entries: Vec::from_value(field(v, TY, "entries")?)?,
+            sigs: match v.get("sigs") {
+                Some(s) => Vec::from_value(s)?,
+                None => Vec::new(),
+            },
+        })
+    }
 }
 
 impl StoreSnapshot {
@@ -66,9 +110,9 @@ impl StoreSnapshot {
     /// untrusted-input boundary (files on disk), so violations must come
     /// back as errors rather than tripping constructor asserts.
     pub(crate) fn validate(&self) -> io::Result<()> {
-        if self.version != SNAPSHOT_VERSION {
+        if !(LEGACY_SNAPSHOT_VERSION..=SNAPSHOT_VERSION).contains(&self.version) {
             return Err(invalid(format!(
-                "unsupported snapshot version {} (want {SNAPSHOT_VERSION})",
+                "unsupported snapshot version {} (want {LEGACY_SNAPSHOT_VERSION}..={SNAPSHOT_VERSION})",
                 self.version
             )));
         }
@@ -80,6 +124,9 @@ impl StoreSnapshot {
                 return Err(invalid("snapshot with zero LSH bands or rows_per_band".into()));
             }
         }
+        if self.rerank > 0 && self.lsh.is_none() {
+            return Err(invalid("quantized snapshot without LSH params".into()));
+        }
         for (id, v) in &self.entries {
             if v.len() != self.dim {
                 return Err(invalid(format!(
@@ -87,6 +134,28 @@ impl StoreSnapshot {
                     v.len(),
                     self.dim
                 )));
+            }
+        }
+        if !self.sigs.is_empty() {
+            let Some(p) = self.lsh else {
+                return Err(invalid("snapshot carries signatures but no LSH params".into()));
+            };
+            if self.sigs.len() != self.entries.len() {
+                return Err(invalid(format!(
+                    "snapshot has {} signatures for {} entries",
+                    self.sigs.len(),
+                    self.entries.len()
+                )));
+            }
+            let words = packed_len(p.bands * p.rows_per_band);
+            for (i, sig) in self.sigs.iter().enumerate() {
+                if sig.len() != words {
+                    return Err(invalid(format!(
+                        "signature width mismatch: entry {i} has {} words (want {words} for {} bits)",
+                        sig.len(),
+                        p.bands * p.rows_per_band
+                    )));
+                }
             }
         }
         Ok(())
@@ -100,10 +169,17 @@ fn invalid(msg: String) -> io::Error {
 // --- binary codec ----------------------------------------------------------
 
 /// Encodes a snapshot into the `TBIX` binary format. `n_shards == 0` marks
-/// a single-store snapshot; `n ≥ 1` a sharded one.
+/// a single-store snapshot; `n ≥ 1` a sharded one. The layout follows
+/// `snap.version`: version-2 snapshots interleave each entry's packed
+/// signature after its vector; version-1 is the legacy vectors-only layout.
 pub(crate) fn encode_binary(snap: &StoreSnapshot, n_shards: u32) -> Vec<u8> {
-    let per_entry = 8 + snap.dim * 4;
-    let mut out = Vec::with_capacity(64 + snap.entries.len() * per_entry);
+    let sig_words = if snap.version >= SNAPSHOT_VERSION && snap.sigs.len() == snap.entries.len() {
+        snap.lsh.map_or(0, |p| packed_len(p.bands * p.rows_per_band))
+    } else {
+        0
+    };
+    let per_entry = 8 + snap.dim * 4 + sig_words * 8;
+    let mut out = Vec::with_capacity(80 + snap.entries.len() * per_entry);
     out.extend_from_slice(&TBIX_MAGIC);
     out.extend_from_slice(&snap.version.to_le_bytes());
     out.extend_from_slice(&n_shards.to_le_bytes());
@@ -118,12 +194,21 @@ pub(crate) fn encode_binary(snap: &StoreSnapshot, n_shards: u32) -> Vec<u8> {
         }
         None => out.push(0),
     }
+    if snap.version >= SNAPSHOT_VERSION {
+        out.extend_from_slice(&snap.rerank.to_le_bytes());
+        out.extend_from_slice(&(sig_words as u32).to_le_bytes());
+    }
     out.extend_from_slice(&snap.next_id.to_le_bytes());
     out.extend_from_slice(&(snap.entries.len() as u64).to_le_bytes());
-    for (id, v) in &snap.entries {
+    for (i, (id, v)) in snap.entries.iter().enumerate() {
         out.extend_from_slice(&id.to_le_bytes());
         for x in v {
             out.extend_from_slice(&x.to_le_bytes());
+        }
+        if sig_words > 0 {
+            for w in &snap.sigs[i] {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
         }
     }
     out
@@ -184,11 +269,19 @@ fn decode_binary(bytes: &[u8]) -> io::Result<(u32, StoreSnapshot)> {
         1 => Some(LshParams { bands: c.u32()? as usize, rows_per_band: c.u32()? as usize }),
         flag => return Err(invalid(format!("bad LSH flag byte {flag}"))),
     };
+    // Version 1 predates the quantized-tier header fields and the
+    // per-entry signatures; any later version carries both.
+    let (rerank, sig_words) =
+        if version >= SNAPSHOT_VERSION { (c.u64()?, c.u32()? as usize) } else { (0, 0) };
     let next_id = c.u64()?;
     let n_entries = c.u64()? as usize;
     // The payload length is implied by the header; a mismatch means a
     // corrupt or truncated file, caught before any large allocation.
-    let per_entry = 8usize + dim.checked_mul(4).ok_or_else(|| invalid("dim overflow".into()))?;
+    let per_entry = dim
+        .checked_mul(4)
+        .and_then(|d| sig_words.checked_mul(8).and_then(|s| d.checked_add(s)))
+        .and_then(|p| p.checked_add(8))
+        .ok_or_else(|| invalid("dim overflow".into()))?;
     let want = n_entries
         .checked_mul(per_entry)
         .and_then(|p| p.checked_add(c.pos))
@@ -200,6 +293,7 @@ fn decode_binary(bytes: &[u8]) -> io::Result<(u32, StoreSnapshot)> {
         )));
     }
     let mut entries = Vec::with_capacity(n_entries);
+    let mut sigs = Vec::with_capacity(if sig_words > 0 { n_entries } else { 0 });
     for _ in 0..n_entries {
         let id = c.u64()?;
         let mut v = Vec::with_capacity(dim);
@@ -207,8 +301,16 @@ fn decode_binary(bytes: &[u8]) -> io::Result<(u32, StoreSnapshot)> {
             v.push(c.f32()?);
         }
         entries.push((id, v));
+        if sig_words > 0 {
+            let mut sig = Vec::with_capacity(sig_words);
+            for _ in 0..sig_words {
+                sig.push(c.u64()?);
+            }
+            sigs.push(sig);
+        }
     }
-    let snap = StoreSnapshot { version, dim, seed, seal_threshold, lsh, next_id, entries };
+    let snap =
+        StoreSnapshot { version, dim, seed, seal_threshold, lsh, rerank, next_id, entries, sigs };
     snap.validate()?;
     Ok((n_shards, snap))
 }
@@ -253,9 +355,17 @@ mod tests {
             seed: 7,
             seal_threshold: 16,
             lsh: Some(LshParams { bands: 4, rows_per_band: 2 }),
+            rerank: 0,
             next_id: 2,
             entries: vec![(0, vec![1.0, 0.0, 0.0]), (1, vec![0.0, 0.6, 0.8])],
+            sigs: Vec::new(),
         }
+    }
+
+    /// `sample()` with the quantized tier on: 8-bit signatures (one word)
+    /// and a re-rank factor in the header.
+    fn sample_quantized() -> StoreSnapshot {
+        StoreSnapshot { rerank: 4, sigs: vec![vec![0b1010_1010], vec![0b0101_0101]], ..sample() }
     }
 
     #[test]
@@ -312,6 +422,66 @@ mod tests {
     fn validate_rejects_mismatched_entry_dim() {
         let mut snap = sample();
         snap.entries.push((9, vec![1.0]));
+        assert!(snap.validate().is_err());
+    }
+
+    #[test]
+    fn binary_roundtrips_signatures_and_rerank() {
+        let snap = sample_quantized();
+        let bytes = encode_binary(&snap, 0);
+        let (_, back) = decode_binary(&bytes).expect("decode");
+        assert_eq!(back.rerank, 4);
+        assert_eq!(back.sigs, snap.sigs);
+    }
+
+    #[test]
+    fn legacy_v1_binary_still_decodes() {
+        let mut snap = sample();
+        snap.version = LEGACY_SNAPSHOT_VERSION;
+        let bytes = encode_binary(&snap, 0);
+        let (n_shards, back) = decode_binary(&bytes).expect("v1 decode");
+        assert_eq!(n_shards, 0);
+        assert_eq!(back.version, LEGACY_SNAPSHOT_VERSION);
+        assert_eq!(back.rerank, 0, "v1 has no quantized tier");
+        assert!(back.sigs.is_empty(), "v1 carries no signatures");
+        assert_eq!(back.entries.len(), snap.entries.len());
+        // And the v1 layout really is the old one: no rerank/sig_words
+        // header fields, no per-entry signature words.
+        let v2 = encode_binary(&sample_quantized(), 0);
+        assert_eq!(v2.len(), bytes.len() + 12 + snap.entries.len() * 8);
+    }
+
+    #[test]
+    fn legacy_json_without_new_fields_still_parses() {
+        let text = concat!(
+            r#"{"version":1,"dim":2,"seed":7,"seal_threshold":16,"#,
+            r#""lsh":{"bands":2,"rows_per_band":2},"next_id":1,"#,
+            r#""entries":[[0,[1.0,0.0]]]}"#
+        );
+        let snap: StoreSnapshot = serde_json::from_str(text).expect("parse");
+        assert_eq!(snap.rerank, 0);
+        assert!(snap.sigs.is_empty());
+        snap.validate().expect("validate");
+    }
+
+    #[test]
+    fn validate_rejects_bad_signature_shapes() {
+        // Wrong width: 4×2 = 8 bits wants exactly one u64 word per row.
+        let mut snap = sample_quantized();
+        snap.sigs[1] = vec![1, 2];
+        let err = snap.validate().expect_err("width mismatch must fail");
+        assert!(err.to_string().contains("signature width mismatch"), "unhelpful error: {err}");
+        // Wrong count: signatures must align 1:1 with entries.
+        let mut snap = sample_quantized();
+        snap.sigs.pop();
+        assert!(snap.validate().is_err());
+        // Signatures (or a re-rank factor) without LSH make no sense.
+        let mut snap = sample_quantized();
+        snap.lsh = None;
+        assert!(snap.validate().is_err());
+        let mut snap = sample();
+        snap.lsh = None;
+        snap.rerank = 4;
         assert!(snap.validate().is_err());
     }
 }

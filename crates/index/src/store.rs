@@ -22,6 +22,13 @@
 //!   buckets maintained incrementally as vectors arrive. The store never
 //!   picks a source itself — that is query *execution*, which lives in
 //!   [`crate::QueryEngine`]; storage only scans what it is told to.
+//! * **Scoring tiers** — [`ScoringTier::Exact`] scores every candidate with
+//!   the f32 dot kernel. [`ScoringTier::Quantized`] first ranks candidates
+//!   by Hamming distance over packed sign-bit LSH signatures (a popcount
+//!   coarse pass over ~64×-denser data), then re-scores only the top
+//!   `rerank_factor × k` survivors with the f32 kernel. Coarse selection is
+//!   a *global* top-R under the (distance, id) total order, so quantized
+//!   results are independent of segment — and shard — layout.
 //! * **Batched parallel scans** — [`VectorStore::search_batch`] fans
 //!   (query × segment) tasks across crossbeam scoped workers, mirroring the
 //!   `par_chunk_map` dispatch in `tabbin_core::batch`.
@@ -39,10 +46,12 @@
 
 use crate::candidates::{CandidateSource, Candidates, QueryContext};
 use crate::engine::Queryable;
-use crate::lsh::{band_key, random_planes, signature_of};
+use crate::lsh::{
+    band_key, pack_signature, packed_len, random_planes, signature_of, unpack_signature,
+};
 use crate::parallel::par_chunk_map;
 use crate::segment::Segment;
-use crate::simd::{dot, Hit, TopK};
+use crate::simd::{dot, hamming, CoarseHit, CoarseTopR, Hit, TopK};
 use crate::snapshot::{self, StoreSnapshot, SNAPSHOT_VERSION};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -75,10 +84,71 @@ pub struct LshParams {
 }
 
 impl LshParams {
+    /// Explicit banding geometry; `bands * rows_per_band` is the signature
+    /// width in bits — the one place it is decided.
+    pub fn new(bands: usize, rows_per_band: usize) -> Self {
+        Self { bands, rows_per_band }
+    }
+
     /// A blocking geometry that keeps recall high on realistic (clustered)
     /// embedding corpora while still pruning aggressively.
     pub fn default_blocking() -> Self {
         Self { bands: 16, rows_per_band: 8 }
+    }
+}
+
+/// A cheap 16-bit signature: wide enough buckets that small test corpora
+/// keep recall, narrow enough that probing stays visibly selective.
+impl Default for LshParams {
+    fn default() -> Self {
+        Self { bands: 8, rows_per_band: 2 }
+    }
+}
+
+/// Default coarse over-fetch of the quantized tier: re-rank the top
+/// `4 × k` Hamming survivors with the f32 kernel.
+pub const DEFAULT_RERANK_FACTOR: usize = 4;
+
+/// How a store scores the candidates a [`CandidateSource`] nominates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ScoringTier {
+    /// Score every candidate with the f32 dot kernel.
+    #[default]
+    Exact,
+    /// Rank candidates by Hamming distance over packed sign-bit LSH
+    /// signatures first, then re-score only the top `rerank_factor × k`
+    /// survivors with the f32 kernel. Requires LSH to be configured.
+    Quantized {
+        /// Coarse over-fetch multiple: the Hamming pass keeps
+        /// `rerank_factor × k` rows for exact re-ranking. Must be ≥ 1;
+        /// larger values trade coarse-pass speed for recall.
+        rerank_factor: usize,
+    },
+}
+
+/// The coarse pass's keep count: `rerank_factor × k`, saturating.
+pub(crate) fn coarse_r(k: usize, rerank_factor: usize) -> usize {
+    k.saturating_mul(rerank_factor.max(1))
+}
+
+/// Everything a store computes once per query: the normalized vector, the
+/// LSH signature (when LSH is on), and that signature packed into `u64`
+/// words for the quantized tier's Hamming pass. Owns its buffers;
+/// [`ctx`](Self::ctx) lends them out as a [`QueryContext`] per probe.
+#[derive(Clone, Debug)]
+pub(crate) struct PreparedQuery {
+    pub(crate) nq: Vec<f32>,
+    pub(crate) sig: Option<Vec<bool>>,
+    pub(crate) packed: Option<Vec<u64>>,
+}
+
+impl PreparedQuery {
+    pub(crate) fn ctx(&self) -> QueryContext<'_> {
+        QueryContext {
+            vector: &self.nq,
+            signature: self.sig.as_deref(),
+            packed: self.packed.as_deref(),
+        }
     }
 }
 
@@ -142,6 +212,9 @@ pub struct StoreConfig {
     /// Seed for the LSH hyperplanes — two stores with the same seed, params,
     /// and dimension hash identically.
     pub seed: u64,
+    /// How nominated candidates are scored (see [`ScoringTier`]).
+    /// [`ScoringTier::Quantized`] requires `lsh` to be `Some`.
+    pub tier: ScoringTier,
     /// When the store compacts itself (see [`CompactionPolicy`]).
     pub policy: CompactionPolicy,
 }
@@ -152,6 +225,7 @@ impl Default for StoreConfig {
             seal_threshold: DEFAULT_SEAL_THRESHOLD,
             lsh: None,
             seed: 0x7ab1,
+            tier: ScoringTier::Exact,
             policy: CompactionPolicy::default(),
         }
     }
@@ -161,6 +235,16 @@ impl StoreConfig {
     /// The default configuration with LSH blocking enabled.
     pub fn with_lsh(params: LshParams) -> Self {
         Self { lsh: Some(params), ..Self::default() }
+    }
+
+    /// LSH blocking plus the quantized two-tier scoring path, with the
+    /// default [`DEFAULT_RERANK_FACTOR`] over-fetch.
+    pub fn quantized(params: LshParams) -> Self {
+        Self {
+            lsh: Some(params),
+            tier: ScoringTier::Quantized { rerank_factor: DEFAULT_RERANK_FACTOR },
+            ..Self::default()
+        }
     }
 }
 
@@ -213,6 +297,9 @@ pub struct VectorStore {
     cfg: StoreConfig,
     /// `bands * rows_per_band` hyperplanes when LSH is on, empty otherwise.
     planes: Vec<Vec<f32>>,
+    /// `u64` words per packed signature row (`packed_len` of the signature
+    /// width); 0 when LSH is off.
+    sig_words: usize,
     segments: Vec<Segment>,
     /// id -> (segment, row) of the live copy.
     locs: HashMap<u64, (u32, u32)>,
@@ -229,11 +316,16 @@ impl VectorStore {
     /// An empty store for `dim`-dimensional vectors.
     ///
     /// # Panics
-    /// On `dim == 0`, a zero `seal_threshold`, or LSH params with zero
-    /// bands/rows.
+    /// On `dim == 0`, a zero `seal_threshold`, LSH params with zero
+    /// bands/rows, or a [`ScoringTier::Quantized`] tier without LSH or with
+    /// a zero `rerank_factor`.
     pub fn new(dim: usize, cfg: StoreConfig) -> Self {
         assert!(dim > 0, "VectorStore dimension must be positive");
         assert!(cfg.seal_threshold > 0, "seal_threshold must be positive");
+        if let ScoringTier::Quantized { rerank_factor } = cfg.tier {
+            assert!(cfg.lsh.is_some(), "quantized tier requires LSH signatures (StoreConfig::lsh)");
+            assert!(rerank_factor >= 1, "quantized rerank_factor must be at least 1");
+        }
         let planes = match cfg.lsh {
             Some(p) => {
                 assert!(p.bands > 0 && p.rows_per_band > 0, "LSH bands and rows must be positive");
@@ -244,6 +336,7 @@ impl VectorStore {
         Self {
             dim,
             cfg,
+            sig_words: cfg.lsh.map_or(0, |p| packed_len(p.bands * p.rows_per_band)),
             planes,
             segments: Vec::new(),
             locs: HashMap::new(),
@@ -281,6 +374,11 @@ impl VectorStore {
     /// The configuration the store was built with.
     pub fn config(&self) -> StoreConfig {
         self.cfg
+    }
+
+    /// The configured scoring tier.
+    pub fn tier(&self) -> ScoringTier {
+        self.cfg.tier
     }
 
     /// Live/tombstone/segment counts.
@@ -344,6 +442,15 @@ impl VectorStore {
     /// after the write, which keeps `compact`'s own rebuild loop off the
     /// policy path.
     pub(crate) fn insert_normalized(&mut self, id: u64, nv: &[f32]) {
+        let sig = self.has_lsh().then(|| signature_of(&self.planes, nv));
+        self.insert_prepared(id, nv, sig);
+    }
+
+    /// [`insert_normalized`](Self::insert_normalized) with the LSH signature
+    /// already in hand — snapshot loading passes the persisted one through
+    /// instead of recomputing `bands * rows_per_band` hyperplane dots per
+    /// row. `sig` must be `Some` exactly when the store has LSH.
+    pub(crate) fn insert_prepared(&mut self, id: u64, nv: &[f32], sig: Option<Vec<bool>>) {
         if let Some(&(seg, row)) = self.locs.get(&id) {
             self.tombstone(seg as usize, row as usize);
         }
@@ -365,11 +472,12 @@ impl VectorStore {
         seg.ids.push(id);
         seg.deleted.push(false);
         if let Some(p) = self.cfg.lsh {
-            let sig = signature_of(&self.planes, nv);
+            let sig = sig.expect("LSH store insert without a signature");
             for (b, bucket) in seg.buckets.iter_mut().enumerate() {
                 let key = band_key(&sig, b, p.rows_per_band);
                 bucket.entry(key).or_insert_with(Vec::new).push(row as u32);
             }
+            seg.sigs.extend_from_slice(&pack_signature(&sig));
         }
         if seg.rows() >= self.cfg.seal_threshold {
             seg.sealed = true;
@@ -458,9 +566,15 @@ impl VectorStore {
     /// # Panics
     /// If `q.len()` differs from the store dimension.
     pub fn search(&self, q: &[f32], k: usize, source: &dyn CandidateSource) -> Vec<Hit> {
-        let (nq, sig) = self.prepare_query(q);
-        let ctx = QueryContext { vector: &nq, signature: sig.as_deref() };
-        self.scan_prepared(&ctx, k, source).into_sorted()
+        let prepared = self.prepare_query(q);
+        let ctx = prepared.ctx();
+        match self.cfg.tier {
+            ScoringTier::Exact => self.scan_prepared(&ctx, k, source).into_sorted(),
+            ScoringTier::Quantized { rerank_factor } => {
+                let coarse = self.coarse_prepared(&ctx, coarse_r(k, rerank_factor), source);
+                self.rerank(&prepared.nq, &coarse.into_sorted(), k)
+            }
+        }
     }
 
     /// Batched [`search`](Self::search): every (query, segment) pair becomes
@@ -482,36 +596,57 @@ impl VectorStore {
         }
         // Per-query state (normalized vector + LSH signature) is computed
         // once here and shared by every segment task of that query.
-        let prepared: Vec<(Vec<f32>, Option<Vec<bool>>)> =
-            queries.iter().map(|q| self.prepare_query(q)).collect();
-        let mut tasks = Vec::with_capacity(queries.len() * self.segments.len());
-        for qi in 0..queries.len() {
-            for seg in 0..self.segments.len() {
-                tasks.push((qi as u32, seg as u32));
+        let prepared: Vec<PreparedQuery> = queries.iter().map(|q| self.prepare_query(q)).collect();
+        match self.cfg.tier {
+            ScoringTier::Exact => {
+                let mut tasks = Vec::with_capacity(queries.len() * self.segments.len());
+                for qi in 0..queries.len() {
+                    for seg in 0..self.segments.len() {
+                        tasks.push((qi as u32, seg as u32));
+                    }
+                }
+                let partials = par_chunk_map(&tasks, |chunk| {
+                    chunk
+                        .iter()
+                        .map(|&(qi, seg)| {
+                            let ctx = prepared[qi as usize].ctx();
+                            (qi, self.scan_segment(&ctx, seg as usize, k, source))
+                        })
+                        .collect()
+                });
+                let mut merged: Vec<TopK> = (0..queries.len()).map(|_| TopK::new(k)).collect();
+                for (qi, partial) in partials {
+                    merged[qi as usize].merge(partial);
+                }
+                merged.into_iter().map(TopK::into_sorted).collect()
+            }
+            ScoringTier::Quantized { rerank_factor } => {
+                // Quantized fans whole *queries*, not (query × segment)
+                // pairs: threading one accumulator through all segments
+                // lets the entry bar tightened by one segment prune the
+                // next, which per-segment tasks would forfeit. Queries
+                // still spread across workers.
+                let r = coarse_r(k, rerank_factor);
+                let qis: Vec<u32> = (0..queries.len() as u32).collect();
+                par_chunk_map(&qis, |chunk| {
+                    chunk
+                        .iter()
+                        .map(|&qi| {
+                            let p = &prepared[qi as usize];
+                            let top = self.coarse_prepared(&p.ctx(), r, source);
+                            self.rerank(&p.nq, &top.into_sorted(), k)
+                        })
+                        .collect()
+                })
             }
         }
-        let partials = par_chunk_map(&tasks, |chunk| {
-            chunk
-                .iter()
-                .map(|&(qi, seg)| {
-                    let (nq, sig) = &prepared[qi as usize];
-                    let ctx = QueryContext { vector: nq, signature: sig.as_deref() };
-                    (qi, self.scan_segment(&ctx, seg as usize, k, source))
-                })
-                .collect()
-        });
-        let mut merged: Vec<TopK> = (0..queries.len()).map(|_| TopK::new(k)).collect();
-        for (qi, partial) in partials {
-            merged[qi as usize].merge(partial);
-        }
-        merged.into_iter().map(TopK::into_sorted).collect()
     }
 
     /// How many candidate rows `source` would score for `q` — the blocking
     /// factor to report against the exhaustive `len()`.
     pub fn candidate_count(&self, q: &[f32], source: &dyn CandidateSource) -> usize {
-        let (nq, sig) = self.prepare_query(q);
-        let ctx = QueryContext { vector: &nq, signature: sig.as_deref() };
+        let prepared = self.prepare_query(q);
+        let ctx = prepared.ctx();
         (0..self.segments.len())
             .map(|seg| match source.candidates(self, seg, &ctx) {
                 Candidates::All => self.segments[seg].rows() - self.segments[seg].n_deleted,
@@ -526,13 +661,14 @@ impl VectorStore {
             .sum()
     }
 
-    /// Normalizes and signs a query once; the result feeds every segment
-    /// probe of this store — and, for [`crate::ShardedStore`], every shard
-    /// (shards share seed and dimension, hence hyperplanes).
-    pub(crate) fn prepare_query(&self, q: &[f32]) -> (Vec<f32>, Option<Vec<bool>>) {
+    /// Normalizes, signs, and packs a query once; the result feeds every
+    /// segment probe of this store — and, for [`crate::ShardedStore`],
+    /// every shard (shards share seed and dimension, hence hyperplanes).
+    pub(crate) fn prepare_query(&self, q: &[f32]) -> PreparedQuery {
         let nq = self.normalize_query(q);
         let sig = self.query_signature(&nq);
-        (nq, sig)
+        let packed = sig.as_deref().map(pack_signature);
+        PreparedQuery { nq, sig, packed }
     }
 
     /// Scores every segment for one prepared query into a single `TopK`.
@@ -566,6 +702,171 @@ impl VectorStore {
     /// query and shared across every segment probe.
     fn query_signature(&self, nq: &[f32]) -> Option<Vec<bool>> {
         self.has_lsh().then(|| signature_of(&self.planes, nq))
+    }
+
+    /// Coarse-ranks every segment for one prepared query into a single
+    /// global top-R under the (Hamming distance, id) total order — the
+    /// quantized tier's first pass. One accumulator is threaded through
+    /// every segment, so the entry bar tightened by segment `i` prunes
+    /// segment `i + 1`'s sweep; the survivor *set* is scan-order
+    /// independent, so results stay a function of the live rows alone,
+    /// never of segment (or shard) layout.
+    pub(crate) fn coarse_prepared(
+        &self,
+        ctx: &QueryContext<'_>,
+        r: usize,
+        source: &dyn CandidateSource,
+    ) -> CoarseTopR {
+        // The store's own query paths always carry the packed signature;
+        // the fallback covers handmade contexts from custom callers.
+        let computed;
+        let qsig: &[u64] = match ctx.packed {
+            Some(p) => p,
+            None => {
+                computed = match ctx.signature {
+                    Some(sig) => pack_signature(sig),
+                    None => pack_signature(&signature_of(&self.planes, ctx.vector)),
+                };
+                &computed
+            }
+        };
+        let mut top = CoarseTopR::with_cap(r, self.coarse_entry_bar(ctx, qsig, r));
+        for seg in 0..self.segments.len() {
+            self.coarse_segment_into(qsig, seg, source, ctx, &mut top);
+        }
+        top
+    }
+
+    /// A proven upper bound on the coarse pass's final entry bar, measured
+    /// before the sweep starts: the `r`-th smallest Hamming distance over
+    /// the query's own LSH band buckets. Those buckets concentrate the
+    /// query's near neighbors, so on clustered corpora this lands within a
+    /// few bits of the final bar — and a sweep that starts there rejects
+    /// nearly every far row on one predictable compare, instead of paying
+    /// thousands of mispredicted near-bar branches while a descending bar
+    /// works its way down through the bulk of the distance distribution.
+    ///
+    /// Correctness does not depend on bucket quality: the bound is the
+    /// r-th smallest of a ≥ r-sized *subset* of live rows, which can never
+    /// undercut the r-th smallest of all live rows (the final bar), so no
+    /// true survivor is ever rejected. Too few bucketed rows — sparse
+    /// buckets, unlucky query — degrade to `u32::MAX`, the open bar.
+    fn coarse_entry_bar(&self, ctx: &QueryContext<'_>, qsig: &[u64], r: usize) -> u32 {
+        let (Some(p), Some(sig)) = (self.cfg.lsh, ctx.signature) else {
+            return u32::MAX;
+        };
+        if r == 0 {
+            return u32::MAX;
+        }
+        let w = self.sig_words;
+        if w > 1023 {
+            return u32::MAX; // distance might not fit the 16-bit packing
+        }
+        // (segment, row, dist) packed into one u64: a row probed through
+        // several bands yields byte-identical entries, so sort + dedup
+        // leaves distinct rows. Deduping is load-bearing — duplicates
+        // inflate the low end of the sample, and an undercut bound would
+        // reject true survivors.
+        let mut seen: Vec<u64> = Vec::with_capacity(4 * r + 64);
+        for band in 0..p.bands {
+            let key = band_key(sig, band, p.rows_per_band);
+            for (si, s) in self.segments.iter().enumerate() {
+                let Some(rows) = self.bucket_rows(si, band, key) else {
+                    continue;
+                };
+                for &row in rows {
+                    let ri = row as usize;
+                    if ri < s.rows() && !s.deleted[ri] {
+                        let d = hamming(qsig, &s.sigs[ri * w..(ri + 1) * w]);
+                        seen.push((si as u64) << 48 | (row as u64) << 16 | d as u64);
+                    }
+                }
+            }
+            // A handful of bands is enough signal; probing all of them
+            // would spend more on bucket lookups than the bound saves.
+            if seen.len() >= 4 * r {
+                break;
+            }
+        }
+        seen.sort_unstable();
+        seen.dedup();
+        if seen.len() < r {
+            return u32::MAX;
+        }
+        let mut dists: Vec<u32> = seen.iter().map(|&e| (e & 0xFFFF) as u32).collect();
+        let (_, bar, _) = dists.select_nth_unstable(r - 1);
+        *bar
+    }
+
+    /// Re-scores a coarse selection with the f32 dot kernel into the final
+    /// top-k — the quantized tier's second pass. Every selected id is live
+    /// (the coarse scan skips tombstones), so `get` always hits.
+    pub(crate) fn rerank(&self, nq: &[f32], coarse: &[CoarseHit], k: usize) -> Vec<Hit> {
+        let mut topk = TopK::new(k);
+        for ch in coarse {
+            if let Some(v) = self.get(ch.id) {
+                topk.push(ch.id, dot(nq, v));
+            }
+        }
+        topk.into_sorted()
+    }
+
+    /// Hamming-ranks one segment's candidates for one prepared query into
+    /// the caller's accumulator, inheriting (and tightening) its entry bar.
+    fn coarse_segment_into(
+        &self,
+        qsig: &[u64],
+        seg: usize,
+        source: &dyn CandidateSource,
+        ctx: &QueryContext<'_>,
+        top: &mut CoarseTopR,
+    ) {
+        let s = &self.segments[seg];
+        let w = self.sig_words;
+        match source.candidates(self, seg, ctx) {
+            Candidates::All => {
+                // Monomorphize the full sweep on the signature width so the
+                // inner loop is straight-line XOR+POPCNT with the query
+                // words pinned in registers — the width is a store constant,
+                // so deciding it per row would waste most of the scan.
+                match w {
+                    1 => coarse_scan_all::<1>(qsig, s, top),
+                    2 => coarse_scan_all::<2>(qsig, s, top),
+                    3 => coarse_scan_all::<3>(qsig, s, top),
+                    4 => coarse_scan_all::<4>(qsig, s, top),
+                    _ => {
+                        let mut worst = top.worst_dist();
+                        for ((sig, &id), &dead) in
+                            s.sigs.chunks_exact(w).zip(&s.ids).zip(&s.deleted)
+                        {
+                            let dist = hamming(qsig, sig);
+                            if dist > worst || dead {
+                                continue;
+                            }
+                            top.push(id, dist);
+                            worst = top.worst_dist();
+                        }
+                    }
+                }
+            }
+            Candidates::Subset(rows) => {
+                // `worst` caches the accumulator's entry bar so far rows
+                // are rejected on one compare; ties (`dist == worst`) still
+                // route through `push`, which owns the (dist, id) order.
+                let mut worst = top.worst_dist();
+                for &row in &rows {
+                    let row = row as usize;
+                    debug_assert!(row < s.rows(), "candidate row out of range");
+                    if row < s.rows() && !s.deleted[row] {
+                        let dist = hamming(qsig, &s.sigs[row * w..(row + 1) * w]);
+                        if dist <= worst {
+                            top.push(s.ids[row], dist);
+                            worst = top.worst_dist();
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Scores one segment's candidates for one prepared query.
@@ -640,6 +941,24 @@ impl VectorStore {
         entries
     }
 
+    /// Live rows' packed signatures in the same order as
+    /// [`live_entries`](Self::live_entries); empty when LSH is off.
+    pub(crate) fn live_packed_sigs(&self) -> Vec<Vec<u64>> {
+        if !self.has_lsh() {
+            return Vec::new();
+        }
+        let w = self.sig_words;
+        let mut sigs = Vec::with_capacity(self.locs.len());
+        for s in &self.segments {
+            for row in 0..s.rows() {
+                if !s.deleted[row] {
+                    sigs.push(s.sigs[row * w..(row + 1) * w].to_vec());
+                }
+            }
+        }
+        sigs
+    }
+
     fn rebuild(&mut self, entries: Vec<(u64, Vec<f32>)>) {
         self.segments.clear();
         self.locs.clear();
@@ -659,8 +978,13 @@ impl VectorStore {
             seed: self.cfg.seed,
             seal_threshold: self.cfg.seal_threshold,
             lsh: self.cfg.lsh,
+            rerank: match self.cfg.tier {
+                ScoringTier::Exact => 0,
+                ScoringTier::Quantized { rerank_factor } => rerank_factor as u64,
+            },
             next_id: self.next_id,
             entries: self.live_entries(),
+            sigs: self.live_packed_sigs(),
         }
     }
 
@@ -676,11 +1000,27 @@ impl VectorStore {
             seal_threshold: snap.seal_threshold,
             lsh: snap.lsh,
             seed: snap.seed,
+            tier: match snap.rerank {
+                0 => ScoringTier::Exact,
+                n => ScoringTier::Quantized { rerank_factor: n as usize },
+            },
             policy: CompactionPolicy::default(),
         };
         let mut store = Self::new(snap.dim, cfg);
-        for (id, v) in &snap.entries {
-            store.insert_normalized(*id, v);
+        if store.has_lsh() && snap.sigs.len() == snap.entries.len() {
+            // The snapshot carries the packed signatures: unpack and reuse
+            // them instead of redoing every hyperplane dot product.
+            let bits = snap.lsh.map_or(0, |p| p.bands * p.rows_per_band);
+            for ((id, v), sig) in snap.entries.iter().zip(&snap.sigs) {
+                store.insert_prepared(*id, v, Some(unpack_signature(sig, bits)));
+            }
+        } else {
+            // Legacy (v1) snapshots carry no signatures: rebuild them from
+            // the persisted seed and planes — deterministic, so a store
+            // loaded this way replays queries bit-identically.
+            for (id, v) in &snap.entries {
+                store.insert_normalized(*id, v);
+            }
         }
         store.next_id = store.next_id.max(snap.next_id);
         Ok(store)
@@ -711,6 +1051,29 @@ impl VectorStore {
     }
 }
 
+/// One segment's full coarse sweep at a compile-time signature width: the
+/// query words live in registers, the per-row work is `W` XOR+POPCNT pairs
+/// plus one compare against the accumulator's cached entry bar. Ties
+/// (`dist == worst`) still route through [`CoarseTopR::push`], which owns
+/// the (distance, id) total order.
+#[inline]
+fn coarse_scan_all<const W: usize>(qsig: &[u64], s: &Segment, top: &mut CoarseTopR) {
+    let q: [u64; W] = qsig.try_into().expect("store-wide signature width");
+    let mut worst = top.worst_dist();
+    for ((sig, &id), &dead) in s.sigs.chunks_exact(W).zip(&s.ids).zip(&s.deleted) {
+        let sig: &[u64; W] = sig.try_into().expect("chunks_exact yields W words");
+        let mut dist = 0u32;
+        for i in 0..W {
+            dist += (sig[i] ^ q[i]).count_ones();
+        }
+        if dist > worst || dead {
+            continue;
+        }
+        top.push(id, dist);
+        worst = top.worst_dist();
+    }
+}
+
 impl VectorSink for VectorStore {
     fn dim(&self) -> usize {
         self.dim
@@ -732,6 +1095,10 @@ impl Queryable for VectorStore {
 
     fn has_lsh(&self) -> bool {
         VectorStore::has_lsh(self)
+    }
+
+    fn tier(&self) -> ScoringTier {
+        VectorStore::tier(self)
     }
 
     fn search(&self, q: &[f32], k: usize, source: &dyn CandidateSource) -> Vec<Hit> {
@@ -763,9 +1130,10 @@ mod tests {
     fn small_store(lsh: bool) -> StoreConfig {
         StoreConfig {
             seal_threshold: 16,
-            lsh: lsh.then_some(LshParams { bands: 8, rows_per_band: 2 }),
+            lsh: lsh.then_some(LshParams::default()),
             seed: 42,
             policy: CompactionPolicy::disabled(),
+            ..StoreConfig::default()
         }
     }
 
@@ -926,6 +1294,7 @@ mod tests {
             lsh: None,
             seed: 1,
             policy: CompactionPolicy { max_tombstone_ratio: f32::INFINITY, max_segments: 4 },
+            ..StoreConfig::default()
         };
         let mut store = VectorStore::new(4, cfg);
         for v in &vecs {
@@ -1146,5 +1515,130 @@ mod tests {
     fn dimension_mismatch_panics_with_shapes() {
         let mut store = VectorStore::exact(4);
         store.upsert(0, &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantized tier requires LSH signatures")]
+    fn quantized_without_lsh_panics() {
+        VectorStore::new(
+            4,
+            StoreConfig {
+                tier: ScoringTier::Quantized { rerank_factor: DEFAULT_RERANK_FACTOR },
+                ..StoreConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rerank_factor must be at least 1")]
+    fn quantized_zero_rerank_factor_panics() {
+        VectorStore::new(
+            4,
+            StoreConfig {
+                tier: ScoringTier::Quantized { rerank_factor: 0 },
+                ..StoreConfig::with_lsh(LshParams::default())
+            },
+        );
+    }
+
+    /// Two tight 16-member clusters of 16-dim vectors. Cross-cluster
+    /// similarity is ≈ -1, so every true top-5 lives inside the query's own
+    /// cluster — and with `coarse_r(5, 4) = 20 ≥ 16` the coarse pass always
+    /// retains that entire cluster, whatever the within-cluster Hamming
+    /// ties look like. The re-rank then restores the exact f32 ordering.
+    fn clustered(seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut vecs = Vec::new();
+        for c in 0..2 {
+            let center: Vec<f32> =
+                (0..16).map(|i| if i % 2 == c { 1.0 } else { -1.0f32 }).collect();
+            for _ in 0..16 {
+                vecs.push(
+                    center.iter().map(|x| x + rng.random_range(-0.05f32..0.05)).collect::<Vec<_>>(),
+                );
+            }
+        }
+        vecs
+    }
+
+    #[test]
+    fn quantized_tier_matches_exact_on_tight_clusters() {
+        let vecs = clustered(21);
+        let params = LshParams::default_blocking();
+        let mut exact = VectorStore::new(16, StoreConfig::with_lsh(params));
+        let mut quant = VectorStore::new(16, StoreConfig::quantized(params));
+        assert_eq!(quant.tier(), ScoringTier::Quantized { rerank_factor: DEFAULT_RERANK_FACTOR });
+        for v in &vecs {
+            exact.insert(v);
+            quant.insert(v);
+        }
+        for (i, v) in vecs.iter().enumerate() {
+            let want = exact.search(v, 5, &ExactScan);
+            let got = quant.search(v, 5, &ExactScan);
+            assert_eq!(got, want, "query {i}");
+            for (a, b) in got.iter().zip(&want) {
+                assert_eq!(a.score.to_bits(), b.score.to_bits(), "re-rank must use the f32 kernel");
+            }
+        }
+        // The quantized tier composes with blocking sources too: the coarse
+        // pass ranks whatever rows the source nominates.
+        let via_lsh = quant.search(&vecs[0], 5, &LshCandidates);
+        assert_eq!(via_lsh, exact.search(&vecs[0], 5, &LshCandidates));
+    }
+
+    #[test]
+    fn quantized_tier_survives_mutations_and_compaction() {
+        let vecs = clustered(22);
+        let mut store = VectorStore::new(
+            16,
+            StoreConfig { seal_threshold: 16, ..StoreConfig::quantized(LshParams::default()) },
+        );
+        for v in &vecs {
+            store.insert(v);
+        }
+        for id in [1u64, 7, 19, 28] {
+            store.delete(id);
+        }
+        store.upsert(3, &vecs[30]);
+        let queries: Vec<Vec<f32>> = vecs[..8].to_vec();
+        let before = store.search_batch(&queries, 5, &ExactScan);
+        for (q, want) in queries.iter().zip(&before) {
+            assert_eq!(&store.search(q, 5, &ExactScan), want, "batch vs serial");
+            assert!(want.iter().all(|h| h.id != 1), "tombstoned id in quantized results");
+        }
+        store.compact();
+        assert_eq!(
+            store.search_batch(&queries, 5, &ExactScan),
+            before,
+            "compaction changed quantized results"
+        );
+    }
+
+    #[test]
+    fn quantized_snapshot_roundtrips_byte_identical() {
+        let vecs = clustered(23);
+        let mut store = VectorStore::new(
+            16,
+            StoreConfig { seal_threshold: 16, ..StoreConfig::quantized(LshParams::default()) },
+        );
+        for v in &vecs {
+            store.insert(v);
+        }
+        store.delete(5);
+        let queries: Vec<Vec<f32>> = vecs[8..16].to_vec();
+        let before = store.search_batch(&queries, 6, &ExactScan);
+
+        let path = std::env::temp_dir()
+            .join(format!("tabbin_index_quant_snap_{}.tbix", std::process::id()));
+        store.save(&path).expect("save");
+        let loaded = VectorStore::load(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(loaded.tier(), store.tier(), "tier must persist");
+        let after = loaded.search_batch(&queries, 6, &ExactScan);
+        assert_eq!(after, before);
+        for (a, b) in after.iter().flatten().zip(before.iter().flatten()) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
     }
 }

@@ -53,6 +53,7 @@ proptest! {
             lsh: Some(LshParams { bands: 16, rows_per_band: 3 }),
             seed: seed ^ 0xdead_beef,
             policy: CompactionPolicy::default(),
+            ..StoreConfig::default()
         };
         let mut store = VectorStore::new(DIM, cfg);
         for v in &items {
@@ -87,9 +88,10 @@ proptest! {
         let items = centered_random(N, DIM, seed);
         let cfg = StoreConfig {
             seal_threshold: 16,
-            lsh: Some(LshParams { bands: 8, rows_per_band: 2 }),
+            lsh: Some(LshParams::default()),
             seed,
             policy: CompactionPolicy::default(),
+            ..StoreConfig::default()
         };
         let mut store = VectorStore::new(DIM, cfg);
         for v in &items {
@@ -138,9 +140,10 @@ proptest! {
         let items = centered_random(N, DIM, seed);
         let cfg = StoreConfig {
             seal_threshold: 16,
-            lsh: use_lsh.then_some(LshParams { bands: 8, rows_per_band: 2 }),
+            lsh: use_lsh.then_some(LshParams::default()),
             seed: seed ^ 0x5eed,
             policy: CompactionPolicy::default(),
+            ..StoreConfig::default()
         };
         let mut single = VectorStore::new(DIM, cfg);
         let mut sharded = ShardedStore::new(DIM, n_shards, cfg);
@@ -191,9 +194,10 @@ proptest! {
         let items = centered_random(N, DIM, seed);
         let cfg = StoreConfig {
             seal_threshold: 16,
-            lsh: Some(LshParams { bands: 8, rows_per_band: 2 }),
+            lsh: Some(LshParams::default()),
             seed: seed ^ 0xf11e,
             policy: CompactionPolicy::default(),
+            ..StoreConfig::default()
         };
         let mut store = ShardedStore::new(DIM, n_shards, cfg);
         for v in &items {
@@ -251,9 +255,10 @@ proptest! {
         let items = centered_random(N, DIM, seed);
         let cfg = StoreConfig {
             seal_threshold: 16,
-            lsh: use_lsh.then_some(LshParams { bands: 8, rows_per_band: 2 }),
+            lsh: use_lsh.then_some(LshParams::default()),
             seed: seed ^ 0xe9e,
             policy: CompactionPolicy::default(),
+            ..StoreConfig::default()
         };
         let mut store = VectorStore::new(DIM, cfg);
         let mut shadow = VectorStore::new(DIM, cfg);

@@ -16,11 +16,7 @@ fn random_vecs(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
 
 /// A 3-shard LSH corpus behind an engine, shared by server and reference.
 fn corpus_engine(vecs: &[Vec<f32>]) -> Arc<QueryEngine<ShardedStore>> {
-    let cfg = StoreConfig {
-        lsh: Some(LshParams { bands: 8, rows_per_band: 2 }),
-        seed: 9,
-        ..StoreConfig::default()
-    };
+    let cfg = StoreConfig { lsh: Some(LshParams::default()), seed: 9, ..StoreConfig::default() };
     let mut store = ShardedStore::new(vecs[0].len(), 3, cfg);
     for v in vecs {
         store.insert(v);

@@ -13,7 +13,7 @@ use tabbin_core::config::ModelConfig;
 use tabbin_core::pretrain::PretrainOptions;
 use tabbin_core::variants::TabBiNFamily;
 use tabbin_corpus::{generate, Dataset, GenOptions};
-use tabbin_index::{EngineConfig, QueryEngine, ShardedStore};
+use tabbin_index::{EngineConfig, LshParams, QueryEngine, ShardedStore, StoreConfig};
 
 fn main() {
     let corpus = generate(Dataset::CancerKg, &GenOptions { n_tables: Some(40), seed: 11 });
@@ -26,8 +26,15 @@ fn main() {
     // Batched pipeline straight into the sharded store: all 40 tables in
     // one pass per segment model, composites normalized, hash-routed across
     // shards, and indexed as they arrive. The composite dimension is
-    // 4 * hidden (data ⊕ HMD ⊕ VMD ⊕ caption).
-    let mut store = ShardedStore::exact(4 * family.cfg.hidden, 4);
+    // 4 * hidden (data ⊕ HMD ⊕ VMD ⊕ caption). The quantized scoring tier
+    // keeps packed sign-bit signatures next to the vectors: queries run a
+    // popcount-Hamming coarse pass first and re-rank only the survivors
+    // with f32 dots.
+    let mut store = ShardedStore::new(
+        4 * family.cfg.hidden,
+        4,
+        StoreConfig::quantized(LshParams::default_blocking()),
+    );
     let ids = BatchEncoder::new(&family).embed_into(&mut store, &tables);
     let per_shard: Vec<usize> = store.stats().shards.iter().map(|s| s.live).collect();
     println!(
@@ -42,6 +49,13 @@ fn main() {
     // the candidate source (exact here — 40 tables is far below the Auto
     // cutoff) and caches results keyed on the normalized query vector.
     let engine = QueryEngine::new(store, EngineConfig::default());
+    let plan = engine.plan(6);
+    println!(
+        "scoring tier: {:?} (plan: quantized={}, lsh={})",
+        engine.store().tier(),
+        plan.quantized,
+        plan.lsh
+    );
 
     // Use the first nested-table-carrying table as the query.
     let query = corpus.tables.iter().position(|t| t.table.has_nesting()).unwrap_or(0);

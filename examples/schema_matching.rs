@@ -46,10 +46,12 @@ fn main() {
     // shards maintain banded LSH buckets incrementally as the vectors
     // arrive (hash-routed by id; every shard hashes with the same planes).
     center(&mut embs);
+    // The quantized tier reuses the same hyperplane signatures twice: banded
+    // into LSH buckets for blocking, and packed into sign bits for the
+    // popcount-Hamming coarse pass that precedes the f32 re-rank.
     let cfg = StoreConfig {
-        lsh: Some(LshParams { bands: 8, rows_per_band: 4 }),
         seed: 99,
-        ..StoreConfig::default()
+        ..StoreConfig::quantized(LshParams { bands: 8, rows_per_band: 4 })
     };
     let mut store = ShardedStore::new(embs[0].len(), 4, cfg);
     for v in &embs {
@@ -58,6 +60,11 @@ fn main() {
     // The engine owns query execution; `lsh()` pins the plan to blocked
     // candidate generation, the paper's §4.1 recipe.
     let engine = QueryEngine::new(store, EngineConfig::lsh());
+    println!(
+        "scoring tier: {:?} — coarse pass ranks LSH-blocked candidates by packed \
+         sign-bit Hamming, then re-ranks the survivors with f32 dots",
+        engine.store().tier()
+    );
 
     let query = 0;
     let (qt, qc, qsem) = refs[query];
