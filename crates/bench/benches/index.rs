@@ -205,6 +205,14 @@ fn bench_index(c: &mut Criterion) {
         "quantized coarse pass {quant_qps:.1} qps below 2x the LSH path {batched_qps:.1} qps"
     );
     assert!(quant_recall >= 0.99, "quantized recall@10 {quant_recall:.4} below 0.99");
+    // The ISSUE 7 bar: the sharded quantized pass must not fall behind the
+    // sharded LSH path (it regressed when every (query, shard) task paid
+    // its own entry-bar probe; the shard-union bar restores the edge).
+    assert!(
+        quant_sharded_qps >= sharded_qps,
+        "sharded quantized pass {quant_sharded_qps:.1} qps below the sharded LSH path \
+         {sharded_qps:.1} qps — the shard-union entry bar is not paying off"
+    );
 
     // The engine's LRU hit path: a cached engine over the same sharded
     // tier, warmed once, then timed on pure repeats — what a serving

@@ -33,15 +33,15 @@
 //! count in the header; ids re-route on load, so only the merged entry
 //! list is stored.
 
-use crate::candidates::CandidateSource;
+use crate::candidates::{CandidateSource, QueryContext};
 use crate::engine::Queryable;
 use crate::lsh::unpack_signature;
 use crate::parallel::par_chunk_map;
 use crate::simd::{dot, rank_cmp, CoarseHit, CoarseTopR, Hit, TopK};
 use crate::snapshot::{self, StoreSnapshot, MAX_SNAPSHOT_SHARDS, SNAPSHOT_VERSION};
 use crate::store::{
-    coarse_r, CompactionPolicy, PreparedQuery, ScoringTier, StoreConfig, StoreStats, VectorSink,
-    VectorStore,
+    bar_from_samples, coarse_r, CompactionPolicy, PreparedQuery, ScoringTier, StoreConfig,
+    StoreStats, VectorSink, VectorStore,
 };
 use serde::{Deserialize, Serialize};
 use std::io;
@@ -239,13 +239,49 @@ impl ShardedStore {
             }
             ScoringTier::Quantized { rerank_factor } => {
                 let r = coarse_r(k, rerank_factor);
-                let mut top = CoarseTopR::new(r);
+                let qsig = self.shards[0].packed_query_sig(&ctx);
+                // One union entry bar and one accumulator threaded across
+                // every shard: the bar tightened by shard `i` prunes shard
+                // `i + 1`'s sweep, exactly as the single-store path carries
+                // it across segments.
+                let mut top = CoarseTopR::with_cap(r, self.union_entry_bar(&ctx, &qsig, r));
                 for s in &self.shards {
-                    top.merge(s.coarse_prepared(&ctx, r, source));
+                    s.coarse_sweep_into(&qsig, &ctx, source, &mut top);
                 }
                 self.rerank(&prepared.nq, &top.into_sorted(), k)
             }
         }
+    }
+
+    /// The coarse pass's pre-sweep entry bar, pooled across shards: the
+    /// `r`-th smallest Hamming distance over the query's own LSH band
+    /// buckets of *every* shard. Sharding splits each bucket's rows ~N
+    /// ways, so a per-shard probe must walk ~N× the bands for the same
+    /// sample size — the pooled probe restores the single-store sampling
+    /// cost (band-major, shared budget) and yields one bar valid for every
+    /// shard's sweep: it is the `r`-th smallest of a subset of all live
+    /// rows, which can never undercut the global final bar, so no true
+    /// survivor is rejected (the invariant `tests/prop_quantized.rs` pins).
+    fn union_entry_bar(&self, ctx: &QueryContext<'_>, qsig: &[u64], r: usize) -> u32 {
+        if r == 0 || !self.shards[0].bar_probe_ready(ctx) {
+            return u32::MAX;
+        }
+        let mut seen: Vec<Vec<u64>> =
+            self.shards.iter().map(|_| Vec::with_capacity(r + 16)).collect();
+        let mut total = 0usize;
+        for band in 0..self.shards[0].lsh_bands() {
+            for (si, s) in self.shards.iter().enumerate() {
+                let before = seen[si].len();
+                s.bar_band_samples(ctx, qsig, band, &mut seen[si]);
+                total += seen[si].len() - before;
+            }
+            // Same stopping rule as the single-store probe, applied to the
+            // pooled sample — not per shard.
+            if total >= 4 * r {
+                break;
+            }
+        }
+        bar_from_samples(seen.iter_mut(), r)
     }
 
     /// The quantized tier's second pass over a globally-merged coarse
@@ -306,17 +342,47 @@ impl ShardedStore {
             }
             ScoringTier::Quantized { rerank_factor } => {
                 let r = coarse_r(k, rerank_factor);
+                // Round one: one shard-union entry bar per query (see
+                // `union_entry_bar`), fanned across workers by query. Bars
+                // must exist before any sweep — each (query × shard) task
+                // starts capped, instead of recomputing a per-shard bar
+                // from buckets sharding made ~N× sparser (that recompute
+                // is what sank sharded quantized below sharded LSH).
+                let qis: Vec<u32> = (0..queries.len() as u32).collect();
+                let bar_pairs = par_chunk_map(&qis, |chunk| {
+                    chunk
+                        .iter()
+                        .map(|&qi| {
+                            let ctx = prepared[qi as usize].ctx();
+                            let qsig = self.shards[0].packed_query_sig(&ctx);
+                            (qi, self.union_entry_bar(&ctx, &qsig, r))
+                        })
+                        .collect()
+                });
+                let mut bars = vec![u32::MAX; queries.len()];
+                for (qi, bar) in bar_pairs {
+                    bars[qi as usize] = bar;
+                }
+                // Round two: capped per-shard sweeps, shard-major like the
+                // exact path, merged into per-query heaps. The merged
+                // survivor set equals the bar-carried serial sweep's — the
+                // (dist, id) total order is layout-independent and the cap
+                // never undercuts the global final bar.
                 let partials = par_chunk_map(&tasks, |chunk| {
                     chunk
                         .iter()
                         .map(|&(qi, shard)| {
                             let ctx = prepared[qi as usize].ctx();
-                            (qi, self.shards[shard as usize].coarse_prepared(&ctx, r, source))
+                            let qsig = self.shards[0].packed_query_sig(&ctx);
+                            let mut top = CoarseTopR::with_cap(r, bars[qi as usize]);
+                            self.shards[shard as usize]
+                                .coarse_sweep_into(&qsig, &ctx, source, &mut top);
+                            (qi, top)
                         })
                         .collect()
                 });
                 let mut merged: Vec<CoarseTopR> =
-                    (0..queries.len()).map(|_| CoarseTopR::new(r)).collect();
+                    bars.iter().map(|&bar| CoarseTopR::with_cap(r, bar)).collect();
                 for (qi, partial) in partials {
                     merged[qi as usize].merge(partial);
                 }

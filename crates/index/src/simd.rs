@@ -315,6 +315,10 @@ pub(crate) struct CoarseTopR {
 }
 
 impl CoarseTopR {
+    /// An accumulator with an open entry bar — every production sweep now
+    /// starts capped ([`with_cap`](Self::with_cap)); this is the
+    /// reference behavior the cap must never diverge from.
+    #[cfg(test)]
     pub(crate) fn new(r: usize) -> Self {
         Self::with_cap(r, u32::MAX)
     }

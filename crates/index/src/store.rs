@@ -54,6 +54,7 @@ use crate::segment::Segment;
 use crate::simd::{dot, hamming, CoarseHit, CoarseTopR, Hit, TopK};
 use crate::snapshot::{self, StoreSnapshot, SNAPSHOT_VERSION};
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::io;
 use std::path::Path;
@@ -129,6 +130,33 @@ pub enum ScoringTier {
 /// The coarse pass's keep count: `rerank_factor × k`, saturating.
 pub(crate) fn coarse_r(k: usize, rerank_factor: usize) -> usize {
     k.saturating_mul(rerank_factor.max(1))
+}
+
+/// The `r`-th smallest sampled Hamming distance across one or more
+/// per-store sample sets from
+/// [`VectorStore::bar_band_samples`] — `u32::MAX` (the open bar) when the
+/// pooled sample is thinner than `r`. Each set is sorted and deduped
+/// *independently*: packed `(segment, row, dist)` entries identify a row
+/// only within one store, so cross-store dedup would drop legitimately
+/// distinct rows and undercut the bound, which must never happen —
+/// deduping within a store is equally load-bearing, because a row probed
+/// through several bands would otherwise inflate the low end of the
+/// sample.
+pub(crate) fn bar_from_samples<'a, I>(sample_sets: I, r: usize) -> u32
+where
+    I: Iterator<Item = &'a mut Vec<u64>>,
+{
+    let mut dists: Vec<u32> = Vec::new();
+    for seen in sample_sets {
+        seen.sort_unstable();
+        seen.dedup();
+        dists.extend(seen.iter().map(|&e| (e & 0xFFFF) as u32));
+    }
+    if dists.len() < r || r == 0 {
+        return u32::MAX;
+    }
+    let (_, bar, _) = dists.select_nth_unstable(r - 1);
+    *bar
 }
 
 /// Everything a store computes once per query: the normalized vector, the
@@ -717,24 +745,39 @@ impl VectorStore {
         r: usize,
         source: &dyn CandidateSource,
     ) -> CoarseTopR {
-        // The store's own query paths always carry the packed signature;
-        // the fallback covers handmade contexts from custom callers.
-        let computed;
-        let qsig: &[u64] = match ctx.packed {
-            Some(p) => p,
-            None => {
-                computed = match ctx.signature {
-                    Some(sig) => pack_signature(sig),
-                    None => pack_signature(&signature_of(&self.planes, ctx.vector)),
-                };
-                &computed
-            }
-        };
-        let mut top = CoarseTopR::with_cap(r, self.coarse_entry_bar(ctx, qsig, r));
-        for seg in 0..self.segments.len() {
-            self.coarse_segment_into(qsig, seg, source, ctx, &mut top);
-        }
+        let qsig = self.packed_query_sig(ctx);
+        let mut top = CoarseTopR::with_cap(r, self.coarse_entry_bar(ctx, &qsig, r));
+        self.coarse_sweep_into(&qsig, ctx, source, &mut top);
         top
+    }
+
+    /// The query's packed signature for the coarse pass. The store's own
+    /// query paths always carry it in the context; the fallback covers
+    /// handmade contexts from custom callers.
+    pub(crate) fn packed_query_sig<'a>(&self, ctx: &QueryContext<'a>) -> Cow<'a, [u64]> {
+        match ctx.packed {
+            Some(p) => Cow::Borrowed(p),
+            None => Cow::Owned(match ctx.signature {
+                Some(sig) => pack_signature(sig),
+                None => pack_signature(&signature_of(&self.planes, ctx.vector)),
+            }),
+        }
+    }
+
+    /// Hamming-ranks every segment of this store into the caller's
+    /// accumulator — the coarse sweep without the entry-bar setup, so
+    /// [`crate::ShardedStore`] can thread one capped accumulator (or one
+    /// shared bar) across many stores.
+    pub(crate) fn coarse_sweep_into(
+        &self,
+        qsig: &[u64],
+        ctx: &QueryContext<'_>,
+        source: &dyn CandidateSource,
+        top: &mut CoarseTopR,
+    ) {
+        for seg in 0..self.segments.len() {
+            self.coarse_segment_into(qsig, seg, source, ctx, top);
+        }
     }
 
     /// A proven upper bound on the coarse pass's final entry bar, measured
@@ -752,50 +795,65 @@ impl VectorStore {
     /// true survivor is ever rejected. Too few bucketed rows — sparse
     /// buckets, unlucky query — degrade to `u32::MAX`, the open bar.
     fn coarse_entry_bar(&self, ctx: &QueryContext<'_>, qsig: &[u64], r: usize) -> u32 {
-        let (Some(p), Some(sig)) = (self.cfg.lsh, ctx.signature) else {
-            return u32::MAX;
-        };
-        if r == 0 {
+        if r == 0 || !self.bar_probe_ready(ctx) {
             return u32::MAX;
         }
-        let w = self.sig_words;
-        if w > 1023 {
-            return u32::MAX; // distance might not fit the 16-bit packing
-        }
-        // (segment, row, dist) packed into one u64: a row probed through
-        // several bands yields byte-identical entries, so sort + dedup
-        // leaves distinct rows. Deduping is load-bearing — duplicates
-        // inflate the low end of the sample, and an undercut bound would
-        // reject true survivors.
         let mut seen: Vec<u64> = Vec::with_capacity(4 * r + 64);
-        for band in 0..p.bands {
-            let key = band_key(sig, band, p.rows_per_band);
-            for (si, s) in self.segments.iter().enumerate() {
-                let Some(rows) = self.bucket_rows(si, band, key) else {
-                    continue;
-                };
-                for &row in rows {
-                    let ri = row as usize;
-                    if ri < s.rows() && !s.deleted[ri] {
-                        let d = hamming(qsig, &s.sigs[ri * w..(ri + 1) * w]);
-                        seen.push((si as u64) << 48 | (row as u64) << 16 | d as u64);
-                    }
-                }
-            }
+        for band in 0..self.lsh_bands() {
+            self.bar_band_samples(ctx, qsig, band, &mut seen);
             // A handful of bands is enough signal; probing all of them
             // would spend more on bucket lookups than the bound saves.
             if seen.len() >= 4 * r {
                 break;
             }
         }
-        seen.sort_unstable();
-        seen.dedup();
-        if seen.len() < r {
-            return u32::MAX;
+        bar_from_samples(std::iter::once(&mut seen), r)
+    }
+
+    /// Whether entry-bar sampling is sound for this query: LSH configured,
+    /// a query signature present, and Hamming distances that fit the
+    /// sample packing's 16-bit distance field.
+    pub(crate) fn bar_probe_ready(&self, ctx: &QueryContext<'_>) -> bool {
+        self.cfg.lsh.is_some() && ctx.signature.is_some() && self.sig_words <= 1023
+    }
+
+    /// Band count of the configured LSH geometry (0 without LSH).
+    pub(crate) fn lsh_bands(&self) -> usize {
+        self.cfg.lsh.map_or(0, |p| p.bands)
+    }
+
+    /// One band's worth of entry-bar samples from this store's buckets,
+    /// appended to `seen` as packed `(segment, row, dist)` entries — the
+    /// sampling step of [`coarse_entry_bar`](Self::coarse_entry_bar),
+    /// exposed so [`crate::ShardedStore`] can pool one band across every
+    /// shard before deciding it has enough signal. A row probed through
+    /// several bands yields byte-identical entries, so per-store sort +
+    /// dedup leaves distinct rows. Requires
+    /// [`bar_probe_ready`](Self::bar_probe_ready).
+    pub(crate) fn bar_band_samples(
+        &self,
+        ctx: &QueryContext<'_>,
+        qsig: &[u64],
+        band: usize,
+        seen: &mut Vec<u64>,
+    ) {
+        let (Some(p), Some(sig)) = (self.cfg.lsh, ctx.signature) else {
+            return;
+        };
+        let w = self.sig_words;
+        let key = band_key(sig, band, p.rows_per_band);
+        for (si, s) in self.segments.iter().enumerate() {
+            let Some(rows) = self.bucket_rows(si, band, key) else {
+                continue;
+            };
+            for &row in rows {
+                let ri = row as usize;
+                if ri < s.rows() && !s.deleted[ri] {
+                    let d = hamming(qsig, &s.sigs[ri * w..(ri + 1) * w]);
+                    seen.push((si as u64) << 48 | (row as u64) << 16 | d as u64);
+                }
+            }
         }
-        let mut dists: Vec<u32> = seen.iter().map(|&e| (e & 0xFFFF) as u32).collect();
-        let (_, bar, _) = dists.select_nth_unstable(r - 1);
-        *bar
     }
 
     /// Re-scores a coarse selection with the f32 dot kernel into the final

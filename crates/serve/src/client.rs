@@ -1,9 +1,14 @@
-//! A blocking client for the serving tier's wire protocol.
+//! Clients for the serving tier's tagged wire protocol: a one-outstanding
+//! blocking [`Client`], a windowed [`PipelinedClient`], and the
+//! [`ReplyDemux`] both share to match chunked, possibly out-of-order
+//! replies back to their requests by tag.
 
 use crate::wire::{
     decode_response, encode_request, read_frame, write_frame, Request, Response, StatsReply,
+    CONNECTION_TAG,
 };
-use std::io::{self, BufReader, BufWriter};
+use std::collections::{HashMap, HashSet};
+use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use tabbin_index::Hit;
 
@@ -13,15 +18,65 @@ use tabbin_index::Hit;
 pub enum QueryOutcome {
     /// Ranked hits, best first — bit-identical to the in-process engine.
     Hits(Vec<Hit>),
-    /// The admission queue was full; retry later (or back off).
-    Overloaded,
+    /// The admission queue was full; the request was shed, not run.
+    Overloaded {
+        /// The server's backoff hint, derived from its queue depth when
+        /// the request was shed.
+        retry_after_millis: u32,
+    },
+}
+
+/// Reassembles the reply stream of a multiplexed connection: feed every
+/// reply payload in arrival order; chunked `Hits` accumulate per tag
+/// until their `last` chunk, other responses complete immediately.
+/// Frames of different tags may interleave arbitrarily — per-tag results
+/// are a function of each tag's own frames alone, which is what makes
+/// out-of-order pipelined replies safe (pinned in `tests/prop_wire.rs`).
+#[derive(Default)]
+pub struct ReplyDemux {
+    partial: HashMap<u64, Vec<Hit>>,
+}
+
+impl ReplyDemux {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tags with buffered chunks still awaiting their `last` frame.
+    pub fn pending(&self) -> usize {
+        self.partial.len()
+    }
+
+    /// Absorbs one reply payload. `Some((tag, response))` when a reply
+    /// completed — a `Hits` response carries the full reassembled list.
+    pub fn push(&mut self, payload: &[u8]) -> io::Result<Option<(u64, Response)>> {
+        let (tag, resp) = decode_response(payload)?;
+        match resp {
+            Response::Hits { hits, last } => {
+                let acc = self.partial.entry(tag).or_default();
+                acc.extend(hits);
+                if !last {
+                    return Ok(None);
+                }
+                let full = self.partial.remove(&tag).expect("entry just touched");
+                Ok(Some((tag, Response::Hits { hits: full, last: true })))
+            }
+            // A terminal non-hits reply supersedes any partial chunks.
+            other => {
+                self.partial.remove(&tag);
+                Ok(Some((tag, other)))
+            }
+        }
+    }
 }
 
 /// A blocking connection to a `tabbin-serve` server: one outstanding
-/// request at a time, framed per [`crate::wire`].
+/// request at a time, framed and tagged per [`crate::wire`].
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    next_tag: u64,
+    demux: ReplyDemux,
 }
 
 impl Client {
@@ -29,7 +84,12 @@ impl Client {
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
-        Ok(Client { reader: BufReader::new(stream.try_clone()?), writer: BufWriter::new(stream) })
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+            next_tag: 1,
+            demux: ReplyDemux::new(),
+        })
     }
 
     /// Top-`k` over the wire. Server-side `Error` replies surface as
@@ -37,8 +97,10 @@ impl Client {
     pub fn query(&mut self, vector: &[f32], k: usize) -> io::Result<QueryOutcome> {
         let req = Request::Query { k: k as u32, vector: vector.to_vec() };
         match self.exchange(&req)? {
-            Response::Hits(hits) => Ok(QueryOutcome::Hits(hits)),
-            Response::Overloaded => Ok(QueryOutcome::Overloaded),
+            Response::Hits { hits, .. } => Ok(QueryOutcome::Hits(hits)),
+            Response::Overloaded { retry_after_millis } => {
+                Ok(QueryOutcome::Overloaded { retry_after_millis })
+            }
             Response::Error(msg) => Err(io::Error::new(io::ErrorKind::InvalidInput, msg)),
             Response::Stats(_) => Err(protocol("stats reply to a query request")),
         }
@@ -49,13 +111,160 @@ impl Client {
         match self.exchange(&Request::Stats)? {
             Response::Stats(stats) => Ok(*stats),
             Response::Error(msg) => Err(io::Error::new(io::ErrorKind::InvalidInput, msg)),
-            _ => Err(protocol("non-stats reply to a stats request")),
+            Response::Overloaded { .. } => Err(protocol("server refused the connection")),
+            Response::Hits { .. } => Err(protocol("hits reply to a stats request")),
         }
     }
 
     fn exchange(&mut self, req: &Request) -> io::Result<Response> {
-        write_frame(&mut self.writer, &encode_request(req))?;
-        decode_response(&read_frame(&mut self.reader)?)
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        write_frame(&mut self.writer, &encode_request(tag, req))?;
+        loop {
+            let payload = read_frame(&mut self.reader)?;
+            let Some((got, resp)) = self.demux.push(&payload)? else { continue };
+            if got == tag {
+                return Ok(resp);
+            }
+            if got == CONNECTION_TAG {
+                // Connection-level messages answer no request: the
+                // over-cap greeting surfaces as the outcome, a fatal
+                // framing error as an IO error (the server is hanging up).
+                return match resp {
+                    Response::Overloaded { .. } => Ok(resp),
+                    Response::Error(msg) => Err(io::Error::new(io::ErrorKind::InvalidData, msg)),
+                    _ => Err(protocol("unexpected connection-level reply")),
+                };
+            }
+            return Err(protocol("reply for a tag this client never sent"));
+        }
+    }
+}
+
+/// A pipelined connection: keeps up to `window` tagged requests in
+/// flight and matches replies by tag, so one socket overlaps many
+/// round-trips. Results come back via [`wait`](Self::wait) (any order)
+/// or [`query_all`](Self::query_all) (submission order) — arrival order
+/// on the wire is up to the server and does not matter.
+pub struct PipelinedClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    window: usize,
+    next_tag: u64,
+    outstanding: HashSet<u64>,
+    /// Completed outcomes not yet claimed by `wait`; errors keep the
+    /// server's message.
+    done: HashMap<u64, Result<QueryOutcome, String>>,
+    demux: ReplyDemux,
+}
+
+impl PipelinedClient {
+    /// Connects with a window of at most `window` outstanding requests.
+    pub fn connect<A: ToSocketAddrs>(addr: A, window: usize) -> io::Result<PipelinedClient> {
+        assert!(window > 0, "a zero window could never submit");
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(PipelinedClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+            window,
+            next_tag: 1,
+            outstanding: HashSet::new(),
+            done: HashMap::new(),
+            demux: ReplyDemux::new(),
+        })
+    }
+
+    /// The configured window.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Requests submitted and not yet completed.
+    pub fn in_flight(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Submits one query and returns its tag without waiting for the
+    /// reply. Blocks only while the window is full, receiving replies
+    /// until a slot frees. Writes are buffered; they flush before any
+    /// receive, so submission bursts batch into few syscalls.
+    pub fn submit(&mut self, vector: &[f32], k: usize) -> io::Result<u64> {
+        while self.outstanding.len() >= self.window {
+            self.recv_one()?;
+        }
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        let req = Request::Query { k: k as u32, vector: vector.to_vec() };
+        let payload = encode_request(tag, &req);
+        self.writer.write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.writer.write_all(&payload)?;
+        self.outstanding.insert(tag);
+        Ok(tag)
+    }
+
+    /// Blocks until `tag`'s reply arrives (absorbing other tags' replies
+    /// along the way) and returns its outcome. Server-side `Error`
+    /// replies surface as `InvalidInput` IO errors.
+    pub fn wait(&mut self, tag: u64) -> io::Result<QueryOutcome> {
+        loop {
+            if let Some(result) = self.done.remove(&tag) {
+                return result.map_err(|msg| io::Error::new(io::ErrorKind::InvalidInput, msg));
+            }
+            if !self.outstanding.contains(&tag) {
+                return Err(protocol("waiting on a tag this client never submitted"));
+            }
+            self.recv_one()?;
+        }
+    }
+
+    /// Receives until nothing is outstanding; completed outcomes stay
+    /// buffered for [`wait`](Self::wait).
+    pub fn drain(&mut self) -> io::Result<()> {
+        while !self.outstanding.is_empty() {
+            self.recv_one()?;
+        }
+        Ok(())
+    }
+
+    /// Pipelines every query through the window and returns outcomes in
+    /// submission order, regardless of the order replies arrived in.
+    pub fn query_all(&mut self, queries: &[Vec<f32>], k: usize) -> io::Result<Vec<QueryOutcome>> {
+        let tags: Vec<u64> =
+            queries.iter().map(|q| self.submit(q, k)).collect::<io::Result<_>>()?;
+        tags.into_iter().map(|t| self.wait(t)).collect()
+    }
+
+    /// Receives exactly one frame and files whatever it completes.
+    fn recv_one(&mut self) -> io::Result<()> {
+        // Everything submitted must be on the wire before blocking on a
+        // reply, or client and server would deadlock waiting on each other.
+        self.writer.flush()?;
+        let payload = read_frame(&mut self.reader)?;
+        let Some((tag, resp)) = self.demux.push(&payload)? else { return Ok(()) };
+        if tag == CONNECTION_TAG {
+            return match resp {
+                Response::Overloaded { .. } => Err(io::Error::new(
+                    io::ErrorKind::ConnectionRefused,
+                    "server over connection capacity",
+                )),
+                Response::Error(msg) => Err(io::Error::new(io::ErrorKind::InvalidData, msg)),
+                _ => Err(protocol("unexpected connection-level reply")),
+            };
+        }
+        if !self.outstanding.remove(&tag) {
+            return Err(protocol("reply for a tag this client never sent"));
+        }
+        let outcome = match resp {
+            Response::Hits { hits, .. } => Ok(QueryOutcome::Hits(hits)),
+            Response::Overloaded { retry_after_millis } => {
+                Ok(QueryOutcome::Overloaded { retry_after_millis })
+            }
+            Response::Error(msg) => Err(msg),
+            Response::Stats(_) => Err("stats reply to a query request".to_string()),
+        };
+        self.done.insert(tag, outcome);
+        Ok(())
     }
 }
 

@@ -2,33 +2,47 @@
 //!
 //! `tabbin-index` ends at an in-process [`QueryEngine`]; this crate puts a
 //! network front on it so the sharded retrieval tier serves sustained
-//! traffic instead of in-process callers — the ROADMAP's query-server
-//! milestone. Three layers:
+//! concurrent traffic instead of in-process callers — the ROADMAP's
+//! query-server and async-serving milestones. Five layers:
 //!
-//! * [`wire`] — the length-prefixed binary protocol: flat little-endian
-//!   query/hits frames, JSON-bodied stats, and allocation-safe decoding
-//!   (hostile length prefixes are rejected before any buffer is sized).
-//! * [`Server`] ([`server`]) — a `TcpListener` acceptor, per-connection
-//!   decode threads, a **bounded admission queue** that sheds load with an
-//!   explicit [`Response::Overloaded`] reply (it never blocks and never
-//!   hangs the client), and a worker pool whose members submit through the
-//!   engine's [`MicroBatcher`](tabbin_index::MicroBatcher) so concurrent
-//!   connections coalesce into batched storage scans.
-//! * [`Client`] ([`client`]) — a blocking connection that surfaces shed
-//!   load as [`QueryOutcome::Overloaded`] and ships the server's
-//!   [`StatsReply`] health snapshot.
+//! * [`wire`] — protocol v2: length-prefixed frames, each payload opening
+//!   with a client-chosen **u64 tag** so many requests ride one
+//!   connection and replies return out of order; large results stream as
+//!   chunked `Hits` frames; decoding is allocation-safe against hostile
+//!   length prefixes.
+//! * [`conn`] — the per-connection nonblocking state machine: partial
+//!   frame reassembly, a bounded write queue with partial-write resume,
+//!   and in-flight tag tracking.
+//! * [`reactor`] — the readiness-driven event loop (a vendored
+//!   epoll-backed poller, no async runtime): a few I/O threads own every
+//!   socket and apply **backpressure** by pausing reads on connections
+//!   whose reply queues back up.
+//! * [`Server`] ([`server`]) — the event-loop front over a worker pool: a
+//!   **bounded admission queue** sheds load with an explicit
+//!   [`Response::Overloaded`] reply carrying a retry-after hint, and
+//!   workers submit through the engine's
+//!   [`MicroBatcher`](tabbin_index::MicroBatcher) so concurrent requests
+//!   — across connections or pipelined on one — coalesce into batched
+//!   storage scans.
+//! * [`Client`] / [`PipelinedClient`] ([`client`]) — a blocking
+//!   one-outstanding connection, and a windowed pipelined one that keeps
+//!   many tagged requests in flight and matches replies by tag via
+//!   [`ReplyDemux`].
 //!
 //! Wire results are **bit-identical** to in-process engine calls (pinned
-//! end to end in `tests/loopback.rs`): frames carry exact `f32` bit
-//! patterns and the server never reorders within a connection.
+//! end to end in `tests/loopback.rs` and `tests/prop_wire.rs`): frames
+//! carry exact `f32` bit patterns, and reply routing is by tag, never by
+//! position, so out-of-order completion cannot mix up results.
 
 pub mod client;
+pub mod conn;
+pub mod reactor;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, QueryOutcome};
-pub use server::{ServeConfig, Server, MAX_REPLY_HITS};
-pub use wire::{Request, Response, StatsReply, MAX_FRAME_LEN};
+pub use client::{Client, PipelinedClient, QueryOutcome, ReplyDemux};
+pub use server::{ServeConfig, Server};
+pub use wire::{Request, Response, StatsReply, CONNECTION_TAG, MAX_CHUNK_HITS, MAX_FRAME_LEN};
 
 // Re-exported so downstream callers can build an engine without also
 // depending on tabbin-index directly.

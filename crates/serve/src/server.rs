@@ -1,40 +1,50 @@
-//! The serving loop: a TCP front on the query engine.
+//! The serving loop: an event-loop TCP front on the query engine.
 //!
-//! Architecture (no async runtime — blocking IO and a worker pool, which
-//! the vendored dependency set supports and a top-k workload saturates):
+//! Architecture (no async runtime — a vendored epoll reactor and a worker
+//! pool; see [`crate::reactor`]):
 //!
 //! ```text
-//! acceptor thread ──► connection thread (per client)
-//!                        │  read frame → decode → validate
+//! acceptor thread ──► I/O threads (each: epoll + nonblocking conns)
+//!                        │  reassemble frames → decode → validate tag/dim
 //!                        │  try_send ──► bounded admission queue ──► worker pool
 //!                        │     │ full                                   │
 //!                        │     ▼                                        ▼
-//!                        │  Overloaded reply               MicroBatcher::submit
-//!                        ◄── reply channel ◄──────────────── engine.query_batch
+//!                        │  Overloaded(retry-after) reply    MicroBatcher::submit
+//!                        ◄── completion mailbox ◄──────────── engine.query_batch
 //! ```
 //!
-//! * **Admission control** — the queue between connections and workers is
-//!   a bounded `sync_channel`. `try_send` never blocks: past capacity the
+//! * **Multiplexing** — protocol v2 tags every request, so one connection
+//!   may hold many requests in flight and replies return as workers
+//!   finish, out of order. The I/O threads own the sockets; workers never
+//!   block on a peer.
+//! * **Admission control** — the queue between I/O threads and workers is
+//!   a bounded `sync_channel` ([`ServeConfig::queue_capacity`], default
+//!   8× the worker count). `try_send` never blocks: past capacity the
 //!   request is *shed* with an explicit [`Response::Overloaded`] reply
-//!   instead of queuing unboundedly or hanging the client. Depth and shed
-//!   counts are live in the `Stats` reply.
-//! * **Micro-batching** — workers submit their queries through the
-//!   engine's [`MicroBatcher`], so requests arriving concurrently on many
-//!   connections coalesce into one batched storage scan (leader/follower:
-//!   whichever worker gets there first executes for all of them).
+//!   carrying a retry-after hint derived from the queue depth.
+//! * **Backpressure** — each connection's outbound queue is bounded
+//!   ([`ServeConfig::max_conn_queued_bytes`]); past it the reactor stops
+//!   reading that socket until replies drain, so a slow reader throttles
+//!   itself instead of ballooning server memory.
+//! * **Micro-batching** — workers submit through the engine's
+//!   [`MicroBatcher`], so requests in flight concurrently — across
+//!   connections *or* pipelined on one — coalesce into one batched
+//!   storage scan.
 //! * **Stats bypass admission** — a health probe must answer *especially*
 //!   when the queue is full, so `Stats` requests are served inline on the
-//!   connection thread from atomic counters, never queued.
+//!   I/O thread from atomic counters, never queued.
 //!
 //! Results are bit-identical to in-process [`QueryEngine`] calls — the
-//! wire moves exact `f32` bit patterns and the server adds no reordering
-//! (one outstanding request per connection, replies routed per request).
+//! wire moves exact `f32` bit patterns, and reordering is tag-tracked,
+//! never positional.
 
-use crate::wire::MAX_FRAME_LEN;
+use crate::conn::ConnState;
+use crate::reactor::{run_io_loop, Action, Completion, IoHandle};
 use crate::wire::{
-    decode_request, encode_response, read_frame, write_frame, Request, Response, StatsReply,
+    decode_request, encode_hits_payloads, encode_response, payload_tag, Request, Response,
+    StatsReply, CONNECTION_TAG, MAX_FRAME_LEN,
 };
-use std::io::{self, BufReader, BufWriter, Write};
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
@@ -43,30 +53,49 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 use tabbin_index::{MicroBatcher, QueryEngine, ShardedStore};
 
-/// Most hits one `Hits` reply can carry and still fit [`MAX_FRAME_LEN`]
-/// (opcode + count header, 12 bytes per hit). Queries asking for more are
-/// answered with an `Error` up front instead of building a frame the
-/// peer's decoder would reject.
-pub const MAX_REPLY_HITS: usize = (MAX_FRAME_LEN as usize - 5) / 12;
-
 /// Construction-time options for a [`Server`].
 #[derive(Clone, Copy, Debug)]
 pub struct ServeConfig {
     /// Worker threads draining the admission queue.
     pub workers: usize,
+    /// I/O threads owning the client sockets.
+    pub io_threads: usize,
     /// Admission queue capacity; requests past it are shed with
-    /// [`Response::Overloaded`].
+    /// [`Response::Overloaded`]. `0` means auto: 8 × `workers`, enough
+    /// runway for every worker to have a full micro-batch queued behind
+    /// it before shedding starts.
     pub queue_capacity: usize,
     /// Most concurrent connections; further accepts are answered with one
-    /// `Overloaded` frame and closed, so a connection flood cannot spawn
-    /// unbounded handler threads.
+    /// `Overloaded` frame and closed.
     pub max_connections: usize,
+    /// Per-connection outbound queue bound in bytes; past it the reactor
+    /// pauses reads on that connection until replies drain.
+    pub max_conn_queued_bytes: usize,
 }
 
 impl Default for ServeConfig {
-    /// Four workers over a 64-deep admission queue, 256 connections.
+    /// Four workers, two I/O threads, auto queue capacity (32), 1024
+    /// connections, 4 MiB of queued replies per connection.
     fn default() -> Self {
-        Self { workers: 4, queue_capacity: 64, max_connections: 256 }
+        Self {
+            workers: 4,
+            io_threads: 2,
+            queue_capacity: 0,
+            max_connections: 1024,
+            max_conn_queued_bytes: 4 << 20,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The admission queue capacity actually used: `queue_capacity`, or
+    /// 8 × `workers` when it is the auto value `0`.
+    pub fn resolved_queue_capacity(&self) -> usize {
+        if self.queue_capacity == 0 {
+            self.workers * 8
+        } else {
+            self.queue_capacity
+        }
     }
 }
 
@@ -74,17 +103,22 @@ impl Default for ServeConfig {
 struct QueryJob {
     vector: Vec<f32>,
     k: usize,
-    reply: mpsc::Sender<Response>,
+    tag: u64,
+    /// Which I/O thread owns the connection.
+    io: usize,
+    /// Connection key within that I/O thread.
+    conn: usize,
 }
 
-/// State shared by the acceptor, connection threads, and workers.
+/// State shared by the acceptor, I/O threads, and workers.
 struct Shared {
     batcher: MicroBatcher<ShardedStore>,
     cfg: ServeConfig,
     admit: SyncSender<QueryJob>,
+    io: Vec<Arc<IoHandle>>,
     /// Jobs admitted but not yet picked up by a worker.
     depth: AtomicUsize,
-    /// Live connection handler threads.
+    /// Connections currently registered with an I/O thread (or en route).
     connections: AtomicUsize,
     shed: AtomicU64,
     served: AtomicU64,
@@ -105,47 +139,84 @@ impl Shared {
             engine: engine.stats(),
             batcher: self.batcher.stats(),
             queue_depth: self.depth.load(Ordering::Relaxed),
-            queue_capacity: self.cfg.queue_capacity,
+            queue_capacity: self.cfg.resolved_queue_capacity(),
+            connections: self.connections.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
             served: self.served.load(Ordering::Relaxed),
         }
     }
+
+    /// The `Overloaded` backoff hint: roughly how long the current queue
+    /// takes to drain, assuming each worker turns around a job in about a
+    /// millisecond — a coarse but monotone function of depth, so clients
+    /// back off harder the deeper the overload.
+    fn retry_after_hint(&self) -> u32 {
+        let depth = self.depth.load(Ordering::Relaxed);
+        (depth / self.cfg.workers.max(1) + 1).min(10_000) as u32
+    }
 }
 
-/// A running server: acceptor + connection threads + worker pool over one
+/// A running server: acceptor + I/O threads + worker pool over one
 /// engine. Dropping the handle leaks the threads; call
 /// [`shutdown`](Server::shutdown) for an orderly stop.
 pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
+    io_threads: Vec<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral loopback port) and starts
-    /// serving `engine` with `cfg`'s worker pool and admission bounds.
+    /// serving `engine` with `cfg`'s thread pools and admission bounds.
     pub fn bind<A: ToSocketAddrs>(
         addr: A,
         engine: Arc<QueryEngine<ShardedStore>>,
         cfg: ServeConfig,
     ) -> io::Result<Server> {
         assert!(cfg.workers > 0, "server needs at least one worker");
-        assert!(cfg.queue_capacity > 0, "admission queue needs capacity");
+        assert!(cfg.io_threads > 0, "server needs at least one I/O thread");
         assert!(cfg.max_connections > 0, "server needs at least one connection slot");
+        assert!(
+            cfg.max_conn_queued_bytes > MAX_FRAME_LEN as usize,
+            "write-queue bound below one frame would wedge large replies"
+        );
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        let (admit, jobs) = mpsc::sync_channel(cfg.queue_capacity);
+        let (admit, jobs) = mpsc::sync_channel(cfg.resolved_queue_capacity());
+        let io: Vec<Arc<IoHandle>> = (0..cfg.io_threads)
+            .map(|_| IoHandle::new().map(Arc::new))
+            .collect::<io::Result<_>>()?;
         let shared = Arc::new(Shared {
             batcher: MicroBatcher::new(engine),
             cfg,
             admit,
+            io,
             depth: AtomicUsize::new(0),
             connections: AtomicUsize::new(0),
             shed: AtomicU64::new(0),
             served: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
         });
+
+        let io_threads = (0..cfg.io_threads)
+            .map(|idx| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    let handle = Arc::clone(&shared.io[idx]);
+                    run_io_loop(
+                        &handle,
+                        &shared.shutdown,
+                        shared.cfg.max_conn_queued_bytes,
+                        |key, state, payload| handle_payload(&shared, idx, key, state, payload),
+                        || {
+                            shared.connections.fetch_sub(1, Ordering::SeqCst);
+                        },
+                    );
+                })
+            })
+            .collect();
 
         let jobs = Arc::new(Mutex::new(jobs));
         let workers = (0..cfg.workers)
@@ -161,7 +232,7 @@ impl Server {
             std::thread::spawn(move || accept_loop(&listener, &shared))
         };
 
-        Ok(Server { addr: local, shared, acceptor: Some(acceptor), workers })
+        Ok(Server { addr: local, shared, acceptor: Some(acceptor), io_threads, workers })
     }
 
     /// The address the server is listening on.
@@ -178,9 +249,15 @@ impl Server {
     /// Open connections see EOF on their next read.
     pub fn shutdown(mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        for h in &self.shared.io {
+            let _ = h.poller.notify();
+        }
         // Unblock the acceptor with a no-op connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.io_threads.drain(..) {
             let _ = h.join();
         }
         for h in self.workers.drain(..) {
@@ -189,89 +266,127 @@ impl Server {
     }
 }
 
+/// The per-payload policy hook the reactor calls with each complete
+/// inbound frame: decode, validate, then serve inline (stats, errors,
+/// sheds) or admit to the worker queue.
+fn handle_payload(
+    shared: &Arc<Shared>,
+    io_idx: usize,
+    conn_key: usize,
+    state: &mut ConnState,
+    payload: &[u8],
+) -> Action {
+    let Some(tag) = payload_tag(payload) else {
+        let err = Response::Error(format!("runt payload of {} bytes", payload.len()));
+        return Action::Fatal(vec![encode_response(CONNECTION_TAG, &err)]);
+    };
+    let (tag, req) = match decode_request(payload) {
+        Ok(decoded) => decoded,
+        Err(e) => {
+            // The framing is intact and the tag readable — the peer can
+            // match the error to its request, and the connection lives.
+            return Action::Reply(vec![encode_response(tag, &Response::Error(e.to_string()))]);
+        }
+    };
+    if tag == CONNECTION_TAG {
+        let err = Response::Error("tag 0 is reserved for connection-level messages".into());
+        return Action::Fatal(vec![encode_response(CONNECTION_TAG, &err)]);
+    }
+    match req {
+        Request::Stats => {
+            let payload = encode_response(tag, &Response::Stats(Box::new(shared.stats())));
+            if payload.len() > MAX_FRAME_LEN as usize {
+                // A many-shard stats body can outgrow a frame; degrade to
+                // an in-band error instead of breaking the stream.
+                let err = Response::Error(format!(
+                    "stats reply of {} bytes exceeds the {MAX_FRAME_LEN}-byte frame bound",
+                    payload.len()
+                ));
+                return Action::Reply(vec![encode_response(tag, &err)]);
+            }
+            Action::Reply(vec![payload])
+        }
+        Request::Query { k, vector } => {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                let err = Response::Error("server is shutting down".into());
+                return Action::Reply(vec![encode_response(tag, &err)]);
+            }
+            let dim = shared.engine().dim();
+            if vector.len() != dim {
+                let err = Response::Error(format!(
+                    "query of {} components, store is {dim}",
+                    vector.len()
+                ));
+                return Action::Reply(vec![encode_response(tag, &err)]);
+            }
+            if !state.begin_tag(tag) {
+                // Two in-flight requests with one tag would produce
+                // indistinguishable replies; the stream is no longer
+                // trustworthy, so this is fatal, not per-request.
+                let err = Response::Error(format!("tag {tag} is already in flight"));
+                return Action::Fatal(vec![encode_response(CONNECTION_TAG, &err)]);
+            }
+            // Hot-query fast path: a cached result is answered inline on
+            // the I/O thread — no admission slot, no worker hand-off, no
+            // completion round-trip. This is what makes a pipelined
+            // connection over a warm cache transport-bound rather than
+            // scheduler-bound.
+            if let Some(hits) = shared.engine().try_cached(&vector, k as usize) {
+                state.finish_tag(tag);
+                shared.served.fetch_add(1, Ordering::Relaxed);
+                return Action::Reply(encode_hits_payloads(tag, &hits));
+            }
+            // Count the admission *before* the send: a worker can pop the
+            // job and decrement between the send and any later increment.
+            shared.depth.fetch_add(1, Ordering::Relaxed);
+            let job = QueryJob { vector, k: k as usize, tag, io: io_idx, conn: conn_key };
+            match shared.admit.try_send(job) {
+                Ok(()) => Action::Pending,
+                Err(TrySendError::Full(_)) => {
+                    shared.depth.fetch_sub(1, Ordering::Relaxed);
+                    shared.shed.fetch_add(1, Ordering::Relaxed);
+                    state.finish_tag(tag);
+                    let resp =
+                        Response::Overloaded { retry_after_millis: shared.retry_after_hint() };
+                    Action::Reply(vec![encode_response(tag, &resp)])
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    shared.depth.fetch_sub(1, Ordering::Relaxed);
+                    state.finish_tag(tag);
+                    let err = Response::Error("server is shutting down".into());
+                    Action::Reply(vec![encode_response(tag, &err)])
+                }
+            }
+        }
+    }
+}
+
 fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut next_io = 0usize;
     for conn in listener.incoming() {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = conn else { continue };
         // Connection admission mirrors request admission: past the cap,
-        // shed with one Overloaded frame and close — never spawn
-        // unboundedly. The short write timeout keeps a peer that refuses
-        // to read from pinning the acceptor.
+        // shed with one Overloaded frame on the connection tag and close.
+        // The short write timeout keeps a peer that refuses to read from
+        // pinning the acceptor.
         if shared.connections.load(Ordering::SeqCst) >= shared.cfg.max_connections {
             shared.shed.fetch_add(1, Ordering::Relaxed);
             stream.set_write_timeout(Some(Duration::from_millis(100))).ok();
-            let mut w = BufWriter::new(stream);
-            let _ = send(&mut w, &Response::Overloaded);
+            let resp = Response::Overloaded { retry_after_millis: shared.retry_after_hint() };
+            let payload = encode_response(CONNECTION_TAG, &resp);
+            let mut framed = Vec::with_capacity(4 + payload.len());
+            framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            framed.extend_from_slice(&payload);
+            let mut w = &stream;
+            let _ = w.write_all(&framed);
             continue;
         }
         shared.connections.fetch_add(1, Ordering::SeqCst);
-        let shared = Arc::clone(shared);
-        std::thread::spawn(move || {
-            // A broken connection is the client's problem, not the
-            // server's; the handler just ends.
-            let _ = connection_loop(stream, &shared);
-            shared.connections.fetch_sub(1, Ordering::SeqCst);
-        });
-    }
-}
-
-/// One request/response exchange at a time per connection, until EOF.
-fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
-    stream.set_nodelay(true).ok();
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    loop {
-        let payload = match read_frame(&mut reader) {
-            Ok(p) => p,
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
-            Err(e) => {
-                // Malformed framing: tell the peer, then drop them — the
-                // stream offset can no longer be trusted.
-                send(&mut writer, &Response::Error(e.to_string()))?;
-                return Ok(());
-            }
-        };
-        let resp = match decode_request(&payload) {
-            Err(e) => Response::Error(e.to_string()),
-            Ok(Request::Stats) => Response::Stats(Box::new(shared.stats())),
-            Ok(Request::Query { k, vector }) => handle_query(shared, vector, k as usize),
-        };
-        send(&mut writer, &resp)?;
-    }
-}
-
-/// Admits one query (or sheds it) and waits for the worker's reply.
-fn handle_query(shared: &Arc<Shared>, vector: Vec<f32>, k: usize) -> Response {
-    if shared.shutdown.load(Ordering::SeqCst) {
-        // The workers are draining away; queuing now could wait forever.
-        return Response::Error("server is shutting down".into());
-    }
-    let dim = shared.engine().dim();
-    if vector.len() != dim {
-        return Response::Error(format!("query of {} components, store is {dim}", vector.len()));
-    }
-    if k > MAX_REPLY_HITS {
-        return Response::Error(format!(
-            "k={k} exceeds the {MAX_REPLY_HITS}-hit reply bound (frame limit {MAX_FRAME_LEN}B)"
-        ));
-    }
-    let (tx, rx) = mpsc::channel();
-    // Count the admission *before* the send: a worker can pop the job and
-    // decrement between the send and any later increment.
-    shared.depth.fetch_add(1, Ordering::Relaxed);
-    match shared.admit.try_send(QueryJob { vector, k, reply: tx }) {
-        Ok(()) => rx.recv().unwrap_or_else(|_| Response::Error("worker dropped reply".into())),
-        Err(TrySendError::Full(_)) => {
-            shared.depth.fetch_sub(1, Ordering::Relaxed);
-            shared.shed.fetch_add(1, Ordering::Relaxed);
-            Response::Overloaded
-        }
-        Err(TrySendError::Disconnected(_)) => {
-            shared.depth.fetch_sub(1, Ordering::Relaxed);
-            Response::Error("server is shutting down".into())
-        }
+        shared.io[next_io].push_conn(stream);
+        next_io = (next_io + 1) % shared.io.len();
     }
 }
 
@@ -288,8 +403,9 @@ fn worker_loop(shared: &Arc<Shared>, jobs: &Mutex<Receiver<QueryJob>>) {
                 shared.depth.fetch_sub(1, Ordering::Relaxed);
                 let hits = shared.batcher.submit(&job.vector, job.k);
                 shared.served.fetch_add(1, Ordering::Relaxed);
-                // The connection may have hung up mid-wait; fine.
-                let _ = job.reply.send(Response::Hits(hits));
+                let payloads = encode_hits_payloads(job.tag, &hits);
+                let completion = Completion { conn: job.conn, tag: job.tag, payloads };
+                shared.io[job.io].push_completion(completion);
             }
             Err(RecvTimeoutError::Timeout) => {
                 if shared.shutdown.load(Ordering::SeqCst) {
@@ -299,20 +415,4 @@ fn worker_loop(shared: &Arc<Shared>, jobs: &Mutex<Receiver<QueryJob>>) {
             Err(RecvTimeoutError::Disconnected) => return,
         }
     }
-}
-
-/// Encodes and writes one response. A reply that would not fit a frame
-/// (e.g. a many-shard `Stats` body — `Hits` are bounded by the `k` guard)
-/// degrades to an in-band `Error` instead of emitting a frame the peer's
-/// decoder must reject.
-fn send<W: Write>(w: &mut W, resp: &Response) -> io::Result<()> {
-    let payload = encode_response(resp);
-    if payload.len() > MAX_FRAME_LEN as usize {
-        let err = Response::Error(format!(
-            "reply of {} bytes exceeds the {MAX_FRAME_LEN}-byte frame bound",
-            payload.len()
-        ));
-        return write_frame(w, &encode_response(&err));
-    }
-    write_frame(w, &payload)
 }

@@ -1,13 +1,16 @@
-//! End-to-end serving tests over a real loopback TCP connection: wire
-//! results must be bit-identical to in-process engine results, the
-//! admission queue must shed (never hang) past capacity, and the stats
-//! endpoint must answer with live counters.
+//! End-to-end serving tests over real loopback TCP connections: wire
+//! results must be bit-identical to in-process engine results (blocking
+//! *and* pipelined, in-order and out-of-order), the admission queue must
+//! shed (never hang) past capacity with a retry hint, large replies must
+//! stream in chunks, and protocol violations (tag 0, duplicate tags,
+//! hostile framing) must be rejected without taking the server down.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 use tabbin_index::{EngineConfig, Hit, LshParams, QueryEngine, ShardedStore, StoreConfig};
-use tabbin_serve::{Client, QueryOutcome, ServeConfig, Server};
+use tabbin_serve::wire::{self, encode_request, Request};
+use tabbin_serve::{Client, PipelinedClient, QueryOutcome, Response, ServeConfig, Server};
 
 fn random_vecs(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -24,6 +27,14 @@ fn corpus_engine(vecs: &[Vec<f32>]) -> Arc<QueryEngine<ShardedStore>> {
     Arc::new(QueryEngine::new(store, EngineConfig::lsh()))
 }
 
+fn assert_bit_identical(wire: &[Hit], local: &[Hit], what: &str) {
+    assert_eq!(wire.len(), local.len(), "{what}: lengths diverged");
+    for (w, l) in wire.iter().zip(local) {
+        assert_eq!(w.id, l.id, "{what}: ids diverged over the wire");
+        assert_eq!(w.score.to_bits(), l.score.to_bits(), "{what}: score bits diverged");
+    }
+}
+
 #[test]
 fn wire_results_are_bit_identical_to_in_process_engine() {
     let vecs = random_vecs(120, 16, 1);
@@ -35,16 +46,58 @@ fn wire_results_are_bit_identical_to_in_process_engine() {
     for q in vecs.iter().take(24) {
         let wire = match client.query(q, 8).expect("query") {
             QueryOutcome::Hits(hits) => hits,
-            QueryOutcome::Overloaded => panic!("uncontended query shed"),
+            QueryOutcome::Overloaded { .. } => panic!("uncontended query shed"),
         };
         let local: Vec<Hit> = engine.query(q, 8);
-        assert_eq!(wire.len(), local.len());
-        for (w, l) in wire.iter().zip(&local) {
-            assert_eq!(w.id, l.id, "ids diverged over the wire");
-            assert_eq!(w.score.to_bits(), l.score.to_bits(), "score bits diverged over the wire");
-        }
+        assert_bit_identical(&wire, &local, "blocking client");
     }
     drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_out_of_order_completion_matches_blocking_client() {
+    let vecs = random_vecs(200, 16, 11);
+    let engine = corpus_engine(&vecs);
+    // A twin engine as reference so the server engine's cache state (and
+    // batching) can't mask a routing bug.
+    let reference = corpus_engine(&vecs);
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&engine),
+        ServeConfig { workers: 4, ..ServeConfig::default() },
+    )
+    .expect("bind");
+
+    let mut pipelined =
+        PipelinedClient::connect(server.local_addr(), 16).expect("pipelined connect");
+    assert_eq!(pipelined.window(), 16);
+
+    // Submit a burst wider than the window, then claim results in
+    // *reverse* submission order: whatever order the four workers finish
+    // in, the client must buffer and match strictly by tag.
+    let queries = &vecs[..48];
+    let tags: Vec<u64> = queries.iter().map(|q| pipelined.submit(q, 7).expect("submit")).collect();
+    for (tag, q) in tags.iter().zip(queries).rev() {
+        let hits = match pipelined.wait(*tag).expect("wait") {
+            QueryOutcome::Hits(hits) => hits,
+            QueryOutcome::Overloaded { .. } => panic!("default queue shed a 48-burst"),
+        };
+        assert_bit_identical(&hits, &reference.query(q, 7), "pipelined reverse-order claim");
+    }
+    assert_eq!(pipelined.in_flight(), 0);
+
+    // query_all returns submission order regardless of completion order,
+    // and agrees with a fresh blocking client on the same connection set.
+    let outcomes = pipelined.query_all(&vecs[48..96], 5).expect("query_all");
+    let mut blocking = Client::connect(server.local_addr()).expect("blocking connect");
+    for (q, outcome) in vecs[48..96].iter().zip(outcomes) {
+        let QueryOutcome::Hits(pip) = outcome else { panic!("pipelined query shed") };
+        let QueryOutcome::Hits(blk) = blocking.query(q, 5).expect("blocking query") else {
+            panic!("blocking query shed");
+        };
+        assert_bit_identical(&pip, &blk, "pipelined vs blocking");
+    }
     server.shutdown();
 }
 
@@ -72,7 +125,7 @@ fn concurrent_clients_get_correct_coalesced_results() {
                     .iter()
                     .map(|q| match client.query(q, 5).expect("query") {
                         QueryOutcome::Hits(hits) => hits,
-                        QueryOutcome::Overloaded => panic!("64-deep queue shed 8 clients"),
+                        QueryOutcome::Overloaded { .. } => panic!("64-deep queue shed 8 clients"),
                     })
                     .collect::<Vec<_>>()
             })
@@ -120,7 +173,10 @@ fn overload_sheds_with_an_explicit_reply_and_never_hangs() {
                             assert!(!hits.is_empty());
                             served += 1;
                         }
-                        QueryOutcome::Overloaded => sheds += 1,
+                        QueryOutcome::Overloaded { retry_after_millis } => {
+                            assert!(retry_after_millis >= 1, "hint must suggest a real backoff");
+                            sheds += 1;
+                        }
                     }
                 }
                 (served, sheds)
@@ -160,10 +216,10 @@ fn connection_flood_is_shed_at_the_cap() {
     assert!(matches!(c2.query(&vecs[1], 3).expect("c2 query"), QueryOutcome::Hits(_)));
 
     // The third connection is accepted at the TCP level, answered with a
-    // single Overloaded frame, and closed — no handler thread spawned.
+    // single connection-level Overloaded frame, and closed.
     let mut c3 = Client::connect(addr).expect("c3 tcp connect");
     match c3.query(&vecs[2], 3) {
-        Ok(QueryOutcome::Overloaded) => {}
+        Ok(QueryOutcome::Overloaded { .. }) => {}
         // The close can race the client's write; a refused exchange is
         // also acceptable — the point is no hang and no service.
         Err(_) => {}
@@ -188,6 +244,39 @@ fn connection_flood_is_shed_at_the_cap() {
 }
 
 #[test]
+fn large_k_replies_stream_in_chunks() {
+    // More live rows than one Hits chunk can carry: the reply must
+    // arrive as multiple chunk frames and reassemble exactly — v1's
+    // MAX_REPLY_HITS rejection is gone.
+    let n = wire::MAX_CHUNK_HITS + 400;
+    let vecs = random_vecs(n, 8, 6);
+    // Exact scan so every live row is a candidate — LSH blocking would
+    // thin the result below one chunk and defeat the test.
+    let cfg = StoreConfig { seed: 9, ..StoreConfig::default() };
+    let mut store = ShardedStore::new(8, 3, cfg);
+    for v in &vecs {
+        store.insert(v);
+    }
+    let engine = Arc::new(QueryEngine::new(store, EngineConfig::exact()));
+    let server =
+        Server::bind("127.0.0.1:0", Arc::clone(&engine), ServeConfig::default()).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let k = n + 100; // bounded by the corpus, not the wire
+    let wire_hits = match client.query(&vecs[0], k).expect("large-k query") {
+        QueryOutcome::Hits(hits) => hits,
+        QueryOutcome::Overloaded { .. } => panic!("uncontended query shed"),
+    };
+    assert!(
+        wire_hits.len() > wire::MAX_CHUNK_HITS,
+        "result of {} hits fits one chunk — the test corpus is too small",
+        wire_hits.len()
+    );
+    assert_bit_identical(&wire_hits, &engine.query(&vecs[0], k), "chunked reply");
+    server.shutdown();
+}
+
+#[test]
 fn stats_reply_reports_storage_engine_and_admission_state() {
     let vecs = random_vecs(90, 10, 4);
     let engine = corpus_engine(&vecs);
@@ -199,7 +288,7 @@ fn stats_reply_reports_storage_engine_and_admission_state() {
     for _ in 0..2 {
         match client.query(&vecs[0], 5).expect("query") {
             QueryOutcome::Hits(hits) => assert_eq!(hits.len(), 5),
-            QueryOutcome::Overloaded => panic!("uncontended query shed"),
+            QueryOutcome::Overloaded { .. } => panic!("uncontended query shed"),
         }
     }
     let stats = client.stats().expect("stats");
@@ -213,7 +302,8 @@ fn stats_reply_reports_storage_engine_and_admission_state() {
     );
     assert_eq!(stats.engine.cache_hits, 1, "repeat query missed the cache");
     assert_eq!(stats.served, 2);
-    assert_eq!(stats.queue_capacity, ServeConfig::default().queue_capacity);
+    assert_eq!(stats.queue_capacity, ServeConfig::default().resolved_queue_capacity());
+    assert_eq!(stats.connections, 1, "one client connected when stats were read");
     assert_eq!(stats.shed, 0);
     server.shutdown();
 }
@@ -231,32 +321,91 @@ fn malformed_and_mismatched_requests_get_error_replies() {
     assert!(err.to_string().contains("8"), "unhelpful error: {err}");
     match client.query(&vecs[0], 3).expect("connection survives an error reply") {
         QueryOutcome::Hits(hits) => assert_eq!(hits.len(), 3),
-        QueryOutcome::Overloaded => panic!("uncontended query shed"),
+        QueryOutcome::Overloaded { .. } => panic!("uncontended query shed"),
     }
 
-    // A k whose reply could never fit one frame is refused up front
-    // instead of building an oversized frame the client would reject.
-    let err = client.query(&vecs[0], 10_000_000).expect_err("k beyond the reply bound");
-    assert!(err.to_string().contains("exceeds"), "unhelpful error: {err}");
-    match client.query(&vecs[0], 3).expect("connection survives the k rejection") {
-        QueryOutcome::Hits(hits) => assert_eq!(hits.len(), 3),
-        QueryOutcome::Overloaded => panic!("uncontended query shed"),
-    }
-
-    // A hostile oversized length prefix: the server answers with an error
-    // frame and hangs up without allocating the claimed 4 GiB.
+    // A hostile oversized length prefix: the server answers with a
+    // connection-level error frame and hangs up without allocating the
+    // claimed 4 GiB.
     use std::io::{Read, Write};
     let mut raw = std::net::TcpStream::connect(server.local_addr()).expect("connect raw");
     raw.write_all(&0xffff_ffffu32.to_le_bytes()).expect("write hostile prefix");
     raw.flush().ok();
     let mut reply = Vec::new();
     raw.read_to_end(&mut reply).expect("server must reply then close");
-    let payload = tabbin_serve::wire::read_frame(&mut &reply[..]).expect("one reply frame");
-    match tabbin_serve::wire::decode_response(&payload).expect("decodes") {
-        tabbin_serve::Response::Error(msg) => {
-            assert!(msg.contains("exceeds"), "unhelpful error: {msg}")
+    let payload = wire::read_frame(&mut &reply[..]).expect("one reply frame");
+    match wire::decode_response(&payload).expect("decodes") {
+        (tag, Response::Error(msg)) => {
+            assert_eq!(tag, wire::CONNECTION_TAG, "framing errors answer no request");
+            assert!(msg.contains("outside"), "unhelpful error: {msg}");
         }
-        other => panic!("expected an error reply, got {other:?}"),
+        other => panic!("expected a connection-level error reply, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+/// Reads every frame the server sends until it hangs up.
+fn drain_frames(raw: &mut std::net::TcpStream) -> Vec<(u64, Response)> {
+    use std::io::Read;
+    let mut reply = Vec::new();
+    raw.read_to_end(&mut reply).expect("server must reply then close");
+    let mut frames = Vec::new();
+    let mut rest: &[u8] = &reply;
+    while !rest.is_empty() {
+        let payload = wire::read_frame(&mut rest).expect("well-formed reply frame");
+        frames.push(wire::decode_response(&payload).expect("decodable reply"));
+    }
+    frames
+}
+
+#[test]
+fn reserved_and_duplicate_tags_are_protocol_violations() {
+    use std::io::Write;
+    let vecs = random_vecs(30, 8, 8);
+    let engine = corpus_engine(&vecs);
+    let server =
+        Server::bind("127.0.0.1:0", Arc::clone(&engine), ServeConfig::default()).expect("bind");
+
+    // Tag 0 is the connection-level tag; a request wearing it could never
+    // be answered unambiguously. The server rejects and hangs up.
+    let mut raw = std::net::TcpStream::connect(server.local_addr()).expect("connect raw");
+    let req = Request::Query { k: 3, vector: vecs[0].clone() };
+    let mut framed = Vec::new();
+    wire::write_frame(&mut framed, &encode_request(0, &req)).expect("frame");
+    raw.write_all(&framed).expect("send tag-0 request");
+    raw.flush().ok();
+    let frames = drain_frames(&mut raw);
+    assert!(
+        frames.iter().any(|(tag, resp)| {
+            *tag == wire::CONNECTION_TAG
+                && matches!(resp, Response::Error(msg) if msg.contains("reserved"))
+        }),
+        "no connection-level reserved-tag error in {frames:?}"
+    );
+
+    // Two in-flight requests with the same tag: both written in one
+    // burst so they land in one read pass — the second must be rejected
+    // as fatal (its reply would be indistinguishable from the first's).
+    let mut raw = std::net::TcpStream::connect(server.local_addr()).expect("connect raw");
+    let mut burst = Vec::new();
+    wire::write_frame(&mut burst, &encode_request(7, &req)).expect("frame");
+    wire::write_frame(&mut burst, &encode_request(7, &req)).expect("frame");
+    raw.write_all(&burst).expect("send duplicate tags");
+    raw.flush().ok();
+    let frames = drain_frames(&mut raw);
+    assert!(
+        frames.iter().any(|(tag, resp)| {
+            *tag == wire::CONNECTION_TAG
+                && matches!(resp, Response::Error(msg) if msg.contains("already in flight"))
+        }),
+        "no duplicate-tag error in {frames:?}"
+    );
+    // Whatever else arrived can only be the first request's reply.
+    for (tag, resp) in &frames {
+        if *tag != wire::CONNECTION_TAG {
+            assert_eq!(*tag, 7);
+            assert!(matches!(resp, Response::Hits { .. }), "unexpected reply {resp:?}");
+        }
     }
     server.shutdown();
 }

@@ -1,15 +1,17 @@
-//! Property tests for the wire protocol: arbitrary requests and responses
-//! must survive encode → frame → unframe → decode exactly, including every
-//! `f32` bit pattern a score or query component can take.
+//! Property tests for wire protocol v2: arbitrary tagged requests and
+//! responses must survive encode → frame → unframe → decode exactly
+//! (every `f32` bit pattern included), and — the pipelining invariant —
+//! **arbitrary interleavings** of many tags' reply frames must demux to
+//! the same per-tag results as sequential delivery, bit-identical.
 
 use proptest::collection::vec as pvec;
 use proptest::prelude::*;
 use tabbin_index::Hit;
 use tabbin_serve::wire::{
-    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
-    Request, Response,
+    decode_request, decode_response, encode_hits_payloads_chunked, encode_request, encode_response,
+    read_frame, write_frame, Request, Response,
 };
-use tabbin_serve::StatsReply;
+use tabbin_serve::{ReplyDemux, StatsReply};
 
 /// Any f32 bit pattern — NaNs, infinities, subnormals included. The wire
 /// must move bits, not values.
@@ -21,16 +23,77 @@ fn bits(v: &[f32]) -> Vec<u32> {
     v.iter().map(|x| x.to_bits()).collect()
 }
 
+fn hit_bits(hits: &[Hit]) -> Vec<(u64, u32)> {
+    hits.iter().map(|h| (h.id, h.score.to_bits())).collect()
+}
+
+/// A reply's frames for one tag: chunked hits, an overload, or an error.
+#[derive(Clone, Debug)]
+enum ReplyCase {
+    Hits(Vec<Hit>, usize),
+    Overloaded(u32),
+    Error(String),
+}
+
+fn hits_reply() -> impl Strategy<Value = ReplyCase> {
+    (pvec((0u64..=u64::MAX, any_f32_bits()), 0..24), 1usize..5).prop_map(|(pairs, chunk)| {
+        let hits = pairs.into_iter().map(|(id, score)| Hit { id, score }).collect();
+        ReplyCase::Hits(hits, chunk)
+    })
+}
+
+fn any_reply() -> impl Strategy<Value = ReplyCase> {
+    // Hits listed thrice: most replies should exercise the chunked path.
+    prop_oneof![
+        hits_reply(),
+        hits_reply(),
+        hits_reply(),
+        (0u32..10_000).prop_map(ReplyCase::Overloaded),
+        "[ -~]{0,40}".prop_map(ReplyCase::Error),
+    ]
+}
+
+impl ReplyCase {
+    /// The frames the server would send for this reply under `tag`.
+    fn frames(&self, tag: u64) -> Vec<Vec<u8>> {
+        match self {
+            ReplyCase::Hits(hits, chunk) => encode_hits_payloads_chunked(tag, hits, *chunk),
+            ReplyCase::Overloaded(ms) => {
+                vec![encode_response(tag, &Response::Overloaded { retry_after_millis: *ms })]
+            }
+            ReplyCase::Error(msg) => {
+                vec![encode_response(tag, &Response::Error(msg.clone()))]
+            }
+        }
+    }
+}
+
+/// Runs a frame sequence through a demux, collecting completions in
+/// arrival order.
+fn demux_all(frames: &[Vec<u8>]) -> Vec<(u64, Response)> {
+    let mut demux = ReplyDemux::new();
+    let mut out = Vec::new();
+    for f in frames {
+        if let Some(done) = demux.push(f).expect("well-formed frame") {
+            out.push(done);
+        }
+    }
+    assert_eq!(demux.pending(), 0, "every reply must complete");
+    out
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
     #[test]
     fn query_requests_roundtrip(
+        tag in 1u64..=u64::MAX,
         k in 0u32..=u32::MAX,
         vector in pvec(any_f32_bits(), 0..64),
     ) {
         let req = Request::Query { k, vector: vector.clone() };
-        let decoded = decode_request(&encode_request(&req)).expect("decode");
+        let (dtag, decoded) = decode_request(&encode_request(tag, &req)).expect("decode");
+        prop_assert_eq!(dtag, tag);
         let Request::Query { k: dk, vector: dv } = decoded else {
             panic!("wrong request variant");
         };
@@ -40,41 +103,127 @@ proptest! {
 
     #[test]
     fn hit_responses_roundtrip(
+        tag in 0u64..=u64::MAX,
         ids in pvec(0u64..=u64::MAX, 0..40),
         score_bits in pvec(0u32..=u32::MAX, 40),
+        last_bit in 0u8..2,
     ) {
+        let last = last_bit == 1;
         let hits: Vec<Hit> = ids
             .iter()
             .zip(&score_bits)
             .map(|(&id, &s)| Hit { id, score: f32::from_bits(s) })
             .collect();
-        let decoded = decode_response(&encode_response(&Response::Hits(hits.clone())))
-            .expect("decode");
-        let Response::Hits(got) = decoded else { panic!("wrong response variant") };
-        prop_assert_eq!(got.len(), hits.len());
-        for (a, b) in hits.iter().zip(&got) {
-            prop_assert_eq!(a.id, b.id);
-            prop_assert_eq!(a.score.to_bits(), b.score.to_bits());
-        }
+        let encoded = encode_response(tag, &Response::Hits { hits: hits.clone(), last });
+        let (dtag, decoded) = decode_response(&encoded).expect("decode");
+        prop_assert_eq!(dtag, tag);
+        let Response::Hits { hits: got, last: dlast } = decoded else {
+            panic!("wrong response variant");
+        };
+        prop_assert_eq!(dlast, last);
+        prop_assert_eq!(hit_bits(&got), hit_bits(&hits));
     }
 
     #[test]
-    fn error_and_stats_responses_roundtrip(
+    fn error_overload_and_stats_responses_roundtrip(
+        tag in 0u64..=u64::MAX,
         msg in "[ -~]{0,60}",
+        retry in 0u32..=u32::MAX,
         depths in pvec(0usize..10_000, 0..8),
         shed in 0u64..1_000_000,
     ) {
         let err = Response::Error(msg.clone());
-        prop_assert_eq!(decode_response(&encode_response(&err)).expect("decode error"), err);
+        prop_assert_eq!(
+            decode_response(&encode_response(tag, &err)).expect("decode error"),
+            (tag, err)
+        );
+        let over = Response::Overloaded { retry_after_millis: retry };
+        prop_assert_eq!(
+            decode_response(&encode_response(tag, &over)).expect("decode overloaded"),
+            (tag, over)
+        );
         let stats = Response::Stats(Box::new(StatsReply {
             shard_depths: depths,
             shed,
             ..StatsReply::default()
         }));
         prop_assert_eq!(
-            decode_response(&encode_response(&stats)).expect("decode stats"),
-            stats
+            decode_response(&encode_response(tag, &stats)).expect("decode stats"),
+            (tag, stats)
         );
+    }
+
+    /// The tentpole's correctness core: take many tags' replies, deliver
+    /// their frames in an **arbitrary interleaving** (chunks of one tag
+    /// keep their relative order, as TCP guarantees per connection), and
+    /// the demuxed per-tag results must be bit-identical to delivering
+    /// each tag's frames back-to-back, sequentially.
+    #[test]
+    fn arbitrary_reply_interleavings_demux_identically_to_sequential(
+        replies in pvec(any_reply(), 1..8),
+        picks in pvec(0usize..1 << 20, 0..64),
+    ) {
+        // Tags 1..=n, one reply each.
+        let per_tag: Vec<(u64, Vec<Vec<u8>>)> = replies
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i as u64 + 1, r.frames(i as u64 + 1)))
+            .collect();
+
+        // Sequential delivery: tag 1's frames, then tag 2's, …
+        let sequential: Vec<Vec<u8>> =
+            per_tag.iter().flat_map(|(_, f)| f.iter().cloned()).collect();
+
+        // Interleaved delivery: repeatedly pick a tag that still has
+        // frames left and emit its next frame — `picks` drives the
+        // choice, then a deterministic drain finishes the tail.
+        let mut cursors: Vec<usize> = vec![0; per_tag.len()];
+        let mut interleaved: Vec<Vec<u8>> = Vec::new();
+        for pick in &picks {
+            let open: Vec<usize> = (0..per_tag.len())
+                .filter(|&t| cursors[t] < per_tag[t].1.len())
+                .collect();
+            if open.is_empty() {
+                break;
+            }
+            let t = open[pick % open.len()];
+            interleaved.push(per_tag[t].1[cursors[t]].clone());
+            cursors[t] += 1;
+        }
+        for (t, (_, frames)) in per_tag.iter().enumerate() {
+            for f in &frames[cursors[t]..] {
+                interleaved.push(f.clone());
+            }
+        }
+        prop_assert_eq!(interleaved.len(), sequential.len());
+
+        let mut seq_results = demux_all(&sequential);
+        let mut int_results = demux_all(&interleaved);
+        prop_assert_eq!(seq_results.len(), per_tag.len());
+        prop_assert_eq!(int_results.len(), per_tag.len());
+        seq_results.sort_by_key(|(tag, _)| *tag);
+        int_results.sort_by_key(|(tag, _)| *tag);
+        for ((stag, sresp), (itag, iresp)) in seq_results.iter().zip(&int_results) {
+            prop_assert_eq!(stag, itag);
+            match (sresp, iresp) {
+                (Response::Hits { hits: s, .. }, Response::Hits { hits: i, .. }) => {
+                    prop_assert_eq!(hit_bits(s), hit_bits(i));
+                }
+                (s, i) => prop_assert_eq!(s, i),
+            }
+            // And both match the reply the server actually sent.
+            let want = &replies[(*stag - 1) as usize];
+            match (want, sresp) {
+                (ReplyCase::Hits(hits, _), Response::Hits { hits: got, .. }) => {
+                    prop_assert_eq!(hit_bits(got), hit_bits(hits));
+                }
+                (ReplyCase::Overloaded(ms), Response::Overloaded { retry_after_millis }) => {
+                    prop_assert_eq!(retry_after_millis, ms);
+                }
+                (ReplyCase::Error(msg), Response::Error(got)) => prop_assert_eq!(got, msg),
+                (want, got) => panic!("tag {stag}: sent {want:?}, demuxed {got:?}"),
+            }
+        }
     }
 
     /// Several frames written back-to-back into one byte stream come back
@@ -86,7 +235,10 @@ proptest! {
     ) {
         let payloads: Vec<Vec<u8>> = vectors
             .iter()
-            .map(|v| encode_request(&Request::Query { k: 5, vector: v.clone() }))
+            .enumerate()
+            .map(|(i, v)| {
+                encode_request(i as u64 + 1, &Request::Query { k: 5, vector: v.clone() })
+            })
             .collect();
         let mut stream = Vec::new();
         for p in &payloads {
@@ -107,7 +259,7 @@ proptest! {
         cut_frac in 0.0f64..1.0,
     ) {
         let mut stream = Vec::new();
-        write_frame(&mut stream, &encode_request(&Request::Query { k: 3, vector }))
+        write_frame(&mut stream, &encode_request(7, &Request::Query { k: 3, vector }))
             .expect("write");
         let cut = 1 + ((stream.len() - 2) as f64 * cut_frac) as usize;
         let mut r: &[u8] = &stream[..cut];

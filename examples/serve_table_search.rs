@@ -14,7 +14,7 @@ use tabbin_core::pretrain::PretrainOptions;
 use tabbin_core::variants::TabBiNFamily;
 use tabbin_corpus::{generate, Dataset, GenOptions};
 use tabbin_index::{EngineConfig, QueryEngine, ShardedStore};
-use tabbin_serve::{Client, QueryOutcome, ServeConfig, Server};
+use tabbin_serve::{Client, PipelinedClient, QueryOutcome, ServeConfig, Server};
 
 fn main() {
     let corpus = generate(Dataset::CancerKg, &GenOptions { n_tables: Some(40), seed: 11 });
@@ -44,7 +44,7 @@ fn main() {
     let mut client = Client::connect(server.local_addr()).expect("connect");
     let hits = match client.query(&query_emb, 6).expect("query over the wire") {
         QueryOutcome::Hits(hits) => hits,
-        QueryOutcome::Overloaded => panic!("one client cannot overload the default queue"),
+        QueryOutcome::Overloaded { .. } => panic!("one client cannot overload the default queue"),
     };
 
     println!("top 5 most similar tables (served over TCP):");
@@ -68,6 +68,32 @@ fn main() {
     // bit for bit.
     let local = engine.query(&query_emb, 6);
     assert_eq!(hits, local, "wire results diverged from the in-process engine");
+
+    // Protocol v2 pipelines: one connection, a window of tagged requests
+    // in flight, replies claimed in *reverse* submission order — whatever
+    // order the workers finish in, every tag's hits must be identical to
+    // what the one-at-a-time blocking client gets.
+    let mut pipelined =
+        PipelinedClient::connect(server.local_addr(), 8).expect("pipelined connect");
+    let probes: Vec<Vec<f32>> =
+        ids.iter().take(12).map(|&id| engine.store().get(id).expect("indexed").to_vec()).collect();
+    let tags: Vec<u64> =
+        probes.iter().map(|p| pipelined.submit(p, 6).expect("pipelined submit")).collect();
+    for (tag, probe) in tags.iter().zip(&probes).rev() {
+        let QueryOutcome::Hits(pip) = pipelined.wait(*tag).expect("pipelined wait") else {
+            panic!("pipelined query shed");
+        };
+        let QueryOutcome::Hits(blk) = client.query(probe, 6).expect("blocking query") else {
+            panic!("blocking query shed");
+        };
+        assert_eq!(pip, blk, "pipelined reply diverged from the blocking client");
+    }
+    println!(
+        "pipelined client: {} tagged requests on one connection, claimed out of \
+         order, all identical to the blocking client",
+        probes.len()
+    );
+    drop(pipelined);
 
     // The stats endpoint is the health surface: storage, engine, batcher,
     // and admission counters in one reply.

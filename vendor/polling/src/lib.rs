@@ -1,0 +1,452 @@
+//! Minimal offline stand-in for the `polling` crate (smol-rs/polling):
+//! readiness polling over nonblocking sockets, backed by Linux epoll.
+//!
+//! The build environment has no crates.io access, so this mirrors the small
+//! slice of the published 3.x API the serving stack needs:
+//!
+//! * [`Poller`] — an epoll instance plus an `eventfd` waker.
+//! * [`Event`] — an interest/readiness record carrying a caller-chosen
+//!   `usize` key.
+//! * [`Events`] — a reusable buffer `Poller::wait` appends into.
+//! * [`PollMode`] — level- or edge-triggered registration.
+//!
+//! No `libc` crate is vendored either: the handful of syscall wrappers are
+//! declared `extern "C"` and resolve from the C library Rust's std already
+//! links on Linux. The crate is Linux-only, which matches the only platform
+//! this workspace builds on.
+//!
+//! Semantics notes (identical to the real crate where it matters):
+//! * Registrations are **not** oneshot: an fd stays registered with its
+//!   latest interest until [`Poller::delete`].
+//! * `EPOLLERR`/`EPOLLHUP`/`EPOLLRDHUP` cannot be masked; they surface as
+//!   an event with both `readable` and `writable` set so the owner wakes,
+//!   attempts I/O, and observes the error/EOF through the usual `read`/
+//!   `write` return values.
+//! * [`Poller::notify`] wakes a concurrent (or the next) `wait` without
+//!   producing a caller-visible event.
+
+#![cfg(target_os = "linux")]
+
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Raw epoll / eventfd bindings
+// ---------------------------------------------------------------------------
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+const EPOLLET: u32 = 1 << 31;
+
+const EFD_CLOEXEC: i32 = 0o2000000;
+const EFD_NONBLOCK: i32 = 0o4000;
+
+const EINTR: i32 = 4;
+
+/// Kernel epoll_event layout. x86_64 packs this struct (no padding between
+/// the 32-bit mask and the 64-bit data field), hence `repr(C, packed)`.
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn close(fd: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+}
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+/// Interest in (or readiness of) a registered source, tagged with a key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-chosen identifier echoed back in readiness events.
+    pub key: usize,
+    pub readable: bool,
+    pub writable: bool,
+}
+
+impl Event {
+    /// Interest in read readiness only.
+    pub fn readable(key: usize) -> Self {
+        Event { key, readable: true, writable: false }
+    }
+
+    /// Interest in write readiness only.
+    pub fn writable(key: usize) -> Self {
+        Event { key, readable: false, writable: true }
+    }
+
+    /// Interest in both directions.
+    pub fn all(key: usize) -> Self {
+        Event { key, readable: true, writable: true }
+    }
+
+    /// No interest: the fd stays registered but produces no maskable
+    /// events (errors and hangups still surface).
+    pub fn none(key: usize) -> Self {
+        Event { key, readable: false, writable: false }
+    }
+
+    fn to_mask(self, mode: PollMode) -> u32 {
+        let mut mask = EPOLLRDHUP;
+        if self.readable {
+            mask |= EPOLLIN;
+        }
+        if self.writable {
+            mask |= EPOLLOUT;
+        }
+        if mode == PollMode::Edge {
+            mask |= EPOLLET;
+        }
+        mask
+    }
+}
+
+/// Trigger mode for a registration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PollMode {
+    /// Report readiness on every `wait` while the condition holds.
+    Level,
+    /// Report readiness only on transitions from not-ready to ready.
+    Edge,
+}
+
+/// Reusable readiness buffer; `Poller::wait` appends into it.
+#[derive(Default)]
+pub struct Events {
+    list: Vec<Event>,
+}
+
+impl Events {
+    pub fn new() -> Self {
+        Events { list: Vec::with_capacity(64) }
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.list.iter().copied()
+    }
+
+    pub fn clear(&mut self) {
+        self.list.clear();
+    }
+
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+}
+
+/// Key reserved for the internal notification eventfd; user registrations
+/// must not use it.
+pub const NOTIFY_KEY: usize = usize::MAX;
+
+/// An epoll instance plus an eventfd waker.
+///
+/// All methods take `&self`: epoll is thread-safe kernel-side, so one
+/// thread may block in [`Poller::wait`] while others `add`/`modify`/
+/// `delete`/`notify`.
+pub struct Poller {
+    epfd: RawFd,
+    notify_fd: RawFd,
+}
+
+impl Poller {
+    pub fn new() -> io::Result<Self> {
+        let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        let notify_fd = match cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) }) {
+            Ok(fd) => fd,
+            Err(e) => {
+                unsafe { close(epfd) };
+                return Err(e);
+            }
+        };
+        let poller = Poller { epfd, notify_fd };
+        let mut ev = EpollEvent { events: EPOLLIN, data: NOTIFY_KEY as u64 };
+        if let Err(e) = cvt(unsafe { epoll_ctl(epfd, EPOLL_CTL_ADD, notify_fd, &mut ev) }) {
+            // Drop impl closes both fds.
+            drop(poller);
+            return Err(e);
+        }
+        Ok(poller)
+    }
+
+    /// Register `source` with the given interest, level-triggered.
+    pub fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        self.add_with_mode(source, interest, PollMode::Level)
+    }
+
+    /// Register `source` with the given interest and trigger mode.
+    ///
+    /// The caller must [`Poller::delete`] the source before closing it;
+    /// `interest.key` must not be [`NOTIFY_KEY`].
+    pub fn add_with_mode(
+        &self,
+        source: &impl AsRawFd,
+        interest: Event,
+        mode: PollMode,
+    ) -> io::Result<()> {
+        if interest.key == NOTIFY_KEY {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "key reserved for notify"));
+        }
+        let mut ev = EpollEvent { events: interest.to_mask(mode), data: interest.key as u64 };
+        cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_ADD, source.as_raw_fd(), &mut ev) })?;
+        Ok(())
+    }
+
+    /// Replace the interest set of an already-registered source,
+    /// level-triggered.
+    pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        self.modify_with_mode(source, interest, PollMode::Level)
+    }
+
+    /// Replace the interest set and trigger mode of a registered source.
+    pub fn modify_with_mode(
+        &self,
+        source: &impl AsRawFd,
+        interest: Event,
+        mode: PollMode,
+    ) -> io::Result<()> {
+        if interest.key == NOTIFY_KEY {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "key reserved for notify"));
+        }
+        let mut ev = EpollEvent { events: interest.to_mask(mode), data: interest.key as u64 };
+        cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_MOD, source.as_raw_fd(), &mut ev) })?;
+        Ok(())
+    }
+
+    /// Remove a source from the poller.
+    pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+        cvt(unsafe {
+            epoll_ctl(self.epfd, EPOLL_CTL_DEL, source.as_raw_fd(), std::ptr::null_mut())
+        })?;
+        Ok(())
+    }
+
+    /// Block until at least one registered source is ready, `notify` is
+    /// called, or `timeout` elapses (`None` blocks indefinitely).
+    ///
+    /// Appends readiness records to `events` and returns how many were
+    /// appended; a wakeup via `notify`, a timeout, or an interrupting
+    /// signal all yield `Ok(0)`.
+    pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            // Round up so a nonzero timeout never becomes a busy-spin 0.
+            Some(t) => t.as_millis().min(i32::MAX as u128).max(u128::from(!t.is_zero())) as i32,
+        };
+        let mut buf = [EpollEvent { events: 0, data: 0 }; 128];
+        let n = match cvt(unsafe {
+            epoll_wait(self.epfd, buf.as_mut_ptr(), buf.len() as i32, timeout_ms)
+        }) {
+            Ok(n) => n as usize,
+            Err(e) if e.raw_os_error() == Some(EINTR) => return Ok(0),
+            Err(e) => return Err(e),
+        };
+        let mut appended = 0;
+        for ev in buf.iter().take(n) {
+            // Copy out of the packed struct before touching the fields.
+            let (mask, key) = (ev.events, ev.data as usize);
+            if key == NOTIFY_KEY {
+                self.drain_notify();
+                continue;
+            }
+            let hup_or_err = mask & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0;
+            events.list.push(Event {
+                key,
+                readable: mask & EPOLLIN != 0 || hup_or_err,
+                writable: mask & EPOLLOUT != 0 || hup_or_err,
+            });
+            appended += 1;
+        }
+        Ok(appended)
+    }
+
+    /// Wake a concurrent (or the next) `wait` call. Multiple notifies
+    /// before the wakeup coalesce into one.
+    pub fn notify(&self) -> io::Result<()> {
+        let one = 1u64.to_ne_bytes();
+        let ret = unsafe { write(self.notify_fd, one.as_ptr(), one.len()) };
+        // EAGAIN means the counter is saturated: a wakeup is already
+        // pending, which is all notify promises.
+        if ret < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() != io::ErrorKind::WouldBlock {
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    fn drain_notify(&self) {
+        let mut buf = [0u8; 8];
+        unsafe { read(self.notify_fd, buf.as_mut_ptr(), buf.len()) };
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.notify_fd);
+            close(self.epfd);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::net::{TcpListener, TcpStream};
+
+    fn local_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn listener_becomes_readable_on_connect() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(&listener, Event::readable(7)).unwrap();
+
+        let mut events = Events::new();
+        let n = poller.wait(&mut events, Some(Duration::from_millis(50))).unwrap();
+        assert_eq!(n, 0, "no readiness before a connection arrives");
+
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let n = poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        let ev = events.iter().next().unwrap();
+        assert_eq!(ev.key, 7);
+        assert!(ev.readable);
+        poller.delete(&listener).unwrap();
+    }
+
+    #[test]
+    fn notify_wakes_a_blocked_wait_without_an_event() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let p2 = std::sync::Arc::clone(&poller);
+        let waker = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            p2.notify().unwrap();
+        });
+        let mut events = Events::new();
+        let start = std::time::Instant::now();
+        let n = poller.wait(&mut events, Some(Duration::from_secs(10))).unwrap();
+        assert_eq!(n, 0, "notify must not surface a caller-visible event");
+        assert!(start.elapsed() < Duration::from_secs(5), "notify failed to wake wait");
+        waker.join().unwrap();
+    }
+
+    #[test]
+    fn level_mode_rereports_and_edge_mode_reports_once() {
+        for (mode, second_wait_events) in [(PollMode::Level, 1), (PollMode::Edge, 0)] {
+            let (mut writer, reader) = local_pair();
+            reader.set_nonblocking(true).unwrap();
+            let poller = Poller::new().unwrap();
+            poller.add_with_mode(&reader, Event::readable(3), mode).unwrap();
+            writer.write_all(b"x").unwrap();
+            writer.flush().unwrap();
+
+            let mut events = Events::new();
+            let n = poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+            assert_eq!(n, 1, "{mode:?}: unconsumed byte must trigger the first wait");
+            events.clear();
+            // The byte stays unread: level re-reports, edge stays silent.
+            let n = poller.wait(&mut events, Some(Duration::from_millis(50))).unwrap();
+            assert_eq!(n, second_wait_events, "{mode:?} retrigger semantics");
+            poller.delete(&reader).unwrap();
+        }
+    }
+
+    #[test]
+    fn modify_switches_interest_between_directions() {
+        let (writer, reader) = local_pair();
+        reader.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        // Write interest on an idle socket with room in its send buffer:
+        // immediately ready.
+        poller.add(&reader, Event::writable(1)).unwrap();
+        let mut events = Events::new();
+        let n = poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert!(events.iter().next().unwrap().writable);
+
+        // Swap to read interest: silent until the peer writes.
+        poller.modify(&reader, Event::readable(1)).unwrap();
+        events.clear();
+        let n = poller.wait(&mut events, Some(Duration::from_millis(50))).unwrap();
+        assert_eq!(n, 0, "read interest on a quiet socket must not fire");
+        let mut w = &writer;
+        w.write_all(b"ping").unwrap();
+        let n = poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        let ev = events.iter().next().unwrap();
+        assert!(ev.readable && !ev.writable);
+        poller.delete(&reader).unwrap();
+    }
+
+    #[test]
+    fn none_interest_reports_nothing_until_hangup() {
+        let (writer, reader) = local_pair();
+        reader.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(&reader, Event::none(9)).unwrap();
+        let mut events = Events::new();
+        let n = poller.wait(&mut events, Some(Duration::from_millis(50))).unwrap();
+        assert_eq!(n, 0, "Event::none must mask normal readiness");
+
+        drop(writer);
+        let n = poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1, "hangup is unmaskable");
+        let ev = events.iter().next().unwrap();
+        assert_eq!(ev.key, 9);
+        assert!(ev.readable && ev.writable, "hangup surfaces as ready in both directions");
+        poller.delete(&reader).unwrap();
+    }
+
+    #[test]
+    fn reserved_notify_key_is_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let poller = Poller::new().unwrap();
+        let err = poller.add(&listener, Event::readable(NOTIFY_KEY)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+}
