@@ -13,9 +13,18 @@
 //! `rerank_factor × k` — the tier's headline trade, a scan over ~64×-denser
 //! data, measured without LSH pruning in the way.
 //!
+//! The IVF-routed tier is the headline of the routing PR: the same corpus
+//! behind a k-means coarse quantizer (`IvfRouter`, 16 cells) with the
+//! engine's Auto `nprobe` policy bounding each query to its 4 nearest
+//! cells — timed pairwise against a hash-routed quantized store of the
+//! *same* shard count (hash routing forces full fan-out, so the pair
+//! isolates what learned placement buys at fixed topology) and asserted
+//! ≥ 1.5× it at recall@10 ≥ 0.95.
+//!
 //! Besides the criterion samples, this writes `BENCH_index.json` at the
 //! workspace root — QPS for every path, the speedup, recall@10 against
-//! exact scan (including the quantized tier's, pinned ≥ 0.99), and (for
+//! exact scan (including the quantized tier's, pinned ≥ 0.99, and the
+//! routed tier's, pinned ≥ 0.95 with `shards_probed < nlist`), and (for
 //! the sharded tier) policy-driven compaction pause p50/p99 under
 //! steady-state overwrite churn — so successive PRs accumulate a perf
 //! trajectory. The printed figures are the written
@@ -26,11 +35,12 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 use tabbin_eval::cosine;
 use tabbin_index::{
-    CompactionPolicy, EngineConfig, LshParams, QueryEngine, ShardedStore, StoreConfig, VectorStore,
-    DEFAULT_RERANK_FACTOR,
+    CompactionPolicy, EngineConfig, IvfRouter, LshParams, NprobePolicy, QueryEngine, ShardedStore,
+    StoreConfig, VectorStore, DEFAULT_RERANK_FACTOR,
 };
 
 /// Corpus size / dimension of the headline measurement.
@@ -41,6 +51,9 @@ const K: usize = 10;
 const N_QUERIES: usize = 256;
 /// Shards in the sharded tier's measurement.
 const N_SHARDS: usize = 4;
+/// Cells (= shards) of the IVF-routed measurement; at 10k rows the
+/// engine's Auto policy resolves `nprobe = NLIST / 4`.
+const NLIST: usize = 16;
 
 /// Clustered corpus: 250 topic directions with jittered members — the shape
 /// table/column embeddings actually have (tables cluster by topic), and the
@@ -128,6 +141,28 @@ fn bench_index(c: &mut Criterion) {
         quant_sharded.insert(v);
     }
 
+    // The IVF-routed tier: a k-means coarse quantizer trained on an
+    // every-4th corpus sample routes each row to its nearest-centroid
+    // shard, and queries probe only the `nprobe` nearest cells — the same
+    // quantized scoring inside each probed shard, over a quarter of the
+    // corpus per query.
+    let sample: Vec<Vec<f32>> = corpus.iter().step_by(4).cloned().collect();
+    let router = Arc::new(IvfRouter::train(&sample, NLIST, qcfg.seed));
+    let mut routed = ShardedStore::with_router(DIM, NLIST, qcfg, router);
+    for v in &corpus {
+        routed.insert(v);
+    }
+    assert_eq!(routed.len(), N_VECTORS);
+    // Its hash-routed twin: same shard count, same scoring tier, but ids
+    // spread by splitmix64 — so every query must fan to all 16 shards.
+    // This is the routed tier's paired baseline: the only variable between
+    // the two stores is the router.
+    let mut hash16 = ShardedStore::new(DIM, NLIST, qcfg);
+    for v in &corpus {
+        hash16.insert(v);
+    }
+    assert_eq!(hash16.len(), N_VECTORS);
+
     // All tiers serve through the `QueryEngine` (the `Queryable`-trait
     // path every consumer uses). Cache off and probe width 1: these rounds
     // measure storage scans, not result reuse.
@@ -137,7 +172,15 @@ fn bench_index(c: &mut Criterion) {
     let coarse_path = EngineConfig::exact().without_cache();
     let quant = QueryEngine::new(quant, coarse_path);
     let quant_sharded = QueryEngine::new(quant_sharded, coarse_path);
+    let hash16 = QueryEngine::new(hash16, coarse_path);
     assert!(quant.plan(K).quantized, "quantized store must plan a quantized pass");
+    assert_eq!(hash16.plan(K).nprobe, NLIST, "hash routing must plan full fan-out");
+    // The routed engine lets the Auto policy pick the probe budget: 10k
+    // rows over 16 learned cells is deep enough to drop to NLIST / 4.
+    let routed =
+        QueryEngine::new(routed, EngineConfig { nprobe: NprobePolicy::Auto, ..coarse_path });
+    let nprobe = routed.plan(K).nprobe;
+    assert_eq!(nprobe, NLIST / 4, "Auto nprobe must go sublinear at this depth");
 
     // Recall@10 against the exact baseline, over the timed query set.
     let exact_lists: Vec<Vec<(usize, f64)>> =
@@ -145,6 +188,9 @@ fn bench_index(c: &mut Criterion) {
     let recall = recall_vs_exact(&exact_lists, &store.query_batch(&queries, K));
     let sharded_recall = recall_vs_exact(&exact_lists, &sharded.query_batch(&queries, K));
     let quant_recall = recall_vs_exact(&exact_lists, &quant.query_batch(&queries, K));
+    let routed_recall = recall_vs_exact(&exact_lists, &routed.query_batch(&queries, K));
+    let hash16_recall = recall_vs_exact(&exact_lists, &hash16.query_batch(&queries, K));
+    assert!(hash16_recall >= 0.99, "full fan-out baseline recall@10 {hash16_recall:.4} degraded");
 
     // QPS: median of 5 timed batches each.
     let time_qps = |f: &dyn Fn() -> usize| -> f64 {
@@ -175,6 +221,8 @@ fn bench_index(c: &mut Criterion) {
     let mut sharded_rounds = Vec::with_capacity(9);
     let mut quant_rounds = Vec::with_capacity(9);
     let mut quant_sharded_rounds = Vec::with_capacity(9);
+    let mut routed_rounds = Vec::with_capacity(9);
+    let mut hash16_rounds = Vec::with_capacity(9);
     for _ in 0..9 {
         let start = Instant::now();
         black_box(store.query_batch(&queries, K));
@@ -188,15 +236,26 @@ fn bench_index(c: &mut Criterion) {
         let start = Instant::now();
         black_box(quant_sharded.query_batch(&queries, K));
         quant_sharded_rounds.push(queries.len() as f64 / start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        black_box(routed.query_batch(&queries, K));
+        routed_rounds.push(queries.len() as f64 / start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        black_box(hash16.query_batch(&queries, K));
+        hash16_rounds.push(queries.len() as f64 / start.elapsed().as_secs_f64());
     }
     single_rounds.sort_by(f64::total_cmp);
     sharded_rounds.sort_by(f64::total_cmp);
     quant_rounds.sort_by(f64::total_cmp);
     quant_sharded_rounds.sort_by(f64::total_cmp);
+    routed_rounds.sort_by(f64::total_cmp);
+    hash16_rounds.sort_by(f64::total_cmp);
     let batched_qps = single_rounds[single_rounds.len() / 2];
     let sharded_qps = sharded_rounds[sharded_rounds.len() / 2];
     let quant_qps = quant_rounds[quant_rounds.len() / 2];
     let quant_sharded_qps = quant_sharded_rounds[quant_sharded_rounds.len() / 2];
+    let routed_qps = routed_rounds[routed_rounds.len() / 2];
+    let hash16_qps = hash16_rounds[hash16_rounds.len() / 2];
+    let shards_probed = routed.store().stats().avg_shards_probed();
     let speedup = batched_qps / exact_qps;
     // The ISSUE 6 acceptance bars: the coarse pass must at least double the
     // LSH-blocked engine path while keeping recall@10 within 1% of exact.
@@ -212,6 +271,20 @@ fn bench_index(c: &mut Criterion) {
         quant_sharded_qps >= sharded_qps,
         "sharded quantized pass {quant_sharded_qps:.1} qps below the sharded LSH path \
          {sharded_qps:.1} qps — the shard-union entry bar is not paying off"
+    );
+    // The ISSUE 9 bars: at the same 16-shard topology, nprobe-bounded routed
+    // scans must beat hash routing's forced full fan-out by 1.5x while
+    // holding recall@10 at 0.95, and the probe counters must prove the
+    // scans were actually sublinear.
+    assert!(
+        routed_qps >= 1.5 * hash16_qps,
+        "routed pass {routed_qps:.1} qps below 1.5x the hash-routed {NLIST}-shard pass \
+         {hash16_qps:.1} qps — nprobe={nprobe} is not paying for itself"
+    );
+    assert!(routed_recall >= 0.95, "routed recall@10 {routed_recall:.4} below 0.95");
+    assert!(
+        shards_probed < NLIST as f64,
+        "routed store probed {shards_probed:.1} of {NLIST} shards per query — not sublinear"
     );
 
     // The engine's LRU hit path: a cached engine over the same sharded
@@ -261,6 +334,11 @@ fn bench_index(c: &mut Criterion) {
     let quant_qps_s = format!("{quant_qps:.1}");
     let quant_sharded_qps_s = format!("{quant_sharded_qps:.1}");
     let quant_recall_s = format!("{quant_recall:.4}");
+    let routed_qps_s = format!("{routed_qps:.1}");
+    let hash16_qps_s = format!("{hash16_qps:.1}");
+    let routed_recall_s = format!("{routed_recall:.4}");
+    let routed_speedup_s = format!("{:.2}", routed_qps / hash16_qps);
+    let shards_probed_s = format!("{shards_probed:.2}");
     let cache_qps_s = format!("{cache_qps:.1}");
     let pause_p50_s = format!("{pause_p50:.3}");
     let pause_p99_s = format!("{pause_p99:.3}");
@@ -278,6 +356,11 @@ fn bench_index(c: &mut Criterion) {
          {n_compactions} policy compactions \
          (pause p50 {pause_p50_s} ms, p99 {pause_p99_s} ms over {CHURN_WRITES} writes)"
     );
+    println!(
+        "index_{N_VECTORS}x{DIM} routed(nlist {NLIST}, nprobe {nprobe}): {routed_qps_s} qps \
+         ({routed_speedup_s}x the hash-routed {NLIST}-shard pass at {hash16_qps_s} qps), \
+         recall@{K} {routed_recall_s}, {shards_probed_s}/{NLIST} shards probed per query"
+    );
     let json = format!(
         "{{\n  \"bench\": \"vector_store_query\",\n  \"n_vectors\": {N_VECTORS},\n  \
          \"dim\": {DIM},\n  \"k\": {K},\n  \"n_queries\": {N_QUERIES},\n  \
@@ -294,7 +377,14 @@ fn bench_index(c: &mut Criterion) {
          \"churn_writes\": {CHURN_WRITES},\n    \
          \"compactions\": {n_compactions},\n    \
          \"compaction_pause_ms_p50\": {pause_p50_s},\n    \
-         \"compaction_pause_ms_p99\": {pause_p99_s}\n  }}\n}}\n"
+         \"compaction_pause_ms_p99\": {pause_p99_s}\n  }},\n  \
+         \"routed\": {{\n    \"nlist\": {NLIST},\n    \
+         \"nprobe\": {nprobe},\n    \
+         \"query_batch_qps\": {routed_qps_s},\n    \
+         \"hash_routed_qps\": {hash16_qps_s},\n    \
+         \"speedup_vs_hash_routed\": {routed_speedup_s},\n    \
+         \"recall_at_10\": {routed_recall_s},\n    \
+         \"shards_probed\": {shards_probed_s}\n  }}\n}}\n"
     );
     // Prefer the workspace root; fall back to the working directory (and a
     // warning) so a relocated bench binary still reports instead of dying.
@@ -320,6 +410,9 @@ fn bench_index(c: &mut Criterion) {
     });
     g.bench_function("quantized_query_batch_coarse", |b| {
         b.iter(|| black_box(quant.query_batch(&queries[..32], K)));
+    });
+    g.bench_function("routed_query_batch_nprobe", |b| {
+        b.iter(|| black_box(routed.query_batch(&queries[..32], K)));
     });
     g.finish();
 

@@ -14,6 +14,11 @@
 //!   and an ef-style **probe width**: it over-fetches `k × probe_width`
 //!   candidates so a cached result can serve any smaller `k` as a prefix —
 //!   prefixes of a ranked top-`m` list are exactly the top-`k` for `k ≤ m`.
+//!   Over a router-driven store it also resolves an **`nprobe`**
+//!   ([`NprobePolicy`]): how many shards each query visits. `Auto` keeps
+//!   full fan-out on small or hash-routed corpora and drops to a quarter of
+//!   the shards once a learned router has enough rows per shard for the
+//!   sublinear scan to pay.
 //! * **Caching** — an LRU keyed on the *normalized* query vector's bits
 //!   (plus the planned source), so scaled duplicates of one direction hit
 //!   the same entry. Mutation invalidates: any `&mut` access to the store
@@ -75,6 +80,45 @@ pub trait Queryable: Send + Sync {
         k: usize,
         source: &dyn CandidateSource,
     ) -> Vec<Vec<Hit>>;
+
+    /// How many routing targets (shards) the tier fans a query across.
+    /// Single-store tiers are one route.
+    fn routes(&self) -> usize {
+        1
+    }
+
+    /// Whether placement is geometry-aware (a learned router), making a
+    /// sub-`routes()` probe set meaningful. Hash-routed and single-store
+    /// tiers answer `false` and always scan everything.
+    fn routed(&self) -> bool {
+        false
+    }
+
+    /// [`search`](Self::search) bounded to the `nprobe` nearest routing
+    /// cells. Tiers without a router ignore the bound.
+    fn search_probed(
+        &self,
+        q: &[f32],
+        k: usize,
+        source: &dyn CandidateSource,
+        nprobe: usize,
+    ) -> Vec<Hit> {
+        let _ = nprobe;
+        self.search(q, k, source)
+    }
+
+    /// [`search_batch`](Self::search_batch) bounded to `nprobe` cells per
+    /// query. Tiers without a router ignore the bound.
+    fn search_batch_probed(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        source: &dyn CandidateSource,
+        nprobe: usize,
+    ) -> Vec<Vec<Hit>> {
+        let _ = nprobe;
+        self.search_batch(queries, k, source)
+    }
 }
 
 /// How the engine picks a candidate source per query.
@@ -93,6 +137,22 @@ pub enum ProbePolicy {
     Lsh,
 }
 
+/// How many routing cells (shards) the engine lets each query probe when
+/// the store's router is learned (see [`Queryable::routed`]). Irrelevant —
+/// and resolved to full fan-out — over hash-routed or single-store tiers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum NprobePolicy {
+    /// Full fan-out on small or hash-routed corpora; `routes / 4` (at
+    /// least 1) once a learned router serves ≥ 1024 rows at ≥ 64 rows per
+    /// shard, where the sublinear scan pays for the recall trade.
+    #[default]
+    Auto,
+    /// Always probe every shard — recall identical to hash routing.
+    All,
+    /// Probe exactly this many cells (clamped to `1..=routes`).
+    Fixed(usize),
+}
+
 /// Construction-time options for a [`QueryEngine`].
 #[derive(Clone, Copy, Debug)]
 pub struct EngineConfig {
@@ -106,17 +166,20 @@ pub struct EngineConfig {
     pub cache_capacity: usize,
     /// Most queries one [`MicroBatcher`] batch coalesces.
     pub batch_max: usize,
+    /// Shard-probe budget over routed stores (see [`NprobePolicy`]).
+    pub nprobe: NprobePolicy,
 }
 
 impl Default for EngineConfig {
     /// Auto source selection with a 1024-row exact cutoff, 2× probe width,
-    /// a 1024-entry cache, and 64-query micro-batches.
+    /// a 1024-entry cache, 64-query micro-batches, and auto `nprobe`.
     fn default() -> Self {
         Self {
             probe: ProbePolicy::Auto { exact_cutoff: 1024 },
             probe_width: 2,
             cache_capacity: 1024,
             batch_max: 64,
+            nprobe: NprobePolicy::Auto,
         }
     }
 }
@@ -124,8 +187,14 @@ impl Default for EngineConfig {
 impl EngineConfig {
     /// A config that always scans exactly and never over-fetches — what
     /// the evaluation protocols use to reproduce the paper's numbers.
+    /// Probes every shard so recall stays 1.0 even over a routed store.
     pub fn exact() -> Self {
-        Self { probe: ProbePolicy::Exact, probe_width: 1, ..Self::default() }
+        Self {
+            probe: ProbePolicy::Exact,
+            probe_width: 1,
+            nprobe: NprobePolicy::All,
+            ..Self::default()
+        }
     }
 
     /// A config that always uses LSH blocking (the paper's §4.1 recipe).
@@ -151,6 +220,9 @@ pub struct QueryPlan {
     /// Whether the store scores through its quantized coarse-then-re-rank
     /// tier ([`ScoringTier::Quantized`]) rather than pure f32 scans.
     pub quantized: bool,
+    /// Shards each query visits, resolved from [`NprobePolicy`] (or a
+    /// per-call override); equals [`Queryable::routes`] for full fan-out.
+    pub nprobe: usize,
 }
 
 /// Engine observability: cache and storage-call counters, snapshotted by
@@ -244,6 +316,13 @@ impl<S: Queryable> QueryEngine<S> {
 
     /// The plan the engine would execute for one query at this `k`.
     pub fn plan(&self, k: usize) -> QueryPlan {
+        self.plan_probed(k, None)
+    }
+
+    /// [`plan`](Self::plan) with an optional per-call `nprobe` override
+    /// (the serving tier's knob); `None` resolves the configured
+    /// [`NprobePolicy`].
+    pub fn plan_probed(&self, k: usize, nprobe_override: Option<usize>) -> QueryPlan {
         let lsh = match self.cfg.probe {
             ProbePolicy::Exact => false,
             ProbePolicy::Lsh => self.store.has_lsh(),
@@ -251,10 +330,27 @@ impl<S: Queryable> QueryEngine<S> {
                 self.store.has_lsh() && self.store.len() > exact_cutoff
             }
         };
+        let routes = self.store.routes().max(1);
+        let nprobe = match nprobe_override {
+            Some(n) => n.clamp(1, routes),
+            None => match self.cfg.nprobe {
+                NprobePolicy::All => routes,
+                NprobePolicy::Fixed(n) => n.clamp(1, routes),
+                NprobePolicy::Auto => {
+                    let len = self.store.len();
+                    if self.store.routed() && len >= 1024 && len / routes >= 64 {
+                        (routes / 4).max(1)
+                    } else {
+                        routes
+                    }
+                }
+            },
+        };
         QueryPlan {
             fetch_k: k.saturating_mul(self.cfg.probe_width),
             lsh,
             quantized: matches!(self.store.tier(), ScoringTier::Quantized { .. }),
+            nprobe,
         }
     }
 
@@ -278,11 +374,23 @@ impl<S: Queryable> QueryEngine<S> {
     /// tier's fast path: an I/O thread can answer a hot query inline
     /// instead of paying a hand-off to the worker pool.
     pub fn try_cached(&self, q: &[f32], k: usize) -> Option<Vec<Hit>> {
+        self.try_cached_probed(q, k, None)
+    }
+
+    /// [`try_cached`](Self::try_cached) with an optional per-call `nprobe`
+    /// override. The override is part of the cache key: the same vector at
+    /// different probe budgets must not share results.
+    pub fn try_cached_probed(
+        &self,
+        q: &[f32],
+        k: usize,
+        nprobe_override: Option<usize>,
+    ) -> Option<Vec<Hit>> {
         if self.cfg.cache_capacity == 0 {
             return None;
         }
-        let plan = self.plan(k);
-        let key = CacheKey::of(&normalize(q), plan.lsh, plan.quantized);
+        let plan = self.plan_probed(k, nprobe_override);
+        let key = CacheKey::of(&normalize(q), &plan);
         let hits = self.cache.lock().expect("cache lock poisoned").get(&key, k)?;
         self.cache_hits.fetch_add(1, Ordering::Relaxed);
         Some(hits)
@@ -296,16 +404,21 @@ impl<S: Queryable> QueryEngine<S> {
     /// storage call would — so engine results are bit-identical to storage
     /// results, normalization round-off included.
     pub fn query(&self, q: &[f32], k: usize) -> Vec<Hit> {
-        let plan = self.plan(k);
+        self.query_probed(q, k, None)
+    }
+
+    /// [`query`](Self::query) with an optional per-call `nprobe` override.
+    pub fn query_probed(&self, q: &[f32], k: usize, nprobe_override: Option<usize>) -> Vec<Hit> {
+        let plan = self.plan_probed(k, nprobe_override);
         let source: &dyn CandidateSource = if plan.lsh { &LshCandidates } else { &ExactScan };
         if self.cfg.cache_capacity > 0 {
-            let key = CacheKey::of(&normalize(q), plan.lsh, plan.quantized);
+            let key = CacheKey::of(&normalize(q), &plan);
             if let Some(hits) = self.cache.lock().expect("cache lock poisoned").get(&key, k) {
                 self.cache_hits.fetch_add(1, Ordering::Relaxed);
                 return hits;
             }
             self.cache_misses.fetch_add(1, Ordering::Relaxed);
-            let full = self.store.search(q, plan.fetch_k, source);
+            let full = self.store.search_probed(q, plan.fetch_k, source, plan.nprobe);
             self.store_batches.fetch_add(1, Ordering::Relaxed);
             self.store_queries.fetch_add(1, Ordering::Relaxed);
             let mut out = full.clone();
@@ -316,7 +429,7 @@ impl<S: Queryable> QueryEngine<S> {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
         self.store_batches.fetch_add(1, Ordering::Relaxed);
         self.store_queries.fetch_add(1, Ordering::Relaxed);
-        let mut out = self.store.search(q, plan.fetch_k, source);
+        let mut out = self.store.search_probed(q, plan.fetch_k, source, plan.nprobe);
         out.truncate(k);
         out
     }
@@ -325,7 +438,18 @@ impl<S: Queryable> QueryEngine<S> {
     /// misses go to storage as **one** `search_batch` call, and outputs
     /// come back in input order.
     pub fn query_batch(&self, queries: &[Vec<f32>], k: usize) -> Vec<Vec<Hit>> {
-        let plan = self.plan(k);
+        self.query_batch_probed(queries, k, None)
+    }
+
+    /// [`query_batch`](Self::query_batch) with an optional per-call
+    /// `nprobe` override.
+    pub fn query_batch_probed(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        nprobe_override: Option<usize>,
+    ) -> Vec<Vec<Hit>> {
+        let plan = self.plan_probed(k, nprobe_override);
         let source: &dyn CandidateSource = if plan.lsh { &LshCandidates } else { &ExactScan };
 
         if self.cfg.cache_capacity == 0 {
@@ -334,7 +458,8 @@ impl<S: Queryable> QueryEngine<S> {
                 self.store_batches.fetch_add(1, Ordering::Relaxed);
                 self.store_queries.fetch_add(queries.len() as u64, Ordering::Relaxed);
             }
-            let mut lists = self.store.search_batch(queries, plan.fetch_k, source);
+            let mut lists =
+                self.store.search_batch_probed(queries, plan.fetch_k, source, plan.nprobe);
             for l in &mut lists {
                 l.truncate(k);
             }
@@ -342,7 +467,7 @@ impl<S: Queryable> QueryEngine<S> {
         }
 
         let keys: Vec<CacheKey> =
-            queries.iter().map(|q| CacheKey::of(&normalize(q), plan.lsh, plan.quantized)).collect();
+            queries.iter().map(|q| CacheKey::of(&normalize(q), &plan)).collect();
         let mut out: Vec<Option<Vec<Hit>>> = vec![None; queries.len()];
         let mut miss_idx = Vec::new();
         {
@@ -359,7 +484,8 @@ impl<S: Queryable> QueryEngine<S> {
         if !miss_idx.is_empty() {
             let miss_queries: Vec<Vec<f32>> =
                 miss_idx.iter().map(|&i| queries[i].clone()).collect();
-            let lists = self.store.search_batch(&miss_queries, plan.fetch_k, source);
+            let lists =
+                self.store.search_batch_probed(&miss_queries, plan.fetch_k, source, plan.nprobe);
             self.store_batches.fetch_add(1, Ordering::Relaxed);
             self.store_queries.fetch_add(miss_idx.len() as u64, Ordering::Relaxed);
             let mut cache = self.cache.lock().expect("cache lock poisoned");
@@ -401,18 +527,24 @@ fn normalize(q: &[f32]) -> Vec<f32> {
 // ---------------------------------------------------------------------------
 
 /// Cache key: the normalized query's exact bit pattern plus the planned
-/// candidate source and scoring tier — two plans over one vector must not
-/// share results.
+/// candidate source, scoring tier, and probe budget — two plans over one
+/// vector must not share results.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 struct CacheKey {
     bits: Vec<u32>,
     lsh: bool,
     quantized: bool,
+    nprobe: usize,
 }
 
 impl CacheKey {
-    fn of(nq: &[f32], lsh: bool, quantized: bool) -> Self {
-        Self { bits: nq.iter().map(|x| x.to_bits()).collect(), lsh, quantized }
+    fn of(nq: &[f32], plan: &QueryPlan) -> Self {
+        Self {
+            bits: nq.iter().map(|x| x.to_bits()).collect(),
+            lsh: plan.lsh,
+            quantized: plan.quantized,
+            nprobe: plan.nprobe,
+        }
     }
 }
 
@@ -575,6 +707,7 @@ pub struct MicroBatcher<S: Queryable> {
     engine: Arc<QueryEngine<S>>,
     state: Mutex<BatchState>,
     batch_max: usize,
+    nprobe: Option<usize>,
     submitted: AtomicU64,
     batches: AtomicU64,
 }
@@ -583,14 +716,27 @@ impl<S: Queryable> MicroBatcher<S> {
     /// A batcher over `engine`, coalescing up to the engine's configured
     /// `batch_max` queries per storage call.
     pub fn new(engine: Arc<QueryEngine<S>>) -> Self {
+        Self::with_nprobe(engine, None)
+    }
+
+    /// A batcher that executes every submission at a fixed `nprobe`
+    /// override (`None` = the engine's configured policy) — the serving
+    /// tier's process-wide knob.
+    pub fn with_nprobe(engine: Arc<QueryEngine<S>>, nprobe: Option<usize>) -> Self {
         let batch_max = engine.config().batch_max;
         Self {
             engine,
             state: Mutex::new(BatchState { queue: VecDeque::new(), leading: false }),
             batch_max,
+            nprobe,
             submitted: AtomicU64::new(0),
             batches: AtomicU64::new(0),
         }
+    }
+
+    /// The fixed `nprobe` override every submission executes under, if any.
+    pub fn nprobe(&self) -> Option<usize> {
+        self.nprobe
     }
 
     /// The engine this batcher feeds.
@@ -664,7 +810,7 @@ impl<S: Queryable> MicroBatcher<S> {
             // The leader died before answering (it panicked on some job in
             // the shared batch). Fall back to executing directly — same
             // result bits, just without the coalescing.
-            Err(_) => self.engine.query(q, k),
+            Err(_) => self.engine.query_probed(q, k, self.nprobe),
         }
     }
 
@@ -677,7 +823,7 @@ impl<S: Queryable> MicroBatcher<S> {
         }
         for (k, jobs) in groups {
             let queries: Vec<Vec<f32>> = jobs.iter().map(|j| j.query.clone()).collect();
-            let lists = self.engine.query_batch(&queries, k);
+            let lists = self.engine.query_batch_probed(&queries, k, self.nprobe);
             self.batches.fetch_add(1, Ordering::Relaxed);
             for (job, hits) in jobs.into_iter().zip(lists) {
                 // A follower that gave up (disconnected) is not an error
@@ -740,7 +886,10 @@ mod tests {
         let store = store_with(&vecs, None);
         let cfg = EngineConfig { probe_width: 3, ..EngineConfig::exact() };
         let engine = QueryEngine::new(store_with(&vecs, None), cfg);
-        assert_eq!(engine.plan(4), QueryPlan { fetch_k: 12, lsh: false, quantized: false });
+        assert_eq!(
+            engine.plan(4),
+            QueryPlan { fetch_k: 12, lsh: false, quantized: false, nprobe: 1 }
+        );
         for q in vecs.iter().take(8) {
             assert_eq!(engine.query(q, 4), store.search(q, 4, &ExactScan));
         }
@@ -807,6 +956,72 @@ mod tests {
         assert!(!no_lsh.plan(5).lsh, "no LSH in the store, no LSH in the plan");
     }
 
+    /// A stub tier that only answers planning introspection — lets the
+    /// nprobe-resolution rules be pinned without building a real corpus.
+    struct RoutedStub {
+        len: usize,
+        routes: usize,
+        routed: bool,
+    }
+
+    impl Queryable for RoutedStub {
+        fn dim(&self) -> usize {
+            4
+        }
+        fn len(&self) -> usize {
+            self.len
+        }
+        fn has_lsh(&self) -> bool {
+            false
+        }
+        fn search(&self, _q: &[f32], _k: usize, _source: &dyn CandidateSource) -> Vec<Hit> {
+            Vec::new()
+        }
+        fn search_batch(
+            &self,
+            queries: &[Vec<f32>],
+            _k: usize,
+            _source: &dyn CandidateSource,
+        ) -> Vec<Vec<Hit>> {
+            vec![Vec::new(); queries.len()]
+        }
+        fn routes(&self) -> usize {
+            self.routes
+        }
+        fn routed(&self) -> bool {
+            self.routed
+        }
+    }
+
+    #[test]
+    fn nprobe_policy_resolves_by_corpus_shape() {
+        let engine = |len, routes, routed, nprobe| {
+            QueryEngine::new(
+                RoutedStub { len, routes, routed },
+                EngineConfig { nprobe, ..EngineConfig::default() },
+            )
+        };
+        // Auto: large routed corpora drop to routes/4; small ones, thin
+        // shards, and unrouted stores keep full fan-out.
+        assert_eq!(engine(10_000, 16, true, NprobePolicy::Auto).plan(10).nprobe, 4);
+        assert_eq!(engine(500, 16, true, NprobePolicy::Auto).plan(10).nprobe, 16);
+        assert_eq!(engine(1500, 64, true, NprobePolicy::Auto).plan(10).nprobe, 64);
+        assert_eq!(engine(10_000, 16, false, NprobePolicy::Auto).plan(10).nprobe, 16);
+        // All and Fixed (clamped both ways).
+        assert_eq!(engine(10_000, 16, true, NprobePolicy::All).plan(10).nprobe, 16);
+        assert_eq!(engine(10_000, 16, true, NprobePolicy::Fixed(3)).plan(10).nprobe, 3);
+        assert_eq!(engine(10_000, 16, true, NprobePolicy::Fixed(0)).plan(10).nprobe, 1);
+        assert_eq!(engine(10_000, 16, true, NprobePolicy::Fixed(99)).plan(10).nprobe, 16);
+        // A per-call override beats the policy.
+        let e = engine(10_000, 16, true, NprobePolicy::Auto);
+        assert_eq!(e.plan_probed(10, Some(2)).nprobe, 2);
+        assert_eq!(e.plan_probed(10, Some(99)).nprobe, 16);
+        // Default single-store tiers resolve to one route.
+        let flat =
+            QueryEngine::new(store_with(&random_vecs(10, 4, 13), None), EngineConfig::default());
+        assert_eq!(flat.plan(5).nprobe, 1);
+    }
+
     #[test]
     fn mutation_through_store_mut_invalidates_the_cache() {
         let vecs = random_vecs(20, 6, 7);
@@ -835,10 +1050,11 @@ mod tests {
 
     #[test]
     fn lru_evicts_oldest_and_bumps_on_get() {
+        let plan = QueryPlan { fetch_k: 1, lsh: false, quantized: false, nprobe: 1 };
         let mut lru = LruCache::new(2);
-        let ka = CacheKey::of(&[1.0], false, false);
-        let kb = CacheKey::of(&[2.0], false, false);
-        let kc = CacheKey::of(&[3.0], false, false);
+        let ka = CacheKey::of(&[1.0], &plan);
+        let kb = CacheKey::of(&[2.0], &plan);
+        let kc = CacheKey::of(&[3.0], &plan);
         lru.insert(ka.clone(), 1, vec![Hit { id: 1, score: 0.5 }]);
         lru.insert(kb.clone(), 1, vec![Hit { id: 2, score: 0.5 }]);
         assert!(lru.get(&ka, 1).is_some(), "touch A so B is the LRU entry");

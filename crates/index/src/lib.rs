@@ -14,9 +14,15 @@
 //!   ([`CompactionPolicy`]) that rewrites dead rows automatically on
 //!   mutation instead of at caller discretion.
 //! * [`ShardedStore`] ([`shard`]) — many stores behind one surface:
-//!   deterministic hash routing of ids, per-shard compaction, parallel
+//!   router-driven placement of ids, per-shard compaction, parallel
 //!   (shard × query) fan-out, and a k-way heap merge of per-shard top-k
 //!   lists. The step from one process to many.
+//! * [`Router`] ([`router`]) — how vectors map to shards: [`HashRouter`]
+//!   (splitmix64 of the id, geometry-blind, full fan-out — the default) or
+//!   [`IvfRouter`] (a deterministic k-means coarse quantizer; upserts
+//!   co-locate under their nearest centroid and queries probe only the
+//!   `nprobe` nearest cells — sublinear scans, with an online `rebalance`
+//!   path when centroids drift under churn).
 //! * [`CandidateSource`] — pluggable candidate generation per segment:
 //!   [`ExactScan`] or [`LshCandidates`] (banded SimHash blocking maintained
 //!   incrementally as vectors arrive).
@@ -46,6 +52,7 @@ pub mod candidates;
 pub mod engine;
 pub mod lsh;
 pub mod parallel;
+pub mod router;
 pub mod segment;
 pub mod shard;
 pub mod simd;
@@ -54,13 +61,14 @@ pub mod store;
 
 pub use candidates::{CandidateSource, Candidates, ExactScan, LshCandidates, QueryContext};
 pub use engine::{
-    EngineConfig, EngineStats, MicroBatchStats, MicroBatcher, ProbePolicy, QueryEngine, QueryPlan,
-    Queryable,
+    EngineConfig, EngineStats, MicroBatchStats, MicroBatcher, NprobePolicy, ProbePolicy,
+    QueryEngine, QueryPlan, Queryable,
 };
 pub use lsh::LshIndex;
+pub use router::{HashRouter, IvfRouter, Router};
 pub use shard::{ShardedStats, ShardedStore};
 pub use simd::Hit;
-pub use snapshot::{StoreSnapshot, SNAPSHOT_VERSION};
+pub use snapshot::{RouterSnapshot, StoreSnapshot, SNAPSHOT_VERSION};
 pub use store::{
     CompactionPolicy, LshParams, ScoringTier, StoreConfig, StoreStats, VectorSink, VectorStore,
     DEFAULT_RERANK_FACTOR,

@@ -1,13 +1,22 @@
 //! The sharded store: many [`VectorStore`]s behind one surface.
 //!
-//! [`ShardedStore`] routes every id to one of `n_shards` inner stores with
-//! a deterministic hash (splitmix64 of the id), so a corpus too big for one
-//! flat segment list spreads evenly across independent stores — the step
-//! from one process to many. Each shard keeps its own segments, LSH
-//! buckets, and tombstones, and runs the shared [`CompactionPolicy`]
-//! locally: a busy shard compacts without pausing its siblings.
+//! [`ShardedStore`] places every vector in one of `n_shards` inner stores
+//! through a pluggable [`Router`]: by default a deterministic hash of the
+//! id ([`crate::router::HashRouter`], the historical behavior), or a
+//! learned k-means coarse quantizer ([`crate::router::IvfRouter`]) that
+//! co-locates geometrically-similar vectors so a query needs to probe only
+//! its `nprobe` nearest cells instead of fanning out to every shard — the
+//! sublinear-scan step. Each shard keeps its own segments, LSH buckets, and
+//! tombstones, and runs the shared [`CompactionPolicy`] locally: a busy
+//! shard compacts without pausing its siblings. Placements are remembered
+//! per id, so a re-upsert that the router sends elsewhere moves the row
+//! (tombstone in the old shard, insert in the new), and
+//! [`ShardedStore::rebalance`] replays that move for every row the current
+//! router disagrees with — the online answer to centroid drift under
+//! churn, observable through [`ShardedStats::imbalance`] and the per-shard
+//! mean placement residuals.
 //!
-//! Queries fan out and merge back:
+//! Queries fan out (to the probe set) and merge back:
 //!
 //! * [`ShardedStore::search_batch`] spreads (shard × query) tasks across the
 //!   workspace's crossbeam scoped workers ([`crate::parallel`]), exactly
@@ -37,34 +46,35 @@ use crate::candidates::{CandidateSource, QueryContext};
 use crate::engine::Queryable;
 use crate::lsh::unpack_signature;
 use crate::parallel::par_chunk_map;
-use crate::simd::{dot, rank_cmp, CoarseHit, CoarseTopR, Hit, TopK};
-use crate::snapshot::{self, StoreSnapshot, MAX_SNAPSHOT_SHARDS, SNAPSHOT_VERSION};
+use crate::router::{splitmix64, HashRouter, IvfRouter, Router};
+use crate::simd::{dot, l2_normalize, rank_cmp, CoarseHit, CoarseTopR, Hit, TopK};
+use crate::snapshot::{self, RouterSnapshot, StoreSnapshot, MAX_SNAPSHOT_SHARDS, SNAPSHOT_VERSION};
 use crate::store::{
     bar_from_samples, coarse_r, CompactionPolicy, PreparedQuery, ScoringTier, StoreConfig,
     StoreStats, VectorSink, VectorStore,
 };
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::io;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-/// Finalizing mixer from the splitmix64 generator: every id bit diffuses
-/// into the shard choice, so sequential ids (the common case — auto-ids and
-/// corpus indices) spread uniformly instead of striping.
-#[inline]
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    x ^ (x >> 31)
-}
-
-/// Per-shard observability: one [`StoreStats`] per shard, plus the sums.
-/// Serializable so the serving tier (`tabbin-serve`) can ship it verbatim
-/// as the `Stats` reply's storage section.
+/// Per-shard observability: one [`StoreStats`] per shard, plus the sums and
+/// lifetime probe counters. Serializable so the serving tier
+/// (`tabbin-serve`) can ship it verbatim as the `Stats` reply's storage
+/// section.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ShardedStats {
     /// Stats of every shard, in shard order.
     pub shards: Vec<StoreStats>,
+    /// Queries answered over the store's lifetime (single searches count 1,
+    /// batches count their length).
+    pub queries: u64,
+    /// Shards probed across those queries — `queries × n_shards` under full
+    /// fan-out; under IVF routing the ratio `shards_probed / queries` is
+    /// the observable sublinearity claim.
+    pub shards_probed: u64,
 }
 
 impl ShardedStats {
@@ -77,6 +87,7 @@ impl ShardedStats {
             t.segments += s.segments;
             t.sealed_segments += s.sealed_segments;
             t.pending_rows += s.pending_rows;
+            t.rows_scanned += s.rows_scanned;
         }
         t
     }
@@ -87,16 +98,68 @@ impl ShardedStats {
     pub fn depths(&self) -> Vec<usize> {
         self.shards.iter().map(StoreStats::pending_depth).collect()
     }
+
+    /// Placement skew: the largest shard's live count over the mean live
+    /// count (`1.0` = perfectly even, and by convention when the store is
+    /// empty). This is the rebalance trigger signal — a learned router
+    /// whose centroids drifted under churn shows up here before it shows up
+    /// in latency.
+    pub fn imbalance(&self) -> f64 {
+        let max = self.shards.iter().map(|s| s.live).max().unwrap_or(0);
+        let total: usize = self.shards.iter().map(|s| s.live).sum();
+        if total == 0 || self.shards.is_empty() {
+            return 1.0;
+        }
+        max as f64 * self.shards.len() as f64 / total as f64
+    }
+
+    /// Mean shards probed per query (`n_shards` under full fan-out), or
+    /// `0.0` before any query ran.
+    pub fn avg_shards_probed(&self) -> f64 {
+        if self.queries == 0 {
+            return 0.0;
+        }
+        self.shards_probed as f64 / self.queries as f64
+    }
 }
 
-/// A hash-sharded vector store: `n_shards` independent [`VectorStore`]s
-/// with deterministic id routing, parallel fan-out queries, and a k-way
-/// merged global top-k. See the [module docs](self) for the design.
-#[derive(Clone, Debug)]
+/// A sharded vector store: `n_shards` independent [`VectorStore`]s behind a
+/// pluggable [`Router`] (hash placement + full fan-out by default, learned
+/// IVF placement + `nprobe`-bounded probing optionally), parallel fan-out
+/// queries, and a k-way merged global top-k. See the [module docs](self)
+/// for the design.
+#[derive(Debug)]
 pub struct ShardedStore {
     dim: usize,
     shards: Vec<VectorStore>,
     next_id: u64,
+    router: Arc<dyn Router>,
+    /// Where each id physically lives. Maintained for every router (the
+    /// hash router's placements just always agree with the hash), so
+    /// `shard_of` stays O(1) even after a re-route or rebalance moved rows
+    /// away from where the current router would put them.
+    placements: HashMap<u64, u32>,
+    /// Per-shard placement residual accumulators `(sum, count)` — the
+    /// centroid-drift signal. Approximate by design: deletes don't subtract
+    /// (the signal tracks drift since the last rebalance, which resets it).
+    residuals: Vec<(f64, u64)>,
+    queries: AtomicU64,
+    shards_probed: AtomicU64,
+}
+
+impl Clone for ShardedStore {
+    fn clone(&self) -> Self {
+        Self {
+            dim: self.dim,
+            shards: self.shards.clone(),
+            next_id: self.next_id,
+            router: Arc::clone(&self.router),
+            placements: self.placements.clone(),
+            residuals: self.residuals.clone(),
+            queries: AtomicU64::new(self.queries.load(Ordering::Relaxed)),
+            shards_probed: AtomicU64::new(self.shards_probed.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl ShardedStore {
@@ -109,13 +172,51 @@ impl ShardedStore {
     /// bound (65536 — so `save` can never write a file `load` rejects), or
     /// any config `VectorStore::new` rejects.
     pub fn new(dim: usize, n_shards: usize, cfg: StoreConfig) -> Self {
+        Self::with_router(dim, n_shards, cfg, Arc::new(HashRouter))
+    }
+
+    /// An empty store placing and probing through an explicit `router` —
+    /// [`ShardedStore::new`] with [`HashRouter`] swapped for, typically, a
+    /// trained [`IvfRouter`].
+    ///
+    /// # Panics
+    /// Everything [`ShardedStore::new`] panics on, plus a learned router
+    /// whose cell count or centroid dimensionality disagrees with
+    /// `n_shards`/`dim` (IVF requires `nlist == n_shards`).
+    pub fn with_router(
+        dim: usize,
+        n_shards: usize,
+        cfg: StoreConfig,
+        router: Arc<dyn Router>,
+    ) -> Self {
         assert!(n_shards > 0, "ShardedStore needs at least one shard");
         assert!(
             n_shards <= MAX_SNAPSHOT_SHARDS as usize,
             "ShardedStore supports at most {MAX_SNAPSHOT_SHARDS} shards (asked for {n_shards})"
         );
+        if let Some(centroids) = router.centroids() {
+            assert_eq!(
+                centroids.len(),
+                n_shards,
+                "router has {} cells but the store has {n_shards} shards",
+                centroids.len()
+            );
+            assert!(
+                centroids.iter().all(|c| c.len() == dim),
+                "router centroids must be {dim}-dimensional"
+            );
+        }
         let shards = (0..n_shards).map(|_| VectorStore::new(dim, cfg)).collect();
-        Self { dim, shards, next_id: 0 }
+        Self {
+            dim,
+            shards,
+            next_id: 0,
+            router,
+            placements: HashMap::new(),
+            residuals: vec![(0.0, 0); n_shards],
+            queries: AtomicU64::new(0),
+            shards_probed: AtomicU64::new(0),
+        }
     }
 
     /// An exact-scan-only sharded store with default segment sizing.
@@ -153,15 +254,128 @@ impl ShardedStore {
         self.shards[0].tier()
     }
 
-    /// The shard `id` routes to. Pure in `(id, n_shards)` — stable across
-    /// processes, runs, and snapshot round-trips.
+    /// The shard `id` lives in: the recorded placement when the id has
+    /// been upserted (O(1)), or the hash route for ids never seen — which
+    /// is where [`HashRouter`] would put them, so lookups on dead ids stay
+    /// deterministic and simply find nothing.
     pub fn shard_of(&self, id: u64) -> usize {
-        (splitmix64(id) % self.shards.len() as u64) as usize
+        match self.placements.get(&id) {
+            Some(&s) => s as usize,
+            None => (splitmix64(id) % self.shards.len() as u64) as usize,
+        }
+    }
+
+    /// The active router's short name (`"hash"`, `"ivf"`) for stats/logs.
+    pub fn router_name(&self) -> &'static str {
+        self.router.name()
+    }
+
+    /// Whether placement follows vector geometry (a learned router), i.e.
+    /// whether probing fewer than `n_shards` shards is meaningful.
+    pub fn routed(&self) -> bool {
+        self.router.is_learned()
+    }
+
+    /// Per-shard mean placement residual (`1 - cos(centroid, v)` averaged
+    /// over the rows upserted into each shard since the last
+    /// [`rebalance`](Self::rebalance)) — the centroid-drift signal. All
+    /// zeros under a geometry-blind router.
+    pub fn mean_residuals(&self) -> Vec<f64> {
+        self.residuals.iter().map(|&(sum, n)| if n == 0 { 0.0 } else { sum / n as f64 }).collect()
+    }
+
+    /// Whether live-row skew has crossed `max_imbalance`
+    /// ([`ShardedStats::imbalance`], `1.0` = even) — the cheap check
+    /// callers poll to decide when [`rebalance`](Self::rebalance) is worth
+    /// its O(moved rows) cost.
+    pub fn needs_rebalance(&self, max_imbalance: f64) -> bool {
+        self.stats().imbalance() > max_imbalance
+    }
+
+    /// Swaps the router without moving any data: existing placements stay
+    /// where they physically are (queries remain correct — results are
+    /// layout-independent), new upserts follow the new router, and the
+    /// drift accumulators restart against the new centroids. Call
+    /// [`rebalance`](Self::rebalance) afterwards to migrate existing rows.
+    ///
+    /// # Panics
+    /// If a learned router's geometry disagrees with the store (same checks
+    /// as [`with_router`](Self::with_router)).
+    pub fn install_router(&mut self, router: Arc<dyn Router>) {
+        if let Some(centroids) = router.centroids() {
+            assert_eq!(
+                centroids.len(),
+                self.shards.len(),
+                "router has {} cells but the store has {} shards",
+                centroids.len(),
+                self.shards.len()
+            );
+            assert!(
+                centroids.iter().all(|c| c.len() == self.dim),
+                "router centroids must be {}-dimensional",
+                self.dim
+            );
+        }
+        self.router = router;
+        self.reset_residuals();
+    }
+
+    /// Re-places every live row the current router disagrees with: each
+    /// move tombstones the row in its old shard and re-inserts it in the
+    /// router's choice through the normal upsert path, so the existing
+    /// compaction policy reclaims the holes. Returns the number of rows
+    /// moved. Query results are unchanged bit-for-bit — coarse selection
+    /// and ranking are layout-independent by construction — but probe sets
+    /// become accurate again, and the drift accumulators reset.
+    pub fn rebalance(&mut self) -> usize {
+        let n = self.shards.len();
+        let mut ids: Vec<u64> = self.placements.keys().copied().collect();
+        ids.sort_unstable();
+        let mut moves: Vec<(u64, usize, usize, Vec<f32>)> = Vec::new();
+        for id in ids {
+            let from = self.placements[&id] as usize;
+            let Some(v) = self.shards[from].get(id) else { continue };
+            let to = self.router.place(id, v, n);
+            if to != from {
+                moves.push((id, from, to, v.to_vec()));
+            }
+        }
+        for (id, from, to, v) in &moves {
+            self.shards[*from].delete(*id);
+            self.shards[*to].upsert_normalized(*id, v);
+            self.placements.insert(*id, *to as u32);
+        }
+        self.reset_residuals();
+        moves.len()
+    }
+
+    /// Zeroes the drift accumulators and re-accumulates each live row's
+    /// residual against its current shard under the current router.
+    fn reset_residuals(&mut self) {
+        self.residuals = vec![(0.0, 0); self.shards.len()];
+        if !self.router.is_learned() {
+            return;
+        }
+        let mut ids: Vec<u64> = self.placements.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let shard = self.placements[&id] as usize;
+            if let Some(v) = self.shards[shard].get(id) {
+                if let Some(res) = self.router.residual(v, shard) {
+                    self.residuals[shard].0 += res;
+                    self.residuals[shard].1 += 1;
+                }
+            }
+        }
     }
 
     /// Per-shard stats, shard order; `.totals()` for the aggregate.
     pub fn stats(&self) -> ShardedStats {
-        ShardedStats { shards: self.shards.iter().map(VectorStore::stats).collect() }
+        ShardedStats {
+            shards: self.shards.iter().map(VectorStore::stats).collect(),
+            queries: self.queries.load(Ordering::Relaxed),
+            shards_probed: self.shards_probed.load(Ordering::Relaxed),
+        }
     }
 
     /// Total compaction runs across all shards over the store's lifetime.
@@ -186,17 +400,37 @@ impl ShardedStore {
         id
     }
 
-    /// Inserts or replaces `id` in its shard. The shard may run a policy
-    /// compaction afterwards; siblings are untouched.
+    /// Inserts or replaces `id` in the shard the router places it — moving
+    /// it (tombstone + re-insert) when a previous copy lives elsewhere. The
+    /// touched shards may run a policy compaction afterwards; siblings are
+    /// untouched.
     pub fn upsert(&mut self, id: u64, v: &[f32]) {
-        let shard = self.shard_of(id);
-        self.shards[shard].upsert(id, v);
+        assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        // Normalize once up front: the router ranks centroids over the same
+        // unit vector the shard stores, and the single shared
+        // `l2_normalize` keeps the stored bits identical to what
+        // `VectorStore::upsert` would have produced.
+        let mut nv = v.to_vec();
+        l2_normalize(&mut nv);
+        let target = self.router.place(id, &nv, self.shards.len());
+        if let Some(&old) = self.placements.get(&id) {
+            if old as usize != target {
+                self.shards[old as usize].delete(id);
+            }
+        }
+        self.shards[target].upsert_normalized(id, &nv);
+        self.placements.insert(id, target as u32);
+        if let Some(res) = self.router.residual(&nv, target) {
+            self.residuals[target].0 += res;
+            self.residuals[target].1 += 1;
+        }
         self.next_id = self.next_id.max(id + 1);
     }
 
     /// Tombstones `id` in its shard; returns whether it was live.
     pub fn delete(&mut self, id: u64) -> bool {
         let shard = self.shard_of(id);
+        self.placements.remove(&id);
         self.shards[shard].delete(id)
     }
 
@@ -221,19 +455,42 @@ impl ShardedStore {
 
     // --- queries -----------------------------------------------------------
 
-    /// Top-`k` search with an explicit candidate source: each shard scans
-    /// its own segments, and the ranked per-shard lists k-way merge into
-    /// the global result. Identical output to one unsharded store over the
-    /// same corpus.
+    /// Top-`k` search with an explicit candidate source, full fan-out:
+    /// every shard scans its own segments, and the ranked per-shard lists
+    /// k-way merge into the global result. Identical output to one
+    /// unsharded store over the same corpus.
     pub fn search(&self, q: &[f32], k: usize, source: &dyn CandidateSource) -> Vec<Hit> {
+        self.search_probed(q, k, source, self.shards.len())
+    }
+
+    /// [`search`](Self::search) bounded to the router's `nprobe` nearest
+    /// cells. Under a geometry-blind router the bound is ignored (probing a
+    /// subset of hash-placed shards would drop neighbors); under IVF with
+    /// `nprobe == n_shards` the probe set is every shard in ascending
+    /// order, so results are bit-identical to full fan-out. `nprobe == 1`
+    /// takes a single-shard fast path: no merge, no pooled bar union.
+    pub fn search_probed(
+        &self,
+        q: &[f32],
+        k: usize,
+        source: &dyn CandidateSource,
+        nprobe: usize,
+    ) -> Vec<Hit> {
         let prepared = self.shards[0].prepare_query(q);
         let ctx = prepared.ctx();
+        let probes = self.router.probe(&prepared.nq, nprobe, self.shards.len());
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.shards_probed.fetch_add(probes.len() as u64, Ordering::Relaxed);
         match self.tier() {
             ScoringTier::Exact => {
-                let lists: Vec<Vec<Hit>> = self
-                    .shards
+                if let [only] = probes[..] {
+                    // Single-shard fast path: the shard's own top-k IS the
+                    // answer — skip the heap merge entirely.
+                    return self.shards[only].scan_prepared(&ctx, k, source).into_sorted();
+                }
+                let lists: Vec<Vec<Hit>> = probes
                     .iter()
-                    .map(|s| s.scan_prepared(&ctx, k, source).into_sorted())
+                    .map(|&si| self.shards[si].scan_prepared(&ctx, k, source).into_sorted())
                     .collect();
                 merge_ranked(&lists, k)
             }
@@ -241,39 +498,48 @@ impl ShardedStore {
                 let r = coarse_r(k, rerank_factor);
                 let qsig = self.shards[0].packed_query_sig(&ctx);
                 // One union entry bar and one accumulator threaded across
-                // every shard: the bar tightened by shard `i` prunes shard
-                // `i + 1`'s sweep, exactly as the single-store path carries
-                // it across segments.
-                let mut top = CoarseTopR::with_cap(r, self.union_entry_bar(&ctx, &qsig, r));
-                for s in &self.shards {
-                    s.coarse_sweep_into(&qsig, &ctx, source, &mut top);
+                // the probed shards: the bar tightened by probe `i` prunes
+                // probe `i + 1`'s sweep, exactly as the single-store path
+                // carries it across segments. The bar samples only probed
+                // shards — pooling buckets the sweep will never visit
+                // would spend probe budget on rows that can't survive.
+                let mut top =
+                    CoarseTopR::with_cap(r, self.union_entry_bar(&ctx, &qsig, r, &probes));
+                for &si in &probes {
+                    self.shards[si].coarse_sweep_into(&qsig, &ctx, source, &mut top);
                 }
                 self.rerank(&prepared.nq, &top.into_sorted(), k)
             }
         }
     }
 
-    /// The coarse pass's pre-sweep entry bar, pooled across shards: the
-    /// `r`-th smallest Hamming distance over the query's own LSH band
-    /// buckets of *every* shard. Sharding splits each bucket's rows ~N
+    /// The coarse pass's pre-sweep entry bar, pooled across the probed
+    /// shards: the `r`-th smallest Hamming distance over the query's own
+    /// LSH band buckets of every shard the sweep will visit (all of them
+    /// under full fan-out). Sharding splits each bucket's rows ~N
     /// ways, so a per-shard probe must walk ~N× the bands for the same
     /// sample size — the pooled probe restores the single-store sampling
     /// cost (band-major, shared budget) and yields one bar valid for every
     /// shard's sweep: it is the `r`-th smallest of a subset of all live
     /// rows, which can never undercut the global final bar, so no true
     /// survivor is rejected (the invariant `tests/prop_quantized.rs` pins).
-    fn union_entry_bar(&self, ctx: &QueryContext<'_>, qsig: &[u64], r: usize) -> u32 {
+    fn union_entry_bar(
+        &self,
+        ctx: &QueryContext<'_>,
+        qsig: &[u64],
+        r: usize,
+        probes: &[usize],
+    ) -> u32 {
         if r == 0 || !self.shards[0].bar_probe_ready(ctx) {
             return u32::MAX;
         }
-        let mut seen: Vec<Vec<u64>> =
-            self.shards.iter().map(|_| Vec::with_capacity(r + 16)).collect();
+        let mut seen: Vec<Vec<u64>> = probes.iter().map(|_| Vec::with_capacity(r + 16)).collect();
         let mut total = 0usize;
         for band in 0..self.shards[0].lsh_bands() {
-            for (si, s) in self.shards.iter().enumerate() {
-                let before = seen[si].len();
-                s.bar_band_samples(ctx, qsig, band, &mut seen[si]);
-                total += seen[si].len() - before;
+            for (pi, &si) in probes.iter().enumerate() {
+                let before = seen[pi].len();
+                self.shards[si].bar_band_samples(ctx, qsig, band, &mut seen[pi]);
+                total += seen[pi].len() - before;
             }
             // Same stopping rule as the single-store probe, applied to the
             // pooled sample — not per shard.
@@ -313,12 +579,35 @@ impl ShardedStore {
         k: usize,
         source: &dyn CandidateSource,
     ) -> Vec<Vec<Hit>> {
+        self.search_batch_probed(queries, k, source, self.shards.len())
+    }
+
+    /// [`search_batch`](Self::search_batch) bounded to each query's own
+    /// `nprobe` nearest cells: only (query, probed-shard) pairs become
+    /// tasks, so the fan-out work shrinks with the probe budget instead of
+    /// staying O(queries × shards).
+    pub fn search_batch_probed(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        source: &dyn CandidateSource,
+        nprobe: usize,
+    ) -> Vec<Vec<Hit>> {
         let prepared: Vec<PreparedQuery> =
             queries.iter().map(|q| self.shards[0].prepare_query(q)).collect();
-        let mut tasks = Vec::with_capacity(queries.len() * self.shards.len());
+        let probe_sets: Vec<Vec<usize>> =
+            prepared.iter().map(|p| self.router.probe(&p.nq, nprobe, self.shards.len())).collect();
+        self.queries.fetch_add(queries.len() as u64, Ordering::Relaxed);
+        self.shards_probed
+            .fetch_add(probe_sets.iter().map(|p| p.len() as u64).sum(), Ordering::Relaxed);
+        let mut tasks = Vec::with_capacity(probe_sets.iter().map(Vec::len).sum());
         for shard in 0..self.shards.len() {
-            for qi in 0..queries.len() {
-                tasks.push((qi as u32, shard as u32));
+            for (qi, probes) in probe_sets.iter().enumerate() {
+                // Probe sets are ascending (the Router contract), so
+                // membership is a binary search.
+                if probes.binary_search(&shard).is_ok() {
+                    tasks.push((qi as u32, shard as u32));
+                }
             }
         }
         match self.tier() {
@@ -342,7 +631,7 @@ impl ShardedStore {
             }
             ScoringTier::Quantized { rerank_factor } => {
                 let r = coarse_r(k, rerank_factor);
-                // Round one: one shard-union entry bar per query (see
+                // Round one: one probe-union entry bar per query (see
                 // `union_entry_bar`), fanned across workers by query. Bars
                 // must exist before any sweep — each (query × shard) task
                 // starts capped, instead of recomputing a per-shard bar
@@ -355,7 +644,7 @@ impl ShardedStore {
                         .map(|&qi| {
                             let ctx = prepared[qi as usize].ctx();
                             let qsig = self.shards[0].packed_query_sig(&ctx);
-                            (qi, self.union_entry_bar(&ctx, &qsig, r))
+                            (qi, self.union_entry_bar(&ctx, &qsig, r, &probe_sets[qi as usize]))
                         })
                         .collect()
                 });
@@ -404,14 +693,20 @@ impl ShardedStore {
     // --- persistence -------------------------------------------------------
 
     /// Saves the whole store to `path` in the `TBIX` binary format: one
-    /// merged entry list (shard order) plus the shard count. Ids re-route
-    /// deterministically on load, so per-shard layout is not persisted.
+    /// merged entry list (shard order) plus the shard count, and — under a
+    /// learned router — a v3 router section (centroids + per-shard entry
+    /// counts) so placements restore *exactly*, even for rows an older
+    /// router placed somewhere the current one wouldn't. Hash-routed
+    /// stores skip the section; their ids re-route deterministically on
+    /// load.
     pub fn save(&self, path: &Path) -> io::Result<()> {
         let cfg = self.shards[0].config();
         let mut entries = Vec::with_capacity(self.len());
         let mut sigs = Vec::with_capacity(if self.has_lsh() { self.len() } else { 0 });
+        let mut counts = Vec::with_capacity(self.shards.len());
         for shard in &self.shards {
             let snap = shard.snapshot();
+            counts.push(snap.entries.len() as u64);
             entries.extend(snap.entries);
             sigs.extend(snap.sigs);
         }
@@ -428,14 +723,19 @@ impl ShardedStore {
             next_id: self.next_id,
             entries,
             sigs,
+            router: self.router.centroids().map(|centroids| RouterSnapshot { centroids, counts }),
         };
         snapshot::write_file(path, &snap, self.shards.len() as u32)
     }
 
     /// Loads a store from `path` (binary or JSON, autodetected). The shard
     /// count comes from the snapshot header; a single-store snapshot loads
-    /// as one shard. Entries re-insert through the raw normalized path, so
-    /// loaded stores answer queries byte-identically.
+    /// as one shard. A v3 router section reconstructs the [`IvfRouter`]
+    /// and assigns entries positionally by the persisted per-shard counts
+    /// (the save order), so every placement — and therefore every probe
+    /// decision — replays exactly; v1/v2 files have no section and load
+    /// with [`HashRouter`] as always. Entries re-insert through the raw
+    /// normalized path, so loaded stores answer queries byte-identically.
     pub fn load(path: &Path) -> io::Result<Self> {
         let (marker, snap) = snapshot::read_file(path)?;
         let n_shards = (marker as usize).max(1);
@@ -449,24 +749,58 @@ impl ShardedStore {
             },
             policy: CompactionPolicy::default(),
         };
-        let mut store = Self::new(snap.dim, n_shards, cfg);
+        let (mut store, shard_for): (Self, Vec<u32>) = match &snap.router {
+            Some(rs) => {
+                if rs.centroids.len() != n_shards {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "router section has {} cells but the header says {n_shards} shards",
+                            rs.centroids.len()
+                        ),
+                    ));
+                }
+                let router = Arc::new(IvfRouter::from_centroids(rs.centroids.clone()));
+                let shard_for = rs
+                    .counts
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(si, &c)| std::iter::repeat_n(si as u32, c as usize))
+                    .collect();
+                (Self::with_router(snap.dim, n_shards, cfg, router), shard_for)
+            }
+            None => {
+                let store = Self::new(snap.dim, n_shards, cfg);
+                let shard_for = snap
+                    .entries
+                    .iter()
+                    .map(|(id, _)| (splitmix64(*id) % n_shards as u64) as u32)
+                    .collect();
+                (store, shard_for)
+            }
+        };
         if store.has_lsh() && snap.sigs.len() == snap.entries.len() {
             // Reuse the persisted packed signatures instead of redoing the
             // hyperplane dots per row (legacy snapshots lack them and fall
             // through to the deterministic rebuild below).
             let bits = snap.lsh.map_or(0, |p| p.bands * p.rows_per_band);
-            for ((id, v), sig) in snap.entries.iter().zip(&snap.sigs) {
-                let shard = store.shard_of(*id);
-                store.shards[shard].insert_prepared(*id, v, Some(unpack_signature(sig, bits)));
+            for (((id, v), sig), &shard) in snap.entries.iter().zip(&snap.sigs).zip(&shard_for) {
+                store.shards[shard as usize].insert_prepared(
+                    *id,
+                    v,
+                    Some(unpack_signature(sig, bits)),
+                );
+                store.placements.insert(*id, shard);
                 store.next_id = store.next_id.max(*id + 1);
             }
         } else {
-            for (id, v) in &snap.entries {
-                let shard = store.shard_of(*id);
-                store.shards[shard].insert_normalized(*id, v);
+            for ((id, v), &shard) in snap.entries.iter().zip(&shard_for) {
+                store.shards[shard as usize].insert_normalized(*id, v);
+                store.placements.insert(*id, shard);
                 store.next_id = store.next_id.max(*id + 1);
             }
         }
+        store.reset_residuals();
         store.next_id = store.next_id.max(snap.next_id);
         Ok(store)
     }
@@ -510,6 +844,34 @@ impl Queryable for ShardedStore {
         source: &dyn CandidateSource,
     ) -> Vec<Vec<Hit>> {
         ShardedStore::search_batch(self, queries, k, source)
+    }
+
+    fn routes(&self) -> usize {
+        self.n_shards()
+    }
+
+    fn routed(&self) -> bool {
+        ShardedStore::routed(self)
+    }
+
+    fn search_probed(
+        &self,
+        q: &[f32],
+        k: usize,
+        source: &dyn CandidateSource,
+        nprobe: usize,
+    ) -> Vec<Hit> {
+        ShardedStore::search_probed(self, q, k, source, nprobe)
+    }
+
+    fn search_batch_probed(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        source: &dyn CandidateSource,
+        nprobe: usize,
+    ) -> Vec<Vec<Hit>> {
+        ShardedStore::search_batch_probed(self, queries, k, source, nprobe)
     }
 }
 
@@ -865,5 +1227,127 @@ mod tests {
             assert_eq!(a, expect, "shard {shard} depth moved unexpectedly");
         }
         assert_eq!(after.shards[victim].tombstones, 1);
+    }
+
+    /// `n` vectors around 4 well-separated anchors — the distribution IVF
+    /// routing is built for.
+    fn clustered_vecs(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let anchors: Vec<Vec<f32>> =
+            (0..4).map(|_| (0..dim).map(|_| rng.random_range(-1.0f32..1.0)).collect()).collect();
+        (0..n)
+            .map(|i| {
+                let a = &anchors[i % 4];
+                a.iter().map(|x| x + rng.random_range(-0.1f32..0.1)).collect()
+            })
+            .collect()
+    }
+
+    fn ivf_store(vecs: &[Vec<f32>], dim: usize, cfg: StoreConfig) -> ShardedStore {
+        let router = std::sync::Arc::new(IvfRouter::train(vecs, 4, cfg.seed));
+        let mut store = ShardedStore::with_router(dim, 4, cfg, router);
+        for v in vecs {
+            store.insert(v);
+        }
+        store
+    }
+
+    #[test]
+    fn ivf_placement_co_locates_and_probes_a_subset() {
+        let vecs = clustered_vecs(80, 8, 21);
+        let store = ivf_store(&vecs, 8, cfg(false));
+        assert_eq!(store.router_name(), "ivf");
+        assert!(store.routed());
+        // Same-cluster vectors land together: ids i and i+4 share an anchor.
+        let mut agree = 0usize;
+        for i in 0..76u64 {
+            if store.shard_of(i) == store.shard_of(i + 4) {
+                agree += 1;
+            }
+        }
+        assert!(agree >= 70, "only {agree}/76 same-cluster pairs co-located");
+        // nprobe=1 finds the self-hit (it lives in the probed cell), and
+        // the counters see exactly one probed shard for that query.
+        let before = store.stats();
+        let hits = store.search_probed(&vecs[0], 1, &ExactScan, 1);
+        assert_eq!(hits[0].id, 0);
+        let after = store.stats();
+        assert_eq!(after.queries - before.queries, 1);
+        assert_eq!(after.shards_probed - before.shards_probed, 1);
+        // Full probe matches a hash-routed store bit-for-bit.
+        let mut hashed = ShardedStore::new(8, 4, cfg(false));
+        for v in &vecs {
+            hashed.insert(v);
+        }
+        for q in &vecs[..10] {
+            let a = store.search_probed(q, 5, &ExactScan, 4);
+            let b = hashed.search(q, 5, &ExactScan);
+            assert_eq!(a, b, "full-probe routed results diverged from hash routing");
+        }
+    }
+
+    #[test]
+    fn counters_and_imbalance_are_observable() {
+        let vecs = random_vecs(40, 6, 22);
+        let mut store = ShardedStore::new(6, 4, cfg(false));
+        for v in &vecs {
+            store.insert(v);
+        }
+        store.search(&vecs[0], 3, &ExactScan);
+        store.search_batch(&vecs[..5], 3, &ExactScan);
+        let stats = store.stats();
+        assert_eq!(stats.queries, 6);
+        assert_eq!(stats.shards_probed, 24, "hash routing always full-fans");
+        assert!((stats.avg_shards_probed() - 4.0).abs() < 1e-9);
+        assert!(stats.imbalance() >= 1.0);
+        assert!(stats.totals().rows_scanned > 0, "exact scans count scanned rows");
+        assert!((ShardedStats::default().imbalance() - 1.0).abs() < 1e-9);
+        // Hash routing spreads sequential ids well enough to stay near even.
+        assert!(stats.imbalance() < 2.0, "imbalance {} on a hash store", stats.imbalance());
+    }
+
+    #[test]
+    fn rebalance_moves_rows_without_changing_results() {
+        let vecs = clustered_vecs(60, 8, 23);
+        // Build hash-routed (geometry-blind placement), then install a
+        // trained router: placements disagree until rebalance migrates them.
+        let mut store = ShardedStore::new(8, 4, cfg(false));
+        for v in &vecs {
+            store.insert(v);
+        }
+        let queries: Vec<Vec<f32>> = vecs[..10].to_vec();
+        let before = store.search_batch(&queries, 5, &ExactScan);
+        let router = std::sync::Arc::new(IvfRouter::train(&vecs, 4, 42));
+        store.install_router(router);
+        let moved = store.rebalance();
+        assert!(moved > 0, "a trained router should disagree with hash placement somewhere");
+        assert_eq!(store.len(), 60, "rebalance must not lose rows");
+        let after = store.search_batch(&queries, 5, &ExactScan);
+        assert_eq!(before, after, "rebalance changed full fan-out results");
+        assert_eq!(store.rebalance(), 0, "rebalance must be idempotent");
+        // Post-rebalance, placements agree with the router, so residuals
+        // are small on a tightly clustered corpus.
+        for r in store.mean_residuals() {
+            assert!(r < 0.5, "mean residual {r} after rebalance");
+        }
+    }
+
+    #[test]
+    fn upsert_moves_a_row_the_router_reassigns() {
+        let vecs = clustered_vecs(40, 8, 24);
+        let mut store = ivf_store(&vecs, 8, cfg(false));
+        // Re-upsert id 0 with a vector from a different cluster: the row
+        // must follow its geometry to the new shard.
+        let old_shard = store.shard_of(0);
+        let donor = (0..4).find(|&i| {
+            let mut nv = vecs[i + 1].clone();
+            crate::simd::l2_normalize(&mut nv);
+            store.router.place(0, &nv, 4) != old_shard
+        });
+        let donor = donor.expect("some cluster maps elsewhere");
+        store.upsert(0, &vecs[donor + 1]);
+        assert_ne!(store.shard_of(0), old_shard, "row did not move with its geometry");
+        assert_eq!(store.len(), 40, "move replaced, not grew");
+        assert_eq!(store.search(&vecs[donor + 1], 1, &ExactScan)[0].id, 0);
     }
 }

@@ -189,6 +189,23 @@ unsafe fn hamming_avx2(a: &[u64], b: &[u64]) -> u32 {
     }
 }
 
+/// Dot products of one vector against every row of a row-major `rows × dim`
+/// matrix — the batched point-to-centroid kernel the IVF router ranks cells
+/// with. Each row goes through [`dot`], so the result bits match `rows`
+/// independent calls exactly (placement decisions replay deterministically
+/// from persisted centroids).
+///
+/// # Panics
+/// Debug-asserts that `mat` is `out.len() × dim` and `v` has length `dim`.
+#[inline]
+pub(crate) fn matvec_dots(mat: &[f32], dim: usize, v: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(mat.len(), out.len() * dim, "matvec_dots over a ragged matrix");
+    debug_assert_eq!(v.len(), dim, "matvec_dots over mismatched lengths");
+    for (row, o) in mat.chunks_exact(dim).zip(out.iter_mut()) {
+        *o = dot(row, v);
+    }
+}
+
 /// L2-normalizes `v` in place — the **single** normalization everything
 /// routes through: stored vectors ([`crate::VectorStore::upsert`]), query
 /// preparation, and the engine's cache keys. One implementation is a

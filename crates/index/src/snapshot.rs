@@ -25,10 +25,13 @@
 //!
 //! **Versioning.** Version 2 added the quantized scoring tier: the header
 //! carries the re-rank factor and the packed-signature width, and each
-//! entry's sign-bit LSH signature rides along after its vector. Version 1
-//! files (binary or JSON) still load — they carry no signatures, so the
-//! store rebuilds them from the persisted seed on load, which is
-//! deterministic and replays queries bit-identically.
+//! entry's sign-bit LSH signature rides along after its vector. Version 3
+//! added the router section: a learned router's k-means centroids plus the
+//! per-shard entry counts (save order), so a routed store's placements —
+//! and therefore its probe decisions — replay exactly on load. Version 1
+//! and 2 files (binary or JSON) still load: v1 carries no signatures (the
+//! store rebuilds them from the persisted seed), and neither carries a
+//! router section (stores load with hash routing, as they were saved).
 
 use crate::lsh::packed_len;
 use crate::store::LshParams;
@@ -37,7 +40,11 @@ use std::io;
 use std::path::Path;
 
 /// The snapshot format version this build writes.
-pub const SNAPSHOT_VERSION: u32 = 2;
+pub const SNAPSHOT_VERSION: u32 = 3;
+
+/// The version that introduced the quantized-tier header fields (re-rank
+/// factor, packed-signature width) and per-entry signatures.
+pub(crate) const QUANTIZED_SNAPSHOT_VERSION: u32 = 2;
 
 /// The oldest snapshot version this build still reads: the pre-quantized
 /// layout without packed signatures or a re-rank factor.
@@ -77,10 +84,28 @@ pub struct StoreSnapshot {
     /// LSH is off — or in legacy snapshots, which predate signatures (the
     /// store rebuilds them from `seed` on load).
     pub sigs: Vec<Vec<u64>>,
+    /// The learned router, when the sharded store had one (v3). `None` for
+    /// hash-routed stores, single stores, and all pre-v3 snapshots.
+    pub router: Option<RouterSnapshot>,
 }
 
-// Hand-written so the two version-2 fields stay optional: version-1 JSON
-// snapshots carry neither, and the derive errors on missing fields.
+/// A learned router's persisted state: its centroids, and how many of the
+/// snapshot's entries belong to each shard — entries are saved
+/// shard-major, so `counts` partitions `entries` positionally and load
+/// restores every placement exactly (including rows an older router placed
+/// where the current centroids wouldn't).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RouterSnapshot {
+    /// One L2-normalized centroid per shard, shard order.
+    pub centroids: Vec<Vec<f32>>,
+    /// Entries per shard in the snapshot's entry list, shard order; must
+    /// sum to the entry count.
+    pub counts: Vec<u64>,
+}
+
+// Hand-written so the version-2 and version-3 fields stay optional:
+// version-1 JSON snapshots carry none of them, and the derive errors on
+// missing fields.
 impl Deserialize for StoreSnapshot {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         use serde::derive_support::field;
@@ -100,6 +125,10 @@ impl Deserialize for StoreSnapshot {
             sigs: match v.get("sigs") {
                 Some(s) => Vec::from_value(s)?,
                 None => Vec::new(),
+            },
+            router: match v.get("router") {
+                Some(r) => Option::<RouterSnapshot>::from_value(r)?,
+                None => None,
             },
         })
     }
@@ -158,6 +187,31 @@ impl StoreSnapshot {
                 }
             }
         }
+        if let Some(r) = &self.router {
+            if r.centroids.is_empty() {
+                return Err(invalid("router section with no centroids".into()));
+            }
+            if r.centroids.iter().any(|c| c.len() != self.dim) {
+                return Err(invalid(format!(
+                    "router centroid dimension mismatch (want {})",
+                    self.dim
+                )));
+            }
+            if r.counts.len() != r.centroids.len() {
+                return Err(invalid(format!(
+                    "router section has {} counts for {} centroids",
+                    r.counts.len(),
+                    r.centroids.len()
+                )));
+            }
+            let total: u64 = r.counts.iter().sum();
+            if total != self.entries.len() as u64 {
+                return Err(invalid(format!(
+                    "router counts sum to {total} but the snapshot has {} entries",
+                    self.entries.len()
+                )));
+            }
+        }
         Ok(())
     }
 }
@@ -170,14 +224,17 @@ fn invalid(msg: String) -> io::Error {
 
 /// Encodes a snapshot into the `TBIX` binary format. `n_shards == 0` marks
 /// a single-store snapshot; `n ≥ 1` a sharded one. The layout follows
-/// `snap.version`: version-2 snapshots interleave each entry's packed
-/// signature after its vector; version-1 is the legacy vectors-only layout.
+/// `snap.version`: version-2+ snapshots interleave each entry's packed
+/// signature after its vector, version-3 adds the variable-length router
+/// section after the signature-width field, and version-1 is the legacy
+/// vectors-only layout.
 pub(crate) fn encode_binary(snap: &StoreSnapshot, n_shards: u32) -> Vec<u8> {
-    let sig_words = if snap.version >= SNAPSHOT_VERSION && snap.sigs.len() == snap.entries.len() {
-        snap.lsh.map_or(0, |p| packed_len(p.bands * p.rows_per_band))
-    } else {
-        0
-    };
+    let sig_words =
+        if snap.version >= QUANTIZED_SNAPSHOT_VERSION && snap.sigs.len() == snap.entries.len() {
+            snap.lsh.map_or(0, |p| packed_len(p.bands * p.rows_per_band))
+        } else {
+            0
+        };
     let per_entry = 8 + snap.dim * 4 + sig_words * 8;
     let mut out = Vec::with_capacity(80 + snap.entries.len() * per_entry);
     out.extend_from_slice(&TBIX_MAGIC);
@@ -194,9 +251,28 @@ pub(crate) fn encode_binary(snap: &StoreSnapshot, n_shards: u32) -> Vec<u8> {
         }
         None => out.push(0),
     }
-    if snap.version >= SNAPSHOT_VERSION {
+    if snap.version >= QUANTIZED_SNAPSHOT_VERSION {
         out.extend_from_slice(&snap.rerank.to_le_bytes());
         out.extend_from_slice(&(sig_words as u32).to_le_bytes());
+    }
+    if snap.version >= SNAPSHOT_VERSION {
+        // The router section sits before the entry count so the decoder's
+        // exact-length check still covers the (fixed-size) entry payload.
+        match &snap.router {
+            Some(r) => {
+                out.push(1);
+                out.extend_from_slice(&(r.centroids.len() as u32).to_le_bytes());
+                for c in &r.centroids {
+                    for x in c {
+                        out.extend_from_slice(&x.to_le_bytes());
+                    }
+                }
+                for n in &r.counts {
+                    out.extend_from_slice(&n.to_le_bytes());
+                }
+            }
+            None => out.push(0),
+        }
     }
     out.extend_from_slice(&snap.next_id.to_le_bytes());
     out.extend_from_slice(&(snap.entries.len() as u64).to_le_bytes());
@@ -272,7 +348,39 @@ fn decode_binary(bytes: &[u8]) -> io::Result<(u32, StoreSnapshot)> {
     // Version 1 predates the quantized-tier header fields and the
     // per-entry signatures; any later version carries both.
     let (rerank, sig_words) =
-        if version >= SNAPSHOT_VERSION { (c.u64()?, c.u32()? as usize) } else { (0, 0) };
+        if version >= QUANTIZED_SNAPSHOT_VERSION { (c.u64()?, c.u32()? as usize) } else { (0, 0) };
+    // Version 3 adds the router section: absent (flag 0) for hash-routed
+    // and single stores. The cell count is header-bounded like the shard
+    // marker — untrusted input must not size allocations unchecked.
+    let router = if version >= SNAPSHOT_VERSION {
+        match c.u8()? {
+            0 => None,
+            1 => {
+                let nlist = c.u32()?;
+                if nlist == 0 || nlist > MAX_SNAPSHOT_SHARDS {
+                    return Err(invalid(format!(
+                        "router section claims {nlist} cells (max {MAX_SNAPSHOT_SHARDS}) — corrupt header?"
+                    )));
+                }
+                let mut centroids = Vec::with_capacity(nlist as usize);
+                for _ in 0..nlist {
+                    let mut cvec = Vec::with_capacity(dim);
+                    for _ in 0..dim {
+                        cvec.push(c.f32()?);
+                    }
+                    centroids.push(cvec);
+                }
+                let mut counts = Vec::with_capacity(nlist as usize);
+                for _ in 0..nlist {
+                    counts.push(c.u64()?);
+                }
+                Some(RouterSnapshot { centroids, counts })
+            }
+            flag => return Err(invalid(format!("bad router flag byte {flag}"))),
+        }
+    } else {
+        None
+    };
     let next_id = c.u64()?;
     let n_entries = c.u64()? as usize;
     // The payload length is implied by the header; a mismatch means a
@@ -309,8 +417,18 @@ fn decode_binary(bytes: &[u8]) -> io::Result<(u32, StoreSnapshot)> {
             sigs.push(sig);
         }
     }
-    let snap =
-        StoreSnapshot { version, dim, seed, seal_threshold, lsh, rerank, next_id, entries, sigs };
+    let snap = StoreSnapshot {
+        version,
+        dim,
+        seed,
+        seal_threshold,
+        lsh,
+        rerank,
+        next_id,
+        entries,
+        sigs,
+        router,
+    };
     snap.validate()?;
     Ok((n_shards, snap))
 }
@@ -359,6 +477,7 @@ mod tests {
             next_id: 2,
             entries: vec![(0, vec![1.0, 0.0, 0.0]), (1, vec![0.0, 0.6, 0.8])],
             sigs: Vec::new(),
+            router: None,
         }
     }
 
@@ -366,6 +485,17 @@ mod tests {
     /// and a re-rank factor in the header.
     fn sample_quantized() -> StoreSnapshot {
         StoreSnapshot { rerank: 4, sigs: vec![vec![0b1010_1010], vec![0b0101_0101]], ..sample() }
+    }
+
+    /// `sample()` with a two-cell router section: one entry per shard.
+    fn sample_routed() -> StoreSnapshot {
+        StoreSnapshot {
+            router: Some(RouterSnapshot {
+                centroids: vec![vec![1.0, 0.0, 0.0], vec![0.0, 0.6, 0.8]],
+                counts: vec![1, 1],
+            }),
+            ..sample()
+        }
     }
 
     #[test]
@@ -446,9 +576,69 @@ mod tests {
         assert!(back.sigs.is_empty(), "v1 carries no signatures");
         assert_eq!(back.entries.len(), snap.entries.len());
         // And the v1 layout really is the old one: no rerank/sig_words
-        // header fields, no per-entry signature words.
-        let v2 = encode_binary(&sample_quantized(), 0);
-        assert_eq!(v2.len(), bytes.len() + 12 + snap.entries.len() * 8);
+        // header fields, no router flag, no per-entry signature words.
+        let v3 = encode_binary(&sample_quantized(), 0);
+        assert_eq!(v3.len(), bytes.len() + 12 + 1 + snap.entries.len() * 8);
+    }
+
+    #[test]
+    fn legacy_v2_binary_still_decodes() {
+        // A v2 file: quantized header fields and signatures, but no router
+        // flag byte. `encode_binary` follows `snap.version`, so this writes
+        // the exact bytes the previous build wrote.
+        let mut snap = sample_quantized();
+        snap.version = QUANTIZED_SNAPSHOT_VERSION;
+        let bytes = encode_binary(&snap, 4);
+        let v3 = encode_binary(&sample_quantized(), 4);
+        assert_eq!(v3.len(), bytes.len() + 1, "v3 without a router adds only the flag byte");
+        let (n_shards, back) = decode_binary(&bytes).expect("v2 decode");
+        assert_eq!(n_shards, 4);
+        assert_eq!(back.version, QUANTIZED_SNAPSHOT_VERSION);
+        assert_eq!(back.rerank, 4);
+        assert_eq!(back.sigs, snap.sigs);
+        assert!(back.router.is_none(), "v2 has no router section");
+    }
+
+    #[test]
+    fn v3_router_section_roundtrips_bit_exact() {
+        let snap = sample_routed();
+        let bytes = encode_binary(&snap, 2);
+        let (n_shards, back) = decode_binary(&bytes).expect("decode");
+        assert_eq!(n_shards, 2);
+        let (orig, got) = (snap.router.unwrap(), back.router.expect("router survived"));
+        assert_eq!(got.counts, orig.counts);
+        assert_eq!(got.centroids.len(), orig.centroids.len());
+        for (a, b) in got.centroids.iter().flatten().zip(orig.centroids.iter().flatten()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "centroid bits drifted through the codec");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_router_shapes() {
+        // Counts must partition the entries exactly.
+        let mut snap = sample_routed();
+        snap.router.as_mut().unwrap().counts = vec![2, 1];
+        let err = snap.validate().expect_err("bad counts sum must fail");
+        assert!(err.to_string().contains("counts sum"), "unhelpful error: {err}");
+        // One count per centroid.
+        let mut snap = sample_routed();
+        snap.router.as_mut().unwrap().counts = vec![2];
+        assert!(snap.validate().is_err());
+        // Centroids share the store dimension.
+        let mut snap = sample_routed();
+        snap.router.as_mut().unwrap().centroids[0] = vec![1.0];
+        assert!(snap.validate().is_err());
+        // A corrupt router flag byte is rejected in the decoder.
+        let good = encode_binary(&sample_routed(), 2);
+        let flag_pos = good.len()
+            - (8 + 8 + sample_routed().entries.len() * (8 + 3 * 4))
+            - (2 * 3 * 4 + 2 * 8 + 4)
+            - 1;
+        let mut bad = good.clone();
+        assert_eq!(bad[flag_pos], 1, "flag offset arithmetic drifted");
+        bad[flag_pos] = 9;
+        let err = decode_binary(&bad).expect_err("bad flag must fail");
+        assert!(err.to_string().contains("router flag"), "unhelpful error: {err}");
     }
 
     #[test]

@@ -58,6 +58,7 @@ use std::borrow::Cow;
 use std::collections::HashMap;
 use std::io;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Task count at which `search_batch` fans out across worker threads (the
@@ -294,6 +295,10 @@ pub struct StoreStats {
     /// the store's *pending depth*: the backlog a busy shard accumulates,
     /// and the per-shard head-of-line signal the serving tier reports.
     pub pending_rows: usize,
+    /// Candidate rows visited by scans (exact or coarse) over the store's
+    /// lifetime — with the sharded tier's `shards_probed`, the observable
+    /// evidence that routed queries really do scan sublinearly.
+    pub rows_scanned: u64,
 }
 
 impl StoreStats {
@@ -319,7 +324,7 @@ pub trait VectorSink {
 
 /// A segmented, incrementally-updatable vector store over L2-normalized
 /// embeddings. See the [module docs](self) for the design.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct VectorStore {
     dim: usize,
     cfg: StoreConfig,
@@ -338,6 +343,28 @@ pub struct VectorStore {
     pauses: Vec<f64>,
     /// Total compaction runs over the store's lifetime.
     compactions: u64,
+    /// Candidate rows visited by scans over the store's lifetime. Atomic
+    /// because scans run from `&self` across the parallel fan-out workers;
+    /// relaxed ordering — it's a monotonic counter, not a synchronization
+    /// point.
+    rows_scanned: AtomicU64,
+}
+
+impl Clone for VectorStore {
+    fn clone(&self) -> Self {
+        Self {
+            dim: self.dim,
+            cfg: self.cfg,
+            planes: self.planes.clone(),
+            sig_words: self.sig_words,
+            segments: self.segments.clone(),
+            locs: self.locs.clone(),
+            next_id: self.next_id,
+            pauses: self.pauses.clone(),
+            compactions: self.compactions,
+            rows_scanned: AtomicU64::new(self.rows_scanned.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl VectorStore {
@@ -371,6 +398,7 @@ impl VectorStore {
             next_id: 0,
             pauses: Vec::new(),
             compactions: 0,
+            rows_scanned: AtomicU64::new(0),
         }
     }
 
@@ -417,6 +445,7 @@ impl VectorStore {
             segments: self.segments.len(),
             sealed_segments: self.segments.iter().filter(|s| s.sealed).count(),
             pending_rows: self.segments.iter().filter(|s| !s.sealed).map(Segment::rows).sum(),
+            rows_scanned: self.rows_scanned.load(Ordering::Relaxed),
         }
     }
 
@@ -460,6 +489,16 @@ impl VectorStore {
         let mut nv = v.to_vec();
         crate::simd::l2_normalize(&mut nv);
         self.insert_normalized(id, &nv);
+        self.maybe_compact();
+    }
+
+    /// [`upsert`](Self::upsert) for a vector that is already normalized —
+    /// the sharded store's write path, which normalizes once up front so
+    /// its router and its shards agree on the exact same unit vector.
+    /// Runs the policy compaction like any public mutator.
+    pub(crate) fn upsert_normalized(&mut self, id: u64, nv: &[f32]) {
+        debug_assert_eq!(nv.len(), self.dim, "upsert_normalized dimension mismatch");
+        self.insert_normalized(id, nv);
         self.maybe_compact();
     }
 
@@ -883,6 +922,7 @@ impl VectorStore {
         let w = self.sig_words;
         match source.candidates(self, seg, ctx) {
             Candidates::All => {
+                self.rows_scanned.fetch_add((s.rows() - s.n_deleted) as u64, Ordering::Relaxed);
                 // Monomorphize the full sweep on the signature width so the
                 // inner loop is straight-line XOR+POPCNT with the query
                 // words pinned in registers — the width is a store constant,
@@ -908,6 +948,7 @@ impl VectorStore {
                 }
             }
             Candidates::Subset(rows) => {
+                self.rows_scanned.fetch_add(rows.len() as u64, Ordering::Relaxed);
                 // `worst` caches the accumulator's entry bar so far rows
                 // are rejected on one compare; ties (`dist == worst`) still
                 // route through `push`, which owns the (dist, id) order.
@@ -940,6 +981,7 @@ impl VectorStore {
         let mut topk = TopK::new(k);
         match source.candidates(self, seg, ctx) {
             Candidates::All => {
+                self.rows_scanned.fetch_add((s.rows() - s.n_deleted) as u64, Ordering::Relaxed);
                 for row in 0..s.rows() {
                     if !s.deleted[row] {
                         topk.push(s.ids[row], dot(nq, self.row(seg, row)));
@@ -947,6 +989,7 @@ impl VectorStore {
                 }
             }
             Candidates::Subset(rows) => {
+                self.rows_scanned.fetch_add(rows.len() as u64, Ordering::Relaxed);
                 for &r in &rows {
                     let row = r as usize;
                     debug_assert!(row < s.rows(), "candidate row out of range");
@@ -1043,6 +1086,7 @@ impl VectorStore {
             next_id: self.next_id,
             entries: self.live_entries(),
             sigs: self.live_packed_sigs(),
+            router: None,
         }
     }
 

@@ -71,11 +71,17 @@ pub struct ServeConfig {
     /// Per-connection outbound queue bound in bytes; past it the reactor
     /// pauses reads on that connection until replies drain.
     pub max_conn_queued_bytes: usize,
+    /// Shards each query probes over a routed store. `0` means the
+    /// engine's configured `NprobePolicy` decides; a nonzero value
+    /// overrides it for every request this server executes (clamped to
+    /// the shard count).
+    pub nprobe: usize,
 }
 
 impl Default for ServeConfig {
     /// Four workers, two I/O threads, auto queue capacity (32), 1024
-    /// connections, 4 MiB of queued replies per connection.
+    /// connections, 4 MiB of queued replies per connection, and the
+    /// engine's own `nprobe` policy.
     fn default() -> Self {
         Self {
             workers: 4,
@@ -83,6 +89,7 @@ impl Default for ServeConfig {
             queue_capacity: 0,
             max_connections: 1024,
             max_conn_queued_bytes: 4 << 20,
+            nprobe: 0,
         }
     }
 }
@@ -135,6 +142,7 @@ impl Shared {
         let shards = engine.store().stats();
         StatsReply {
             shard_depths: shards.depths(),
+            imbalance: shards.imbalance(),
             shards,
             engine: engine.stats(),
             batcher: self.batcher.stats(),
@@ -143,6 +151,8 @@ impl Shared {
             connections: self.connections.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
             served: self.served.load(Ordering::Relaxed),
+            router: engine.store().router_name().to_string(),
+            nprobe: engine.plan_probed(1, self.batcher.nprobe()).nprobe,
         }
     }
 
@@ -189,7 +199,7 @@ impl Server {
             .map(|_| IoHandle::new().map(Arc::new))
             .collect::<io::Result<_>>()?;
         let shared = Arc::new(Shared {
-            batcher: MicroBatcher::new(engine),
+            batcher: MicroBatcher::with_nprobe(engine, (cfg.nprobe > 0).then_some(cfg.nprobe)),
             cfg,
             admit,
             io,
@@ -331,7 +341,11 @@ fn handle_payload(
             // completion round-trip. This is what makes a pipelined
             // connection over a warm cache transport-bound rather than
             // scheduler-bound.
-            if let Some(hits) = shared.engine().try_cached(&vector, k as usize) {
+            // `try_cached_probed` shares the batcher's nprobe override, so
+            // the inline hit and the worker-path miss compute one cache key.
+            if let Some(hits) =
+                shared.engine().try_cached_probed(&vector, k as usize, shared.batcher.nprobe())
+            {
                 state.finish_tag(tag);
                 shared.served.fetch_add(1, Ordering::Relaxed);
                 return Action::Reply(encode_hits_payloads(tag, &hits));

@@ -128,6 +128,14 @@ pub struct StatsReply {
     pub shed: u64,
     /// Query requests served since the server started.
     pub served: u64,
+    /// The store's router kind (`"hash"` or `"ivf"`).
+    pub router: String,
+    /// Max/mean live shard depth — 1.0 is perfectly balanced; the
+    /// rebalance trigger watches this.
+    pub imbalance: f64,
+    /// Shards each query probes under the server's resolved plan (equals
+    /// the shard count for full fan-out).
+    pub nprobe: usize,
 }
 
 /// Writes one frame (length prefix + payload). Refuses payloads past

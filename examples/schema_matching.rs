@@ -4,19 +4,21 @@
 //! `tabbin-index` `ShardedStore` with LSH candidate generation, and the
 //! query-execution layer (`QueryEngine`, pinned to LSH blocking) turns the
 //! blocking step and the within-block top-k into one SIMD-scored query
-//! fanned across hash-routed shards (shards share hyperplanes, so the
-//! blocked candidate set is exactly the single-store one) instead of a
+//! fanned across IVF-routed shards (shards share hyperplanes, and the
+//! probe set visits only the query's nearest cells) instead of a
 //! hand-rolled candidate loop over cosines.
 //!
 //! Run with: `cargo run --example schema_matching`
 
+use std::sync::Arc;
 use tabbin_core::config::ModelConfig;
 use tabbin_core::pretrain::PretrainOptions;
 use tabbin_core::variants::TabBiNFamily;
 use tabbin_corpus::{generate, Dataset, GenOptions, FILLER_SEM_ID};
 use tabbin_eval::center;
 use tabbin_index::{
-    EngineConfig, LshCandidates, LshParams, QueryEngine, ShardedStore, StoreConfig,
+    EngineConfig, IvfRouter, LshCandidates, LshParams, NprobePolicy, QueryEngine, ShardedStore,
+    StoreConfig,
 };
 
 fn main() {
@@ -44,7 +46,9 @@ fn main() {
     // Transformer embeddings are anisotropic; center them so hyperplane LSH
     // can separate the clusters, then index them in a sharded store whose
     // shards maintain banded LSH buckets incrementally as the vectors
-    // arrive (hash-routed by id; every shard hashes with the same planes).
+    // arrive (IVF-routed: a k-means coarse quantizer trained on the centered
+    // embeddings places each column under its nearest centroid; every shard
+    // still hashes with the same planes).
     center(&mut embs);
     // The quantized tier reuses the same hyperplane signatures twice: banded
     // into LSH buckets for blocking, and packed into sign bits for the
@@ -53,17 +57,28 @@ fn main() {
         seed: 99,
         ..StoreConfig::quantized(LshParams { bands: 8, rows_per_band: 4 })
     };
-    let mut store = ShardedStore::new(embs[0].len(), 4, cfg);
-    for v in &embs {
-        store.insert(v);
+    let router = Arc::new(IvfRouter::train(&embs, 4, cfg.seed));
+    let mut store = ShardedStore::with_router(embs[0].len(), 4, cfg, router);
+    for (next, v) in embs.iter().enumerate() {
+        store.upsert(next as u64, v);
     }
     // The engine owns query execution; `lsh()` pins the plan to blocked
-    // candidate generation, the paper's §4.1 recipe.
-    let engine = QueryEngine::new(store, EngineConfig::lsh());
+    // candidate generation, the paper's §4.1 recipe; Fixed(2) bounds each
+    // query to the two nearest cells (Auto keeps full fan-out this small).
+    let engine = QueryEngine::new(
+        store,
+        EngineConfig { nprobe: NprobePolicy::Fixed(2), ..EngineConfig::lsh() },
+    );
     println!(
         "scoring tier: {:?} — coarse pass ranks LSH-blocked candidates by packed \
          sign-bit Hamming, then re-ranks the survivors with f32 dots",
         engine.store().tier()
+    );
+    println!(
+        "router: {} over {} shards, probing {} cells per query",
+        engine.store().router_name(),
+        engine.store().n_shards(),
+        engine.plan(6).nprobe
     );
 
     let query = 0;
