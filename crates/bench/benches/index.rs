@@ -39,8 +39,8 @@ use std::sync::Arc;
 use std::time::Instant;
 use tabbin_eval::cosine;
 use tabbin_index::{
-    CompactionPolicy, EngineConfig, IvfRouter, LshParams, NprobePolicy, QueryEngine, ShardedStore,
-    StoreConfig, VectorStore, DEFAULT_RERANK_FACTOR,
+    CompactionPolicy, DurabilityPolicy, EngineConfig, IvfRouter, LshParams, NprobePolicy,
+    QueryEngine, ShardedStore, StoreConfig, VectorStore, DEFAULT_RERANK_FACTOR,
 };
 
 /// Corpus size / dimension of the headline measurement.
@@ -324,6 +324,44 @@ fn bench_index(c: &mut Criterion) {
     let pause_p50 = quantile_ms(&mut pauses, 0.50);
     let pause_p99 = quantile_ms(&mut pauses, 0.99);
 
+    // What durability costs on the ingest path: the same upsert stream
+    // against a WAL-backed store at each fsync policy. `Never` appends but
+    // never syncs (the group-commit floor); `Interval(10)` is the serving
+    // candidate — group commit must keep it within 1.5x of that floor; a
+    // per-mutation `Always` fsync is measured on fewer rows because it is
+    // honestly, unavoidably slow.
+    const DURABLE_ROWS: usize = 4000;
+    const ALWAYS_ROWS: usize = 600;
+    let ingest_qps = |policy: DurabilityPolicy, rows: usize| -> f64 {
+        let dir =
+            std::env::temp_dir().join(format!("tabbin_bench_wal_{}_{policy}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut durable = ShardedStore::open_durable(
+            &dir,
+            DIM,
+            N_SHARDS,
+            StoreConfig { durability: policy, ..cfg },
+        )
+        .expect("durable open");
+        let start = Instant::now();
+        for (i, v) in corpus.iter().take(rows).enumerate() {
+            durable.upsert(i as u64, v);
+        }
+        let qps = rows as f64 / start.elapsed().as_secs_f64();
+        drop(durable);
+        let _ = std::fs::remove_dir_all(&dir);
+        qps
+    };
+    let never_qps = ingest_qps(DurabilityPolicy::Never, DURABLE_ROWS);
+    let interval_qps = ingest_qps(DurabilityPolicy::Interval(10), DURABLE_ROWS);
+    let always_qps = ingest_qps(DurabilityPolicy::Always, ALWAYS_ROWS);
+    // The ISSUE 10 bar: group commit must absorb the fsync cost.
+    assert!(
+        interval_qps >= never_qps / 1.5,
+        "Interval(10) ingest {interval_qps:.1} qps fell below 1/1.5 of the Never floor \
+         {never_qps:.1} qps — group commit is not absorbing the fsyncs"
+    );
+
     // Format once, print and write the same strings.
     let exact_s = format!("{exact_qps:.1}");
     let batched_s = format!("{batched_qps:.1}");
@@ -342,6 +380,9 @@ fn bench_index(c: &mut Criterion) {
     let cache_qps_s = format!("{cache_qps:.1}");
     let pause_p50_s = format!("{pause_p50:.3}");
     let pause_p99_s = format!("{pause_p99:.3}");
+    let never_qps_s = format!("{never_qps:.1}");
+    let interval_qps_s = format!("{interval_qps:.1}");
+    let always_qps_s = format!("{always_qps:.1}");
     println!(
         "index_{N_VECTORS}x{DIM}: exact scan {exact_s} qps, engine(store) query_batch \
          {batched_s} qps ({speedup_s}x), recall@{K} {recall_s}"
@@ -360,6 +401,11 @@ fn bench_index(c: &mut Criterion) {
         "index_{N_VECTORS}x{DIM} routed(nlist {NLIST}, nprobe {nprobe}): {routed_qps_s} qps \
          ({routed_speedup_s}x the hash-routed {NLIST}-shard pass at {hash16_qps_s} qps), \
          recall@{K} {routed_recall_s}, {shards_probed_s}/{NLIST} shards probed per query"
+    );
+    println!(
+        "index_{DURABLE_ROWS}x{DIM} durable ingest: never {never_qps_s} qps, \
+         interval(10ms) {interval_qps_s} qps, always {always_qps_s} qps \
+         ({ALWAYS_ROWS} rows for always)"
     );
     let json = format!(
         "{{\n  \"bench\": \"vector_store_query\",\n  \"n_vectors\": {N_VECTORS},\n  \
@@ -384,7 +430,12 @@ fn bench_index(c: &mut Criterion) {
          \"hash_routed_qps\": {hash16_qps_s},\n    \
          \"speedup_vs_hash_routed\": {routed_speedup_s},\n    \
          \"recall_at_10\": {routed_recall_s},\n    \
-         \"shards_probed\": {shards_probed_s}\n  }}\n}}\n"
+         \"shards_probed\": {shards_probed_s}\n  }},\n  \
+         \"durability\": {{\n    \"ingest_rows\": {DURABLE_ROWS},\n    \
+         \"always_rows\": {ALWAYS_ROWS},\n    \
+         \"never_qps\": {never_qps_s},\n    \
+         \"interval10_qps\": {interval_qps_s},\n    \
+         \"always_qps\": {always_qps_s}\n  }}\n}}\n"
     );
     // Prefer the workspace root; fall back to the working directory (and a
     // warning) so a relocated bench binary still reports instead of dying.

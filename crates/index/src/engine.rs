@@ -506,10 +506,14 @@ impl<S: Queryable + VectorSink> VectorSink for QueryEngine<S> {
     }
 
     /// Streams into the underlying store; the cache invalidates with it,
-    /// so embed-then-serve pipelines can feed an engine directly.
+    /// so embed-then-serve pipelines can feed an engine directly. The
+    /// store mutates *first*: a durable store may panic refusing an
+    /// unlogged write, and clearing the cache before finding that out
+    /// would leave a rejected insert observable as evicted entries.
     fn insert(&mut self, v: &[f32]) -> u64 {
+        let id = self.store.insert(v);
         self.cache.get_mut().expect("cache lock poisoned").clear();
-        self.store.insert(v)
+        id
     }
 }
 

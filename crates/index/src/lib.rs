@@ -47,6 +47,11 @@
 //!   (and by [`QueryEngine`], which invalidates its cache as it inserts).
 //! * [`lsh`] — the SimHash primitives and the original one-shot
 //!   [`LshIndex`], still re-exported by `tabbin_eval` for its old users.
+//! * [`wal`] — durability: per-shard write-ahead logs with CRC32-framed
+//!   records and global LSNs, group commit under a [`DurabilityPolicy`],
+//!   a manifest tying live segments to the snapshot they fold into, and
+//!   torn-tail-tolerant replay. `ShardedStore::open_durable` recovers a
+//!   crashed store bit-identical to its durable prefix.
 
 pub mod candidates;
 pub mod engine;
@@ -58,6 +63,7 @@ pub mod shard;
 pub mod simd;
 pub mod snapshot;
 pub mod store;
+pub mod wal;
 
 pub use candidates::{CandidateSource, Candidates, ExactScan, LshCandidates, QueryContext};
 pub use engine::{
@@ -73,3 +79,4 @@ pub use store::{
     CompactionPolicy, LshParams, ScoringTier, StoreConfig, StoreStats, VectorSink, VectorStore,
     DEFAULT_RERANK_FACTOR,
 };
+pub use wal::{DurabilityPolicy, FsStorage, Storage, WalRecord, WalStats};

@@ -53,12 +53,13 @@ use crate::store::{
     bar_from_samples, coarse_r, CompactionPolicy, PreparedQuery, ScoringTier, StoreConfig,
     StoreStats, VectorSink, VectorStore,
 };
+use crate::wal::{DurabilityPolicy, FsStorage, Storage, WalRecord, WalSet, WalStats};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Per-shard observability: one [`StoreStats`] per shard, plus the sums and
 /// lifetime probe counters. Serializable so the serving tier
@@ -145,6 +146,12 @@ pub struct ShardedStore {
     residuals: Vec<(f64, u64)>,
     queries: AtomicU64,
     shards_probed: AtomicU64,
+    /// The durability tier, present only for stores opened through
+    /// [`open_durable`](Self::open_durable): every mutation appends one
+    /// record before it is acknowledged. Behind a `Mutex` so flush/stats
+    /// work through `&self` (the serving tier holds the store in an
+    /// `Arc`).
+    wal: Option<Mutex<WalSet>>,
 }
 
 impl Clone for ShardedStore {
@@ -158,6 +165,10 @@ impl Clone for ShardedStore {
             residuals: self.residuals.clone(),
             queries: AtomicU64::new(self.queries.load(Ordering::Relaxed)),
             shards_probed: AtomicU64::new(self.shards_probed.load(Ordering::Relaxed)),
+            // A clone is an in-memory replica: two writers appending to one
+            // log would interleave LSNs incoherently, so the clone is
+            // non-durable by construction.
+            wal: None,
         }
     }
 }
@@ -216,6 +227,7 @@ impl ShardedStore {
             residuals: vec![(0.0, 0); n_shards],
             queries: AtomicU64::new(0),
             shards_probed: AtomicU64::new(0),
+            wal: None,
         }
     }
 
@@ -318,6 +330,12 @@ impl ShardedStore {
         }
         self.router = router;
         self.reset_residuals();
+        // Centroids are not logged as WAL records; a durable store persists
+        // them by checkpointing immediately, so reopening reconstructs the
+        // same router (and the same probe decisions) from the snapshot.
+        if self.wal.is_some() {
+            self.checkpoint().expect("checkpoint after router install failed");
+        }
     }
 
     /// Re-places every live row the current router disagrees with: each
@@ -345,8 +363,30 @@ impl ShardedStore {
             self.shards[*to].upsert_normalized(*id, v);
             self.placements.insert(*id, *to as u32);
         }
+        // Moves log in their destination shard only (no source-side
+        // tombstone record) and the whole batch group-commits once — one
+        // fsync for the entire rebalance under `Always`.
+        if let Some(wal) = &self.wal {
+            let mut w = wal.lock().expect("WAL lock poisoned");
+            for (id, _, to, v) in &moves {
+                w.append(*to, &WalRecord::Move { id: *id, vector: v.clone() })
+                    .expect("WAL append failed; refusing to acknowledge an unlogged rebalance");
+            }
+            w.commit().expect("WAL commit failed");
+        }
         self.reset_residuals();
         moves.len()
+    }
+
+    /// Appends one record and commits per the policy. Panics on I/O
+    /// failure: a durable store must never acknowledge a mutation its log
+    /// rejected — crashing is the honest outcome.
+    fn log_mutation(&mut self, shard: usize, rec: WalRecord) {
+        let Some(wal) = &self.wal else { return };
+        let mut w = wal.lock().expect("WAL lock poisoned");
+        w.append(shard, &rec)
+            .expect("WAL append failed; refusing to acknowledge an unlogged mutation");
+        w.commit().expect("WAL commit failed");
     }
 
     /// Zeroes the drift accumulators and re-accumulates each live row's
@@ -425,13 +465,23 @@ impl ShardedStore {
             self.residuals[target].1 += 1;
         }
         self.next_id = self.next_id.max(id + 1);
+        // One record per mutation, in the *destination* shard's log: the
+        // record is an absolute state assignment for the id, so the
+        // tombstone in the old shard needs no record of its own (replay's
+        // winner rule deletes loser copies).
+        self.log_mutation(target, WalRecord::Upsert { id, vector: nv });
     }
 
     /// Tombstones `id` in its shard; returns whether it was live.
     pub fn delete(&mut self, id: u64) -> bool {
         let shard = self.shard_of(id);
         self.placements.remove(&id);
-        self.shards[shard].delete(id)
+        let was_live = self.shards[shard].delete(id);
+        if was_live {
+            // Deleting a dead id is a no-op and logs nothing.
+            self.log_mutation(shard, WalRecord::Delete { id });
+        }
+        was_live
     }
 
     /// The live normalized vector stored under `id`.
@@ -748,6 +798,7 @@ impl ShardedStore {
                 n => ScoringTier::Quantized { rerank_factor: n as usize },
             },
             policy: CompactionPolicy::default(),
+            durability: crate::wal::DurabilityPolicy::Never,
         };
         let (mut store, shard_for): (Self, Vec<u32>) = match &snap.router {
             Some(rs) => {
@@ -803,6 +854,188 @@ impl ShardedStore {
         store.reset_residuals();
         store.next_id = store.next_id.max(snap.next_id);
         Ok(store)
+    }
+
+    // --- durability --------------------------------------------------------
+
+    /// Opens (or creates) a durable store rooted at `dir`: loads the
+    /// snapshot the WAL manifest references (if any), replays every
+    /// surviving log record, and attaches the per-shard logs so all
+    /// subsequent mutations are journaled under `cfg.durability`. See
+    /// [`crate::wal`] for the format and recovery guarantees.
+    pub fn open_durable(
+        dir: &Path,
+        dim: usize,
+        n_shards: usize,
+        cfg: StoreConfig,
+    ) -> io::Result<Self> {
+        Self::open_durable_with(dir, dim, n_shards, cfg, None, Box::new(FsStorage::new()))
+    }
+
+    /// [`open_durable`](Self::open_durable) with an explicit router for
+    /// the *fresh* case. When the manifest references a snapshot the
+    /// snapshot's own router section wins (it is what past placements were
+    /// logged against); `router` is ignored.
+    pub fn open_durable_with_router(
+        dir: &Path,
+        dim: usize,
+        n_shards: usize,
+        cfg: StoreConfig,
+        router: Arc<dyn Router>,
+    ) -> io::Result<Self> {
+        Self::open_durable_with(dir, dim, n_shards, cfg, Some(router), Box::new(FsStorage::new()))
+    }
+
+    /// The fully explicit durable open: injectable [`Storage`] (the
+    /// crash-recovery property tests pass a fault shim that kills the log
+    /// at an arbitrary byte offset) and optional fresh-case router.
+    ///
+    /// Replay applies the surviving records of *all* shards in global LSN
+    /// order. Each record is an absolute state assignment, so later
+    /// records win over earlier ones and a torn tail in one shard's log
+    /// cannot resurrect a copy a surviving later record superseded — the
+    /// recovered store is bit-identical to a store that executed exactly
+    /// the durable prefix.
+    pub fn open_durable_with(
+        dir: &Path,
+        dim: usize,
+        n_shards: usize,
+        cfg: StoreConfig,
+        router: Option<Arc<dyn Router>>,
+        storage: Box<dyn Storage>,
+    ) -> io::Result<Self> {
+        let (wal, recovery) = WalSet::open(dir, n_shards, cfg.durability, storage)?;
+        let mut store = match &recovery.snapshot {
+            Some(path) => {
+                let loaded = Self::load(path)?;
+                if loaded.dim != dim || loaded.shards.len() != n_shards {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "durable dir holds a {}-dim × {}-shard snapshot but the store \
+                             opened as {dim}-dim × {n_shards}-shard",
+                            loaded.dim,
+                            loaded.shards.len()
+                        ),
+                    ));
+                }
+                loaded
+            }
+            None => match router {
+                Some(r) => Self::with_router(dim, n_shards, cfg, r),
+                None => Self::new(dim, n_shards, cfg),
+            },
+        };
+
+        // Merge the per-shard logs into one globally LSN-ordered history
+        // and replay it through the normal (unlogged — the WAL attaches
+        // below) mutation steps. The shard each record lands in is the
+        // shard whose log held it, not what the current router would pick:
+        // physical placement survives restarts even when the router that
+        // produced it did not.
+        let mut history: Vec<(u64, usize, &WalRecord)> = Vec::new();
+        for (shard, recs) in recovery.records.iter().enumerate() {
+            for (lsn, rec) in recs {
+                history.push((*lsn, shard, rec));
+            }
+        }
+        history.sort_unstable_by_key(|&(lsn, _, _)| lsn);
+        for (_, shard, rec) in history {
+            match rec {
+                WalRecord::Upsert { id, vector } | WalRecord::Move { id, vector } => {
+                    if let Some(&old) = store.placements.get(id) {
+                        if old as usize != shard {
+                            store.shards[old as usize].delete(*id);
+                        }
+                    }
+                    store.shards[shard].upsert_normalized(*id, vector);
+                    store.placements.insert(*id, shard as u32);
+                    store.next_id = store.next_id.max(*id + 1);
+                }
+                WalRecord::Delete { id } => {
+                    if let Some(old) = store.placements.remove(id) {
+                        store.shards[old as usize].delete(*id);
+                    }
+                }
+            }
+        }
+        store.reset_residuals();
+        store.wal = Some(Mutex::new(wal));
+        Ok(store)
+    }
+
+    /// Whether this store journals its mutations (was opened through
+    /// [`open_durable`](Self::open_durable)).
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Checkpoints a durable store: flushes the logs, saves a
+    /// `snap-<lsn>.tbix` snapshot into the WAL directory, and folds —
+    /// the manifest now references the snapshot and fresh empty segments,
+    /// and the folded segments plus the previous snapshot are deleted.
+    /// Returns the fold LSN. Errors on a non-durable store.
+    pub fn checkpoint(&self) -> io::Result<u64> {
+        let Some(wal) = &self.wal else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "checkpoint requires a store opened with open_durable",
+            ));
+        };
+        let mut w = wal.lock().expect("WAL lock poisoned");
+        w.flush()?;
+        let fold_lsn = w.last_lsn();
+        let name = format!("snap-{fold_lsn:020}.tbix");
+        self.save(&w.dir().join(&name))?;
+        w.fold(fold_lsn, name)?;
+        Ok(fold_lsn)
+    }
+
+    /// Fsyncs any unsynced WAL backlog now, regardless of policy. A no-op
+    /// on non-durable stores (so callers like graceful shutdown need not
+    /// care).
+    pub fn wal_flush(&self) -> io::Result<()> {
+        match &self.wal {
+            Some(w) => w.lock().expect("WAL lock poisoned").flush(),
+            None => Ok(()),
+        }
+    }
+
+    /// WAL observability counters, or `None` for a non-durable store.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.wal.as_ref().map(|w| w.lock().expect("WAL lock poisoned").stats())
+    }
+
+    /// Swaps the fsync policy at runtime (`tabbin-serve`'s durable mode
+    /// applies `ServeConfig::durability` here at bind). A no-op on
+    /// non-durable stores.
+    pub fn set_durability(&self, policy: DurabilityPolicy) -> io::Result<()> {
+        match &self.wal {
+            Some(w) => w.lock().expect("WAL lock poisoned").set_policy(policy),
+            None => Ok(()),
+        }
+    }
+
+    /// Overrides the WAL segment rotation threshold (tests exercise
+    /// rotation and fold without writing 64 MiB). A no-op on non-durable
+    /// stores.
+    pub fn set_wal_segment_cap(&self, bytes: u64) {
+        if let Some(w) = &self.wal {
+            w.lock().expect("WAL lock poisoned").set_segment_cap(bytes);
+        }
+    }
+}
+
+impl Drop for ShardedStore {
+    /// Best-effort flush so a graceful exit under `Interval`/`Never`
+    /// leaves nothing in the OS cache. Crashes skip this — that is what
+    /// replay is for.
+    fn drop(&mut self) {
+        if let Some(wal) = &self.wal {
+            if let Ok(mut w) = wal.lock() {
+                let _ = w.flush();
+            }
+        }
     }
 }
 

@@ -28,19 +28,29 @@
 //! entry's sign-bit LSH signature rides along after its vector. Version 3
 //! added the router section: a learned router's k-means centroids plus the
 //! per-shard entry counts (save order), so a routed store's placements —
-//! and therefore its probe decisions — replay exactly on load. Version 1
-//! and 2 files (binary or JSON) still load: v1 carries no signatures (the
-//! store rebuilds them from the persisted seed), and neither carries a
-//! router section (stores load with hash routing, as they were saved).
+//! and therefore its probe decisions — replay exactly on load. Version 4
+//! appends a CRC32 (IEEE) footer over every preceding byte, so a corrupt
+//! or bit-flipped file is rejected with a clear error instead of being
+//! decoded into garbage vectors. Version 1–3 files (binary or JSON) still
+//! load: v1 carries no signatures (the store rebuilds them from the
+//! persisted seed), v1/v2 carry no router section (stores load with hash
+//! routing, as they were saved), and pre-v4 files have no footer to check.
 
 use crate::lsh::packed_len;
 use crate::store::LshParams;
+use crate::wal::crc32;
 use serde::{DeError, Deserialize, Serialize, Value};
 use std::io;
 use std::path::Path;
 
 /// The snapshot format version this build writes.
-pub const SNAPSHOT_VERSION: u32 = 3;
+pub const SNAPSHOT_VERSION: u32 = 4;
+
+/// The version that introduced the router section.
+pub(crate) const ROUTER_SNAPSHOT_VERSION: u32 = 3;
+
+/// The version that introduced the trailing CRC32 integrity footer.
+pub(crate) const CRC_SNAPSHOT_VERSION: u32 = 4;
 
 /// The version that introduced the quantized-tier header fields (re-rank
 /// factor, packed-signature width) and per-entry signatures.
@@ -255,7 +265,7 @@ pub(crate) fn encode_binary(snap: &StoreSnapshot, n_shards: u32) -> Vec<u8> {
         out.extend_from_slice(&snap.rerank.to_le_bytes());
         out.extend_from_slice(&(sig_words as u32).to_le_bytes());
     }
-    if snap.version >= SNAPSHOT_VERSION {
+    if snap.version >= ROUTER_SNAPSHOT_VERSION {
         // The router section sits before the entry count so the decoder's
         // exact-length check still covers the (fixed-size) entry payload.
         match &snap.router {
@@ -286,6 +296,10 @@ pub(crate) fn encode_binary(snap: &StoreSnapshot, n_shards: u32) -> Vec<u8> {
                 out.extend_from_slice(&w.to_le_bytes());
             }
         }
+    }
+    if snap.version >= CRC_SNAPSHOT_VERSION {
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
     }
     out
 }
@@ -329,6 +343,32 @@ impl<'a> Cursor<'a> {
 /// Decodes a `TBIX` binary snapshot, returning the shard count marker
 /// (`0` = single store) and the validated snapshot.
 fn decode_binary(bytes: &[u8]) -> io::Result<(u32, StoreSnapshot)> {
+    if bytes.len() < TBIX_MAGIC.len() + 4 {
+        return Err(invalid("truncated binary snapshot".into()));
+    }
+    // Peek the version to learn whether a CRC footer exists, verify it,
+    // and decode over the trimmed payload — so a bit-flip anywhere in the
+    // file surfaces as this one clear error, not as garbage field values.
+    let peek_version = u32::from_le_bytes(
+        bytes[TBIX_MAGIC.len()..TBIX_MAGIC.len() + 4].try_into().expect("4 bytes"),
+    );
+    let bytes = if peek_version >= CRC_SNAPSHOT_VERSION {
+        let body_len = bytes
+            .len()
+            .checked_sub(4)
+            .filter(|&n| n >= TBIX_MAGIC.len() + 4)
+            .ok_or_else(|| invalid("binary snapshot too short for its CRC footer".into()))?;
+        let footer = u32::from_le_bytes(bytes[body_len..].try_into().expect("4 bytes"));
+        let computed = crc32(&bytes[..body_len]);
+        if footer != computed {
+            return Err(invalid(format!(
+                "snapshot CRC mismatch (footer {footer:08x}, computed {computed:08x}) — the file is corrupt"
+            )));
+        }
+        &bytes[..body_len]
+    } else {
+        bytes
+    };
     let mut c = Cursor { bytes, pos: TBIX_MAGIC.len() };
     let version = c.u32()?;
     let n_shards = c.u32()?;
@@ -352,7 +392,7 @@ fn decode_binary(bytes: &[u8]) -> io::Result<(u32, StoreSnapshot)> {
     // Version 3 adds the router section: absent (flag 0) for hash-routed
     // and single stores. The cell count is header-bounded like the shard
     // marker — untrusted input must not size allocations unchecked.
-    let router = if version >= SNAPSHOT_VERSION {
+    let router = if version >= ROUTER_SNAPSHOT_VERSION {
         match c.u8()? {
             0 => None,
             1 => {
@@ -538,13 +578,22 @@ mod tests {
     fn absurd_shard_count_is_rejected_before_any_allocation() {
         // A crafted header claiming u32::MAX shards must come back as
         // InvalidData, not as billions of shard constructions in load().
+        // Rewrite the CRC footer after each header edit so the check under
+        // test — the shard bound, not the integrity footer — is what fires.
+        fn refit_crc(bytes: &mut [u8]) {
+            let body_len = bytes.len() - 4;
+            let crc = crate::wal::crc32(&bytes[..body_len]).to_le_bytes();
+            bytes[body_len..].copy_from_slice(&crc);
+        }
         let mut bytes = encode_binary(&sample(), 4);
         bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        refit_crc(&mut bytes);
         let err = decode_binary(&bytes).expect_err("absurd shard count must fail");
         assert!(err.to_string().contains("shards"), "unhelpful error: {err}");
         // The bound itself is inclusive.
         let mut at_max = encode_binary(&sample(), 4);
         at_max[8..12].copy_from_slice(&MAX_SNAPSHOT_SHARDS.to_le_bytes());
+        refit_crc(&mut at_max);
         assert!(decode_binary(&at_max).is_ok());
     }
 
@@ -576,9 +625,10 @@ mod tests {
         assert!(back.sigs.is_empty(), "v1 carries no signatures");
         assert_eq!(back.entries.len(), snap.entries.len());
         // And the v1 layout really is the old one: no rerank/sig_words
-        // header fields, no router flag, no per-entry signature words.
-        let v3 = encode_binary(&sample_quantized(), 0);
-        assert_eq!(v3.len(), bytes.len() + 12 + 1 + snap.entries.len() * 8);
+        // header fields, no router flag, no per-entry signature words, no
+        // CRC footer (all of which the current version adds).
+        let v4 = encode_binary(&sample_quantized(), 0);
+        assert_eq!(v4.len(), bytes.len() + 12 + 1 + snap.entries.len() * 8 + 4);
     }
 
     #[test]
@@ -589,8 +639,12 @@ mod tests {
         let mut snap = sample_quantized();
         snap.version = QUANTIZED_SNAPSHOT_VERSION;
         let bytes = encode_binary(&snap, 4);
-        let v3 = encode_binary(&sample_quantized(), 4);
-        assert_eq!(v3.len(), bytes.len() + 1, "v3 without a router adds only the flag byte");
+        let v4 = encode_binary(&sample_quantized(), 4);
+        assert_eq!(
+            v4.len(),
+            bytes.len() + 1 + 4,
+            "v4 without a router adds only the flag byte and the CRC footer"
+        );
         let (n_shards, back) = decode_binary(&bytes).expect("v2 decode");
         assert_eq!(n_shards, 4);
         assert_eq!(back.version, QUANTIZED_SNAPSHOT_VERSION);
@@ -628,17 +682,45 @@ mod tests {
         let mut snap = sample_routed();
         snap.router.as_mut().unwrap().centroids[0] = vec![1.0];
         assert!(snap.validate().is_err());
-        // A corrupt router flag byte is rejected in the decoder.
+        // A corrupt router flag byte is rejected in the decoder. Walk back
+        // from the end: CRC footer, entry payload, router payload, flag.
         let good = encode_binary(&sample_routed(), 2);
         let flag_pos = good.len()
+            - 4
             - (8 + 8 + sample_routed().entries.len() * (8 + 3 * 4))
             - (2 * 3 * 4 + 2 * 8 + 4)
             - 1;
         let mut bad = good.clone();
         assert_eq!(bad[flag_pos], 1, "flag offset arithmetic drifted");
         bad[flag_pos] = 9;
+        // Rewrite the footer so decode gets past the CRC check and reaches
+        // the flag validation this test is about.
+        let body_len = bad.len() - 4;
+        let crc = crate::wal::crc32(&bad[..body_len]).to_le_bytes();
+        bad[body_len..].copy_from_slice(&crc);
         let err = decode_binary(&bad).expect_err("bad flag must fail");
         assert!(err.to_string().contains("router flag"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn crc_footer_rejects_bit_flips_with_a_clear_error() {
+        let good = encode_binary(&sample_quantized(), 2);
+        // Flip one bit in every region of the file — header, payload,
+        // footer — and demand the corruption error every time.
+        for pos in [9, good.len() / 2, good.len() - 2] {
+            let mut bad = good.clone();
+            bad[pos] ^= 0x10;
+            let err = decode_binary(&bad).expect_err("bit flip must fail");
+            assert!(
+                err.to_string().contains("CRC mismatch"),
+                "unhelpful error for flip at {pos}: {err}"
+            );
+        }
+        // Pre-v4 files have no footer and still decode.
+        let mut legacy = sample_quantized();
+        legacy.version = QUANTIZED_SNAPSHOT_VERSION;
+        let bytes = encode_binary(&legacy, 2);
+        assert!(decode_binary(&bytes).is_ok(), "v2 files must keep loading");
     }
 
     #[test]

@@ -246,6 +246,10 @@ pub struct StoreConfig {
     pub tier: ScoringTier,
     /// When the store compacts itself (see [`CompactionPolicy`]).
     pub policy: CompactionPolicy,
+    /// When WAL appends are fsynced, for stores opened durably via
+    /// `ShardedStore::open_durable` (see [`crate::wal::DurabilityPolicy`]).
+    /// Ignored by non-durable stores.
+    pub durability: crate::wal::DurabilityPolicy,
 }
 
 impl Default for StoreConfig {
@@ -256,6 +260,7 @@ impl Default for StoreConfig {
             seed: 0x7ab1,
             tier: ScoringTier::Exact,
             policy: CompactionPolicy::default(),
+            durability: crate::wal::DurabilityPolicy::Never,
         }
     }
 }
@@ -1107,6 +1112,7 @@ impl VectorStore {
                 n => ScoringTier::Quantized { rerank_factor: n as usize },
             },
             policy: CompactionPolicy::default(),
+            durability: crate::wal::DurabilityPolicy::Never,
         };
         let mut store = Self::new(snap.dim, cfg);
         if store.has_lsh() && snap.sigs.len() == snap.entries.len() {

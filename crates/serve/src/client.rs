@@ -10,7 +10,49 @@ use crate::wire::{
 use std::collections::{HashMap, HashSet};
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 use tabbin_index::Hit;
+
+/// Capped exponential backoff for [`Client::query_with_retry`] /
+/// [`PipelinedClient::query_with_retry`]: how many sheds to absorb and
+/// how long to sleep between attempts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Sheds absorbed before the final `Overloaded` is returned to the
+    /// caller (so `max_retries + 1` attempts in total).
+    pub max_retries: u32,
+    /// First-attempt backoff floor in milliseconds; doubles per retry.
+    pub base_millis: u64,
+    /// Backoff ceiling in milliseconds — the exponential and the server's
+    /// hint are both capped here.
+    pub max_millis: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Five retries, 2 ms doubling, capped at 1 s.
+    fn default() -> Self {
+        Self { max_retries: 5, base_millis: 2, max_millis: 1_000 }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry `attempt` (0-based): the larger of the
+    /// server's `retry_after_millis` hint and the exponential
+    /// `base << attempt`, capped at `max_millis`, then jittered by a
+    /// deterministic ±25% keyed on `salt` — a fleet of clients shed at
+    /// the same instant must not come back at the same instant.
+    pub fn backoff_millis(&self, attempt: u32, hint_millis: u32, salt: u64) -> u64 {
+        let exp = self.base_millis.saturating_mul(1u64 << attempt.min(20));
+        let raw = exp.max(hint_millis as u64).min(self.max_millis.max(1));
+        // splitmix64 finalizer over (salt, attempt) → factor in [0.75, 1.25).
+        let mut z = salt ^ (u64::from(attempt) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let jitter = 0.75 + (z % 1000) as f64 / 1998.0;
+        ((raw as f64) * jitter).round().max(0.0) as u64
+    }
+}
 
 /// What a `Query` request came back as — callers must handle shed load
 /// explicitly, it is a normal serving outcome rather than an IO failure.
@@ -103,6 +145,31 @@ impl Client {
             }
             Response::Error(msg) => Err(io::Error::new(io::ErrorKind::InvalidInput, msg)),
             Response::Stats(_) => Err(protocol("stats reply to a query request")),
+        }
+    }
+
+    /// [`query`](Self::query) that absorbs `Overloaded` sheds: sleeps per
+    /// `policy` (honoring the server's `retry_after_millis` hint) and
+    /// retries, returning the first non-shed outcome — or the final
+    /// `Overloaded` once `policy.max_retries` sheds have been absorbed,
+    /// so callers still see persistent overload rather than blocking
+    /// forever.
+    pub fn query_with_retry(
+        &mut self,
+        vector: &[f32],
+        k: usize,
+        policy: RetryPolicy,
+    ) -> io::Result<QueryOutcome> {
+        let mut attempt = 0u32;
+        loop {
+            match self.query(vector, k)? {
+                QueryOutcome::Overloaded { retry_after_millis } if attempt < policy.max_retries => {
+                    let delay = policy.backoff_millis(attempt, retry_after_millis, self.next_tag);
+                    std::thread::sleep(Duration::from_millis(delay));
+                    attempt += 1;
+                }
+                outcome => return Ok(outcome),
+            }
         }
     }
 
@@ -227,6 +294,31 @@ impl PipelinedClient {
         Ok(())
     }
 
+    /// Submit-and-wait with shed absorption: like
+    /// [`Client::query_with_retry`] but through the pipelined window, so
+    /// a retry loop can ride a connection that has other requests in
+    /// flight. Each attempt is its own tagged request; replies for other
+    /// tags arriving meanwhile are buffered for their own `wait`ers.
+    pub fn query_with_retry(
+        &mut self,
+        vector: &[f32],
+        k: usize,
+        policy: RetryPolicy,
+    ) -> io::Result<QueryOutcome> {
+        let mut attempt = 0u32;
+        loop {
+            let tag = self.submit(vector, k)?;
+            match self.wait(tag)? {
+                QueryOutcome::Overloaded { retry_after_millis } if attempt < policy.max_retries => {
+                    let delay = policy.backoff_millis(attempt, retry_after_millis, tag);
+                    std::thread::sleep(Duration::from_millis(delay));
+                    attempt += 1;
+                }
+                outcome => return Ok(outcome),
+            }
+        }
+    }
+
     /// Pipelines every query through the window and returns outcomes in
     /// submission order, regardless of the order replies arrived in.
     pub fn query_all(&mut self, queries: &[Vec<f32>], k: usize) -> io::Result<Vec<QueryOutcome>> {
@@ -270,4 +362,105 @@ impl PipelinedClient {
 
 fn protocol(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{encode_response, read_frame, write_frame};
+    use std::net::{SocketAddr, TcpListener};
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+    use std::thread::JoinHandle;
+
+    /// A loopback server that sheds the first `sheds` query requests with
+    /// `Overloaded { retry_after_millis: 1 }` and answers every later one
+    /// with a single hit. Returns the bind address, the join handle, and
+    /// the query-attempt counter.
+    fn flaky_server(sheds: u32) -> (SocketAddr, JoinHandle<()>, Arc<AtomicU32>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("local addr");
+        let attempts = Arc::new(AtomicU32::new(0));
+        let counter = Arc::clone(&attempts);
+        let handle = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let mut writer = BufWriter::new(stream);
+            loop {
+                let Ok(payload) = read_frame(&mut reader) else { return };
+                let (tag, req) = crate::wire::decode_request(&payload).expect("decode");
+                let resp = match req {
+                    Request::Query { .. } => {
+                        let n = counter.fetch_add(1, Ordering::SeqCst);
+                        if n < sheds {
+                            Response::Overloaded { retry_after_millis: 1 }
+                        } else {
+                            Response::Hits { hits: vec![Hit { id: 42, score: 1.0 }], last: true }
+                        }
+                    }
+                    Request::Stats => Response::Error("no stats here".to_string()),
+                };
+                write_frame(&mut writer, &encode_response(tag, &resp)).expect("write");
+                writer.flush().expect("flush");
+            }
+        });
+        (addr, handle, attempts)
+    }
+
+    #[test]
+    fn retry_absorbs_sheds_and_returns_the_eventual_hits() {
+        let (addr, server, attempts) = flaky_server(3);
+        let mut client = Client::connect(addr).expect("connect");
+        let policy = RetryPolicy { max_retries: 5, base_millis: 1, max_millis: 5 };
+        let outcome = client.query_with_retry(&[1.0, 0.0], 1, policy).expect("query");
+        assert_eq!(outcome, QueryOutcome::Hits(vec![Hit { id: 42, score: 1.0 }]));
+        assert_eq!(attempts.load(Ordering::SeqCst), 4, "3 sheds + 1 success");
+        drop(client);
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_final_overload() {
+        let (addr, server, attempts) = flaky_server(u32::MAX);
+        let mut client = Client::connect(addr).expect("connect");
+        let policy = RetryPolicy { max_retries: 2, base_millis: 1, max_millis: 2 };
+        let outcome = client.query_with_retry(&[1.0, 0.0], 1, policy).expect("query");
+        assert_eq!(outcome, QueryOutcome::Overloaded { retry_after_millis: 1 });
+        assert_eq!(attempts.load(Ordering::SeqCst), 3, "1 attempt + 2 retries");
+        drop(client);
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn pipelined_retry_reaches_hits_through_the_window() {
+        let (addr, server, attempts) = flaky_server(2);
+        let mut client = PipelinedClient::connect(addr, 4).expect("connect");
+        let policy = RetryPolicy { max_retries: 4, base_millis: 1, max_millis: 5 };
+        let outcome = client.query_with_retry(&[0.0, 1.0], 1, policy).expect("query");
+        assert_eq!(outcome, QueryOutcome::Hits(vec![Hit { id: 42, score: 1.0 }]));
+        assert_eq!(attempts.load(Ordering::SeqCst), 3);
+        drop(client);
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn backoff_honors_the_hint_the_cap_and_the_jitter_band() {
+        let policy = RetryPolicy { max_retries: 3, base_millis: 2, max_millis: 100 };
+        for salt in [1u64, 7, 12345] {
+            // The server hint dominates a small exponential...
+            let with_hint = policy.backoff_millis(0, 40, salt);
+            assert!((30..=50).contains(&with_hint), "hint 40 ±25% broke: {with_hint}");
+            // ...the cap dominates everything...
+            let capped = policy.backoff_millis(20, 10_000, salt);
+            assert!(capped <= 125, "cap 100 ±25% broke: {capped}");
+            // ...and without a hint the exponential floor applies.
+            let early = policy.backoff_millis(0, 0, salt);
+            assert!((1..=3).contains(&early), "base 2 ±25% broke: {early}");
+        }
+        // Jitter is deterministic per salt but varies across salts.
+        assert_eq!(policy.backoff_millis(1, 0, 9), policy.backoff_millis(1, 0, 9));
+        let spread: std::collections::HashSet<u64> =
+            (0..64).map(|s| policy.backoff_millis(0, 80, s)).collect();
+        assert!(spread.len() > 8, "jitter produced almost no spread: {}", spread.len());
+    }
 }

@@ -40,7 +40,7 @@ pub mod reactor;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, PipelinedClient, QueryOutcome, ReplyDemux};
+pub use client::{Client, PipelinedClient, QueryOutcome, ReplyDemux, RetryPolicy};
 pub use server::{ServeConfig, Server};
 pub use wire::{Request, Response, StatsReply, CONNECTION_TAG, MAX_CHUNK_HITS, MAX_FRAME_LEN};
 

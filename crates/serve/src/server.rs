@@ -51,7 +51,7 @@ use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
-use tabbin_index::{MicroBatcher, QueryEngine, ShardedStore};
+use tabbin_index::{DurabilityPolicy, MicroBatcher, QueryEngine, ShardedStore};
 
 /// Construction-time options for a [`Server`].
 #[derive(Clone, Copy, Debug)]
@@ -76,6 +76,13 @@ pub struct ServeConfig {
     /// overrides it for every request this server executes (clamped to
     /// the shard count).
     pub nprobe: usize,
+    /// Durable mode: `Some(policy)` applies this fsync policy to the
+    /// engine's store at bind (the store must have been opened through
+    /// `ShardedStore::open_durable` for it to matter — on a non-durable
+    /// store this is a no-op). `None` leaves the store's own policy
+    /// untouched. Graceful [`shutdown`](Server::shutdown) always flushes
+    /// the WAL either way.
+    pub durability: Option<DurabilityPolicy>,
 }
 
 impl Default for ServeConfig {
@@ -90,6 +97,7 @@ impl Default for ServeConfig {
             max_connections: 1024,
             max_conn_queued_bytes: 4 << 20,
             nprobe: 0,
+            durability: None,
         }
     }
 }
@@ -140,6 +148,7 @@ impl Shared {
     fn stats(&self) -> StatsReply {
         let engine = self.engine();
         let shards = engine.store().stats();
+        let wal = engine.store().wal_stats();
         StatsReply {
             shard_depths: shards.depths(),
             imbalance: shards.imbalance(),
@@ -153,6 +162,9 @@ impl Shared {
             served: self.served.load(Ordering::Relaxed),
             router: engine.store().router_name().to_string(),
             nprobe: engine.plan_probed(1, self.batcher.nprobe()).nprobe,
+            wal_depth_bytes: wal.map_or(0, |w| w.depth_bytes),
+            last_fsync_lsn: wal.map_or(0, |w| w.last_fsync_lsn),
+            replay_records: wal.map_or(0, |w| w.replay_records),
         }
     }
 
@@ -192,6 +204,9 @@ impl Server {
             cfg.max_conn_queued_bytes > MAX_FRAME_LEN as usize,
             "write-queue bound below one frame would wedge large replies"
         );
+        if let Some(policy) = cfg.durability {
+            engine.store().set_durability(policy)?;
+        }
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let (admit, jobs) = mpsc::sync_channel(cfg.resolved_queue_capacity());
@@ -273,6 +288,9 @@ impl Server {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+        // Workers are quiescent; make everything they logged durable so a
+        // graceful stop under `Interval`/`Never` loses nothing.
+        let _ = self.shared.engine().store().wal_flush();
     }
 }
 

@@ -136,6 +136,16 @@ pub struct StatsReply {
     /// Shards each query probes under the server's resolved plan (equals
     /// the shard count for full fan-out).
     pub nprobe: usize,
+    /// Bytes of write-ahead log not yet folded into a snapshot — the
+    /// replay debt a crash right now would incur. `0` when the store is
+    /// not durable.
+    pub wal_depth_bytes: u64,
+    /// Highest WAL LSN known durable (covered by an fsync). `0` when the
+    /// store is not durable.
+    pub last_fsync_lsn: u64,
+    /// WAL records replayed when the store was opened — nonzero exactly
+    /// when this process recovered state a predecessor journaled.
+    pub replay_records: u64,
 }
 
 /// Writes one frame (length prefix + payload). Refuses payloads past
